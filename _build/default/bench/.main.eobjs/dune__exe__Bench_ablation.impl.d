@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Egglog List Math_suite Pointsto Printf Unix

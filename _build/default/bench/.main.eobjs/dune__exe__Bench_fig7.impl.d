@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Array Egglog Egraph List Math_suite Option Printf

@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Array List Minidatalog Pointsto Printf String Unix

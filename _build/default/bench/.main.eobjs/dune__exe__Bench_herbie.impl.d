@@ -1,0 +1,1 @@
+bench/bench_herbie.ml: Herbie List Printf String

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Array Bechamel Benchmark Bigint Egglog Egraph Hashtbl Instance List Math_suite Measure Printf Rat Staged Test Time Toolkit Union_find

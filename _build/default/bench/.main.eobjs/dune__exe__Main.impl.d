@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_fig7 Bench_fig8 Bench_herbie Bench_micro List Sys

@@ -1,0 +1,60 @@
+(* Figs. 11 & 12: Herbie with egglog's sound analyses vs Herbie's unsound
+   ruleset, across the FP benchmark suite.
+
+   Fig. 11 plots the distribution of (average bits of error with the
+   unsound rules) - (with the sound analysis): negative = sound analysis
+   found the more accurate program. Fig. 12 plots the distribution of the
+   runtime differences; the paper reports the sound analysis being faster
+   overall (73.91 vs 81.91 minutes) because unsound results waste search
+   and must be detected and discarded. *)
+
+let histogram ~label ~unit values =
+  let buckets =
+    [ (neg_infinity, -10.0); (-10.0, -1.0); (-1.0, -0.1); (-0.1, 0.1); (0.1, 1.0); (1.0, 10.0);
+      (10.0, infinity) ]
+  in
+  Printf.printf "%s (unsound - sound, %s):\n" label unit;
+  List.iter
+    (fun (lo, hi) ->
+      let n = List.length (List.filter (fun v -> v >= lo && v < hi) values) in
+      let bar = String.make (min 60 (n * 3)) '#' in
+      Printf.printf "  [%8s, %8s): %3d %s\n"
+        (if lo = neg_infinity then "-inf" else Printf.sprintf "%g" lo)
+        (if hi = infinity then "+inf" else Printf.sprintf "%g" hi)
+        n bar)
+    buckets
+
+let run ~full () =
+  let iterations = if full then 8 else 7 in
+  Printf.printf "\n=== Figs. 11 & 12: Herbie sound analysis vs unsound ruleset ===\n";
+  Printf.printf "%d benchmarks, %d EqSat iterations each\n%!" (List.length Herbie.Suite.benches)
+    iterations;
+  let results =
+    List.map
+      (fun bench ->
+        let s = Herbie.Pipeline.improve ~iterations Herbie.Pipeline.Sound bench in
+        let u = Herbie.Pipeline.improve ~iterations Herbie.Pipeline.Unsound bench in
+        (bench, s, u))
+      Herbie.Suite.benches
+  in
+  Printf.printf "%-22s %8s %8s %8s | %8s %8s | %s\n" "benchmark" "before" "sound" "unsound"
+    "t-sound" "t-unsnd" "invalid-candidates";
+  List.iter
+    (fun ((bench : Herbie.Suite.bench), (s : Herbie.Pipeline.outcome), (u : Herbie.Pipeline.outcome)) ->
+      Printf.printf "%-22s %8.2f %8.2f %8.2f | %7.3fs %7.3fs | %d\n" bench.Herbie.Suite.name
+        s.bits_before s.bits_after u.bits_after s.seconds u.seconds u.n_invalid)
+    results;
+  let err_diffs = List.map (fun (_, s, u) -> u.Herbie.Pipeline.bits_after -. s.Herbie.Pipeline.bits_after) results in
+  let time_diffs = List.map (fun (_, s, u) -> u.Herbie.Pipeline.seconds -. s.Herbie.Pipeline.seconds) results in
+  print_newline ();
+  histogram ~label:"Fig. 11 - accuracy difference" ~unit:"bits of error" err_diffs;
+  let sound_better = List.length (List.filter (fun d -> d > 0.05) err_diffs) in
+  let unsound_better = List.length (List.filter (fun d -> d < -0.05) err_diffs) in
+  Printf.printf
+    "sound analysis more accurate on %d benchmarks, unsound on %d (paper: 104 vs 135 of 289)\n\n"
+    sound_better unsound_better;
+  histogram ~label:"Fig. 12 - runtime difference" ~unit:"seconds" time_diffs;
+  let t_sound = List.fold_left (fun a (_, s, _) -> a +. s.Herbie.Pipeline.seconds) 0.0 results in
+  let t_unsound = List.fold_left (fun a (_, _, u) -> a +. u.Herbie.Pipeline.seconds) 0.0 results in
+  Printf.printf "total: sound %.2fs vs unsound %.2fs (paper: 73.91 vs 81.91 minutes)\n%!" t_sound
+    t_unsound

@@ -1,0 +1,103 @@
+(* Bechamel micro-benchmarks for the engine's hot paths: union-find,
+   congruence rebuilding, relational e-matching vs backtracking e-matching
+   (the §5.1 query-engine claim), and the bignum substrate. *)
+
+open Bechamel
+open Toolkit
+
+let uf_bench () =
+  let n = 4096 in
+  Staged.stage (fun () ->
+      let uf = Union_find.create () in
+      let ids = Array.init n (fun _ -> Union_find.make_set uf) in
+      for i = 0 to n - 2 do
+        ignore (Union_find.union uf ids.(i) ids.(i + 1))
+      done;
+      for i = 0 to n - 1 do
+        ignore (Union_find.find uf ids.(i))
+      done)
+
+(* Congruence closure via rebuild: chain of f-applications, then union the
+   two ends and canonicalize. *)
+let rebuild_bench () =
+  Staged.stage (fun () ->
+      let eng = Egglog.Engine.create () in
+      ignore
+        (Egglog.run_string eng
+           {| (sort V) (function f (V) V) (function x () V) (function y () V) |});
+      let fx = ref (Egglog.Engine.eval_call eng "x" []) in
+      let fy = ref (Egglog.Engine.eval_call eng "y" []) in
+      for _ = 1 to 64 do
+        fx := Egglog.Engine.eval_call eng "f" [ !fx ];
+        fy := Egglog.Engine.eval_call eng "f" [ !fy ]
+      done;
+      ignore
+        (Egglog.Engine.union_values eng
+           (Egglog.Engine.eval_call eng "x" [])
+           (Egglog.Engine.eval_call eng "y" []));
+      Egglog.Engine.rebuild eng)
+
+(* Prepared e-graphs for the matching comparison. *)
+let prepared_egglog () =
+  let eng = Egglog.Engine.create ~scheduler:Egglog.Engine.backoff_default () in
+  ignore (Egglog.run_string eng (Math_suite.egglog_program ()));
+  ignore (Egglog.Engine.run_iterations eng 8);
+  eng
+
+let prepared_egg () =
+  let eg = Egraph.create () in
+  List.iter (fun term -> ignore (Egraph.add_term eg term)) (Math_suite.egg_seed_terms ());
+  ignore (Egraph.run eg ~scheduler:Egraph.backoff_default (Math_suite.egg_rewrites ()) 8);
+  eg
+
+let relational_ematch_bench () =
+  let eng = prepared_egglog () in
+  let facts =
+    [ Egglog.Ast.Eq
+        ( Egglog.Ast.Var "root",
+          Egglog.Ast.Call ("Mul", [ Egglog.Ast.Var "a"; Egglog.Ast.Call ("Add", [ Egglog.Ast.Var "b"; Egglog.Ast.Var "c" ]) ]) ) ]
+  in
+  Staged.stage (fun () -> ignore (Egglog.Engine.check_facts eng facts))
+
+let backtracking_ematch_bench () =
+  let eg = prepared_egg () in
+  let pat = Egraph.pattern_of_string "(* ?a (+ ?b ?c))" in
+  Staged.stage (fun () -> ignore (Egraph.ematch eg pat))
+
+let bigint_bench () =
+  let a = Bigint.of_string "123456789123456789123456789123456789" in
+  let b = Bigint.of_string "987654321987654321987654321" in
+  Staged.stage (fun () ->
+      let p = Bigint.mul a b in
+      ignore (Bigint.divmod p b))
+
+let rat_bench () =
+  let a = Rat.of_ints 355 113 and b = Rat.of_ints 22 7 in
+  Staged.stage (fun () -> ignore (Rat.add (Rat.mul a b) (Rat.div a b)))
+
+let tests () =
+  Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"union-find-4k" (uf_bench ());
+      Test.make ~name:"congruence-rebuild-128" (rebuild_bench ());
+      Test.make ~name:"ematch-relational" (relational_ematch_bench ());
+      Test.make ~name:"ematch-backtracking" (backtracking_ematch_bench ());
+      Test.make ~name:"bigint-mul-divmod" (bigint_bench ());
+      Test.make ~name:"rat-arith" (rat_bench ());
+    ]
+
+let run () =
+  Printf.printf "=== Micro-benchmarks (bechamel, ns/run) ===\n%!";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-34s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()

@@ -1,0 +1,98 @@
+(* The egglog command-line tool: run .egg programs or an interactive REPL
+   (the language-based design of §5.2). *)
+
+let run_file ~seminaive ~backoff ~load ~dump path =
+  let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
+  let eng = Egglog.Engine.create ~seminaive ~scheduler () in
+  let src = In_channel.with_open_text path In_channel.input_all in
+  match
+    (* Snapshots carry data, not declarations: FILE must (re)declare the
+       schema; the snapshot is loaded after the program runs, ready for
+       further sessions. *)
+    (match load with
+     | Some snap_path ->
+       let outputs = Egglog.run_string eng src in
+       Egglog.Serialize.load_string eng (In_channel.with_open_text snap_path In_channel.input_all);
+       outputs
+     | None -> Egglog.run_string eng src)
+  with
+  | outputs ->
+    List.iter print_endline outputs;
+    (match dump with
+     | Some out_path ->
+       Out_channel.with_open_text out_path (fun oc ->
+           Out_channel.output_string oc (Egglog.Serialize.dump_string eng));
+       Printf.printf "dumped database to %s\n" out_path
+     | None -> ());
+    0
+  | exception Egglog.Egglog_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | exception Sexpr.Parse_error { line; col; message } ->
+    Printf.eprintf "%s:%d:%d: parse error: %s\n" path line col message;
+    1
+  | exception Egglog.Frontend.Syntax_error msg ->
+    Printf.eprintf "%s: syntax error: %s\n" path msg;
+    1
+  | exception Egglog.Serialize.Load_error msg ->
+    Printf.eprintf "snapshot error: %s\n" msg;
+    1
+
+let repl ~seminaive ~backoff () =
+  let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
+  let eng = Egglog.Engine.create ~seminaive ~scheduler () in
+  Printf.printf "egglog repl — enter commands, ctrl-d to exit\n%!";
+  let rec loop buffer =
+    Printf.printf "%s %!" (if buffer = "" then ">" else "...");
+    match In_channel.input_line stdin with
+    | None -> 0
+    | Some line -> (
+      let src = buffer ^ "\n" ^ line in
+      (* Keep reading until the parens balance. *)
+      let depth =
+        String.fold_left
+          (fun d c -> if c = '(' then d + 1 else if c = ')' then d - 1 else d)
+          0 src
+      in
+      if depth > 0 then loop src
+      else begin
+        (match Egglog.run_string eng src with
+         | outputs -> List.iter print_endline outputs
+         | exception Egglog.Egglog_error msg -> Printf.printf "error: %s\n" msg
+         | exception Sexpr.Parse_error { message; _ } -> Printf.printf "parse error: %s\n" message
+         | exception Egglog.Frontend.Syntax_error msg -> Printf.printf "syntax error: %s\n" msg);
+        loop ""
+      end)
+  in
+  loop ""
+
+let () =
+  let open Cmdliner in
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"egglog program to run")
+  in
+  let no_seminaive =
+    Arg.(value & flag & info [ "no-seminaive" ] ~doc:"Disable semi-naïve evaluation (egglogNI)")
+  in
+  let backoff =
+    Arg.(value & flag & info [ "backoff" ] ~doc:"Use the BackOff rule scheduler (as in egg)")
+  in
+  let load =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"SNAPSHOT"
+           ~doc:"Load a database snapshot (produced by --dump) after running FILE")
+  in
+  let dump =
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"SNAPSHOT"
+           ~doc:"Dump the final database to this file")
+  in
+  let main file no_seminaive backoff load dump =
+    let seminaive = not no_seminaive in
+    match file with
+    | Some path -> run_file ~seminaive ~backoff ~load ~dump path
+    | None -> repl ~seminaive ~backoff ()
+  in
+  let term = Term.(const main $ file $ no_seminaive $ backoff $ load $ dump) in
+  let info =
+    Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"
+  in
+  exit (Cmd.eval' (Cmd.v info term))

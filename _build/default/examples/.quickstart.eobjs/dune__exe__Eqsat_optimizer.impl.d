@@ -1,0 +1,1 @@
+examples/eqsat_optimizer.ml: Egglog Egraph List Math_suite Printf String

@@ -1,0 +1,1 @@
+examples/eqsat_optimizer.mli:

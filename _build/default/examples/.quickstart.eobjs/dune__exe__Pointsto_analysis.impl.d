@@ -1,0 +1,1 @@
+examples/pointsto_analysis.ml: Array Egglog Format List Minidatalog Pointsto Printf String Unix

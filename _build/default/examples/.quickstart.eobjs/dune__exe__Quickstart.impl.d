@@ -1,0 +1,1 @@
+examples/quickstart.ml: Egglog List Printf String

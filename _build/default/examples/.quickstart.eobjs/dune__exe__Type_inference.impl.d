@@ -1,0 +1,1 @@
+examples/type_inference.ml: Egglog List Printf String

@@ -1,0 +1,89 @@
+(* Quickstart: egglog as a Datalog (Fig. 3) and as an EqSat engine (Fig. 4).
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let section title = Printf.printf "\n== %s ==\n%!" title
+
+let run title src =
+  section title;
+  print_endline (String.trim src);
+  print_endline "-- output --";
+  List.iter (fun line -> Printf.printf "  %s\n" line) (Egglog.run_program_string src)
+
+let () =
+  run "Transitive closure (Fig. 3a)"
+    {|
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 1 2) (edge 2 3) (edge 3 4)
+    (run)
+    (check (path 1 4))
+    (print-size path)
+    |};
+
+  run "Shortest path with the min lattice (Fig. 3b)"
+    {|
+    (function edge (i64 i64) i64)
+    (function path (i64 i64) i64 :merge (min old new))
+    (rule ((= (edge x y) len)) ((set (path x y) len)))
+    (rule ((= (path x y) xy) (= (edge y z) yz)) ((set (path x z) (+ xy yz))))
+    (set (edge 1 2) 10)
+    (set (edge 2 3) 10)
+    (set (edge 1 3) 30)
+    (run)
+    (check (path 1 3))
+    |};
+
+  run "Node contraction by unification (Fig. 4a)"
+    {|
+    (sort Node)
+    (function mk (i64) Node)
+    (relation edge (Node Node))
+    (relation path (Node Node))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge (mk 1) (mk 2))
+    (edge (mk 2) (mk 3))
+    (edge (mk 5) (mk 6))
+    (union (mk 3) (mk 5))
+    (run)
+    (check (path (mk 1) (mk 6)))
+    |};
+
+  run "Equality saturation (Fig. 4b)"
+    {|
+    (datatype Math (Num i64) (Var String) (Add Math Math) (Mul Math Math))
+    (define expr1 (Mul (Num 2) (Add (Var "x") (Num 3))))
+    (define expr2 (Add (Num 6) (Mul (Num 2) (Var "x"))))
+    (rewrite (Add a b) (Add b a))
+    (rewrite (Mul a (Add b c)) (Add (Mul a b) (Mul a c)))
+    (rewrite (Add (Num a) (Num b)) (Num (+ a b)))
+    (rewrite (Mul (Num a) (Num b)) (Num (* a b)))
+    (run 10)
+    (check (= expr1 expr2))
+    (extract expr1)
+    |};
+
+  section "Same engine, typed API";
+  let eng = Egglog.Engine.create () in
+  Egglog.Engine.declare_relation eng "edge" [ Egglog.Ast.T_name "i64"; Egglog.Ast.T_name "i64" ];
+  Egglog.Engine.declare_relation eng "path" [ Egglog.Ast.T_name "i64"; Egglog.Ast.T_name "i64" ];
+  Egglog.Engine.add_rule eng
+    {
+      Egglog.Ast.rule_name = None;
+      query = [ Egglog.Ast.Holds (Egglog.Ast.Call ("edge", [ Egglog.Ast.Var "x"; Egglog.Ast.Var "y" ])) ];
+      actions = [ Egglog.Ast.Do (Egglog.Ast.Call ("path", [ Egglog.Ast.Var "x"; Egglog.Ast.Var "y" ])) ];
+      ruleset = None;
+    };
+  List.iter
+    (fun (a, b) ->
+      Egglog.Engine.set_fact eng "edge"
+        [ Egglog.Value.VInt a; Egglog.Value.VInt b ]
+        Egglog.Value.VUnit)
+    [ (10, 20); (20, 30) ];
+  let report = Egglog.Engine.run_iterations eng 10 in
+  Printf.printf "saturated after %d iterations; path has %d tuples\n"
+    (List.length report.Egglog.Engine.iterations)
+    (Egglog.Engine.table_size eng "path")

@@ -1,0 +1,33 @@
+(* A compiler peephole/strength-reduction pass built on egglog: equality
+   saturation over algebraic + folding + strength-reduction rules, then
+   cost-aware extraction under a latency model (multiplies cost 4, shifts
+   and adds cost 1).
+
+   Run with:  dune exec examples/strength_reduction.exe *)
+
+let show e =
+  let out = Miniopt.optimize e in
+  Printf.printf "  %-34s (cost %2d)  ->  %-22s (cost %2d)\n" (Miniopt.to_string e)
+    (Miniopt.cost e) (Miniopt.to_string out) (Miniopt.cost out)
+
+let () =
+  print_endline "== the ruleset ==";
+  print_endline (String.trim Miniopt.rules_program);
+  print_endline "\n== optimizations found by saturation + extraction ==";
+  let a0 = Miniopt.Arg 0 and a1 = Miniopt.Arg 1 in
+  let c n = Miniopt.Const n in
+  show (Miniopt.Mul (a0, c 8));
+  show (Miniopt.Mul (a0, c 3));
+  show (Miniopt.Add (a0, a0));
+  show (Miniopt.Mul (Miniopt.Add (a0, c 0), Miniopt.Mul (c 2, c 2)));
+  show (Miniopt.Add (Miniopt.Mul (a0, c 3), Miniopt.Mul (a0, c 5)));
+  show (Miniopt.Sub (Miniopt.Mul (a0, a1), Miniopt.Mul (a0, a1)));
+  show (Miniopt.Mul (Miniopt.Mul (a0, c 2), c 8));
+  (* sanity: the optimized form computes the same thing *)
+  let e = Miniopt.Mul (Miniopt.Add (a0, a1), c 16) in
+  let out = Miniopt.optimize e in
+  let args = [| 7; -3 |] in
+  Printf.printf "\nsemantics preserved: %s = %s on %s -> %b\n" (Miniopt.to_string e)
+    (Miniopt.to_string out)
+    (Printf.sprintf "[%d;%d]" args.(0) args.(1))
+    (Miniopt.eval e args = Miniopt.eval out args)

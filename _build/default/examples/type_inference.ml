@@ -1,0 +1,57 @@
+(* Unification-based algorithms beyond EqSat (§3.5 and Appendix A.3):
+   Hindley-Milner-style type unification with an occurs check, written as
+   a handful of egglog rules — the engine's congruence closure is the
+   unification machinery.
+
+   Run with:  dune exec examples/type_inference.exe *)
+
+let prelude =
+  {|
+  (datatype Type
+    (TInt)
+    (TBool)
+    (TArrow Type Type)
+    (TMeta String))
+
+  ;; Unification: equating two arrows equates the pieces (injectivity).
+  (rule ((= (TArrow fr1 to1) (TArrow fr2 to2)))
+        ((union fr1 fr2) (union to1 to2)))
+
+  ;; Occurs check as a separate, composable analysis.
+  (relation occurs-check (String Type))
+  (relation occurs-fail (String))
+  (rule ((= (TMeta x) (TArrow fr to))) ((occurs-check x fr) (occurs-check x to)))
+  (rule ((occurs-check x (TArrow fr to))) ((occurs-check x fr) (occurs-check x to)))
+  (rule ((occurs-check x (TMeta x))) ((occurs-fail x)))
+  |}
+
+let run_case title body =
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (String.trim body);
+  print_endline "-- output --";
+  match Egglog.run_program_string (prelude ^ body) with
+  | outputs -> List.iter (Printf.printf "  %s\n") outputs
+  | exception Egglog.Egglog_error msg -> Printf.printf "  error: %s\n" msg
+
+let () =
+  run_case "solve  a -> b  ==  Int -> (Bool -> Int)"
+    {|
+    (union (TArrow (TMeta "a") (TMeta "b")) (TArrow (TInt) (TArrow (TBool) (TInt))))
+    (run 5)
+    (check (= (TMeta "a") (TInt)))
+    (check (= (TMeta "b") (TArrow (TBool) (TInt))))
+    (extract (TMeta "b"))
+    |};
+  run_case "chained metavariables:  a -> a  ==  b -> Int"
+    {|
+    (union (TArrow (TMeta "a") (TMeta "a")) (TArrow (TMeta "b") (TInt)))
+    (run 5)
+    (check (= (TMeta "a") (TInt)))
+    (check (= (TMeta "b") (TInt)))
+    |};
+  run_case "occurs check rejects  a == a -> Int"
+    {|
+    (union (TMeta "a") (TArrow (TMeta "a") (TInt)))
+    (run 5)
+    (check (occurs-fail "a"))
+    |}

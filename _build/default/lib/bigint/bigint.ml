@@ -1,0 +1,352 @@
+(* Sign-magnitude bignums over base-2^30 limbs (little-endian int arrays,
+   no trailing zero limb; zero is the empty array with sign 0). Limbs fit
+   in 30 bits so a limb product fits in OCaml's 63-bit native int. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let check_invariant x =
+  let n = Array.length x.mag in
+  (if x.sign = 0 then n = 0 else n > 0 && x.mag.(n - 1) <> 0)
+  && Array.for_all (fun l -> 0 <= l && l < base) x.mag
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+(* Magnitude of a strictly positive native int. *)
+let mag_of_pos m =
+  let rec limbs acc m = if m = 0 then acc else limbs ((m land limb_mask) :: acc) (m lsr base_bits) in
+  Array.of_list (List.rev (limbs [] m))
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then normalize 1 (mag_of_pos n)
+  else if n > min_int then normalize (-1) (mag_of_pos (-n))
+  else begin
+    (* |min_int| = max_int + 1 is not a representable positive int. *)
+    let mag = mag_of_pos max_int in
+    let carry = ref 1 in
+    let mag = Array.append mag [| 0 |] in
+    Array.iteri
+      (fun i l ->
+        let s = l + !carry in
+        mag.(i) <- s land limb_mask;
+        carry := s lsr base_bits)
+      mag;
+    normalize (-1) mag
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let is_zero x = x.sign = 0
+let sign x = x.sign
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+let is_even x = x.sign = 0 || x.mag.(0) land 1 = 0
+
+(* Magnitude comparison: |a| vs |b|. *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash x =
+  let h = ref (x.sign + 0x9e3779b9) in
+  Array.iter (fun l -> h := (!h * 31) lxor l) x.mag;
+  !h land max_int
+
+(* |a| + |b| *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  assert (!carry = 0);
+  r
+
+(* |a| - |b|, requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else begin
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.mag.(i) in
+      for j = 0 to lb - 1 do
+        let p = (ai * b.mag.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- p land limb_mask;
+        carry := p lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize (a.sign * b.sign) r
+  end
+
+let shift_left x k =
+  if x.sign = 0 || k = 0 then x
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length x.mag in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = x.mag.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land limb_mask);
+      r.(i + limb_shift + 1) <- v lsr base_bits
+    done;
+    normalize x.sign r
+  end
+
+let num_bits_mag mag =
+  let n = Array.length mag in
+  if n = 0 then 0
+  else begin
+    let top = mag.(n - 1) in
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    ((n - 1) * base_bits) + width 0 top
+  end
+
+let nth_bit mag i =
+  let limb = i / base_bits and off = i mod base_bits in
+  if limb >= Array.length mag then 0 else (mag.(limb) lsr off) land 1
+
+(* Fast path: magnitude divided by a single limb. *)
+let divmod_limb mag d =
+  let n = Array.length mag in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor mag.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Binary long division on magnitudes: returns (q, r) with |a| = q*|b| + r.
+   O(bits(a) * limbs(b)); fine at the sizes exact rationals reach here. *)
+let divmod_mag a b =
+  let bits = num_bits_mag a in
+  let q = Array.make (Array.length a) 0 in
+  let r = ref [||] in
+  (* r := 2r + bit, as a mutable small magnitude *)
+  for i = bits - 1 downto 0 do
+    let shifted = (normalize 1 (Array.copy !r)) in
+    let doubled = shift_left shifted 1 in
+    let bit = nth_bit a i in
+    let next =
+      if bit = 1 then add_mag doubled.mag [| 1 |]
+      else if doubled.sign = 0 then [||]
+      else doubled.mag
+    in
+    let next = (normalize 1 next).mag in
+    if cmp_mag next b >= 0 then begin
+      r := sub_mag next b;
+      r := (normalize 1 !r).mag;
+      q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+    end
+    else r := next
+  done;
+  (q, !r)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else if cmp_mag a.mag b.mag < 0 then (zero, a)
+  else begin
+    let qmag, rmag =
+      if Array.length b.mag = 1 then begin
+        let q, r = divmod_limb a.mag b.mag.(0) in
+        (q, if r = 0 then [||] else [| r |])
+      end
+      else divmod_mag a.mag b.mag
+    in
+    let q = normalize (a.sign * b.sign) qmag in
+    let r = normalize a.sign rmag in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+(* Halve a magnitude in place-ish (fresh array). *)
+let half_mag mag =
+  let n = Array.length mag in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = n - 1 downto 0 do
+    let v = (mag.(i) lor (!carry lsl base_bits)) in
+    r.(i) <- v lsr 1;
+    carry := v land 1
+  done;
+  r
+
+let half x = if x.sign = 0 then x else normalize x.sign (half_mag x.mag)
+
+(* Stein's binary gcd: subtraction and halving only — much faster than
+   Euclid here because our long division is bit-by-bit. *)
+let gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let shift = ref 0 in
+    let a = ref a and b = ref b in
+    while is_even !a && is_even !b do
+      a := half !a;
+      b := half !b;
+      incr shift
+    done;
+    while is_even !a do
+      a := half !a
+    done;
+    (* invariant: a odd *)
+    while not (is_zero !b) do
+      while is_even !b do
+        b := half !b
+      done;
+      if cmp_mag !a.mag !b.mag > 0 then begin
+        let t = !a in
+        a := !b;
+        b := t
+      end;
+      b := sub !b !a
+    done;
+    shift_left !a !shift
+  end
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc base) (mul base base) (n lsr 1)
+    else go acc (mul base base) (n lsr 1)
+  in
+  go one x n
+
+let to_int x =
+  (* Accumulate on the negative side so min_int round-trips. *)
+  let rec go acc i =
+    if i < 0 then Some acc
+    else begin
+      let shifted = acc * base in
+      if shifted / base <> acc then None
+      else begin
+        let v = shifted - x.mag.(i) in
+        if v > shifted then None else go v (i - 1)
+      end
+    end
+  in
+  match go 0 (Array.length x.mag - 1) with
+  | None -> None
+  | Some negv -> if x.sign >= 0 then (if negv = min_int then None else Some (-negv)) else Some negv
+
+let to_float x =
+  let f = Array.fold_right (fun limb acc -> (acc *. 1073741824.0) +. float_of_int limb) x.mag 0.0 in
+  if x.sign < 0 then -.f else f
+
+let chunk_base = 1_000_000_000 (* < 2^30, so it is a valid single limb *)
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let chunk = ref 0 and chunk_len = ref 0 in
+  let flush () =
+    if !chunk_len > 0 then begin
+      let scale = int_of_float (10.0 ** float_of_int !chunk_len) in
+      acc := add (mul !acc (of_int scale)) (of_int !chunk);
+      chunk := 0;
+      chunk_len := 0
+    end
+  in
+  for i = start to len - 1 do
+    match s.[i] with
+    | '0' .. '9' ->
+      chunk := (!chunk * 10) + (Char.code s.[i] - Char.code '0');
+      incr chunk_len;
+      if !chunk_len = 9 then flush ()
+    | c -> invalid_arg (Printf.sprintf "Bigint.of_string: bad character %C" c)
+  done;
+  flush ();
+  if negative then neg !acc else !acc
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag =
+      let q, r = divmod_limb mag chunk_base in
+      let q = (normalize 1 q).mag in
+      if Array.length q = 0 then Buffer.add_string buf (string_of_int r)
+      else begin
+        go q;
+        Buffer.add_string buf (Printf.sprintf "%09d" r)
+      end
+    in
+    go x.mag;
+    (if x.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let () = ignore check_invariant

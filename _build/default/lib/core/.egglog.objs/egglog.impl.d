@@ -1,0 +1,1 @@
+lib/core/egglog.ml: Ast Compile Database Engine Extract Frontend Join Primitives Proof_forest Schema Serialize Symbol Table Ty Value

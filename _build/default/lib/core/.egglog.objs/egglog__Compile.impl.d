@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Ast Format Fun Hashtbl List Option Primitives Printf Schema Stdlib Ty Value

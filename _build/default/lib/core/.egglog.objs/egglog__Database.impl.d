@@ -1,0 +1,1 @@
+lib/core/database.ml: Array Hashtbl List Printf Proof_forest Schema Symbol Table Ty Union_find Value

@@ -1,0 +1,1 @@
+lib/core/database.mli: Proof_forest Schema Symbol Table Ty Value

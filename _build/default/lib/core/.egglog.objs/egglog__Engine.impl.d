@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Ast Compile Database Extract Format Frontend Fun Hashtbl In_channel Join List Option Primitives Printf Proof_forest Schema Sexpr String Symbol Table Ty Unix Value

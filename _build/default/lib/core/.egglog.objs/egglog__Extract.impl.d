@@ -1,0 +1,1 @@
+lib/core/extract.ml: Array Database Hashtbl List Schema Sexpr Symbol Table Ty Value

@@ -1,0 +1,1 @@
+lib/core/frontend.ml: Ast Format List Option Sexpr String Symbol Value

@@ -1,0 +1,1 @@
+lib/core/join.ml: Array Buffer Compile Database Hashtbl Int List Option Primitives Printf Schema Stdlib String Symbol Table Value

@@ -1,0 +1,1 @@
+lib/core/primitives.ml: Fun Hashtbl Int List Rat String Symbol Ty Value

@@ -1,0 +1,1 @@
+lib/core/primitives.mli: Ty Value

@@ -1,0 +1,1 @@
+lib/core/proof_forest.ml: Array Format List Symbol

@@ -1,0 +1,1 @@
+lib/core/proof_forest.mli: Format Symbol

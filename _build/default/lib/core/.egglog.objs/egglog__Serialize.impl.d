@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Database Engine Format Hashtbl List Rat Schema Sexpr Symbol Table Ty Value

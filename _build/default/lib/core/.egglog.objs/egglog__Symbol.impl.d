@@ -1,0 +1,1 @@
+lib/core/symbol.ml: Array Format Hashtbl Stdlib

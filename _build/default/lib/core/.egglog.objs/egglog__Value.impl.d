@@ -1,0 +1,1 @@
+lib/core/value.ml: Array Bool Format Hashtbl Int List Rat Stdlib Symbol Ty

@@ -1,0 +1,187 @@
+type t = {
+  uf : Union_find.t;
+  sorts : (Symbol.t, unit) Hashtbl.t;
+  mutable id_sorts : Symbol.t array;  (* id -> declaring sort, dense *)
+  funcs : (Symbol.t, Table.t) Hashtbl.t;
+  mutable func_order : Symbol.t list;  (* reverse declaration order *)
+  mutable timestamp : int;
+  mutable changes : int;
+  mutable merge_hook : (Schema.func -> Value.t -> Value.t -> Value.t) option;
+  proofs : Proof_forest.t;
+}
+
+let dummy_sym = Symbol.intern "<none>"
+
+let create () =
+  {
+    uf = Union_find.create ();
+    sorts = Hashtbl.create 16;
+    id_sorts = Array.make 64 dummy_sym;
+    funcs = Hashtbl.create 32;
+    func_order = [];
+    timestamp = 0;
+    changes = 0;
+    merge_hook = None;
+    proofs = Proof_forest.create ();
+  }
+
+let declare_sort db s = Hashtbl.replace db.sorts s ()
+let is_sort db s = Hashtbl.mem db.sorts s
+
+let declare_func db (f : Schema.func) =
+  if Hashtbl.mem db.funcs f.name then
+    invalid_arg (Printf.sprintf "function %s is already declared" (Symbol.name f.name));
+  Hashtbl.replace db.funcs f.name (Table.create f);
+  db.func_order <- f.name :: db.func_order
+
+let find_func db name = Hashtbl.find_opt db.funcs name
+
+let iter_tables db f =
+  List.iter (fun name -> f (Hashtbl.find db.funcs name)) (List.rev db.func_order)
+
+let set_merge_hook db hook = db.merge_hook <- Some hook
+
+let fresh_id db sort =
+  let id = Union_find.make_set db.uf in
+  if id >= Array.length db.id_sorts then begin
+    let bigger = Array.make (2 * Array.length db.id_sorts) dummy_sym in
+    Array.blit db.id_sorts 0 bigger 0 (Array.length db.id_sorts);
+    db.id_sorts <- bigger
+  end;
+  db.id_sorts.(id) <- sort;
+  Value.VId id
+
+let sort_of_id db id = Ty.Sort db.id_sorts.(id)
+
+let rec canon db (v : Value.t) =
+  match v with
+  | Value.VId i -> Value.VId (Union_find.find db.uf i)
+  | Value.VSet xs -> Value.mk_set (List.map (canon db) xs)
+  | Value.VVec xs -> Value.VVec (List.map (canon db) xs)
+  | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> v
+
+let canon_key db key = Array.map (canon db) key
+let are_equal db a b = Value.equal (canon db a) (canon db b)
+
+let rec is_canon db (v : Value.t) =
+  match v with
+  | Value.VId i -> Union_find.is_canonical db.uf i
+  | Value.VSet xs -> List.for_all (is_canon db) xs
+  | Value.VVec xs -> List.for_all (is_canon db) xs
+  | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> true
+
+let timestamp db = db.timestamp
+let bump_timestamp db = db.timestamp <- db.timestamp + 1
+let change_counter db = db.changes
+
+let lookup db table key =
+  match Table.get table (canon_key db key) with
+  | None -> None
+  | Some row -> Some (canon db row.value)
+
+let union db ?(reason = Proof_forest.Asserted) a b =
+  match (canon db a, canon db b) with
+  | Value.VId x, Value.VId y ->
+    if x = y then Value.VId x
+    else begin
+      db.changes <- db.changes + 1;
+      Proof_forest.record db.proofs x y reason;
+      Value.VId (Union_find.union db.uf x y)
+    end
+  | va, vb ->
+    if Value.equal va vb then va
+    else
+      invalid_arg
+        (Printf.sprintf "union: cannot unify distinct interpreted constants %s and %s"
+           (Value.to_string va) (Value.to_string vb))
+
+let resolve_merge db (func : Schema.func) old_v new_v =
+  match func.merge with
+  | Schema.Merge_union -> union db ~reason:(Proof_forest.Congruence func.name) old_v new_v
+  | Schema.Merge_panic ->
+    failwith
+      (Printf.sprintf "merge conflict on function %s: %s vs %s (no :merge declared)"
+         (Symbol.name func.name) (Value.to_string old_v) (Value.to_string new_v))
+  | Schema.Merge_expr _ ->
+    (match db.merge_hook with
+     | Some hook -> hook func old_v new_v
+     | None -> failwith "internal error: merge hook not installed")
+
+let set db table key value =
+  let key = canon_key db key in
+  let value = canon db value in
+  match Table.get table key with
+  | None ->
+    (match Table.set_raw table key value ~stamp:db.timestamp with
+     | `Inserted -> db.changes <- db.changes + 1
+     | `Updated | `Unchanged -> ())
+  | Some row ->
+    let old_v = canon db row.value in
+    if not (Value.equal old_v value) then begin
+      let merged = canon db (resolve_merge db (Table.func table) old_v value) in
+      (* The merge expression may itself have modified this row (e.g. via
+         recursive sets); re-read before writing. *)
+      match Table.set_raw table key merged ~stamp:db.timestamp with
+      | `Updated -> db.changes <- db.changes + 1
+      | `Inserted -> db.changes <- db.changes + 1
+      | `Unchanged -> ()
+    end
+
+let remove db table key = Table.remove table (canon_key db key)
+
+(* One repair round over a table: pull out all rows whose key or value
+   mention a non-canonical id, then re-insert them canonically, letting
+   [set] resolve the functional-dependency conflicts that canonicalization
+   reveals (§4.2, §5.1 "Rebuilding Procedure"). *)
+let repair_table db table =
+  let stale = ref [] in
+  Table.iter
+    (fun key row ->
+      let key_ok = Array.for_all (is_canon db) key in
+      if not (key_ok && is_canon db row.value) then stale := (key, row.value) :: !stale)
+    table;
+  List.iter (fun (key, _) -> Table.remove table key) !stale;
+  List.iter (fun (key, value) -> set db table key value) !stale
+
+let rebuild db =
+  while Union_find.has_dirty db.uf do
+    Union_find.clear_dirty db.uf;
+    iter_tables db (fun table -> repair_table db table)
+  done
+
+let explain db a b =
+  match (canon db a, canon db b) with
+  | Value.VId _, Value.VId _ -> (
+    match (a, b) with
+    | Value.VId x, Value.VId y -> Proof_forest.explain db.proofs x y
+    | _ -> None)
+  | va, vb -> if Value.equal va vb then Some [] else None
+
+let class_history db v =
+  match canon db v with
+  | Value.VId root ->
+    Proof_forest.edges_in_class db.proofs ~member:root ~find:(Union_find.find db.uf)
+  | _ -> []
+
+let n_ids db = Union_find.size db.uf
+let n_classes db = Union_find.n_classes db.uf
+
+let total_rows db =
+  let n = ref 0 in
+  iter_tables db (fun table -> n := !n + Table.length table);
+  !n
+
+let copy db =
+  let funcs = Hashtbl.create (Hashtbl.length db.funcs) in
+  Hashtbl.iter (fun name table -> Hashtbl.replace funcs name (Table.copy table)) db.funcs;
+  {
+    uf = Union_find.copy db.uf;
+    sorts = Hashtbl.copy db.sorts;
+    id_sorts = Array.copy db.id_sorts;
+    funcs;
+    func_order = db.func_order;
+    timestamp = db.timestamp;
+    changes = db.changes;
+    merge_hook = db.merge_hook;
+    proofs = Proof_forest.copy db.proofs;
+  }

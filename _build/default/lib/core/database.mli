@@ -1,0 +1,76 @@
+(** The functional database (§5.1): one {!Table} per declared function plus
+    the union-find over uninterpreted-sort ids. All stored values are kept
+    canonical; {!rebuild} restores that invariant (and the functional
+    dependencies) after unions — this is the paper's [R^∞] operator (§4.2),
+    and computes congruence closure when merge behaviour is union. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Declarations} *)
+
+val declare_sort : t -> Symbol.t -> unit
+val is_sort : t -> Symbol.t -> bool
+val declare_func : t -> Schema.func -> unit
+val find_func : t -> Symbol.t -> Table.t option
+val iter_tables : t -> (Table.t -> unit) -> unit
+
+(** [set_merge_hook db f] installs the evaluator used for user [:merge]
+    expressions; it receives the function, the old and the new value and
+    returns the merged value. Installed once by the engine (the evaluator
+    needs the whole engine, so it cannot live here). *)
+val set_merge_hook : t -> (Schema.func -> Value.t -> Value.t -> Value.t) -> unit
+
+(** {1 Values} *)
+
+val fresh_id : t -> Symbol.t -> Value.t
+(** Allocate a member of the given sort. *)
+
+val sort_of_id : t -> int -> Ty.t
+val canon : t -> Value.t -> Value.t
+val canon_key : t -> Value.t array -> Value.t array
+val are_equal : t -> Value.t -> Value.t -> bool
+(** Structural equality modulo the union-find. *)
+
+(** {1 Mutation} *)
+
+val timestamp : t -> int
+val bump_timestamp : t -> unit
+
+val change_counter : t -> int
+(** Monotone counter of semantic changes (insert, update, union); the engine
+    detects saturation by comparing it across an iteration. *)
+
+val lookup : t -> Table.t -> Value.t array -> Value.t option
+
+val set : t -> Table.t -> Value.t array -> Value.t -> unit
+(** Insert or merge (per the function's merge behaviour, §3.2). *)
+
+val union : t -> ?reason:Proof_forest.reason -> Value.t -> Value.t -> Value.t
+(** Union two ids, recording the justification in the proof forest.
+    @raise Invalid_argument on non-id values. *)
+
+val explain : t -> Value.t -> Value.t -> Proof_forest.step list option
+(** Why are the two values equal? A chain of recorded union steps
+    ([Some []] for identical values), or [None] if they were never made
+    equal. Precise when the caller holds the pre-union id handles (the
+    typed API); see {!Proof_forest}. *)
+
+val class_history : t -> Value.t -> Proof_forest.step list
+(** Every recorded union event in the value's equivalence class — the
+    construction trace reported by the textual [(explain …)] command. *)
+
+val remove : t -> Table.t -> Value.t array -> unit
+
+val rebuild : t -> unit
+(** Restore canonicality and functional dependencies; terminates because each
+    round strictly shrinks the database or the number of classes. *)
+
+val n_ids : t -> int
+val n_classes : t -> int
+val total_rows : t -> int
+
+(** {1 Snapshots (push/pop)} *)
+
+val copy : t -> t

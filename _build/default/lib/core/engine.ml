@@ -1,0 +1,737 @@
+exception Egglog_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Egglog_error s)) fmt
+
+type scheduler = Simple | Backoff of { match_limit : int; ban_length : int }
+
+let backoff_default = Backoff { match_limit = 1000; ban_length = 5 }
+
+type rt_rule = {
+  rr_name : string;
+  rr_ruleset : string;  (* "" = the default ruleset *)
+  rr_rule : Compile.crule;
+  mutable rr_last_stamp : int;
+  mutable rr_times_banned : int;
+  mutable rr_banned_until : int;
+}
+
+type snapshot = {
+  sn_db : Database.t;
+  sn_rules : rt_rule list;
+  sn_rule_states : (int * int * int) list;  (* last_stamp, times_banned, banned_until *)
+  sn_iteration : int;
+}
+
+type t = {
+  mutable db : Database.t;
+  mutable rules : rt_rule list;  (* in declaration order *)
+  merge_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
+  default_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
+  mutable stack : snapshot list;
+  seminaive : bool;
+  fast_paths : bool;
+  index_caching : bool;
+  scheduler : scheduler;
+  mutable iteration : int;
+  mutable rule_counter : int;
+  run_cap : int;  (* iteration bound for (run) without a limit *)
+  join_cache : Join.cache;
+  mutable current_reason : Proof_forest.reason;  (* justification for unions *)
+  mutable rulesets : string list;  (* declared named rulesets *)
+}
+
+let database eng = eng.db
+
+let compile_env eng : Compile.env =
+  {
+    Compile.find_func =
+      (fun name ->
+        match Database.find_func eng.db (Symbol.intern name) with
+        | Some table -> Some (Table.func table)
+        | None -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation of compiled expressions and actions                      *)
+(* ------------------------------------------------------------------ *)
+
+let table_of eng (f : Schema.func) =
+  match Database.find_func eng.db f.Schema.name with
+  | Some t -> t
+  | None -> error "function %s is not declared (popped scope?)" (Symbol.name f.Schema.name)
+
+let rec eval_expr eng (slots : Value.t array) (e : Compile.cexpr) : Value.t =
+  match e with
+  | Compile.C_var i -> slots.(i)
+  | Compile.C_const v -> v
+  | Compile.C_func (f, args) -> (
+    let vals = Array.map (eval_expr eng slots) args in
+    let table = table_of eng f in
+    match Database.lookup eng.db table vals with
+    | Some v -> v
+    | None ->
+      let v =
+        match f.Schema.default with
+        | Schema.Default_fresh -> (
+          match f.Schema.ret_ty with
+          | Ty.Sort s -> Database.fresh_id eng.db s
+          | _ -> error "internal error: Default_fresh on base-type function")
+        | Schema.Default_expr _ ->
+          eval_expr eng [||] (Hashtbl.find eng.default_exprs f.Schema.name)
+        | Schema.Default_panic ->
+          error "function %s is not defined on %s" (Symbol.name f.Schema.name)
+            (String.concat " " (Array.to_list (Array.map Value.to_string vals)))
+      in
+      Database.set eng.db table vals v;
+      Database.canon eng.db v)
+  | Compile.C_prim (p, args) -> (
+    let vals = Array.map (fun a -> Database.canon eng.db (eval_expr eng slots a)) args in
+    match p.Primitives.impl vals with
+    | Some v -> v
+    | None ->
+      error "primitive %s failed on %s" p.Primitives.pname
+        (String.concat " " (Array.to_list (Array.map Value.to_string vals))))
+
+let exec_action eng (slots : Value.t array) (a : Compile.caction) =
+  match a with
+  | Compile.C_set (f, args, value) ->
+    let vals = Array.map (eval_expr eng slots) args in
+    let v = eval_expr eng slots value in
+    Database.set eng.db (table_of eng f) vals v
+  | Compile.C_union (e1, e2) ->
+    let v1 = eval_expr eng slots e1 and v2 = eval_expr eng slots e2 in
+    ignore (Database.union eng.db ~reason:eng.current_reason v1 v2)
+  | Compile.C_let (slot, e) -> slots.(slot) <- eval_expr eng slots e
+  | Compile.C_do e -> ignore (eval_expr eng slots e)
+  | Compile.C_panic msg -> error "panic: %s" msg
+  | Compile.C_delete (f, args) ->
+    let vals = Array.map (eval_expr eng slots) args in
+    Database.remove eng.db (table_of eng f) vals
+
+let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
+    ?(index_caching = true) () =
+  let eng =
+    {
+      db = Database.create ();
+      rules = [];
+      merge_exprs = Hashtbl.create 16;
+      default_exprs = Hashtbl.create 16;
+      stack = [];
+      seminaive;
+      fast_paths;
+      index_caching;
+      scheduler;
+      iteration = 0;
+      rule_counter = 0;
+      run_cap = 1000;
+      join_cache = Join.new_cache ();
+      current_reason = Proof_forest.Asserted;
+      rulesets = [];
+    }
+  in
+  Database.set_merge_hook eng.db (fun func old_v new_v ->
+      match Hashtbl.find_opt eng.merge_exprs func.Schema.name with
+      | Some ce -> eval_expr eng [| old_v; new_v |] ce
+      | None -> error "internal error: missing merge expression for %s" (Symbol.name func.Schema.name));
+  eng
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec resolve_ty eng (t : Ast.tyexpr) : Ty.t =
+  match t with
+  | Ast.T_set inner -> Ty.Set (resolve_ty eng inner)
+  | Ast.T_vec inner -> Ty.Vec (resolve_ty eng inner)
+  | Ast.T_name name -> (
+    match name with
+    | "i64" -> Ty.Int
+    | "Unit" | "unit" -> Ty.Unit
+    | "bool" | "Bool" -> Ty.Bool
+    | "String" -> Ty.String
+    | "Rational" -> Ty.Rational
+    | _ ->
+      if Database.is_sort eng.db (Symbol.intern name) then Ty.Sort (Symbol.intern name)
+      else error "unknown type %s" name)
+
+let declare_sort eng name =
+  let sym = Symbol.intern name in
+  if Database.is_sort eng.db sym then error "sort %s is already declared" name;
+  Database.declare_sort eng.db sym
+
+let wrap_compile f = try f () with Compile.Error msg -> raise (Egglog_error msg)
+
+let declare_function eng (decl : Ast.function_decl) =
+  wrap_compile (fun () ->
+      let arg_tys = Array.of_list (List.map (resolve_ty eng) decl.arg_tys) in
+      let ret_ty = resolve_ty eng decl.ret_ty in
+      let name = Symbol.intern decl.fname in
+      let merge =
+        match decl.merge with
+        | Ast.Merge_expr e -> Schema.Merge_expr e
+        | Ast.Merge_default ->
+          if Ty.is_sort ret_ty then Schema.Merge_union
+          else if Ty.equal ret_ty Ty.Unit then Schema.Merge_union (* never conflicts *)
+          else Schema.Merge_panic
+      in
+      let default =
+        match decl.default with
+        | Some e -> Schema.Default_expr e
+        | None ->
+          if Ty.is_sort ret_ty then Schema.Default_fresh
+          else if Ty.equal ret_ty Ty.Unit then Schema.Default_expr (Ast.Lit Value.VUnit)
+          else Schema.Default_panic
+      in
+      let func =
+        {
+          Schema.name;
+          arg_tys;
+          ret_ty;
+          merge;
+          default;
+          cost = Option.value decl.cost ~default:1;
+          is_relation = Ty.equal ret_ty Ty.Unit;
+        }
+      in
+      (try Database.declare_func eng.db func
+       with Invalid_argument msg -> error "%s" msg);
+      let env = compile_env eng in
+      (match merge with
+       | Schema.Merge_expr e -> Hashtbl.replace eng.merge_exprs name (Compile.compile_merge_expr env func e)
+       | Schema.Merge_union | Schema.Merge_panic -> ());
+      match default with
+      | Schema.Default_expr e ->
+        let ce, _ = Compile.compile_closed_expr env ~expected:ret_ty e in
+        Hashtbl.replace eng.default_exprs name ce
+      | Schema.Default_fresh | Schema.Default_panic -> ())
+
+let declare_relation eng name arg_tys =
+  declare_function eng
+    {
+      Ast.fname = name;
+      arg_tys;
+      ret_ty = Ast.T_name "Unit";
+      merge = Ast.Merge_default;
+      default = None;
+      cost = None;
+    }
+
+let declare_datatype eng name variants =
+  declare_sort eng name;
+  List.iter
+    (fun (cname, args) ->
+      declare_function eng
+        {
+          Ast.fname = cname;
+          arg_tys = args;
+          ret_ty = Ast.T_name name;
+          merge = Ast.Merge_default;
+          default = None;
+          cost = None;
+        })
+    variants
+
+let add_rule eng (rule : Ast.rule) =
+  wrap_compile (fun () ->
+      let name =
+        match rule.Ast.rule_name with
+        | Some n -> n
+        | None ->
+          eng.rule_counter <- eng.rule_counter + 1;
+          Printf.sprintf "rule_%d" eng.rule_counter
+      in
+      let crule = Compile.compile_rule (compile_env eng) ~name rule in
+      let ruleset = Option.value rule.Ast.ruleset ~default:"" in
+      if ruleset <> "" && not (List.mem ruleset eng.rulesets) then
+        error "unknown ruleset %s (declare it with (ruleset %s))" ruleset ruleset;
+      let rt =
+        {
+          rr_name = name;
+          rr_ruleset = ruleset;
+          rr_rule = crule;
+          rr_last_stamp = 0;
+          rr_times_banned = 0;
+          rr_banned_until = 0;
+        }
+      in
+      eng.rules <- eng.rules @ [ rt ])
+
+let declare_ruleset eng name =
+  if List.mem name eng.rulesets then error "ruleset %s is already declared" name;
+  eng.rulesets <- name :: eng.rulesets
+
+let rewrite_counter = ref 0
+
+let add_rewrite eng ?(conds = []) ?ruleset lhs rhs =
+  incr rewrite_counter;
+  let v = Printf.sprintf "__rewrite_%d" !rewrite_counter in
+  add_rule eng
+    {
+      Ast.rule_name = None;
+      query = conds @ [ Ast.Eq (Ast.Var v, lhs) ];
+      actions = [ Ast.Union (Ast.Var v, rhs) ];
+      ruleset;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Typed fact API                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_table_exn eng name =
+  match Database.find_func eng.db (Symbol.intern name) with
+  | Some t -> t
+  | None -> error "unknown function %s" name
+
+let eval_call eng name args =
+  let table = find_table_exn eng name in
+  eval_expr eng (Array.of_list args)
+    (Compile.C_func
+       (Table.func table, Array.of_list (List.mapi (fun i _ -> Compile.C_var i) args)))
+
+let set_fact eng name args value =
+  Database.set eng.db (find_table_exn eng name) (Array.of_list args) value
+
+let union_values eng a b = Database.union eng.db a b
+let rebuild eng = Database.rebuild eng.db
+
+let lookup_fact eng name args =
+  Database.lookup eng.db (find_table_exn eng name) (Array.of_list args)
+
+let check_facts eng facts =
+  wrap_compile (fun () ->
+      Database.rebuild eng.db;
+      match Compile.compile_query (compile_env eng) facts with
+      | q -> Join.exists eng.db q
+      | exception Compile.Unsat -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The run loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type iteration_stat = {
+  it_index : int;
+  it_seconds : float;
+  it_rows : int;
+  it_classes : int;
+  it_changed : bool;
+  it_search_seconds : float;
+  it_apply_seconds : float;
+  it_rebuild_seconds : float;
+  it_matches : int;
+}
+
+type run_report = { iterations : iteration_stat list; saturated : bool; total_seconds : float }
+
+let search_matches eng ?cache (r : rt_rule) : Value.t array list =
+  let cache = if eng.index_caching then cache else None in
+  let fast_paths = eng.fast_paths in
+  let q = r.rr_rule.Compile.cr_query in
+  let n_atoms = Array.length q.Compile.atoms in
+  let acc = ref [] in
+  let emit b = acc := Array.copy b :: !acc in
+  let low = r.rr_last_stamp in
+  if (not eng.seminaive) || low = 0 || n_atoms = 0 then begin
+    let ranges = Array.make n_atoms Join.all_rows in
+    Join.search eng.db ?cache ~fast_paths q ~ranges emit
+  end
+  else
+    (* Semi-naïve: m delta variants — atom j sees rows new since the rule
+       last ran, the others see everything. A match whose rows are new in k
+       atoms is found k times; egglog actions are idempotent (set/union), so
+       the duplicates are harmless, and the scheme lets every variant reuse
+       the same cached full-table tries (only the tiny delta trie differs). *)
+    for j = 0 to n_atoms - 1 do
+      let ranges =
+        Array.init n_atoms (fun i ->
+            if i = j then { Join.lo = low; hi = max_int } else Join.all_rows)
+      in
+      Join.search eng.db ?cache ~fast_paths q ~ranges emit
+    done;
+  !acc
+
+let apply_match eng (r : rt_rule) (binding : Value.t array) =
+  eng.current_reason <- Proof_forest.Rule r.rr_name;
+  let crule = r.rr_rule in
+  let slots = Array.make crule.Compile.cr_slots Value.VUnit in
+  Array.blit binding 0 slots 0 (Array.length binding);
+  (* Re-canonicalize: earlier matches in this application phase may have
+     unioned ids that appear in this binding. *)
+  for i = 0 to Array.length binding - 1 do
+    slots.(i) <- Database.canon eng.db slots.(i)
+  done;
+  Array.iter (exec_action eng slots) crule.Compile.cr_actions
+
+let any_banned eng = List.exists (fun r -> r.rr_banned_until > eng.iteration) eng.rules
+
+type phase_times = {
+  mutable ph_search : float;
+  mutable ph_apply : float;
+  mutable ph_rebuild : float;
+  mutable ph_matches : int;
+}
+
+let run_one_iteration ?ruleset eng (ph : phase_times) : bool =
+  let in_scope r =
+    match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
+  in
+  let db = eng.db in
+  Database.rebuild db;
+  eng.iteration <- eng.iteration + 1;
+  let t0 = Database.timestamp db in
+  let changes0 = Database.change_counter db in
+  let cache = eng.join_cache in
+  Join.clear_scratch cache;
+  let t_search = Unix.gettimeofday () in
+  let searched =
+    List.filter_map
+      (fun r ->
+        if (not (in_scope r)) || r.rr_banned_until > eng.iteration then None
+        else Some (r, search_matches eng ~cache r))
+      eng.rules
+  in
+  ph.ph_search <- ph.ph_search +. (Unix.gettimeofday () -. t_search);
+  let to_apply =
+    List.filter_map
+      (fun (r, matches) ->
+        match eng.scheduler with
+        | Simple -> Some (r, matches)
+        | Backoff { match_limit; ban_length } ->
+          let threshold = match_limit lsl r.rr_times_banned in
+          if List.length matches > threshold then begin
+            r.rr_banned_until <- eng.iteration + (ban_length lsl r.rr_times_banned);
+            r.rr_times_banned <- r.rr_times_banned + 1;
+            None
+          end
+          else Some (r, matches))
+      searched
+  in
+  Database.bump_timestamp db;
+  let t_apply = Unix.gettimeofday () in
+  List.iter
+    (fun (r, matches) ->
+      ph.ph_matches <- ph.ph_matches + List.length matches;
+      List.iter (fun binding -> apply_match eng r binding) matches;
+      r.rr_last_stamp <- t0 + 1)
+    to_apply;
+  eng.current_reason <- Proof_forest.Asserted;
+  ph.ph_apply <- ph.ph_apply +. (Unix.gettimeofday () -. t_apply);
+  let t_rebuild = Unix.gettimeofday () in
+  Database.rebuild db;
+  ph.ph_rebuild <- ph.ph_rebuild +. (Unix.gettimeofday () -. t_rebuild);
+  Database.change_counter db > changes0
+
+let run_iterations ?ruleset eng n =
+  let stats = ref [] in
+  let total = ref 0.0 in
+  let saturated = ref false in
+  (try
+     for i = 1 to n do
+       let ph = { ph_search = 0.0; ph_apply = 0.0; ph_rebuild = 0.0; ph_matches = 0 } in
+       let start = Unix.gettimeofday () in
+       let changed = run_one_iteration ?ruleset eng ph in
+       let dt = Unix.gettimeofday () -. start in
+       total := !total +. dt;
+       stats :=
+         {
+           it_index = i;
+           it_seconds = dt;
+           it_rows = Database.total_rows eng.db;
+           it_classes = Database.n_classes eng.db;
+           it_changed = changed;
+           it_search_seconds = ph.ph_search;
+           it_apply_seconds = ph.ph_apply;
+           it_rebuild_seconds = ph.ph_rebuild;
+           it_matches = ph.ph_matches;
+         }
+         :: !stats;
+       if (not changed) && not (any_banned eng) then begin
+         saturated := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  { iterations = List.rev !stats; saturated = !saturated; total_seconds = !total }
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let total_rows eng = Database.total_rows eng.db
+let n_classes eng = Database.n_classes eng.db
+let table_size eng name = Table.length (find_table_exn eng name)
+
+let extract_value eng v =
+  Database.rebuild eng.db;
+  Extract.extract eng.db v
+
+let extract_candidates eng v ~max =
+  Database.rebuild eng.db;
+  Extract.candidates eng.db v ~max
+
+(* Evaluate a ground expression without inserting anything (used by check
+   to report values, per Fig. 3b's `(check (path 1 3)) ;; prints "20"`). *)
+let rec ground_value eng (e : Ast.expr) : Value.t option =
+  match e with
+  | Ast.Lit v -> Some v
+  | Ast.Var x -> (
+    match Database.find_func eng.db (Symbol.intern x) with
+    | Some table when Schema.arity (Table.func table) = 0 -> Database.lookup eng.db table [||]
+    | Some _ | None -> None)
+  | Ast.Call (fname, args) -> (
+    let vals = List.map (ground_value eng) args in
+    if List.exists Option.is_none vals then None
+    else begin
+      let vals = Array.of_list (List.map Option.get vals) in
+      match Database.find_func eng.db (Symbol.intern fname) with
+      | Some table -> Database.lookup eng.db table vals
+      | None -> (
+        match Primitives.find fname with
+        | Some p -> p.Primitives.impl (Array.map (Database.canon eng.db) vals)
+        | None -> None)
+    end)
+
+let exec_top_actions eng (actions : Ast.action list) =
+  wrap_compile (fun () ->
+      let cas, n_slots = Compile.compile_top_actions (compile_env eng) actions in
+      let slots = Array.make (max n_slots 1) Value.VUnit in
+      Array.iter (exec_action eng slots) cas;
+      Database.rebuild eng.db)
+
+let infer_closed_ty eng e =
+  wrap_compile (fun () -> snd (Compile.compile_closed_expr (compile_env eng) e))
+
+let rec run_command_inner eng (cmd : Ast.command) : string list =
+  match cmd with
+  | Ast.Decl_sort name ->
+    declare_sort eng name;
+    []
+  | Ast.Decl_ruleset name ->
+    declare_ruleset eng name;
+    []
+  | Ast.Run_schedule scheds ->
+    let total = ref 0 in
+    let resolve_rs = function
+      | None -> None
+      | Some rs ->
+        if List.mem rs eng.rulesets then Some rs
+        else error "unknown ruleset %s" rs
+    in
+    let rec exec (sched : Ast.schedule) : bool (* changed *) =
+      match sched with
+      | Ast.Sched_run (rs, n) ->
+        let report = run_iterations ?ruleset:(resolve_rs rs) eng n in
+        total := !total + List.length report.iterations;
+        List.exists (fun s -> s.it_changed) report.iterations
+      | Ast.Sched_seq scheds ->
+        List.fold_left (fun acc s -> exec s || acc) false scheds
+      | Ast.Sched_repeat (n, scheds) ->
+        let changed = ref false in
+        for _ = 1 to n do
+          List.iter (fun s -> if exec s then changed := true) scheds
+        done;
+        !changed
+      | Ast.Sched_saturate scheds ->
+        let changed = ref false in
+        let continue_ = ref true in
+        let fuel = ref eng.run_cap in
+        while !continue_ && !fuel > 0 do
+          decr fuel;
+          let round = List.fold_left (fun acc s -> exec s || acc) false scheds in
+          if round then changed := true else continue_ := false
+        done;
+        !changed
+    in
+    List.iter (fun s -> ignore (exec s)) scheds;
+    [ Printf.sprintf "schedule ran %d iteration(s); %d tuples, %d classes" !total
+        (total_rows eng) (n_classes eng) ]
+  | Ast.Decl_datatype (name, variants) ->
+    declare_datatype eng name variants;
+    []
+  | Ast.Decl_function decl ->
+    declare_function eng decl;
+    []
+  | Ast.Decl_relation (name, tys) ->
+    declare_relation eng name tys;
+    []
+  | Ast.Add_rule rule ->
+    add_rule eng rule;
+    []
+  | Ast.Add_rewrite { lhs; rhs; conds; ruleset } ->
+    add_rewrite eng ~conds ?ruleset lhs rhs;
+    []
+  | Ast.Define (x, e) ->
+    let ty = infer_closed_ty eng e in
+    let tyexpr =
+      let rec unresolve = function
+        | Ty.Set t -> Ast.T_set (unresolve t)
+        | Ty.Vec t -> Ast.T_vec (unresolve t)
+        | t -> Ast.T_name (Ty.to_string t)
+      in
+      unresolve ty
+    in
+    declare_function eng
+      {
+        Ast.fname = x;
+        arg_tys = [];
+        ret_ty = tyexpr;
+        merge = Ast.Merge_default;
+        default = None;
+        (* a defined alias must never beat a real term during extraction *)
+        cost = Some 1_000_000_000;
+      };
+    exec_top_actions eng [ Ast.Set (x, [], e) ];
+    []
+  | Ast.Top_action a ->
+    exec_top_actions eng [ a ];
+    []
+  | Ast.Run limit ->
+    (* As in egglog, (run n) runs the default ruleset; named rulesets run
+       through (run-schedule ...). *)
+    let n = Option.value limit ~default:eng.run_cap in
+    let report = run_iterations ~ruleset:"" eng n in
+    [ Printf.sprintf "ran %d iteration(s)%s; %d tuples, %d classes"
+        (List.length report.iterations)
+        (if report.saturated then " (saturated)" else "")
+        (total_rows eng) (n_classes eng) ]
+  | Ast.Check facts ->
+    if check_facts eng facts then begin
+      match facts with
+      | [ Ast.Holds (Ast.Call (_, _) as e) ] -> (
+        match ground_value eng e with
+        | Some v when not (Value.equal v Value.VUnit) ->
+          [ Printf.sprintf "check passed: %s" (Value.to_string v) ]
+        | Some _ | None -> [ "check passed" ])
+      | _ -> [ "check passed" ]
+    end
+    else
+      error "check failed: %s"
+        (String.concat " " (List.map (Format.asprintf "%a" Ast.pp_fact) facts))
+  | Ast.Check_fail facts ->
+    if check_facts eng facts then
+      error "check unexpectedly passed: %s"
+        (String.concat " " (List.map (Format.asprintf "%a" Ast.pp_fact) facts))
+    else [ "check failed as expected" ]
+  | Ast.Extract (e, variants) ->
+    wrap_compile (fun () ->
+        let ce, _ = Compile.compile_closed_expr (compile_env eng) e in
+        let v = eval_expr eng [||] ce in
+        Database.rebuild eng.db;
+        if variants <= 1 then begin
+          match extract_value eng v with
+          | Some { Extract.term; cost } ->
+            [ Printf.sprintf "%s : cost %d" (Sexpr.to_string (Extract.term_to_sexp term)) cost ]
+          | None -> error "nothing to extract for %s" (Value.to_string v)
+        end
+        else begin
+          match extract_candidates eng v ~max:variants with
+          | [] -> error "nothing to extract for %s" (Value.to_string v)
+          | terms -> List.map (fun t -> Sexpr.to_string (Extract.term_to_sexp t)) terms
+        end)
+  | Ast.Explain (e1, e2) ->
+    wrap_compile (fun () ->
+        let ce1, _ = Compile.compile_closed_expr (compile_env eng) e1 in
+        let ce2, _ = Compile.compile_closed_expr (compile_env eng) e2 in
+        let v1 = eval_expr eng [||] ce1 and v2 = eval_expr eng [||] ce2 in
+        Database.rebuild eng.db;
+        if not (Database.are_equal eng.db v1 v2) then
+          [ "not equal: no explanation" ]
+        else begin
+          let describe v =
+            match extract_value eng v with
+            | Some { Extract.term; _ } -> Sexpr.to_string (Extract.term_to_sexp term)
+            | None -> Value.to_string v
+          in
+          let render steps =
+            List.map
+              (fun (s : Proof_forest.step) ->
+                Format.asprintf "#%d = #%d  [%a]" s.Proof_forest.from_id s.Proof_forest.to_id
+                  Proof_forest.pp_reason s.Proof_forest.why)
+              steps
+          in
+          match Database.explain eng.db v1 v2 with
+          | Some (_ :: _ as steps) -> render steps
+          | Some [] | None -> (
+            (* the two terms resolve to one canonical id; report the union
+               events that built the shared class *)
+            match Database.class_history eng.db v1 with
+            | [] -> [ "identical (no unions involved)" ]
+            | steps ->
+              Printf.sprintf "equal; the class of %s was built by:" (describe v1)
+              :: render steps)
+        end)
+  | Ast.Push ->
+    eng.stack <-
+      {
+        sn_db = Database.copy eng.db;
+        sn_rules = eng.rules;
+        sn_rule_states =
+          List.map (fun r -> (r.rr_last_stamp, r.rr_times_banned, r.rr_banned_until)) eng.rules;
+        sn_iteration = eng.iteration;
+      }
+      :: eng.stack;
+    []
+  | Ast.Pop -> (
+    match eng.stack with
+    | [] -> error "pop: no matching push"
+    | snap :: rest ->
+      eng.stack <- rest;
+      eng.db <- snap.sn_db;
+      eng.rules <- snap.sn_rules;
+      List.iter2
+        (fun r (ls, tb, bu) ->
+          r.rr_last_stamp <- ls;
+          r.rr_times_banned <- tb;
+          r.rr_banned_until <- bu)
+        snap.sn_rules snap.sn_rule_states;
+      eng.iteration <- snap.sn_iteration;
+      [])
+  | Ast.Print_function (name, n) ->
+    let table = find_table_exn eng name in
+    let rows = ref [] in
+    Table.iter
+      (fun key row ->
+        if List.length !rows < n then begin
+          let args = String.concat " " (Array.to_list (Array.map Value.to_string key)) in
+          rows :=
+            Printf.sprintf "(%s %s) -> %s" name args (Value.to_string row.Table.value) :: !rows
+        end)
+      table;
+    List.rev !rows
+  | Ast.Print_size name -> [ Printf.sprintf "%s: %d" name (table_size eng name) ]
+  | Ast.Print_stats ->
+    [ Printf.sprintf "%d tuples, %d classes, %d ids" (total_rows eng) (n_classes eng)
+        (Database.n_ids eng.db) ]
+  | Ast.Simplify (n, e) ->
+    (* materialize the term, saturate, extract — in a scratch scope so the
+       exploration does not pollute the database *)
+    ignore (run_command_inner eng Ast.Push);
+    Fun.protect
+      ~finally:(fun () -> ignore (run_command_inner eng Ast.Pop))
+      (fun () ->
+        wrap_compile (fun () ->
+            let ce, _ = Compile.compile_closed_expr (compile_env eng) e in
+            let v = eval_expr eng [||] ce in
+            ignore (run_iterations eng n);
+            match extract_value eng v with
+            | Some { Extract.term; cost } ->
+              [ Printf.sprintf "%s : cost %d" (Sexpr.to_string (Extract.term_to_sexp term)) cost ]
+            | None -> error "nothing to extract for %s" (Value.to_string v)))
+  | Ast.Include path ->
+    let src =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error msg -> error "include: %s" msg
+    in
+    (try List.concat_map (run_command_inner eng) (Frontend.parse_program src) with
+     | Frontend.Syntax_error msg -> error "include %s: %s" path msg
+     | Sexpr.Parse_error { line; col; message } ->
+       error "include %s:%d:%d: %s" path line col message)
+
+(* Normalize internal failures (merge conflicts, bad unions, primitive
+   division by zero) into the single user-facing exception. *)
+let run_command eng cmd =
+  try run_command_inner eng cmd with
+  | Failure msg -> raise (Egglog_error msg)
+  | Invalid_argument msg -> raise (Egglog_error msg)
+  | Division_by_zero -> raise (Egglog_error "division by zero")
+
+let run_program eng cmds = List.concat_map (run_command eng) cmds

@@ -1,0 +1,88 @@
+(** The egglog engine: declarations, rule storage, the evaluation loop
+    ([F_P = R^∞ ∘ T_P^↑] of §4.2, semi-naïve per §4.3 / Algorithm 1),
+    rule scheduling, and command execution.
+
+    Construct with {!create}, feed {!Ast.command}s through {!run_command}
+    (or use the {!Egglog} facade for textual programs), or drive the typed
+    API ({!eval_call}, {!set_fact}, {!union_values}, {!run_iterations})
+    directly — the case-study benchmarks use the latter to skip parsing. *)
+
+type scheduler =
+  | Simple
+  | Backoff of { match_limit : int; ban_length : int }
+      (** egg's BackOff scheduler: a rule producing more than
+          [match_limit * 2^times_banned] matches is banned for
+          [ban_length * 2^times_banned] iterations. *)
+
+val backoff_default : scheduler
+
+type t
+
+val create :
+  ?seminaive:bool -> ?scheduler:scheduler -> ?fast_paths:bool -> ?index_caching:bool -> unit -> t
+(** [seminaive:false] gives the paper's egglogNI baseline; [fast_paths] and
+    [index_caching] exist for the ablation benchmarks. *)
+
+val database : t -> Database.t
+
+exception Egglog_error of string
+(** Any user-facing failure: static errors, panics, failed primitives in
+    actions, merge conflicts. *)
+
+(** {1 Typed API} *)
+
+val declare_sort : t -> string -> unit
+val declare_relation : t -> string -> Ast.tyexpr list -> unit
+val declare_function : t -> Ast.function_decl -> unit
+val declare_datatype : t -> string -> (string * Ast.tyexpr list) list -> unit
+val add_rule : t -> Ast.rule -> unit
+val add_rewrite : t -> ?conds:Ast.fact list -> ?ruleset:string -> Ast.expr -> Ast.expr -> unit
+val declare_ruleset : t -> string -> unit
+
+val eval_call : t -> string -> Value.t list -> Value.t
+(** Get-or-default application (§3.3's "get or make-set"). *)
+
+val set_fact : t -> string -> Value.t list -> Value.t -> unit
+val union_values : t -> Value.t -> Value.t -> Value.t
+val check_facts : t -> Ast.fact list -> bool
+val lookup_fact : t -> string -> Value.t list -> Value.t option
+val rebuild : t -> unit
+
+(** {1 Running} *)
+
+type iteration_stat = {
+  it_index : int;  (** 1-based *)
+  it_seconds : float;
+  it_rows : int;  (** total tuples after the iteration *)
+  it_classes : int;
+  it_changed : bool;
+  it_search_seconds : float;
+  it_apply_seconds : float;
+  it_rebuild_seconds : float;
+  it_matches : int;  (** matches applied *)
+}
+
+type run_report = {
+  iterations : iteration_stat list;  (** in order *)
+  saturated : bool;
+  total_seconds : float;
+}
+
+val run_iterations : ?ruleset:string -> t -> int -> run_report
+(** Restrict to one named ruleset when given. *)
+
+(** {1 Commands (the textual language)} *)
+
+val run_command : t -> Ast.command -> string list
+(** Execute one command; returns its printed outputs (check results,
+    extracted terms, …). *)
+
+val run_program : t -> Ast.command list -> string list
+
+(** {1 Introspection} *)
+
+val total_rows : t -> int
+val n_classes : t -> int
+val table_size : t -> string -> int
+val extract_value : t -> Value.t -> Extract.result option
+val extract_candidates : t -> Value.t -> max:int -> Extract.term list

@@ -1,0 +1,23 @@
+(** Term extraction (§3.4): find the cheapest term represented by an
+    e-class. Cost of an application node is the function's [:cost]
+    (default 1) plus the costs of its children; interpreted constants are
+    free. Computed as a bottom-up fixpoint over all functions whose output
+    is an uninterpreted sort. *)
+
+type term = T_app of Symbol.t * term list | T_const of Value.t
+
+val term_to_sexp : term -> Sexpr.t
+val pp_term : Format.formatter -> term -> unit
+
+type result = { term : term; cost : int }
+
+val extract : Database.t -> Value.t -> result option
+(** [None] when the class contains no extractable term (e.g. a fresh id
+    never used as a constructor output). Non-id values extract to
+    themselves with cost 0. *)
+
+val candidates : Database.t -> Value.t -> max:int -> term list
+(** Distinct representatives of the class: one term per e-node in the
+    class (children extracted min-cost), cheapest first, at most [max].
+    Used by optimizers that select among equivalent programs by an
+    external metric (e.g. the Herbie pipeline's accuracy search). *)

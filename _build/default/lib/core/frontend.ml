@@ -1,0 +1,188 @@
+exception Syntax_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Syntax_error s)) fmt
+
+let rec expr_of_sexp (s : Sexpr.t) : Ast.expr =
+  match s with
+  | Sexpr.Int i -> Ast.Lit (Value.VInt i)
+  | Sexpr.Rational r -> Ast.Lit (Value.VRat r)
+  | Sexpr.String str -> Ast.Lit (Value.VStr (Symbol.intern str))
+  | Sexpr.Atom "true" -> Ast.Lit (Value.VBool true)
+  | Sexpr.Atom "false" -> Ast.Lit (Value.VBool false)
+  | Sexpr.Atom name -> Ast.Var name
+  | Sexpr.List (Sexpr.Atom f :: args) -> Ast.Call (f, List.map expr_of_sexp args)
+  | Sexpr.List [] -> error "empty application ()"
+  | Sexpr.List _ -> error "application head must be a symbol: %s" (Sexpr.to_string s)
+
+let fact_of_sexp (s : Sexpr.t) : Ast.fact =
+  match s with
+  | Sexpr.List [ Sexpr.Atom "="; a; b ] -> Ast.Eq (expr_of_sexp a, expr_of_sexp b)
+  | _ -> Ast.Holds (expr_of_sexp s)
+
+let rec tyexpr_of_sexp (s : Sexpr.t) : Ast.tyexpr =
+  match s with
+  | Sexpr.Atom name -> Ast.T_name name
+  | Sexpr.List [ Sexpr.Atom "Set"; inner ] -> Ast.T_set (tyexpr_of_sexp inner)
+  | Sexpr.List [ Sexpr.Atom "Vec"; inner ] -> Ast.T_vec (tyexpr_of_sexp inner)
+  | _ -> error "malformed type %s" (Sexpr.to_string s)
+
+let action_of_sexp (s : Sexpr.t) : Ast.action =
+  match s with
+  | Sexpr.List [ Sexpr.Atom "set"; Sexpr.List (Sexpr.Atom f :: args); value ] ->
+    Ast.Set (f, List.map expr_of_sexp args, expr_of_sexp value)
+  | Sexpr.List [ Sexpr.Atom "union"; a; b ] -> Ast.Union (expr_of_sexp a, expr_of_sexp b)
+  | Sexpr.List [ Sexpr.Atom ("let" | "define"); Sexpr.Atom x; e ] -> Ast.Let (x, expr_of_sexp e)
+  | Sexpr.List [ Sexpr.Atom "panic"; Sexpr.String msg ] -> Ast.Panic msg
+  | Sexpr.List [ Sexpr.Atom "delete"; Sexpr.List (Sexpr.Atom f :: args) ] ->
+    Ast.Delete (f, List.map expr_of_sexp args)
+  | other -> Ast.Do (expr_of_sexp other)
+
+(* Keyword arguments at the tail of a declaration: :merge e, :default e,
+   :cost n, :when (facts), :name "s". *)
+let rec split_keywords acc (items : Sexpr.t list) =
+  match items with
+  | [] -> (List.rev acc, [])
+  | Sexpr.Atom kw :: _ when String.length kw > 0 && kw.[0] = ':' -> (List.rev acc, items)
+  | item :: rest -> split_keywords (item :: acc) rest
+
+let rec keywords_of (items : Sexpr.t list) : (string * Sexpr.t) list =
+  match items with
+  | [] -> []
+  | Sexpr.Atom kw :: value :: rest when String.length kw > 0 && kw.[0] = ':' ->
+    (kw, value) :: keywords_of rest
+  | s :: _ -> error "malformed keyword arguments near %s" (Sexpr.to_string s)
+
+let command_of_sexp (s : Sexpr.t) : Ast.command list =
+  match s with
+  | Sexpr.List (Sexpr.Atom head :: rest) -> (
+    match (head, rest) with
+    | "sort", [ Sexpr.Atom name ] -> [ Ast.Decl_sort name ]
+    | "datatype", Sexpr.Atom name :: variants ->
+      let variant = function
+        | Sexpr.List (Sexpr.Atom cname :: args) -> (cname, List.map tyexpr_of_sexp args)
+        | v -> error "malformed datatype variant %s" (Sexpr.to_string v)
+      in
+      [ Ast.Decl_datatype (name, List.map variant variants) ]
+    | "function", Sexpr.Atom fname :: Sexpr.List args :: ret :: kw_items ->
+      let kws = keywords_of kw_items in
+      let merge =
+        match List.assoc_opt ":merge" kws with
+        | Some e -> Ast.Merge_expr (expr_of_sexp e)
+        | None -> Ast.Merge_default
+      in
+      let default = Option.map expr_of_sexp (List.assoc_opt ":default" kws) in
+      let cost =
+        match List.assoc_opt ":cost" kws with
+        | Some (Sexpr.Int n) -> Some n
+        | Some v -> error "malformed :cost %s" (Sexpr.to_string v)
+        | None -> None
+      in
+      [ Ast.Decl_function
+          {
+            Ast.fname;
+            arg_tys = List.map tyexpr_of_sexp args;
+            ret_ty = tyexpr_of_sexp ret;
+            merge;
+            default;
+            cost;
+          } ]
+    | "relation", [ Sexpr.Atom name; Sexpr.List args ] ->
+      [ Ast.Decl_relation (name, List.map tyexpr_of_sexp args) ]
+    | "ruleset", [ Sexpr.Atom name ] -> [ Ast.Decl_ruleset name ]
+    | "rule", Sexpr.List query :: Sexpr.List actions :: kw_items ->
+      let kws = keywords_of kw_items in
+      let rule_name =
+        match List.assoc_opt ":name" kws with
+        | Some (Sexpr.String n) | Some (Sexpr.Atom n) -> Some n
+        | Some v -> error "malformed :name %s" (Sexpr.to_string v)
+        | None -> None
+      in
+      let ruleset =
+        match List.assoc_opt ":ruleset" kws with
+        | Some (Sexpr.Atom n) -> Some n
+        | Some v -> error "malformed :ruleset %s" (Sexpr.to_string v)
+        | None -> None
+      in
+      [ Ast.Add_rule
+          {
+            Ast.rule_name;
+            query = List.map fact_of_sexp query;
+            actions = List.map action_of_sexp actions;
+            ruleset;
+          } ]
+    | "rewrite", lhs :: rhs :: kw_items ->
+      let kws = keywords_of kw_items in
+      let conds =
+        match List.assoc_opt ":when" kws with
+        | Some (Sexpr.List facts) -> List.map fact_of_sexp facts
+        | Some v -> error "malformed :when %s" (Sexpr.to_string v)
+        | None -> []
+      in
+      let ruleset =
+        match List.assoc_opt ":ruleset" kws with
+        | Some (Sexpr.Atom n) -> Some n
+        | Some v -> error "malformed :ruleset %s" (Sexpr.to_string v)
+        | None -> None
+      in
+      [ Ast.Add_rewrite { lhs = expr_of_sexp lhs; rhs = expr_of_sexp rhs; conds; ruleset } ]
+    | "birewrite", lhs :: rhs :: kw_items ->
+      let kws = keywords_of kw_items in
+      let conds =
+        match List.assoc_opt ":when" kws with
+        | Some (Sexpr.List facts) -> List.map fact_of_sexp facts
+        | Some v -> error "malformed :when %s" (Sexpr.to_string v)
+        | None -> []
+      in
+      let ruleset =
+        match List.assoc_opt ":ruleset" kws with
+        | Some (Sexpr.Atom n) -> Some n
+        | Some v -> error "malformed :ruleset %s" (Sexpr.to_string v)
+        | None -> None
+      in
+      [ Ast.Add_rewrite { lhs = expr_of_sexp lhs; rhs = expr_of_sexp rhs; conds; ruleset };
+        Ast.Add_rewrite { lhs = expr_of_sexp rhs; rhs = expr_of_sexp lhs; conds; ruleset } ]
+    | ("define" | "let"), [ Sexpr.Atom x; e ] -> [ Ast.Define (x, expr_of_sexp e) ]
+    | "run", [] -> [ Ast.Run None ]
+    | "run", [ Sexpr.Int n ] -> [ Ast.Run (Some n) ]
+    | "run-schedule", scheds ->
+      let rec sched_of_sexp (s : Sexpr.t) : Ast.schedule =
+        match s with
+        | Sexpr.List [ Sexpr.Atom "run"; Sexpr.Int n ] -> Ast.Sched_run (None, n)
+        | Sexpr.List [ Sexpr.Atom "run"; Sexpr.Atom rs ] -> Ast.Sched_run (Some rs, 1)
+        | Sexpr.List [ Sexpr.Atom "run"; Sexpr.Atom rs; Sexpr.Int n ] -> Ast.Sched_run (Some rs, n)
+        | Sexpr.List (Sexpr.Atom "saturate" :: inner) ->
+          Ast.Sched_saturate (List.map sched_of_sexp inner)
+        | Sexpr.List (Sexpr.Atom "seq" :: inner) -> Ast.Sched_seq (List.map sched_of_sexp inner)
+        | Sexpr.List (Sexpr.Atom "repeat" :: Sexpr.Int n :: inner) ->
+          Ast.Sched_repeat (n, List.map sched_of_sexp inner)
+        | Sexpr.Atom rs -> Ast.Sched_run (Some rs, 1)
+        | _ -> error "malformed schedule %s" (Sexpr.to_string s)
+      in
+      [ Ast.Run_schedule (List.map sched_of_sexp scheds) ]
+    | "check", facts -> [ Ast.Check (List.map fact_of_sexp facts) ]
+    | "fail", [ Sexpr.List (Sexpr.Atom "check" :: facts) ] ->
+      [ Ast.Check_fail (List.map fact_of_sexp facts) ]
+    | "extract", (e :: kw_items) ->
+      let kws = keywords_of kw_items in
+      let variants =
+        match List.assoc_opt ":variants" kws with
+        | Some (Sexpr.Int n) -> max 1 n
+        | Some v -> error "malformed :variants %s" (Sexpr.to_string v)
+        | None -> 1
+      in
+      [ Ast.Extract (expr_of_sexp e, variants) ]
+    | "simplify", [ Sexpr.Int n; e ] -> [ Ast.Simplify (n, expr_of_sexp e) ]
+    | "include", [ Sexpr.String path ] -> [ Ast.Include path ]
+    | "print-stats", [] -> [ Ast.Print_stats ]
+    | "explain", [ e1; e2 ] -> [ Ast.Explain (expr_of_sexp e1, expr_of_sexp e2) ]
+    | "push", [] -> [ Ast.Push ]
+    | "pop", [] -> [ Ast.Pop ]
+    | "print-function", [ Sexpr.Atom name; Sexpr.Int n ] -> [ Ast.Print_function (name, n) ]
+    | "print-size", [ Sexpr.Atom name ] -> [ Ast.Print_size name ]
+    | ("set" | "union" | "panic" | "delete"), _ -> [ Ast.Top_action (action_of_sexp s) ]
+    | _ -> [ Ast.Top_action (Ast.Do (expr_of_sexp s)) ])
+  | _ -> error "expected a command, got %s" (Sexpr.to_string s)
+
+let parse_program src = List.concat_map command_of_sexp (Sexpr.parse_string src)
+
+let () = ignore split_keywords

@@ -1,0 +1,15 @@
+(** Textual frontend: s-expressions to {!Ast} commands (the concrete syntax
+    of §3). Purely syntactic; name resolution and typing happen in
+    {!Compile}/{!Engine}. *)
+
+exception Syntax_error of string
+
+val expr_of_sexp : Sexpr.t -> Ast.expr
+val fact_of_sexp : Sexpr.t -> Ast.fact
+
+val command_of_sexp : Sexpr.t -> Ast.command list
+(** A single s-expression can desugar to several commands
+    (e.g. [birewrite]). *)
+
+val parse_program : string -> Ast.command list
+(** @raise Syntax_error or {!Sexpr.Parse_error} on malformed programs. *)

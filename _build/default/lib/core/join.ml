@@ -1,0 +1,471 @@
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type trie = Leaf | Node of trie VTbl.t
+
+type stamp_range = { lo : int; hi : int }
+
+let all_rows = { lo = 0; hi = max_int }
+
+(* Per-position row checks derived from an atom's argument pattern. *)
+type check =
+  | Check_const of int * Value.t  (* position must equal the literal *)
+  | Check_same of int * int  (* position must equal an earlier position *)
+
+type atom_plan = {
+  ap_table : Table.t;
+  ap_checks : check list;
+  ap_sources : int array;  (* row positions feeding the trie path, in order *)
+  ap_vars : int array;  (* the query var at each path level *)
+}
+
+let plan_atom db (q : Compile.cquery) (atom : Compile.atom) : atom_plan =
+  let table =
+    match Database.find_func db atom.a_func.Schema.name with
+    | Some t -> t
+    | None -> failwith ("internal error: no table for " ^ Symbol.name atom.a_func.Schema.name)
+  in
+  let n = Array.length atom.a_args in
+  let first_pos : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let checks = ref [] in
+  for i = 0 to n - 1 do
+    match atom.a_args.(i) with
+    | Compile.A_const v -> checks := Check_const (i, v) :: !checks
+    | Compile.A_var var -> (
+      match Hashtbl.find_opt first_pos var with
+      | None -> Hashtbl.add first_pos var i
+      | Some j -> checks := Check_same (i, j) :: !checks)
+  done;
+  let distinct = Hashtbl.fold (fun var pos acc -> (var, pos) :: acc) first_pos [] in
+  let sorted =
+    List.sort (fun (v1, _) (v2, _) -> Stdlib.compare q.var_depth.(v1) q.var_depth.(v2)) distinct
+  in
+  {
+    ap_table = table;
+    ap_checks = List.rev !checks;
+    ap_sources = Array.of_list (List.map snd sorted);
+    ap_vars = Array.of_list (List.map fst sorted);
+  }
+
+let row_passes (plan : atom_plan) key (row : Table.row) =
+  let cell i = if i < Array.length key then key.(i) else row.Table.value in
+  List.for_all
+    (function
+      | Check_const (i, v) -> Value.equal (cell i) v
+      | Check_same (i, j) -> Value.equal (cell i) (cell j))
+    plan.ap_checks
+
+let build_trie (plan : atom_plan) (range : stamp_range) : trie =
+  let depth = Array.length plan.ap_sources in
+  if depth = 0 then begin
+    (* Fully ground atom: Leaf iff some row passes the checks. *)
+    let found = ref false in
+    (try
+       Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+           if row_passes plan key row then begin
+             found := true;
+             raise Exit
+           end)
+     with Exit -> ());
+    if !found then Leaf else Node (VTbl.create 0)
+  end
+  else begin
+    let root = VTbl.create 64 in
+    Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+        if row_passes plan key row then begin
+          let cell i = if i < Array.length key then key.(i) else row.Table.value in
+          let node = ref root in
+          for level = 0 to depth - 1 do
+            let v = cell plan.ap_sources.(level) in
+            if level = depth - 1 then VTbl.replace !node v Leaf
+            else begin
+              match VTbl.find_opt !node v with
+              | Some (Node t) -> node := t
+              | Some Leaf -> assert false
+              | None ->
+                let t = VTbl.create 8 in
+                VTbl.replace !node v (Node t);
+                node := t
+            end
+          done
+        end);
+    Node root
+  end
+
+exception Found
+
+(* The memo holds both kinds of built structure. Full-table entries
+   (lo = 0, hi = max_int) live in the persistent tier, validated against
+   the table version, so indexes over tables that did not change survive
+   across iterations (input relations are indexed exactly once). Delta and
+   windowed entries go to the scratch tier, cleared each iteration. *)
+type built = B_trie of trie | B_index of Value.t array list Value.Key_tbl.t
+
+type cache = {
+  persistent : (string, int * built) Hashtbl.t;  (* key -> table version, built *)
+  scratch : (string, built) Hashtbl.t;
+}
+
+let new_cache () : cache = { persistent = Hashtbl.create 64; scratch = Hashtbl.create 64 }
+
+let clear_scratch cache = Hashtbl.reset cache.scratch
+
+let cache_find cache ~full ~table key =
+  if full then begin
+    match Hashtbl.find_opt cache.persistent key with
+    | Some (version, built) when version = Table.version table -> Some built
+    | Some _ | None -> None
+  end
+  else Hashtbl.find_opt cache.scratch key
+
+let cache_store cache ~full ~table key built =
+  if full then Hashtbl.replace cache.persistent key (Table.version table, built)
+  else Hashtbl.replace cache.scratch key built
+
+let cache_key (atom : Compile.atom) (plan : atom_plan) (range : stamp_range) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (string_of_int (atom.a_func.Schema.name :> int));
+  Buffer.add_char buf '|';
+  Array.iter (fun s -> Buffer.add_string buf (string_of_int s); Buffer.add_char buf ',') plan.ap_sources;
+  Buffer.add_char buf '|';
+  List.iter
+    (function
+      | Check_const (i, v) ->
+        Buffer.add_string buf (Printf.sprintf "c%d=%s;" i (Value.to_string v))
+      | Check_same (i, j) -> Buffer.add_string buf (Printf.sprintf "s%d=%d;" i j))
+    plan.ap_checks;
+  Buffer.add_string buf (Printf.sprintf "|%d:%d" range.lo range.hi);
+  Buffer.contents buf
+
+let is_full range = range.lo = 0 && range.hi = max_int
+
+let cached_trie cache atom plan range =
+  match cache with
+  | None -> build_trie plan range
+  | Some c -> (
+    let key = "t" ^ cache_key atom plan range in
+    let full = is_full range in
+    match cache_find c ~full ~table:plan.ap_table key with
+    | Some (B_trie trie) -> trie
+    | Some (B_index _) | None ->
+      let trie = build_trie plan range in
+      cache_store c ~full ~table:plan.ap_table key (B_trie trie);
+      trie)
+
+(* Hash index over an atom: projected shared-variable values -> the values
+   of the atom's remaining variables, one entry per passing row. *)
+let build_index (plan : atom_plan) (range : stamp_range) ~(proj : int array) ~(rest : int array) =
+  let index : Value.t array list Value.Key_tbl.t = Value.Key_tbl.create 64 in
+  Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+      if row_passes plan key row then begin
+        let cell i = if i < Array.length key then key.(i) else row.Table.value in
+        let k = Array.map cell proj in
+        let v = Array.map cell rest in
+        let existing = try Value.Key_tbl.find index k with Not_found -> [] in
+        Value.Key_tbl.replace index k (v :: existing)
+      end);
+  index
+
+let cached_index cache atom plan range ~proj ~rest =
+  match cache with
+  | None -> build_index plan range ~proj ~rest
+  | Some c -> (
+    let key =
+      Printf.sprintf "i%s#%s#%s" (cache_key atom plan range)
+        (String.concat "," (Array.to_list (Array.map string_of_int proj)))
+        (String.concat "," (Array.to_list (Array.map string_of_int rest)))
+    in
+    let full = is_full range in
+    match cache_find c ~full ~table:plan.ap_table key with
+    | Some (B_index idx) -> idx
+    | Some (B_trie _) | None ->
+      let idx = build_index plan range ~proj ~rest in
+      cache_store c ~full ~table:plan.ap_table key (B_index idx);
+      idx)
+
+(* Fast path: a single-atom query needs no trie at all — scan the table
+   (or just the log tail for delta ranges), filter, bind, run the primitive
+   schedule. This covers the bulk of rewrite rules (single-pattern
+   left-hand sides). *)
+let search_single_atom (q : Compile.cquery) (plan : atom_plan) (range : stamp_range) callback =
+  let n_vars = q.Compile.n_vars in
+  let env : Value.t array = Array.make n_vars Value.VUnit in
+  let all_prims = Array.to_list q.Compile.schedule |> List.concat in
+  (* Every join variable is bound from the row before the primitives run,
+     so whether a primitive output checks or binds is static. *)
+  let is_join_var = Array.make n_vars false in
+  Array.iter (fun v -> is_join_var.(v) <- true) plan.ap_vars;
+  let prim_binds =
+    List.map
+      (fun (p : Compile.prim_app) ->
+        match p.p_out with
+        | Compile.A_var v when not is_join_var.(v) ->
+          is_join_var.(v) <- true;
+          (p, true)
+        | Compile.A_var _ | Compile.A_const _ -> (p, false))
+      all_prims
+  in
+  let eval_arg = function Compile.A_const v -> v | Compile.A_var v -> env.(v) in
+  Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+      if row_passes plan key row then begin
+        let cell i = if i < Array.length key then key.(i) else row.Table.value in
+        Array.iteri (fun level src -> env.(plan.ap_vars.(level)) <- cell src) plan.ap_sources;
+        let ok =
+          List.for_all
+            (fun ((p : Compile.prim_app), binds) ->
+              let args = Array.map eval_arg p.p_args in
+              match p.p_prim.Primitives.impl args with
+              | None -> false
+              | Some result ->
+                if binds then begin
+                  (match p.p_out with
+                   | Compile.A_var v -> env.(v) <- result
+                   | Compile.A_const _ -> assert false);
+                  true
+                end
+                else begin
+                  match p.p_out with
+                  | Compile.A_const c -> Value.equal c result
+                  | Compile.A_var v -> Value.equal env.(v) result
+                end)
+            prim_binds
+        in
+        if ok then callback env
+      end)
+
+(* Prims as a flat, statically classified checklist: every join variable is
+   bound before they run, so outputs either bind (computed vars) or check. *)
+let static_prim_plan (q : Compile.cquery) (atom_vars : int array list) =
+  let bound = Array.make q.Compile.n_vars false in
+  List.iter (fun vars -> Array.iter (fun v -> bound.(v) <- true) vars) atom_vars;
+  List.map
+    (fun (p : Compile.prim_app) ->
+      match p.p_out with
+      | Compile.A_var v when not bound.(v) ->
+        bound.(v) <- true;
+        (p, true)
+      | Compile.A_var _ | Compile.A_const _ -> (p, false))
+    (Array.to_list q.Compile.schedule |> List.concat)
+
+let run_static_prims (env : Value.t array) prim_plan =
+  List.for_all
+    (fun ((p : Compile.prim_app), binds) ->
+      let args =
+        Array.map (function Compile.A_const v -> v | Compile.A_var v -> env.(v)) p.p_args
+      in
+      match p.p_prim.Primitives.impl args with
+      | None -> false
+      | Some result ->
+        if binds then begin
+          (match p.p_out with
+           | Compile.A_var v -> env.(v) <- result
+           | Compile.A_const _ -> assert false);
+          true
+        end
+        else begin
+          match p.p_out with
+          | Compile.A_const c -> Value.equal c result
+          | Compile.A_var v -> Value.equal env.(v) result
+        end)
+    prim_plan
+
+(* Fast path for two-atom queries: scan a driver atom (prefer the delta
+   side), probe a hash index on the other atom keyed by the shared
+   variables. Cheaper constants than the generic trie join, and the index
+   is shared across rules/variants via the cache. *)
+let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
+    (ranges : stamp_range array) callback =
+  let driver =
+    if ranges.(0).lo > ranges.(1).lo then 0
+    else if ranges.(1).lo > ranges.(0).lo then 1
+    else if Table.length plans.(0).ap_table <= Table.length plans.(1).ap_table then 0
+    else 1
+  in
+  let other = 1 - driver in
+  let dplan = plans.(driver) and oplan = plans.(other) in
+  let in_driver = Array.make q.Compile.n_vars false in
+  Array.iter (fun v -> in_driver.(v) <- true) dplan.ap_vars;
+  (* positions in the *other* atom's row for shared and private vars *)
+  let shared = ref [] and rest = ref [] in
+  Array.iteri
+    (fun level v ->
+      let src = oplan.ap_sources.(level) in
+      if in_driver.(v) then shared := (v, src) :: !shared else rest := (v, src) :: !rest)
+    oplan.ap_vars;
+  let shared = Array.of_list (List.rev !shared) and rest = Array.of_list (List.rev !rest) in
+  let proj = Array.map snd shared and rest_pos = Array.map snd rest in
+  let index = cached_index cache q.atoms.(other) oplan ranges.(other) ~proj ~rest:rest_pos in
+  let prim_plan = static_prim_plan q [ dplan.ap_vars; oplan.ap_vars ] in
+  let env = Array.make q.Compile.n_vars Value.VUnit in
+  let probe_key = Array.make (Array.length shared) Value.VUnit in
+  Table.iter_range dplan.ap_table ~lo:ranges.(driver).lo ~hi:ranges.(driver).hi
+    (fun key row ->
+      if row_passes dplan key row then begin
+        let cell i = if i < Array.length key then key.(i) else row.Table.value in
+        Array.iteri (fun level src -> env.(dplan.ap_vars.(level)) <- cell src) dplan.ap_sources;
+        Array.iteri (fun i (v, _) -> probe_key.(i) <- env.(v)) shared;
+        match Value.Key_tbl.find_opt index probe_key with
+        | None -> ()
+        | Some entries ->
+          List.iter
+            (fun (rest_vals : Value.t array) ->
+              Array.iteri (fun i (v, _) -> env.(v) <- rest_vals.(i)) rest;
+              if run_static_prims env prim_plan then callback env)
+            entries
+      end)
+
+let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_range array)
+    callback =
+  let n_atoms = Array.length q.atoms in
+  if Array.length ranges <> n_atoms then invalid_arg "Join.search: ranges arity mismatch";
+  let plans = Array.map (plan_atom db q) q.atoms in
+  if fast_paths && n_atoms = 1 && Array.length plans.(0).ap_sources > 0 then
+    search_single_atom q plans.(0) ranges.(0) callback
+  else if
+    fast_paths
+    && n_atoms = 2
+    && Array.length plans.(0).ap_sources > 0
+    && Array.length plans.(1).ap_sources > 0
+  then search_two_atoms ?cache q plans ranges callback
+  else begin
+  let tries = Array.init n_atoms (fun i -> cached_trie cache q.atoms.(i) plans.(i) ranges.(i)) in
+  let unsat =
+    Array.exists (function Node t -> VTbl.length t = 0 | Leaf -> false) tries
+  in
+  if not unsat then begin
+    let n_steps = Array.length q.order in
+    (* Atoms participating at each depth (their cursor is intersected). *)
+    let parts_for_depth =
+      Array.init n_steps (fun d ->
+          let v = q.order.(d) in
+          let acc = ref [] in
+          for ai = n_atoms - 1 downto 0 do
+            if Array.exists (Int.equal v) plans.(ai).ap_vars then acc := ai :: !acc
+          done;
+          !acc)
+    in
+    let cursors = Array.copy tries in
+    let env : Value.t option array = Array.make q.n_vars None in
+    let eval_arg = function
+      | Compile.A_const v -> v
+      | Compile.A_var v -> (
+        match env.(v) with
+        | Some x -> x
+        | None -> failwith "internal error: unbound variable in primitive")
+    in
+    (* Run the primitives scheduled at a depth. Returns the computed vars to
+       undo, or None on guard failure (partial bindings already undone). *)
+    let run_prims prims =
+      let rec go acc = function
+        | [] -> Some acc
+        | (p : Compile.prim_app) :: rest -> (
+          let args = Array.map eval_arg p.p_args in
+          match p.p_prim.Primitives.impl args with
+          | None ->
+            List.iter (fun v -> env.(v) <- None) acc;
+            None
+          | Some result -> (
+            match p.p_out with
+            | Compile.A_const c ->
+              if Value.equal c result then go acc rest
+              else begin
+                List.iter (fun v -> env.(v) <- None) acc;
+                None
+              end
+            | Compile.A_var v -> (
+              match env.(v) with
+              | Some existing ->
+                if Value.equal existing result then go acc rest
+                else begin
+                  List.iter (fun u -> env.(u) <- None) acc;
+                  None
+                end
+              | None ->
+                env.(v) <- Some result;
+                go (v :: acc) rest)))
+      in
+      go [] prims
+    in
+    let emit () =
+      let binding =
+        Array.mapi
+          (fun i o ->
+            match o with
+            | Some v -> v
+            | None -> failwith ("internal error: unbound variable " ^ q.var_names.(i)))
+          env
+      in
+      callback binding
+    in
+    let rec solve d =
+      match run_prims q.schedule.(d) with
+      | None -> ()
+      | Some undo ->
+        (if d = n_steps then emit ()
+         else begin
+           let v = q.order.(d) in
+           let parts = parts_for_depth.(d) in
+           match parts with
+           | [] -> failwith "internal error: join variable covered by no atom"
+           | _ ->
+             (* Iterate the smallest candidate set, probe the others. *)
+             let node_table ai =
+               match cursors.(ai) with
+               | Node t -> t
+               | Leaf -> failwith "internal error: trie cursor exhausted"
+             in
+             let smallest =
+               List.fold_left
+                 (fun best ai ->
+                   match best with
+                   | None -> Some ai
+                   | Some b ->
+                     if VTbl.length (node_table ai) < VTbl.length (node_table b) then Some ai
+                     else best)
+                 None parts
+             in
+             let smallest = Option.get smallest in
+             let saved = List.map (fun ai -> (ai, cursors.(ai))) parts in
+             VTbl.iter
+               (fun value _child ->
+                 let ok =
+                   List.for_all
+                     (fun ai ->
+                       ai = smallest
+                       ||
+                       match VTbl.find_opt (node_table ai) value with
+                       | Some _ -> true
+                       | None -> false)
+                     parts
+                 in
+                 if ok then begin
+                   List.iter
+                     (fun ai ->
+                       match VTbl.find_opt (node_table ai) value with
+                       | Some child -> cursors.(ai) <- child
+                       | None -> assert false)
+                     parts;
+                   (* restore cursors before the next candidate *)
+                   env.(v) <- Some value;
+                   solve (d + 1);
+                   env.(v) <- None;
+                   List.iter (fun (ai, c) -> cursors.(ai) <- c) saved
+                 end)
+               (node_table smallest)
+         end);
+        List.iter (fun u -> env.(u) <- None) undo
+    in
+    solve 0
+  end
+  end
+
+let exists db (q : Compile.cquery) =
+  let ranges = Array.make (Array.length q.atoms) all_rows in
+  try
+    search db q ~ranges (fun _ -> raise Found);
+    false
+  with Found -> true

@@ -1,0 +1,40 @@
+(** Generic (worst-case optimal) join over per-atom hash tries — the
+    execution engine behind e-matching-as-a-relational-query (§5.1).
+
+    Per-atom timestamp windows implement the semi-naïve delta atoms of
+    §4.3: variant [j] of a rule restricts atoms before [j] to old rows,
+    atom [j] to rows stamped since the rule last ran, and later atoms to
+    everything. *)
+
+type stamp_range = { lo : int; hi : int }
+(** Rows with [lo <= stamp < hi] participate. *)
+
+val all_rows : stamp_range
+
+type cache
+(** Memo for per-atom tries, shared by every rule searched against one
+    database snapshot (create one per engine iteration). Keyed by
+    (function, projection signature, stamp window), so e.g. every rule whose
+    pattern scans [Add] with the same variable shape reuses one trie. *)
+
+val new_cache : unit -> cache
+
+val clear_scratch : cache -> unit
+(** Drop the per-iteration (delta/windowed) entries; persistent full-table
+    entries stay and are revalidated against table versions. *)
+
+val search :
+  Database.t ->
+  ?cache:cache ->
+  ?fast_paths:bool ->
+  Compile.cquery ->
+  ranges:stamp_range array ->
+  (Value.t array -> unit) ->
+  unit
+(** Invoke the callback once per match with the variable binding (indexed
+    like [cquery.var_names]; the array is reused, callers must copy).
+    [fast_paths:false] forces the generic trie join even for one- and
+    two-atom queries (ablation). *)
+
+val exists : Database.t -> Compile.cquery -> bool
+(** Any match at all (all rows considered)? *)

@@ -1,0 +1,24 @@
+(* Runtime declarations of egglog functions: signature plus the merge and
+   default behaviours of §3.2-§3.4. *)
+
+type merge =
+  | Merge_union  (* sort output: union the conflicting ids (congruence) *)
+  | Merge_expr of Ast.expr  (* evaluate with [old]/[new] bound *)
+  | Merge_panic  (* base-type output without :merge *)
+
+type default =
+  | Default_fresh  (* sort output: make-set, the "get or make-set" of §3.3 *)
+  | Default_expr of Ast.expr
+  | Default_panic  (* base types crash on lookup of an undefined entry *)
+
+type func = {
+  name : Symbol.t;
+  arg_tys : Ty.t array;
+  ret_ty : Ty.t;
+  merge : merge;
+  default : default;
+  cost : int;  (* extraction cost of one application node *)
+  is_relation : bool;  (* declared with (relation ...): printed without |-> *)
+}
+
+let arity f = Array.length f.arg_tys

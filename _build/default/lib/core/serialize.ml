@@ -1,0 +1,127 @@
+exception Load_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Load_error s)) fmt
+
+(* ---- values <-> s-expressions ---- *)
+
+let rec sexp_of_value (v : Value.t) : Sexpr.t =
+  match v with
+  | Value.VUnit -> Sexpr.List [ Sexpr.Atom "unit" ]
+  | Value.VBool b -> Sexpr.Atom (string_of_bool b)
+  | Value.VInt i -> Sexpr.Int i
+  | Value.VRat r ->
+    Sexpr.List [ Sexpr.Atom "rat"; Sexpr.String (Rat.to_string r) ]
+  | Value.VStr s -> Sexpr.String (Symbol.name s)
+  | Value.VId id -> Sexpr.List [ Sexpr.Atom "id"; Sexpr.Int id ]
+  | Value.VSet xs -> Sexpr.List (Sexpr.Atom "set" :: List.map sexp_of_value xs)
+  | Value.VVec xs -> Sexpr.List (Sexpr.Atom "vec" :: List.map sexp_of_value xs)
+
+let rec value_of_sexp ~remap (s : Sexpr.t) : Value.t =
+  match s with
+  | Sexpr.List [ Sexpr.Atom "unit" ] -> Value.VUnit
+  | Sexpr.Atom "true" -> Value.VBool true
+  | Sexpr.Atom "false" -> Value.VBool false
+  | Sexpr.Int i -> Value.VInt i
+  | Sexpr.Rational r -> Value.VRat r
+  | Sexpr.List [ Sexpr.Atom "rat"; Sexpr.String r ] -> Value.VRat (Rat.of_string r)
+  | Sexpr.String str -> Value.VStr (Symbol.intern str)
+  | Sexpr.List [ Sexpr.Atom "id"; Sexpr.Int id ] -> remap id
+  | Sexpr.List (Sexpr.Atom "set" :: xs) -> Value.mk_set (List.map (value_of_sexp ~remap) xs)
+  | Sexpr.List (Sexpr.Atom "vec" :: xs) -> Value.VVec (List.map (value_of_sexp ~remap) xs)
+  | _ -> error "malformed value %s" (Sexpr.to_string s)
+
+(* ---- dump ---- *)
+
+let dump (eng : Engine.t) : Sexpr.t =
+  Engine.rebuild eng;
+  let db = Engine.database eng in
+  (* collect every id that appears in the database, with its sort *)
+  let ids : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let rec note (v : Value.t) =
+    match v with
+    | Value.VId id ->
+      if not (Hashtbl.mem ids id) then begin
+        match Database.sort_of_id db id with
+        | Ty.Sort s -> Hashtbl.replace ids id (Symbol.name s)
+        | _ -> ()
+      end
+    | Value.VSet xs | Value.VVec xs -> List.iter note xs
+    | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> ()
+  in
+  let tables = ref [] in
+  Database.iter_tables db (fun table ->
+      let func = Table.func table in
+      let rows = ref [] in
+      Table.iter
+        (fun key row ->
+          Array.iter note key;
+          note row.Table.value;
+          rows :=
+            Sexpr.List
+              [
+                Sexpr.List (Array.to_list (Array.map sexp_of_value key));
+                sexp_of_value row.Table.value;
+              ]
+            :: !rows)
+        table;
+      if !rows <> [] then
+        tables :=
+          Sexpr.List (Sexpr.Atom "table" :: Sexpr.Atom (Symbol.name func.Schema.name) :: !rows)
+          :: !tables);
+  let id_entries =
+    Hashtbl.fold (fun id sort acc -> Sexpr.List [ Sexpr.Int id; Sexpr.Atom sort ] :: acc) ids []
+  in
+  Sexpr.List
+    (Sexpr.Atom "database"
+     :: Sexpr.List (Sexpr.Atom "ids" :: id_entries)
+     :: List.rev !tables)
+
+let dump_string eng = Sexpr.to_string (dump eng)
+
+(* ---- load ---- *)
+
+let load (eng : Engine.t) (s : Sexpr.t) : unit =
+  let db = Engine.database eng in
+  match s with
+  | Sexpr.List (Sexpr.Atom "database" :: Sexpr.List (Sexpr.Atom "ids" :: id_entries) :: tables) ->
+    (* allocate a fresh id per dumped id; the dump is canonical, so the
+       partition is implicit in row sharing *)
+    let remap_tbl : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun entry ->
+        match entry with
+        | Sexpr.List [ Sexpr.Int id; Sexpr.Atom sort ] ->
+          let sym = Symbol.intern sort in
+          if not (Database.is_sort db sym) then error "unknown sort %s (re-declare the schema first)" sort;
+          Hashtbl.replace remap_tbl id (Database.fresh_id db sym)
+        | _ -> error "malformed id entry %s" (Sexpr.to_string entry))
+      id_entries;
+    let remap id =
+      match Hashtbl.find_opt remap_tbl id with
+      | Some v -> v
+      | None -> error "row references undumped id %d" id
+    in
+    List.iter
+      (fun table_sexp ->
+        match table_sexp with
+        | Sexpr.List (Sexpr.Atom "table" :: Sexpr.Atom fname :: rows) ->
+          let table =
+            match Database.find_func db (Symbol.intern fname) with
+            | Some t -> t
+            | None -> error "unknown function %s (re-declare the schema first)" fname
+          in
+          List.iter
+            (fun row ->
+              match row with
+              | Sexpr.List [ Sexpr.List key; value ] ->
+                let key = Array.of_list (List.map (value_of_sexp ~remap) key) in
+                let value = value_of_sexp ~remap value in
+                Database.set db table key value
+              | _ -> error "malformed row %s" (Sexpr.to_string row))
+            rows
+        | _ -> error "malformed table %s" (Sexpr.to_string table_sexp))
+      tables;
+    Database.rebuild db
+  | _ -> error "expected (database ...)"
+
+let load_string eng src = load eng (Sexpr.parse_one src)

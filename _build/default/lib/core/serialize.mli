@@ -1,0 +1,17 @@
+(** Database snapshots as s-expressions: persist a saturated database and
+    reload it into an engine with the same declarations (ids are remapped,
+    the equivalence relation and every table row are preserved).
+
+    The snapshot holds only {e data} — sorts of ids, the partition, table
+    rows — not declarations or rules; reload into an engine whose schema
+    was re-declared (typically by re-running the program's header). *)
+
+val dump : Engine.t -> Sexpr.t
+val dump_string : Engine.t -> string
+
+exception Load_error of string
+
+val load : Engine.t -> Sexpr.t -> unit
+(** @raise Load_error on malformed input or schema mismatch. *)
+
+val load_string : Engine.t -> string -> unit

@@ -1,0 +1,26 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string ref array ref = ref (Array.init 256 (fun _ -> ref ""))
+let count = ref 0
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some i -> i
+  | None ->
+    let i = !count in
+    incr count;
+    if i >= Array.length !names then begin
+      let bigger = Array.init (2 * Array.length !names) (fun _ -> ref "") in
+      Array.blit !names 0 bigger 0 i;
+      names := bigger
+    end;
+    !names.(i) := s;
+    Hashtbl.add table s i;
+    i
+
+let name i = !(!names.(i))
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (i : t) = i
+let pp fmt i = Format.pp_print_string fmt (name i)

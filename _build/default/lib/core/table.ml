@@ -1,0 +1,115 @@
+type row = { mutable value : Value.t; mutable stamp : int }
+
+type t = {
+  func : Schema.func;
+  data : row Value.Key_tbl.t;
+  (* Append-only log of (key, stamp-at-append), nondecreasing in stamp.
+     A log entry is current iff the row still exists and its stamp equals
+     the entry's: rows re-stamped later appear again further down the log,
+     so each surviving row is visited exactly once per range. *)
+  mutable log_keys : Value.t array array;
+  mutable log_stamps : int array;
+  mutable log_len : int;
+  mutable version : int;  (* bumped on any mutation; index-cache validity *)
+}
+
+let create func =
+  {
+    func;
+    data = Value.Key_tbl.create 64;
+    log_keys = Array.make 16 [||];
+    log_stamps = Array.make 16 0;
+    log_len = 0;
+    version = 0;
+  }
+
+let func t = t.func
+let length t = Value.Key_tbl.length t.data
+let version t = t.version
+let get t key = Value.Key_tbl.find_opt t.data key
+
+let log_append t key stamp =
+  if t.log_len >= Array.length t.log_keys then begin
+    let cap = 2 * Array.length t.log_keys in
+    let keys = Array.make cap [||] and stamps = Array.make cap 0 in
+    Array.blit t.log_keys 0 keys 0 t.log_len;
+    Array.blit t.log_stamps 0 stamps 0 t.log_len;
+    t.log_keys <- keys;
+    t.log_stamps <- stamps
+  end;
+  t.log_keys.(t.log_len) <- key;
+  t.log_stamps.(t.log_len) <- stamp;
+  t.log_len <- t.log_len + 1
+
+let set_raw t key value ~stamp =
+  match Value.Key_tbl.find_opt t.data key with
+  | None ->
+    Value.Key_tbl.replace t.data key { value; stamp };
+    log_append t key stamp;
+    t.version <- t.version + 1;
+    `Inserted
+  | Some row ->
+    if Value.equal row.value value then `Unchanged
+    else begin
+      let restamped = row.stamp <> stamp in
+      row.value <- value;
+      row.stamp <- stamp;
+      if restamped then log_append t key stamp;
+      t.version <- t.version + 1;
+      `Updated
+    end
+
+let remove t key =
+  if Value.Key_tbl.mem t.data key then begin
+    Value.Key_tbl.remove t.data key;
+    t.version <- t.version + 1
+  end
+let iter f t = Value.Key_tbl.iter f t.data
+let fold f t init = Value.Key_tbl.fold f t.data init
+
+(* First log index with stamp >= lo (stamps are nondecreasing). *)
+let log_lower_bound t lo =
+  let left = ref 0 and right = ref t.log_len in
+  while !left < !right do
+    let mid = (!left + !right) / 2 in
+    if t.log_stamps.(mid) < lo then left := mid + 1 else right := mid
+  done;
+  !left
+
+let iter_range t ~lo ~hi f =
+  if lo <= 0 then
+    Value.Key_tbl.iter (fun key row -> if row.stamp < hi then f key row) t.data
+  else begin
+    let start = log_lower_bound t lo in
+    (* A key removed and re-inserted within one timestamp (rebuild rounds)
+       appears twice in the log with the same stamp; dedupe so every
+       surviving row is visited exactly once. *)
+    let seen = Value.Key_tbl.create (max 16 (t.log_len - start)) in
+    for i = start to t.log_len - 1 do
+      let s = t.log_stamps.(i) in
+      if s < hi then begin
+        let key = t.log_keys.(i) in
+        match Value.Key_tbl.find_opt t.data key with
+        | Some row when row.stamp = s ->
+          if not (Value.Key_tbl.mem seen key) then begin
+            Value.Key_tbl.replace seen key ();
+            f key row
+          end
+        | Some _ | None -> ()
+      end
+    done
+  end
+
+let copy t =
+  let data = Value.Key_tbl.create (Value.Key_tbl.length t.data) in
+  Value.Key_tbl.iter
+    (fun k r -> Value.Key_tbl.replace data (Array.copy k) { value = r.value; stamp = r.stamp })
+    t.data;
+  {
+    func = t.func;
+    data;
+    log_keys = Array.map Fun.id (Array.sub t.log_keys 0 (max 16 t.log_len));
+    log_stamps = Array.sub t.log_stamps 0 (max 16 t.log_len);
+    log_len = t.log_len;
+    version = t.version;
+  }

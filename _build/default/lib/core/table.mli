@@ -1,0 +1,39 @@
+(** The backing map of one egglog function (§5.1): canonical argument tuples
+    to an output row. Rows carry the timestamp of their last insertion or
+    modification, which drives semi-naïve evaluation (§4.3).
+
+    A stamp-ordered append log makes "rows new since stamp s" iteration
+    O(delta) instead of O(table) — the point of semi-naïve delta atoms.
+
+    Tables are pure storage; merge-aware insertion and canonicalization live
+    in {!Database}, which owns the union-find. *)
+
+type row = { mutable value : Value.t; mutable stamp : int }
+
+type t
+
+val create : Schema.func -> t
+val func : t -> Schema.func
+val length : t -> int
+
+val version : t -> int
+(** Bumped on every mutation; lets query-side caches validate reuse. *)
+
+val get : t -> Value.t array -> row option
+(** Keys must already be canonical. *)
+
+val set_raw : t -> Value.t array -> Value.t -> stamp:int -> [ `Inserted | `Updated | `Unchanged ]
+(** Insert or overwrite without consulting merge behaviour. Bumps the row
+    stamp on insert and on value change (not when unchanged). *)
+
+val remove : t -> Value.t array -> unit
+val iter : (Value.t array -> row -> unit) -> t -> unit
+val fold : (Value.t array -> row -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_range : t -> lo:int -> hi:int -> (Value.t array -> row -> unit) -> unit
+(** Visit rows whose current stamp s satisfies [lo <= s < hi]. When [lo > 0]
+    this walks only the stamp-ordered log tail (each surviving row exactly
+    once); [lo = 0] falls back to a full scan filtered by [hi]. *)
+
+val copy : t -> t
+(** Deep copy (for push/pop). *)

@@ -1,0 +1,42 @@
+type t = Unit | Bool | Int | Rational | String | Sort of Symbol.t | Set of t | Vec of t
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit | Bool, Bool | Int, Int | Rational, Rational | String, String -> true
+  | Sort s1, Sort s2 -> Symbol.equal s1 s2
+  | Set t1, Set t2 -> equal t1 t2
+  | Vec t1, Vec t2 -> equal t1 t2
+  | (Unit | Bool | Int | Rational | String | Sort _ | Set _ | Vec _), _ -> false
+
+let rec compare a b =
+  let rank = function
+    | Unit -> 0
+    | Bool -> 1
+    | Int -> 2
+    | Rational -> 3
+    | String -> 4
+    | Sort _ -> 5
+    | Set _ -> 6
+    | Vec _ -> 7
+  in
+  match (a, b) with
+  | Sort s1, Sort s2 -> Symbol.compare s1 s2
+  | Set t1, Set t2 -> compare t1 t2
+  | Vec t1, Vec t2 -> compare t1 t2
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let is_sort = function
+  | Sort _ -> true
+  | Unit | Bool | Int | Rational | String | Set _ | Vec _ -> false
+
+let rec to_string = function
+  | Unit -> "Unit"
+  | Bool -> "bool"
+  | Int -> "i64"
+  | Rational -> "Rational"
+  | String -> "String"
+  | Sort s -> Symbol.name s
+  | Set t -> "(Set " ^ to_string t ^ ")"
+  | Vec t -> "(Vec " ^ to_string t ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

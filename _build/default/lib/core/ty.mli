@@ -1,0 +1,21 @@
+(** egglog types: base types, user-declared uninterpreted sorts (§3.3), and
+    the [Set] container used by the lambda-calculus pearl (Appendix A.2). *)
+
+type t =
+  | Unit
+  | Bool
+  | Int  (** the paper's [i64] base type *)
+  | Rational
+  | String
+  | Sort of Symbol.t  (** user-declared uninterpreted sort *)
+  | Set of t  (** canonical finite-set container *)
+  | Vec of t  (** ordered container *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_sort : t -> bool
+(** True exactly for values living in the union-find (unifiable). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

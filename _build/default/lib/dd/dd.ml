@@ -1,0 +1,100 @@
+(* Classic error-free transformations (Dekker/Knuth): two_sum and two_prod
+   compute exact rounding errors of float ops; chaining them yields ~106-bit
+   arithmetic out of pairs of doubles. *)
+
+type t = { hi : float; lo : float }
+
+let zero = { hi = 0.0; lo = 0.0 }
+let one = { hi = 1.0; lo = 0.0 }
+let of_float f = { hi = f; lo = 0.0 }
+let of_int i = of_float (float_of_int i)
+let to_float x = x.hi +. x.lo
+
+(* Knuth two_sum: s + e = a + b exactly. *)
+let two_sum a b =
+  let s = a +. b in
+  let bb = s -. a in
+  let e = (a -. (s -. bb)) +. (b -. bb) in
+  (s, e)
+
+(* Fast two_sum, requires |a| >= |b|. *)
+let quick_two_sum a b =
+  let s = a +. b in
+  let e = b -. (s -. a) in
+  (s, e)
+
+(* two_prod via Stdlib fma: p + e = a * b exactly. *)
+let two_prod a b =
+  let p = a *. b in
+  let e = Float.fma a b (-.p) in
+  (p, e)
+
+let add x y =
+  let s, e = two_sum x.hi y.hi in
+  let e = e +. x.lo +. y.lo in
+  let hi, lo = quick_two_sum s e in
+  { hi; lo }
+
+let neg x = { hi = -.x.hi; lo = -.x.lo }
+let sub x y = add x (neg y)
+
+let mul x y =
+  let p, e = two_prod x.hi y.hi in
+  let e = e +. (x.hi *. y.lo) +. (x.lo *. y.hi) in
+  let hi, lo = quick_two_sum p e in
+  { hi; lo }
+
+let div x y =
+  let q1 = x.hi /. y.hi in
+  (* refine with two Newton-ish corrections *)
+  let r = sub x (mul (of_float q1) y) in
+  let q2 = r.hi /. y.hi in
+  let r2 = sub r (mul (of_float q2) y) in
+  let q3 = r2.hi /. y.hi in
+  let hi, lo = quick_two_sum q1 q2 in
+  let s, e = two_sum hi q3 in
+  { hi = s; lo = lo +. e }
+
+let abs x = if x.hi < 0.0 || (x.hi = 0.0 && x.lo < 0.0) then neg x else x
+
+let sqrt x =
+  if x.hi < 0.0 then of_float Float.nan
+  else if x.hi = 0.0 then zero
+  else begin
+    (* y0 = double sqrt; one Newton step in dd: y = y0 + (x - y0^2)/(2 y0) *)
+    let y0 = Stdlib.sqrt x.hi in
+    let y0d = of_float y0 in
+    let diff = sub x (mul y0d y0d) in
+    let corr = diff.hi /. (2.0 *. y0) in
+    let hi, lo = quick_two_sum y0 corr in
+    { hi; lo }
+  end
+
+let cbrt x =
+  if x.hi = 0.0 then zero
+  else begin
+    let y0 = Float.cbrt x.hi in
+    let y0d = of_float y0 in
+    (* Newton: y <- y - (y^3 - x) / (3 y^2) *)
+    let y2 = mul y0d y0d in
+    let diff = sub (mul y2 y0d) x in
+    let denom = 3.0 *. y0 *. y0 in
+    let corr = diff.hi /. denom in
+    let hi, lo = quick_two_sum y0 (-.corr) in
+    { hi; lo }
+  end
+
+let fma a b c = add (mul a b) c
+
+let pow_int x n =
+  let rec go acc b n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1)
+    else go acc (mul b b) (n lsr 1)
+  in
+  if n >= 0 then go one x n else div one (go one x (-n))
+
+let compare x y = Float.compare (to_float x) (to_float y)
+let is_nan x = Float.is_nan x.hi || Float.is_nan x.lo
+let is_finite x = Float.is_finite x.hi && Float.is_finite x.lo
+let pp fmt x = Format.fprintf fmt "%.17g%+.17g" x.hi x.lo

@@ -1,0 +1,36 @@
+(** Double-double (compensated) arithmetic: each value is an unevaluated sum
+    [hi +. lo] of two doubles with [|lo| <= ulp(hi)/2], giving roughly
+    106 bits of significand.
+
+    Used as the high-precision reference evaluator when measuring the
+    floating-point error of candidate programs in the Herbie case study —
+    a stand-in for the MPFR-backed oracle the paper's Herbie uses. 106 bits
+    is ample to score 53-bit double computations. *)
+
+type t = { hi : float; lo : float }
+
+val zero : t
+val one : t
+val of_float : float -> t
+val to_float : t -> float
+val of_int : int -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val sqrt : t -> t
+(** Nan for negative inputs, matching IEEE. *)
+
+val cbrt : t -> t
+val fma : t -> t -> t -> t
+(** [fma a b c = a*b + c] evaluated without intermediate rounding beyond
+    double-double precision. *)
+
+val pow_int : t -> int -> t
+val compare : t -> t -> int
+val is_nan : t -> bool
+val is_finite : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/herbie/error.ml: Dd Float Fpexpr Int64 List Random

@@ -1,0 +1,1 @@
+lib/herbie/fpexpr.ml: Bigint Dd Float List Printf Rat

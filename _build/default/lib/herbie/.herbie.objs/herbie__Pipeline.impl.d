@@ -1,0 +1,1 @@
+lib/herbie/pipeline.ml: Egglog Error Float Fpexpr List Printf Rules Suite Unix

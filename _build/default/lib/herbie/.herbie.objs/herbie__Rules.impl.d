@@ -1,0 +1,1 @@
+lib/herbie/rules.ml: Bigint Egglog Fpexpr List Printf Rat String

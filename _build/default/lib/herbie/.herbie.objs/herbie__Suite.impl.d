@@ -1,0 +1,1 @@
+lib/herbie/suite.ml: Fpexpr List

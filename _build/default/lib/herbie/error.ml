@@ -1,0 +1,83 @@
+(* Herbie's accuracy metric: average bits of error over sampled points.
+   The error at one point is log2 of the distance, in representable
+   doubles (ULPs, via the ordinal encoding), between the double-precision
+   result and the correctly-rounded true result (double-double oracle). *)
+
+(* Monotone ordinal encoding of doubles: ordering floats = ordering ints. *)
+let ordinal (f : float) : int64 =
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L < 0 then Int64.sub Int64.min_int bits else bits
+
+let ulps_between a b =
+  let oa = ordinal a and ob = ordinal b in
+  Int64.to_float (Int64.abs (Int64.sub oa ob))
+
+let bits_at_point ~approx ~exact =
+  if Float.is_nan exact || Float.is_nan approx then
+    if Float.is_nan exact = Float.is_nan approx then 0.0 else 64.0
+  else if exact = approx then 0.0
+  else begin
+    let ulps = ulps_between approx exact in
+    Float.min 64.0 (Float.log2 (1.0 +. ulps))
+  end
+
+type spec = { ranges : (string * float * float) list; n_samples : int; seed : int }
+
+let default_spec ranges = { ranges; n_samples = 256; seed = 1 }
+
+(* Log-uniform sampling within a same-sign [lo, hi] interval, the usual
+   way to cover many binades as Herbie's sampler does. *)
+let sample_same_sign rand lo hi =
+  if lo >= 0.0 then begin
+    let llo = Float.log (Float.max lo 1e-300) and lhi = Float.log (Float.max hi 1e-300) in
+    Float.exp (llo +. Random.State.float rand (Float.max 0.0 (lhi -. llo)))
+  end
+  else begin
+    let llo = Float.log (Float.max (-.hi) 1e-300) and lhi = Float.log (Float.max (-.lo) 1e-300) in
+    -.Float.exp (llo +. Random.State.float rand (Float.max 0.0 (lhi -. llo)))
+  end
+
+let sample_value_fix rand lo hi =
+  if lo >= 0.0 || hi <= 0.0 then sample_same_sign rand lo hi
+  else if Random.State.bool rand then sample_same_sign rand 1e-12 hi
+  else sample_same_sign rand lo (-1e-12)
+
+let points (spec : spec) : (string -> float) list =
+  let rand = Random.State.make [| spec.seed |] in
+  List.init spec.n_samples (fun _ ->
+      let assignment =
+        List.map (fun (x, lo, hi) -> (x, sample_value_fix rand lo hi)) spec.ranges
+      in
+      fun x -> List.assoc x assignment)
+
+(* Average bits of error of [e] over the spec's sample points. Points where
+   the true result is not finite are skipped (outside the benchmark's
+   domain), as Herbie does. *)
+let avg_bits (spec : spec) (e : Fpexpr.expr) : float =
+  let total = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun env ->
+      let exact_dd = Fpexpr.eval_dd env e in
+      if Dd.is_finite exact_dd && not (Dd.is_nan exact_dd) then begin
+        let exact = Dd.to_float exact_dd in
+        let approx = Fpexpr.eval_double env e in
+        total := !total +. bits_at_point ~approx ~exact;
+        incr n
+      end)
+    (points spec);
+  if !n = 0 then 0.0 else !total /. float_of_int !n
+
+(* Are two expressions equal as real functions on the sampled domain?
+   Used to detect unsound rewrites, Herbie-style. *)
+let equivalent_on (spec : spec) (a : Fpexpr.expr) (b : Fpexpr.expr) : bool =
+  List.for_all
+    (fun env ->
+      let va = Fpexpr.eval_dd env a and vb = Fpexpr.eval_dd env b in
+      let fa = Dd.to_float va and fb = Dd.to_float vb in
+      if Float.is_nan fa || Float.is_nan fb then Float.is_nan fa = Float.is_nan fb
+      else if fa = fb then true
+      else begin
+        let denom = Float.max (Float.abs fa) (Float.abs fb) in
+        Float.abs (fa -. fb) /. denom < 1e-12
+      end)
+    (points spec)

@@ -1,0 +1,78 @@
+(* Floating-point expression language for the Herbie case study (§6.2):
+   real-valued expressions evaluated both in double precision (what a user
+   program would compute) and in double-double precision (the oracle used
+   to score accuracy, standing in for Herbie's MPFR-backed evaluator). *)
+
+type expr =
+  | Num of Rat.t
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+  | Sqrt of expr
+  | Cbrt of expr
+  | Fma of expr * expr * expr  (* a*b + c, fused *)
+
+let rec eval_double env (e : expr) : float =
+  match e with
+  | Num r -> Rat.to_float r
+  | Var x -> env x
+  | Add (a, b) -> eval_double env a +. eval_double env b
+  | Sub (a, b) -> eval_double env a -. eval_double env b
+  | Mul (a, b) -> eval_double env a *. eval_double env b
+  | Div (a, b) -> eval_double env a /. eval_double env b
+  | Neg a -> -.eval_double env a
+  | Sqrt a -> Float.sqrt (eval_double env a)
+  | Cbrt a -> Float.cbrt (eval_double env a)
+  | Fma (a, b, c) -> Float.fma (eval_double env a) (eval_double env b) (eval_double env c)
+
+let rec eval_dd env (e : expr) : Dd.t =
+  match e with
+  | Num r -> Dd.div (Dd.of_float (Bigint.to_float (Rat.num r))) (Dd.of_float (Bigint.to_float (Rat.den r)))
+  | Var x -> Dd.of_float (env x)
+  | Add (a, b) -> Dd.add (eval_dd env a) (eval_dd env b)
+  | Sub (a, b) -> Dd.sub (eval_dd env a) (eval_dd env b)
+  | Mul (a, b) -> Dd.mul (eval_dd env a) (eval_dd env b)
+  | Div (a, b) -> Dd.div (eval_dd env a) (eval_dd env b)
+  | Neg a -> Dd.neg (eval_dd env a)
+  | Sqrt a -> Dd.sqrt (eval_dd env a)
+  | Cbrt a -> Dd.cbrt (eval_dd env a)
+  | Fma (a, b, c) -> Dd.fma (eval_dd env a) (eval_dd env b) (eval_dd env c)
+
+let rec size = function
+  | Num _ | Var _ -> 1
+  | Neg a | Sqrt a | Cbrt a -> 1 + size a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> 1 + size a + size b
+  | Fma (a, b, c) -> 1 + size a + size b + size c
+
+let rec vars = function
+  | Num _ -> []
+  | Var x -> [ x ]
+  | Neg a | Sqrt a | Cbrt a -> vars a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> vars a @ vars b
+  | Fma (a, b, c) -> vars a @ vars b @ vars c
+
+let var_names e = List.sort_uniq compare (vars e)
+
+let rec to_string = function
+  | Num r -> Rat.to_string r
+  | Var x -> x
+  | Add (a, b) -> Printf.sprintf "(+ %s %s)" (to_string a) (to_string b)
+  | Sub (a, b) -> Printf.sprintf "(- %s %s)" (to_string a) (to_string b)
+  | Mul (a, b) -> Printf.sprintf "(* %s %s)" (to_string a) (to_string b)
+  | Div (a, b) -> Printf.sprintf "(/ %s %s)" (to_string a) (to_string b)
+  | Neg a -> Printf.sprintf "(neg %s)" (to_string a)
+  | Sqrt a -> Printf.sprintf "(sqrt %s)" (to_string a)
+  | Cbrt a -> Printf.sprintf "(cbrt %s)" (to_string a)
+  | Fma (a, b, c) -> Printf.sprintf "(fma %s %s %s)" (to_string a) (to_string b) (to_string c)
+
+(* convenience constructors *)
+let num i = Num (Rat.of_int i)
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let sq a = Mul (a, a)
+let cube a = Mul (a, Mul (a, a))

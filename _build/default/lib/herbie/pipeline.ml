@@ -1,0 +1,110 @@
+(* The Herbie-style improvement loop (§6.2): run equality saturation over
+   a benchmark expression, gather candidate programs from the root e-class,
+   and keep the most accurate one.
+
+   [Sound] mode runs the guarded ruleset with the interval and not-equals
+   analyses; every candidate is genuinely equivalent, so whatever wins is
+   kept. [Unsound] mode runs Herbie's unguarded ruleset; saturation may
+   derive false equalities, so — like Herbie — every candidate must be
+   validated by sampling against the input, and invalid ones discarded
+   (wasted search and validation time). *)
+
+type mode = Sound | Unsound
+
+type outcome = {
+  bench : Suite.bench;
+  mode : mode;
+  chosen : Fpexpr.expr;
+  bits_before : float;
+  bits_after : float;
+  seconds : float;
+  n_candidates : int;
+  n_invalid : int;  (* candidates rejected by validation (unsound mode) *)
+}
+
+let iterations = 7
+let max_candidates = 40
+
+let train_spec (bench : Suite.bench) = { (Error.default_spec bench.ranges) with seed = 7; n_samples = 64 }
+let test_spec (bench : Suite.bench) = { (Error.default_spec bench.ranges) with seed = 99; n_samples = 256 }
+
+(* One equality-saturation run at a given iteration budget, returning the
+   candidate programs of the root class. *)
+let saturate (mode : mode) (bench : Suite.bench) ~iterations : Fpexpr.expr list =
+  let eng = Egglog.Engine.create ~scheduler:Egglog.Engine.backoff_default () in
+  let program =
+    match mode with Sound -> Rules.sound_program () | Unsound -> Rules.unsound_program ()
+  in
+  ignore (Egglog.run_string eng program);
+  (match mode with
+   | Sound -> ignore (Egglog.run_string eng (Rules.range_facts bench.Suite.ranges))
+   | Unsound -> ());
+  ignore
+    (Egglog.run_string eng
+       (Printf.sprintf "(define root %s)" (Rules.expr_to_egglog bench.Suite.expr)));
+  (* Herbie bounds EqSat by e-graph size as well as iterations *)
+  let node_limit = 30_000 in
+  (try
+     for _ = 1 to iterations do
+       ignore (Egglog.Engine.run_iterations eng 1);
+       if Egglog.Engine.total_rows eng > node_limit then raise Exit
+     done
+   with Exit -> ());
+  let root = Egglog.Engine.eval_call eng "root" [] in
+  let terms = Egglog.Engine.extract_candidates eng root ~max:max_candidates in
+  List.filter_map (fun t -> try Some (Rules.term_to_expr t) with Rules.Bad_term _ -> None) terms
+
+let improve ?(iterations = iterations) (mode : mode) (bench : Suite.bench) : outcome =
+  let t0 = Unix.gettimeofday () in
+  let train = train_spec bench in
+  let n_invalid = ref 0 in
+  let n_candidates = ref 0 in
+  let validated =
+    match mode with
+    | Sound ->
+      let exprs = saturate mode bench ~iterations in
+      n_candidates := List.length exprs;
+      exprs
+    | Unsound ->
+      (* Herbie with unsound rules: saturate, validate every candidate by
+         sampling; when unsoundness is detected, it cannot keep running
+         equality saturation that long — retry with a smaller iteration
+         budget (all the previous work is wasted, which is where the
+         paper's slowdown comes from). *)
+      let rec attempt iters =
+        let exprs = saturate mode bench ~iterations:iters in
+        n_candidates := List.length exprs;
+        let invalid = ref 0 in
+        let good =
+          List.filter
+            (fun e ->
+              let ok = Error.equivalent_on train bench.Suite.expr e in
+              if not ok then incr invalid;
+              ok)
+            exprs
+        in
+        n_invalid := !n_invalid + !invalid;
+        if !invalid > 0 && iters > 1 then attempt (iters - 1) else good
+      in
+      attempt iterations
+  in
+  let bits_before = Error.avg_bits (test_spec bench) bench.Suite.expr in
+  let scored =
+    List.map (fun e -> (Error.avg_bits train e, e)) (bench.Suite.expr :: validated)
+  in
+  let _, chosen =
+    List.fold_left (fun (bb, be) (b, e) -> if b < bb then (b, e) else (bb, be))
+      (Float.infinity, bench.Suite.expr)
+      scored
+  in
+  let bits_after = Error.avg_bits (test_spec bench) chosen in
+  {
+    bench;
+    mode;
+    chosen;
+    bits_before;
+    bits_after;
+    seconds = Unix.gettimeofday () -. t0;
+    n_candidates = !n_candidates;
+    n_invalid = !n_invalid;
+  }

@@ -1,0 +1,217 @@
+(* Rewrite rules and analyses for the Herbie case study (§6.2).
+
+   Two rulesets over the same [M] datatype:
+   - [unsound]: Herbie's classic ruleset — aggressive rewrites with no
+     guards (x/x -> 1, sqrt(x^2) -> x, the difference-of-cubes rule of
+     Fig. 9b, …). Saturation can derive false equalities; the pipeline
+     must validate results by sampling and discard them, as Herbie does.
+   - [sound]: the same aggressive rewrites, but guarded by egglog-resident
+     analyses: an interval analysis ([lo]/[hi] with max/min merges, Fig. 10)
+     and a not-equals analysis ([neq]) derived from intervals and from
+     injectivity facts — the paper's two cooperating analyses. *)
+
+let datatype =
+  {|
+  (datatype M
+    (RNum Rational)
+    (RVar String)
+    (RAdd M M)
+    (RSub M M)
+    (RMul M M)
+    (RDiv M M)
+    (RNeg M)
+    (RSqrt M)
+    (RCbrt M)
+    (RFma M M M))
+  |}
+
+(* Rules sound without any analysis (equal as real functions wherever the
+   left-hand side is defined). *)
+let base_rules =
+  {|
+  (rewrite (RAdd a b) (RAdd b a))
+  (rewrite (RMul a b) (RMul b a))
+  (rewrite (RAdd (RAdd a b) c) (RAdd a (RAdd b c)))
+  (rewrite (RMul (RMul a b) c) (RMul a (RMul b c)))
+  (rewrite (RSub a b) (RAdd a (RNeg b)))
+  (rewrite (RAdd a (RNeg b)) (RSub a b))
+  (rewrite (RNeg (RNeg a)) a)
+  (rewrite (RNeg (RSub a b)) (RSub b a))
+  (rewrite (RMul a (RAdd b c)) (RAdd (RMul a b) (RMul a c)))
+  (rewrite (RAdd (RMul a b) (RMul a c)) (RMul a (RAdd b c)))
+  (rewrite (RSub (RMul a b) (RMul a c)) (RMul a (RSub b c)))
+  (rewrite (RAdd (RMul a b) c) (RFma a b c))
+  (rewrite (RFma a b c) (RAdd (RMul a b) c))
+  (rewrite (RAdd a (RNum 0/1)) a)
+  (rewrite (RMul a (RNum 1/1)) a)
+  (rewrite (RMul a (RNum 0/1)) (RNum 0/1))
+  (rewrite (RDiv a (RNum 1/1)) a)
+  (rewrite (RSub a a) (RNum 0/1))
+  (rewrite (RSub (RAdd a b) a) b)
+  (rewrite (RSub (RAdd a b) b) a)
+  (rewrite (RSub (RSub p q) p) (RNeg q))
+  (rewrite (RAdd (RNeg b) c) (RSub c b))
+  ;; constant folding (exact rationals)
+  (rewrite (RAdd (RNum x) (RNum y)) (RNum (+ x y)))
+  (rewrite (RSub (RNum x) (RNum y)) (RNum (- x y)))
+  (rewrite (RMul (RNum x) (RNum y)) (RNum (* x y)))
+  (rewrite (RNeg (RNum x)) (RNum (- x)))
+  (rewrite (RDiv (RNum x) (RNum y)) (RNum (/ x y)) :when ((!= y 0/1)))
+  ;; roots
+  (rewrite (RMul (RSqrt x) (RSqrt x)) x)
+  (rewrite (RMul (RCbrt x) (RMul (RCbrt x) (RCbrt x))) x)
+  (rewrite (RCbrt (RMul x (RMul x x))) x)
+  ;; (x+y)(x-y) = x^2 - y^2
+  (rewrite (RMul (RAdd x y) (RSub x y)) (RSub (RMul x x) (RMul y y)))
+  (rewrite (RSub (RMul x x) (RMul y y)) (RMul (RAdd x y) (RSub x y)))
+  |}
+
+(* The aggressive rewrites. [guard] interpolates a :when clause (sound
+   mode) or nothing (unsound mode). *)
+let risky_rules ~guarded =
+  let w conds = if guarded then Printf.sprintf " :when (%s)" conds else "" in
+  String.concat "\n"
+    [
+      (* x/x -> 1 (needs x != 0) *)
+      Printf.sprintf "(rewrite (RDiv x x) (RNum 1/1)%s)" (w "(nonzero x)");
+      (* (a*b)/b -> a (needs b != 0) *)
+      Printf.sprintf "(rewrite (RDiv (RMul a b) b) a%s)" (w "(nonzero b)");
+      (* Fig. 9a: (a*b)/c -> a/(c/b) (needs b != 0) *)
+      Printf.sprintf "(rewrite (RDiv (RMul a b) c) (RDiv a (RDiv c b))%s)" (w "(nonzero b)");
+      (* sqrt(x^2) -> x (needs x >= 0) *)
+      Printf.sprintf "(rewrite (RSqrt (RMul x x)) x%s)" (w "(nonneg x)");
+      (* sqrt cancellation: sqrt p - sqrt q -> (p-q)/(sqrt p + sqrt q)
+         (needs p > 0 so the denominator is nonzero) *)
+      Printf.sprintf
+        "(rewrite (RSub (RSqrt p) (RSqrt q)) (RDiv (RSub p q) (RAdd (RSqrt p) (RSqrt q)))%s)"
+        (w "(pos p)");
+      (* combine fractions (needs both denominators nonzero) *)
+      Printf.sprintf
+        "(rewrite (RSub (RDiv p a) (RDiv q b)) (RDiv (RSub (RMul p b) (RMul q a)) (RMul a b))%s)"
+        (w "(nonzero a) (nonzero b)");
+      (* conjugate: sqrt d - b -> (d - b^2)/(sqrt d + b) (needs b > 0) *)
+      Printf.sprintf
+        "(rewrite (RSub (RSqrt d) b) (RDiv (RSub d (RMul b b)) (RAdd (RSqrt d) b))%s)"
+        (w "(pos b)");
+      (* Fig. 9b: difference of cubes (needs x != y, hence not both zero) *)
+      Printf.sprintf
+        "(rewrite (RSub x y) (RDiv (RSub (RMul x (RMul x x)) (RMul y (RMul y y))) (RAdd (RMul x x) (RAdd (RMul x y) (RMul y y))))%s)"
+        (w "(neq x y)");
+    ]
+
+(* Interval analysis (Fig. 10) and the not-equals analysis built on it. *)
+let analyses =
+  {|
+  (function lo (M) Rational :merge (max old new))
+  (function hi (M) Rational :merge (min old new))
+  (relation nonzero (M))
+  (relation nonneg (M))
+  (relation pos (M))
+  (relation neq (M M))
+
+  ;; constants are their own bounds
+  (rule ((= e (RNum n))) ((set (lo e) n) (set (hi e) n)))
+  ;; addition
+  (rule ((= e (RAdd a b)) (= (lo a) la) (= (lo b) lb)) ((set (lo e) (+ la lb))))
+  (rule ((= e (RAdd a b)) (= (hi a) ha) (= (hi b) hb)) ((set (hi e) (+ ha hb))))
+  ;; subtraction
+  (rule ((= e (RSub a b)) (= (lo a) la) (= (hi b) hb)) ((set (lo e) (- la hb))))
+  (rule ((= e (RSub a b)) (= (hi a) ha) (= (lo b) lb)) ((set (hi e) (- ha lb))))
+  ;; negation
+  (rule ((= e (RNeg a)) (= (hi a) ha)) ((set (lo e) (- ha))))
+  (rule ((= e (RNeg a)) (= (lo a) la)) ((set (hi e) (- la))))
+  ;; multiplication: min/max over the corner products. Bounds past 1e30
+  ;; are not propagated (sound widening) or repeated interval products
+  ;; would grow rationals with exponentially many digits.
+  (rule ((= e (RMul a b)) (= (lo a) la) (= (hi a) ha) (= (lo b) lb) (= (hi b) hb)
+         (<= (abs la) 1000000000000000000000000000000/1)
+         (<= (abs ha) 1000000000000000000000000000000/1)
+         (<= (abs lb) 1000000000000000000000000000000/1)
+         (<= (abs hb) 1000000000000000000000000000000/1))
+        ((set (lo e) (min (min (* la lb) (* la hb)) (min (* ha lb) (* ha hb))))
+         (set (hi e) (max (max (* la lb) (* la hb)) (max (* ha lb) (* ha hb))))))
+  ;; division with a strictly positive divisor (same widening)
+  (rule ((= e (RDiv a b)) (= (lo a) la) (= (hi a) ha) (= (lo b) lb) (= (hi b) hb) (> lb 0/1)
+         (<= (abs la) 1000000000000000000000000000000/1)
+         (<= (abs ha) 1000000000000000000000000000000/1)
+         (<= (abs hb) 1000000000000000000000000000000/1))
+        ((set (lo e) (min (min (/ la lb) (/ la hb)) (min (/ ha lb) (/ ha hb))))
+         (set (hi e) (max (max (/ la lb) (/ la hb)) (max (/ ha lb) (/ ha hb))))))
+  ;; square roots are nonnegative (Fig. 10), and bounded by max(1, x)
+  (rule ((= e (RSqrt x))) ((set (lo e) 0/1)))
+  (rule ((= e (RSqrt x)) (= (lo x) lx) (>= lx 1/1)) ((set (lo e) 1/1)))
+  (rule ((= e (RSqrt x)) (= (hi x) hx) (>= hx 1/1)) ((set (hi e) hx)))
+  (rule ((= e (RSqrt x)) (= (hi x) hx) (<= hx 1/1) (>= hx 0/1)) ((set (hi e) 1/1)))
+  ;; cube roots preserve sign and are bounded by max(1, |x|)
+  (rule ((= e (RCbrt x)) (= (lo x) lx) (>= lx 0/1)) ((set (lo e) 0/1)))
+  (rule ((= e (RCbrt x)) (= (lo x) lx) (>= lx 1/1)) ((set (lo e) 1/1)))
+  (rule ((= e (RCbrt x)) (= (hi x) hx) (>= hx 1/1)) ((set (hi e) hx)))
+  (rule ((= e (RCbrt x)) (= (hi x) hx) (<= hx 0/1)) ((set (hi e) 0/1)))
+
+  ;; sign facts from intervals
+  (rule ((= (lo e) l) (> l 0/1)) ((nonzero e) (pos e) (nonneg e)))
+  (rule ((= (lo e) l) (>= l 0/1)) ((nonneg e)))
+  (rule ((= (hi e) h) (< h 0/1)) ((nonzero e)))
+
+  ;; not-equals from disjoint intervals
+  (rule ((= (lo a) la) (= (hi b) hb) (> la hb)) ((neq a b) (neq b a)))
+  ;; syntactic offset: x + c != x for c != 0
+  (rule ((= e (RAdd x (RNum c))) (!= c 0/1)) ((neq e x) (neq x e)))
+  ;; injectivity (the paper's a != b  =>  root a != root b), on demand
+  (rule ((neq a b) (= ca (RCbrt a)) (= cb (RCbrt b))) ((neq ca cb)))
+  (rule ((neq a b) (nonneg a) (nonneg b) (= sa (RSqrt a)) (= sb (RSqrt b))) ((neq sa sb)))
+  |}
+
+let sound_program () = String.concat "\n" [ datatype; analyses; base_rules; risky_rules ~guarded:true ]
+let unsound_program () = String.concat "\n" [ datatype; base_rules; risky_rules ~guarded:false ]
+
+(* ---- expression <-> egglog syntax ---- *)
+
+let rec expr_to_egglog (e : Fpexpr.expr) : string =
+  match e with
+  | Fpexpr.Num r ->
+    (* always print n/d so the token lexes as a Rational, never an i64 *)
+    Printf.sprintf "(RNum %s/%s)" (Bigint.to_string (Rat.num r)) (Bigint.to_string (Rat.den r))
+  | Fpexpr.Var x -> Printf.sprintf "(RVar \"%s\")" x
+  | Fpexpr.Add (a, b) -> Printf.sprintf "(RAdd %s %s)" (expr_to_egglog a) (expr_to_egglog b)
+  | Fpexpr.Sub (a, b) -> Printf.sprintf "(RSub %s %s)" (expr_to_egglog a) (expr_to_egglog b)
+  | Fpexpr.Mul (a, b) -> Printf.sprintf "(RMul %s %s)" (expr_to_egglog a) (expr_to_egglog b)
+  | Fpexpr.Div (a, b) -> Printf.sprintf "(RDiv %s %s)" (expr_to_egglog a) (expr_to_egglog b)
+  | Fpexpr.Neg a -> Printf.sprintf "(RNeg %s)" (expr_to_egglog a)
+  | Fpexpr.Sqrt a -> Printf.sprintf "(RSqrt %s)" (expr_to_egglog a)
+  | Fpexpr.Cbrt a -> Printf.sprintf "(RCbrt %s)" (expr_to_egglog a)
+  | Fpexpr.Fma (a, b, c) ->
+    Printf.sprintf "(RFma %s %s %s)" (expr_to_egglog a) (expr_to_egglog b) (expr_to_egglog c)
+
+exception Bad_term of string
+
+let rec term_to_expr (t : Egglog.Extract.term) : Fpexpr.expr =
+  match t with
+  | Egglog.Extract.T_const (Egglog.Value.VRat r) -> Fpexpr.Num r
+  | Egglog.Extract.T_const (Egglog.Value.VStr s) -> Fpexpr.Var (Egglog.Symbol.name s)
+  | Egglog.Extract.T_const v -> raise (Bad_term (Egglog.Value.to_string v))
+  | Egglog.Extract.T_app (f, args) -> (
+    match (Egglog.Symbol.name f, List.map term_to_expr args) with
+    | "RNum", [ Fpexpr.Num _ as n ] -> n
+    | "RVar", [ Fpexpr.Var _ as v ] -> v
+    | "RAdd", [ a; b ] -> Fpexpr.Add (a, b)
+    | "RSub", [ a; b ] -> Fpexpr.Sub (a, b)
+    | "RMul", [ a; b ] -> Fpexpr.Mul (a, b)
+    | "RDiv", [ a; b ] -> Fpexpr.Div (a, b)
+    | "RNeg", [ a ] -> Fpexpr.Neg a
+    | "RSqrt", [ a ] -> Fpexpr.Sqrt a
+    | "RCbrt", [ a ] -> Fpexpr.Cbrt a
+    | "RFma", [ a; b; c ] -> Fpexpr.Fma (a, b, c)
+    | name, _ -> raise (Bad_term name))
+
+(* Variable range facts for the sound mode's interval analysis. *)
+let range_facts (ranges : (string * float * float) list) : string =
+  ranges
+  |> List.map (fun (x, lo, hi) ->
+         let rat f =
+           let r = Rat.of_float f in
+           Printf.sprintf "%s/%s" (Bigint.to_string (Rat.num r)) (Bigint.to_string (Rat.den r))
+         in
+         Printf.sprintf "(set (lo (RVar \"%s\")) %s)\n(set (hi (RVar \"%s\")) %s)" x (rat lo) x
+           (rat hi))
+  |> String.concat "\n"

@@ -1,0 +1,81 @@
+(* The benchmark suite for the Herbie case study: ~30 floating-point
+   expressions modelled on Herbie's own suite (FPBench and the classic
+   Hamming examples), substituting for the paper's 289-program suite.
+   Includes the benchmarks the paper names: the sqrt/cbrt cancellations
+   (§6.2's √(x+1)−√x and ∛(v+1)−∛v), the 9x⁴−y²(y²−2) outlier, the
+   quadratic formula, plus division/cancellation variants. *)
+
+open Fpexpr
+
+type bench = {
+  name : string;
+  expr : Fpexpr.expr;
+  ranges : (string * float * float) list;  (* variable preconditions *)
+}
+
+let x = Var "x"
+let y = Var "y"
+let v = Var "v"
+let a = Var "a"
+let b = Var "b"
+let c = Var "c"
+let eps = Var "eps"
+
+let benches : bench list =
+  [
+    (* --- the paper's named examples --- *)
+    { name = "sqrt-cancel"; expr = Sqrt (x + num 1) - Sqrt x; ranges = [ ("x", 1.0, 1e15) ] };
+    { name = "cbrt-cancel"; expr = Cbrt (v + num 1) - Cbrt v; ranges = [ ("v", 1.0, 1e15) ] };
+    {
+      name = "9x4-y2y2-2";
+      expr = (num 9 * sq (sq x)) - (sq y * (sq y - num 2));
+      ranges = [ ("x", 0.5, 2.0); ("y", 1e6, 1e8) ];
+    };
+    {
+      name = "quadratic-root";
+      expr = (Neg b + Sqrt (sq b - (num 4 * a * c))) / (num 2 * a);
+      ranges = [ ("a", 0.1, 10.0); ("b", 1e4, 1e8); ("c", 0.1, 10.0) ];
+    };
+    (* --- cancellation family --- *)
+    { name = "1-cos-like"; expr = (num 1 / (x + num 1)) - (num 1 / x); ranges = [ ("x", 1e3, 1e12) ] };
+    { name = "recip-diff"; expr = (num 1 / x) - (num 1 / (x + eps)); ranges = [ ("x", 1.0, 1e6); ("eps", 1e-12, 1e-6) ] };
+    { name = "sq-diff"; expr = sq (x + num 1) - sq x; ranges = [ ("x", 1e6, 1e12) ] };
+    { name = "sq-diff-vars"; expr = sq x - sq y; ranges = [ ("x", 1e7, 1e8); ("y", 1e7, 1e8) ] };
+    { name = "sqrt-sub-vars"; expr = Sqrt x - Sqrt y; ranges = [ ("x", 1e10, 1e12); ("y", 1e10, 1e12) ] };
+    { name = "x-over-sum"; expr = x / (x + y); ranges = [ ("x", 1e-8, 1e-6); ("y", 1e6, 1e8) ] };
+    { name = "sum-times-diff"; expr = (x + y) * (x - y); ranges = [ ("x", 1e7, 1e8); ("y", 1e7, 1e8) ] };
+    { name = "fma-candidate"; expr = (x * y) + c; ranges = [ ("x", 1e7, 1e8); ("y", -1e8, -1e7); ("c", 0.1, 10.0) ] };
+    (* --- division / cancellation with guards (Fig. 9a shapes) --- *)
+    { name = "mul-div-cancel"; expr = x * y / y; ranges = [ ("y", 1e-8, 1e8); ("x", 0.5, 2.0) ] };
+    { name = "div-self"; expr = (x + num 1) / (x + num 1); ranges = [ ("x", 1.0, 1e10) ] };
+    { name = "frac-a-bc"; expr = a * b / c; ranges = [ ("a", 1e-4, 1e4); ("b", 1e-160, 1e-150); ("c", 1e-160, 1e-150) ] };
+    { name = "ratio-shift"; expr = (x + num 2) / (x + num 1); ranges = [ ("x", 1e8, 1e14) ] };
+    (* --- sqrt/cbrt algebra --- *)
+    { name = "sqrt-square"; expr = Sqrt (sq x); ranges = [ ("x", 1e-4, 1e4) ] };
+    { name = "sqrt-square-neg"; expr = Sqrt (sq x); ranges = [ ("x", -1e4, -1e-4) ] };
+    { name = "sqrt-prod"; expr = Sqrt x * Sqrt x; ranges = [ ("x", 1e-8, 1e8) ] };
+    { name = "cbrt-cube"; expr = Cbrt (cube x); ranges = [ ("x", -1e4, 1e4) ] };
+    { name = "sqrt-sum-cancel"; expr = Sqrt (x + y) - Sqrt x; ranges = [ ("x", 1e12, 1e14); ("y", 0.1, 10.0) ] };
+    (* --- polynomial shapes --- *)
+    { name = "horner3"; expr = (((a * x) + b) * x) + c; ranges = [ ("a", 0.5, 2.0); ("b", 0.5, 2.0); ("c", 0.5, 2.0); ("x", 1e6, 1e8) ] };
+    { name = "expand-binomial"; expr = sq (x + y) - (num 2 * x * y) - sq y; ranges = [ ("x", 1e-6, 1e-4); ("y", 1e5, 1e7) ] };
+    { name = "cube-diff"; expr = cube (x + num 1) - cube x; ranges = [ ("x", 1e5, 1e7) ] };
+    { name = "poly-cancel"; expr = (x * (x + num 1)) - sq x; ranges = [ ("x", 1e8, 1e12) ] };
+    { name = "triple-prod"; expr = x * y * (num 1 / x); ranges = [ ("x", 1e-140, 1e-120); ("y", 0.5, 2.0) ] };
+    (* --- mixed --- *)
+    { name = "midpoint"; expr = (x + y) / num 2; ranges = [ ("x", 1e300, 1e307); ("y", 1e300, 1e307) ] };
+    { name = "neg-chain"; expr = Neg (Neg (x - y)); ranges = [ ("x", 1.0, 2.0); ("y", 1.0, 2.0) ] };
+    { name = "add-zero-ish"; expr = (x + y) - y; ranges = [ ("x", 1e-8, 1e-6); ("y", 1e8, 1e10) ] };
+    { name = "scaled-cancel"; expr = (num 2 * x) - x - x; ranges = [ ("x", 1e8, 1e12) ] };
+    (* --- zero-crossing ranges: the interval analysis cannot prove the
+       guards, but the rewrites happen to be safe on the sampled domain —
+       the cases where Herbie's unsound ruleset wins (Fig. 11's right
+       tail) --- *)
+    { name = "cancel-crossing"; expr = x * y / y; ranges = [ ("y", -1e8, 1e8); ("x", 1e7, 1e8) ] };
+    { name = "div-self-crossing"; expr = ((x * y) / (x * y)) + (x - x); ranges = [ ("x", -1e4, 1e4); ("y", -1e4, 1e4) ] };
+    { name = "sqrt-sq-crossing"; expr = Sqrt (sq x) * (y / x); ranges = [ ("x", 1e-8, 1e8); ("y", -2.0, 2.0) ] };
+    { name = "frac-combine-crossing"; expr = (num 1 / x) - (num 1 / (x + num 1)); ranges = [ ("x", -1e12, -1e3) ] };
+    { name = "triple-prod-crossing"; expr = x * y * (num 1 / x); ranges = [ ("x", -1e-120, 1e-120); ("y", 0.5, 2.0) ] };
+  ]
+
+let find name = List.find (fun bench -> bench.name = name) benches

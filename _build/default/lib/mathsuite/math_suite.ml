@@ -1,0 +1,97 @@
+let rules =
+  [
+    ("comm-add", "(+ ?a ?b)", "(+ ?b ?a)");
+    ("comm-mul", "(* ?a ?b)", "(* ?b ?a)");
+    ("assoc-add", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)");
+    ("assoc-mul", "(* ?a (* ?b ?c))", "(* (* ?a ?b) ?c)");
+    ("sub-canon", "(- ?a ?b)", "(+ ?a (* -1 ?b))");
+    ("zero-add", "(+ ?a 0)", "?a");
+    ("zero-mul", "(* ?a 0)", "0");
+    ("one-mul", "(* ?a 1)", "?a");
+    ("cancel-sub", "(- ?a ?a)", "0");
+    ("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))");
+    ("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))");
+    ("pow-mul", "(* (pow ?a ?b) (pow ?a ?c))", "(pow ?a (+ ?b ?c))");
+    ("pow1", "(pow ?x 1)", "?x");
+    ("pow2", "(pow ?x 2)", "(* ?x ?x)");
+    ("d-add", "(d ?x (+ ?a ?b))", "(+ (d ?x ?a) (d ?x ?b))");
+    ("d-mul", "(d ?x (* ?a ?b))", "(+ (* ?a (d ?x ?b)) (* ?b (d ?x ?a)))");
+    ("i-one", "(i 1 ?x)", "?x");
+    ("i-sum", "(i (+ ?f ?g) ?x)", "(+ (i ?f ?x) (i ?g ?x))");
+    ("i-dif", "(i (- ?f ?g) ?x)", "(- (i ?f ?x) (i ?g ?x))");
+    ("i-parts", "(i (* ?a ?b) ?x)", "(- (* ?a (i ?b ?x)) (i (* (d ?x ?a) (i ?b ?x)) ?x))");
+  ]
+
+let seeds =
+  [
+    "(+ 1 (- a (* (- 2 1) a)))";
+    "(* (+ x 3) (+ x 1))";
+    "(+ (* y (+ x y)) (* x (+ x y)))";
+    "(pow (+ x 1) 2)";
+    "(d x (+ 1 (* 2 x)))";
+    "(d x (- (pow x 3) (* 7 (pow x 2))))";
+    "(i (+ x x) x)";
+    "(/ 1 (- (/ (+ 1 (sqrt five)) 2) (/ (- 1 (sqrt five)) 2)))";
+  ]
+
+let egg_rewrites () =
+  List.map (fun (name, lhs, rhs) -> Egraph.rewrite_of_strings ~name lhs rhs) rules
+
+let egg_seed_terms () = List.map Egraph.term_of_string seeds
+
+let egglog_prelude =
+  {|
+  (datatype Math
+    (Num i64)
+    (Var String)
+    (Add Math Math)
+    (Sub Math Math)
+    (Mul Math Math)
+    (Div Math Math)
+    (Pow Math Math)
+    (Ln Math)
+    (Sqrt Math)
+    (Diff Math Math)
+    (Integral Math Math))
+  |}
+
+let ctor_of_op = function
+  | "+" -> "Add"
+  | "-" -> "Sub"
+  | "*" -> "Mul"
+  | "/" -> "Div"
+  | "pow" -> "Pow"
+  | "ln" -> "Ln"
+  | "sqrt" -> "Sqrt"
+  | "d" -> "Diff"
+  | "i" -> "Integral"
+  | op -> failwith ("math_suite: unknown operator " ^ op)
+
+(* Translate an egg-syntax pattern/term to egglog concrete syntax:
+   ?a -> variable a; integer n -> (Num n); free symbol x -> (Var "x"). *)
+let rec to_egglog (s : Sexpr.t) : string =
+  match s with
+  | Sexpr.Int n -> Printf.sprintf "(Num %d)" n
+  | Sexpr.Atom a when String.length a > 0 && a.[0] = '?' -> String.sub a 1 (String.length a - 1)
+  | Sexpr.Atom a -> Printf.sprintf "(Var \"%s\")" a
+  | Sexpr.List (Sexpr.Atom op :: args) ->
+    Printf.sprintf "(%s %s)" (ctor_of_op op) (String.concat " " (List.map to_egglog args))
+  | _ -> failwith ("math_suite: cannot translate " ^ Sexpr.to_string s)
+
+let egglog_rules () =
+  rules
+  |> List.map (fun (name, lhs, rhs) ->
+         ignore name;
+         Printf.sprintf "(rewrite %s %s)"
+           (to_egglog (Sexpr.parse_one lhs))
+           (to_egglog (Sexpr.parse_one rhs)))
+  |> String.concat "\n"
+
+let egglog_seeds () =
+  seeds
+  |> List.mapi (fun i s ->
+         Printf.sprintf "(define seed%d %s)" i (to_egglog (Sexpr.parse_one s)))
+  |> String.concat "\n"
+
+let egglog_program () =
+  String.concat "\n" [ egglog_prelude; egglog_rules (); egglog_seeds () ]

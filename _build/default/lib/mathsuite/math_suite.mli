@@ -1,0 +1,30 @@
+(** The Fig. 7 workload: the analysis-free subset of egg's [math] rewrite
+    suite plus its seed terms, rendered both as {!Egraph} rewrites and as an
+    egglog program so all three systems (egg, egglog, egglogNI) grow the
+    same e-graph. Rules needing e-class analyses (x/x -> 1 when x != 0,
+    pow0, …) are excluded, exactly as in §5.3. *)
+
+val rules : (string * string * string) list
+(** (name, lhs, rhs) in egg's [?var] pattern syntax. *)
+
+val seeds : string list
+(** Start terms from egg's math test suite. *)
+
+val egg_rewrites : unit -> Egraph.rewrite list
+val egg_seed_terms : unit -> Egraph.term list
+
+val egglog_prelude : string
+(** The [Math] datatype declaration. *)
+
+val egglog_rules : unit -> string
+(** The rewrites, translated to egglog [(rewrite …)] commands. *)
+
+val egglog_seeds : unit -> string
+(** [(define seedN …)] commands for the seed terms. *)
+
+val egglog_program : unit -> string
+(** Prelude + rules + seeds, ready to feed an engine. *)
+
+val to_egglog : Sexpr.t -> string
+(** Translate one egg-syntax pattern/term ([?a] variables, integer leaves,
+    free symbols) to egglog concrete syntax. *)

@@ -1,0 +1,466 @@
+type tuple = int array
+
+module TTbl = Hashtbl.Make (struct
+  type t = tuple
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 Int.equal a b
+
+  let hash t =
+    let h = ref (Array.length t) in
+    Array.iter (fun v -> h := (!h * 31) lxor v) t;
+    !h land max_int
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Relations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type eq_state = {
+  uf : Union_find.t;
+  nodes : (int, int) Hashtbl.t;  (* element -> uf node *)
+  elems : (int, int) Hashtbl.t;  (* uf node -> element *)
+  members : (int, int list) Hashtbl.t;  (* root node -> member elements *)
+  mutable eq_changed : bool;  (* merged something this iteration *)
+}
+
+type kind =
+  | Plain
+  | Choice of int list  (* key positions *)
+  | Eq of eq_state
+
+type rel = {
+  rid : int;
+  rname : string;
+  arity : int;
+  kind : kind;
+  data : unit TTbl.t;
+  mutable delta : tuple list;  (* inserted during the previous iteration *)
+  mutable pending : tuple list;  (* derived this iteration, not yet visible *)
+  groups : unit TTbl.t;  (* choice: claimed keys *)
+  mutable version : int;
+  indexes : (int, tuple list TTbl.t) Hashtbl.t;  (* bound-position mask -> index *)
+  mutable index_version : int;
+}
+
+type term = V of string | C of int
+type atom = Atom of rel * term array | Find of rel * term * term
+
+type crule = { head : rel * term array; body : atom list }
+
+type db = {
+  mutable rels : rel list;
+  mutable rules : crule list;
+  mutable next_rid : int;
+}
+
+type outcome = Fixpoint of int | Timeout
+
+exception Timed_out
+
+let create () = { rels = []; rules = []; next_rid = 0 }
+
+let mk_rel db name arity kind =
+  let r =
+    {
+      rid = db.next_rid;
+      rname = name;
+      arity;
+      kind;
+      data = TTbl.create 64;
+      delta = [];
+      pending = [];
+      groups = TTbl.create 16;
+      version = 0;
+      indexes = Hashtbl.create 4;
+      index_version = -1;
+    }
+  in
+  db.next_rid <- db.next_rid + 1;
+  db.rels <- r :: db.rels;
+  r
+
+let relation db name arity = mk_rel db name arity Plain
+
+let eqrel db name =
+  mk_rel db name 2
+    (Eq
+       {
+         uf = Union_find.create ();
+         nodes = Hashtbl.create 64;
+         elems = Hashtbl.create 64;
+         members = Hashtbl.create 64;
+         eq_changed = false;
+       })
+
+let choice db name arity ~keys =
+  List.iter (fun k -> if k < 0 || k >= arity then invalid_arg "choice: bad key position") keys;
+  mk_rel db name arity (Choice keys)
+
+(* ---- eqrel internals ---- *)
+
+let eq_node st elem =
+  match Hashtbl.find_opt st.nodes elem with
+  | Some n -> n
+  | None ->
+    let n = Union_find.make_set st.uf in
+    Hashtbl.replace st.nodes elem n;
+    Hashtbl.replace st.elems n elem;
+    Hashtbl.replace st.members n [ elem ];
+    n
+
+let eq_merge st a b =
+  let na = eq_node st a and nb = eq_node st b in
+  let ra = Union_find.find st.uf na and rb = Union_find.find st.uf nb in
+  if ra <> rb then begin
+    let w = Union_find.union st.uf ra rb in
+    let l = if w = ra then rb else ra in
+    let ms = Hashtbl.find st.members l @ Hashtbl.find st.members w in
+    Hashtbl.replace st.members w ms;
+    Hashtbl.remove st.members l;
+    st.eq_changed <- true
+  end
+
+let eq_registered st elem = Hashtbl.mem st.nodes elem
+
+let eq_equiv st a b =
+  match (Hashtbl.find_opt st.nodes a, Hashtbl.find_opt st.nodes b) with
+  | Some na, Some nb -> Union_find.equiv st.uf na nb
+  | _ -> false
+
+let eq_members st elem =
+  match Hashtbl.find_opt st.nodes elem with
+  | None -> []
+  | Some n -> Hashtbl.find st.members (Union_find.find st.uf n)
+
+(* Deterministic canonical representative: smallest member element; an
+   unregistered element represents itself. *)
+let eq_find st elem =
+  match Hashtbl.find_opt st.nodes elem with
+  | None -> elem
+  | Some n ->
+    List.fold_left min max_int (Hashtbl.find st.members (Union_find.find st.uf n))
+
+let eq_all_elems st = Hashtbl.fold (fun elem _ acc -> elem :: acc) st.nodes []
+
+(* ------------------------------------------------------------------ *)
+(* Facts and rules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let insert_now r (t : tuple) =
+  match r.kind with
+  | Eq st ->
+    if Array.length t <> 2 then invalid_arg "eqrel fact must be binary";
+    eq_merge st t.(0) t.(1)
+  | Plain | Choice _ ->
+    if TTbl.mem r.data t then ()
+    else begin
+      let admit =
+        match r.kind with
+        | Choice keys ->
+          let key = Array.of_list (List.map (fun k -> t.(k)) keys) in
+          if TTbl.mem r.groups key then false
+          else begin
+            TTbl.replace r.groups key ();
+            true
+          end
+        | Plain | Eq _ -> true
+      in
+      if admit then begin
+        TTbl.replace r.data t ();
+        r.delta <- t :: r.delta;
+        let was_current = r.index_version = r.version in
+        r.version <- r.version + 1;
+        if was_current then begin
+          (* keep existing indexes in sync instead of rebuilding them *)
+          Hashtbl.iter
+            (fun mask idx ->
+              let positions =
+                List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init r.arity Fun.id)
+              in
+              let key = Array.of_list (List.map (fun i -> t.(i)) positions) in
+              let existing = try TTbl.find idx key with Not_found -> [] in
+              TTbl.replace idx key (t :: existing))
+            r.indexes;
+          r.index_version <- r.version
+        end
+      end
+    end
+
+let fact _db r t =
+  if Array.length t <> r.arity then invalid_arg "fact: arity mismatch";
+  insert_now r t
+
+let rule db ~head ~body =
+  let hrel, hterms = head in
+  if Array.length hterms <> hrel.arity then invalid_arg "rule: head arity mismatch";
+  List.iter
+    (function
+      | Atom (r, ts) -> if Array.length ts <> r.arity then invalid_arg "rule: body arity mismatch"
+      | Find (r, _, _) -> (
+        match r.kind with Eq _ -> () | Plain | Choice _ -> invalid_arg "Find needs an eqrel"))
+    body;
+  (* head variables must occur in the body *)
+  let body_vars =
+    List.concat_map
+      (function
+        | Atom (_, ts) -> List.filter_map (function V x -> Some x | C _ -> None) (Array.to_list ts)
+        | Find (_, x, c) ->
+          List.filter_map (function V v -> Some v | C _ -> None) [ x; c ])
+      body
+  in
+  Array.iter
+    (function
+      | V x when not (List.mem x body_vars) -> invalid_arg ("rule: unbound head variable " ^ x)
+      | V _ | C _ -> ())
+    hterms;
+  db.rules <- { head; body } :: db.rules
+
+(* ------------------------------------------------------------------ *)
+(* Indexes for plain/choice relations                                  *)
+(* ------------------------------------------------------------------ *)
+
+let index_for r mask =
+  (* mask bit i set = position i is bound *)
+  if r.index_version <> r.version then begin
+    Hashtbl.reset r.indexes;
+    r.index_version <- r.version
+  end;
+  match Hashtbl.find_opt r.indexes mask with
+  | Some idx -> idx
+  | None ->
+    let idx = TTbl.create (TTbl.length r.data) in
+    let positions = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init r.arity Fun.id) in
+    TTbl.iter
+      (fun t () ->
+        let key = Array.of_list (List.map (fun i -> t.(i)) positions) in
+        let existing = try TTbl.find idx key with Not_found -> [] in
+        TTbl.replace idx key (t :: existing))
+      r.data;
+    Hashtbl.replace r.indexes mask idx;
+    idx
+
+(* ------------------------------------------------------------------ *)
+(* Rule evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type env = (string, int) Hashtbl.t
+
+let term_value env = function
+  | C c -> Some c
+  | V x -> Hashtbl.find_opt env x
+
+(* Iterate matches of one atom under env, calling k with extended env.
+   [source]: `All uses the relation's data, `Delta its last-iteration delta. *)
+let match_atom ~(deadline : float) ~budget env atom source k =
+  let tick () =
+    decr budget;
+    if !budget <= 0 then begin
+      budget := 100_000;
+      if Unix.gettimeofday () > deadline then raise Timed_out
+    end
+  in
+  match atom with
+  | Find (r, x, c) -> (
+    let st = match r.kind with Eq st -> st | Plain | Choice _ -> assert false in
+    match term_value env x with
+    | None -> invalid_arg "Find: subject must be bound by an earlier atom"
+    | Some xv -> (
+      let root = eq_find st xv in
+      match term_value env c with
+      | Some cv -> if cv = root then k ()
+      | None ->
+        (match c with
+         | V name ->
+           Hashtbl.replace env name root;
+           k ();
+           Hashtbl.remove env name
+         | C _ -> assert false)))
+  | Atom (r, ts) -> (
+    match r.kind with
+    | Eq st -> (
+      (* Enumerating an eqrel behaves like the quadratic pair set. *)
+      let bind term value body =
+        match term with
+        | C c -> if c = value then body ()
+        | V x -> (
+          match Hashtbl.find_opt env x with
+          | Some v -> if v = value then body ()
+          | None ->
+            Hashtbl.replace env x value;
+            body ();
+            Hashtbl.remove env x)
+      in
+      match (term_value env ts.(0), term_value env ts.(1)) with
+      | Some a, Some b -> if eq_equiv st a b then k ()
+      | Some a, None ->
+        if eq_registered st a then
+          List.iter (fun m -> tick (); bind ts.(1) m k) (eq_members st a)
+      | None, Some b ->
+        if eq_registered st b then
+          List.iter (fun m -> tick (); bind ts.(0) m k) (eq_members st b)
+      | None, None ->
+        List.iter
+          (fun a ->
+            bind ts.(0) a (fun () ->
+                List.iter (fun m -> tick (); bind ts.(1) m k) (eq_members st a)))
+          (eq_all_elems st))
+    | Plain | Choice _ -> (
+      let try_tuple t =
+        tick ();
+        (* unify tuple with terms, extending env *)
+        let rec go i bound =
+          if i >= Array.length ts then begin
+            k ();
+            List.iter (Hashtbl.remove env) bound
+          end
+          else begin
+            match ts.(i) with
+            | C c -> if t.(i) = c then go (i + 1) bound else List.iter (Hashtbl.remove env) bound
+            | V x -> (
+              match Hashtbl.find_opt env x with
+              | Some v -> if t.(i) = v then go (i + 1) bound else List.iter (Hashtbl.remove env) bound
+              | None ->
+                Hashtbl.replace env x t.(i);
+                go (i + 1) (x :: bound))
+          end
+        in
+        go 0 []
+      in
+      match source with
+      | `Delta -> List.iter try_tuple r.delta
+      | `All ->
+        (* mask of bound positions *)
+        let mask = ref 0 and key = ref [] in
+        Array.iteri
+          (fun i t ->
+            match term_value env t with
+            | Some v ->
+              mask := !mask lor (1 lsl i);
+              key := v :: !key
+            | None -> ())
+          ts;
+        if !mask = 0 then TTbl.iter (fun t () -> try_tuple t) r.data
+        else begin
+          let idx = index_for r !mask in
+          let key = Array.of_list (List.rev !key) in
+          match TTbl.find_opt idx key with
+          | Some tuples -> List.iter try_tuple tuples
+          | None -> ()
+        end))
+
+let eval_rule ~deadline ~budget (rule : crule) ~(delta_pos : int option) =
+  let env : env = Hashtbl.create 16 in
+  let hrel, hterms = rule.head in
+  let derive () =
+    let t =
+      Array.map
+        (fun term ->
+          match term_value env term with
+          | Some v -> v
+          | None -> invalid_arg "unbound head variable at runtime")
+        hterms
+    in
+    match hrel.kind with
+    | Eq st -> eq_merge st t.(0) t.(1)
+    | Plain | Choice _ ->
+      if not (TTbl.mem hrel.data t) then hrel.pending <- t :: hrel.pending
+  in
+  (* Order: the delta atom first (it drives), then the remaining atoms in
+     written order (encodings are written so this order is sensible). *)
+  let body = Array.of_list rule.body in
+  let order =
+    match delta_pos with
+    | None -> List.init (Array.length body) Fun.id
+    | Some j -> j :: List.filter (fun i -> i <> j) (List.init (Array.length body) Fun.id)
+  in
+  let rec loop = function
+    | [] -> derive ()
+    | i :: rest ->
+      let source = if delta_pos = Some i then `Delta else `All in
+      match_atom ~deadline ~budget env body.(i) source (fun () -> loop rest)
+  in
+  loop order
+
+let run db ?(max_iters = 10_000) ?(timeout_s = 3600.0) () =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let budget = ref 100_000 in
+  let rules = List.rev db.rules in
+  let eq_of r = match r.kind with Eq st -> Some st | Plain | Choice _ -> None in
+  let rule_mentions_eq rule =
+    List.exists
+      (function Atom (r, _) | Find (r, _, _) -> eq_of r <> None)
+      rule.body
+  in
+  try
+    let iters = ref 0 in
+    let continue = ref true in
+    let first = ref true in
+    (* eq change from the *previous* iteration *)
+    let eq_changed_prev = ref false in
+    while !continue && !iters < max_iters do
+      incr iters;
+      if Unix.gettimeofday () > deadline then raise Timed_out;
+      List.iter (fun r -> match eq_of r with Some st -> st.eq_changed <- false | None -> ()) db.rels;
+      List.iter
+        (fun rule ->
+          if !first then eval_rule ~deadline ~budget rule ~delta_pos:None
+          else begin
+            (* semi-naïve: one variant per plain body atom with a nonempty
+               delta; plus a full pass when an eqrel the rule reads changed *)
+            List.iteri
+              (fun i atom ->
+                match atom with
+                | Atom (r, _) when eq_of r = None && r.delta <> [] ->
+                  eval_rule ~deadline ~budget rule ~delta_pos:(Some i)
+                | Atom _ | Find _ -> ())
+              rule.body;
+            if !eq_changed_prev && rule_mentions_eq rule then
+              eval_rule ~deadline ~budget rule ~delta_pos:None
+          end)
+        rules;
+      first := false;
+      (* promote pending tuples *)
+      let changed = ref false in
+      List.iter
+        (fun r ->
+          r.delta <- [];
+          List.iter
+            (fun t ->
+              let before = TTbl.length r.data in
+              insert_now r t;
+              if TTbl.length r.data > before then changed := true)
+            (List.rev r.pending);
+          r.pending <- [])
+        db.rels;
+      eq_changed_prev :=
+        List.exists (fun r -> match eq_of r with Some st -> st.eq_changed | None -> false) db.rels;
+      if !eq_changed_prev then changed := true;
+      if not !changed then continue := false
+    done;
+    Fixpoint !iters
+  with Timed_out -> Timeout
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let size _db r =
+  match r.kind with
+  | Plain | Choice _ -> TTbl.length r.data
+  | Eq st ->
+    Hashtbl.fold (fun _root ms acc -> acc + (List.length ms * List.length ms)) st.members 0
+
+let mem _db r t =
+  match r.kind with
+  | Plain | Choice _ -> TTbl.mem r.data t
+  | Eq st -> Array.length t = 2 && eq_equiv st t.(0) t.(1)
+
+let iter _db r f =
+  match r.kind with
+  | Plain | Choice _ -> TTbl.iter (fun t () -> f t) r.data
+  | Eq _ -> invalid_arg "iter: eqrel"
+
+let classes _db r =
+  match r.kind with
+  | Eq st -> Hashtbl.fold (fun _root ms acc -> ms :: acc) st.members []
+  | Plain | Choice _ -> invalid_arg "classes: not an eqrel"

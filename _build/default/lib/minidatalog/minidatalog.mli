@@ -1,0 +1,56 @@
+(** A small Soufflé-flavoured Datalog engine: the substrate for the paper's
+    Fig. 8 baselines (§6.1).
+
+    Feature set modelled on what the Steensgaard encodings need:
+    - plain relations with semi-naïve evaluation and hash-join indexes;
+    - [eqrel] relations (Nappa et al. 2019): union-find-backed equivalence
+      relations whose {e enumeration} behaves like the full quadratic set of
+      pairs — joining over one is the "join modulo equivalence" the paper
+      shows to be disastrous;
+    - a [find] view of an eqrel (the canonical-representative trick of the
+      cclyzer++/patched encodings); representatives are snapshots, so
+      tuples derived from stale representatives persist, as in Datalog;
+    - choice-domain relations (Hu et al. 2021): a functional dependency
+      where the first derived tuple per key group wins.
+
+    Tuples are arrays of nonnegative ints (callers intern their symbols). *)
+
+type db
+type rel
+
+val create : unit -> db
+
+val relation : db -> string -> int -> rel
+val eqrel : db -> string -> rel
+(** Binary, union-find backed. *)
+
+val choice : db -> string -> int -> keys:int list -> rel
+(** Plain relation with a first-wins functional dependency on the given
+    key positions. *)
+
+val fact : db -> rel -> int array -> unit
+(** Assert a tuple (for an eqrel: a pair to merge). *)
+
+type term = V of string | C of int
+
+type atom =
+  | Atom of rel * term array  (** positive occurrence; for eqrel: pair membership *)
+  | Find of rel * term * term  (** [Find (r, x, c)]: c is x's current representative *)
+
+val rule : db -> head:rel * term array -> body:atom list -> unit
+(** @raise Invalid_argument on arity/variable errors. *)
+
+type outcome = Fixpoint of int  (** iterations *) | Timeout
+
+val run : db -> ?max_iters:int -> ?timeout_s:float -> unit -> outcome
+
+val size : db -> rel -> int
+(** Plain/choice: number of tuples. Eqrel: number of {e pairs} in the
+    equivalence closure (the quadratic count Soufflé reports). *)
+
+val mem : db -> rel -> int array -> bool
+val iter : db -> rel -> (int array -> unit) -> unit
+(** Plain/choice relations only. *)
+
+val classes : db -> rel -> int list list
+(** Eqrel only: the partition (members grouped by class). *)

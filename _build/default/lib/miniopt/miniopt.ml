@@ -1,0 +1,126 @@
+type expr =
+  | Const of int
+  | Arg of int
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Shl of expr * int
+
+let rec eval e (args : int array) =
+  match e with
+  | Const c -> c
+  | Arg i ->
+    if i < 0 || i >= Array.length args then invalid_arg "Miniopt.eval: argument index";
+    args.(i)
+  | Add (a, b) -> eval a args + eval b args
+  | Sub (a, b) -> eval a args - eval b args
+  | Mul (a, b) -> eval a args * eval b args
+  | Neg a -> -eval a args
+  | Shl (a, k) -> eval a args lsl k
+
+(* Latency-flavoured cost model; mirrored by the :cost declarations. *)
+let rec cost = function
+  | Const _ | Arg _ -> 1
+  | Add (a, b) | Sub (a, b) -> 1 + cost a + cost b
+  | Mul (a, b) -> 4 + cost a + cost b
+  | Neg a -> 1 + cost a
+  | Shl (a, _) -> 1 + cost a
+
+let rec to_string = function
+  | Const c -> string_of_int c
+  | Arg i -> Printf.sprintf "a%d" i
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_string a) (to_string b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_string a) (to_string b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_string a) (to_string b)
+  | Neg a -> Printf.sprintf "(- %s)" (to_string a)
+  | Shl (a, k) -> Printf.sprintf "(%s << %d)" (to_string a) k
+
+(* The :cost of an operator node is its own latency; children add up by
+   extraction. Leaf costs are the default 1. *)
+let rules_program =
+  {|
+  (sort E)
+  (function KConst (i64) E)
+  (function KArg (i64) E)
+  (function KAdd (E E) E)
+  (function KSub (E E) E)
+  (function KMul (E E) E :cost 4)
+  (function KNeg (E) E)
+  (function KShl (E i64) E)
+
+  ;; normalization and algebra
+  (rewrite (KAdd a b) (KAdd b a))
+  (rewrite (KAdd (KAdd a b) c) (KAdd a (KAdd b c)))
+  (rewrite (KMul a b) (KMul b a))
+  (rewrite (KMul (KMul a b) c) (KMul a (KMul b c)))
+  (rewrite (KSub a b) (KAdd a (KNeg b)))
+  (rewrite (KAdd a (KNeg b)) (KSub a b))
+  (rewrite (KNeg (KNeg a)) a)
+  (rewrite (KMul a (KAdd b c)) (KAdd (KMul a b) (KMul a c)))
+  (rewrite (KAdd (KMul a b) (KMul a c)) (KMul a (KAdd b c)))
+
+  ;; identities
+  (rewrite (KAdd a (KConst 0)) a)
+  (rewrite (KMul a (KConst 1)) a)
+  (rewrite (KMul a (KConst 0)) (KConst 0))
+  (rewrite (KSub a a) (KConst 0))
+  (rewrite (KShl a 0) a)
+  (rewrite (KMul a (KConst -1)) (KNeg a))
+
+  ;; constant folding via i64 primitives
+  (rewrite (KAdd (KConst x) (KConst y)) (KConst (+ x y)))
+  (rewrite (KSub (KConst x) (KConst y)) (KConst (- x y)))
+  (rewrite (KMul (KConst x) (KConst y)) (KConst (* x y)))
+  (rewrite (KNeg (KConst x)) (KConst (- x)))
+  (rewrite (KShl (KConst x) k) (KConst (<< x k)) :when ((>= k 0) (<= k 30)))
+
+  ;; strength reduction: multiply by a power of two is a shift; x+x too
+  (rewrite (KMul a (KConst 2)) (KShl a 1))
+  (rewrite (KMul a (KConst 4)) (KShl a 2))
+  (rewrite (KMul a (KConst 8)) (KShl a 3))
+  (rewrite (KMul a (KConst 16)) (KShl a 4))
+  (rewrite (KAdd a a) (KShl a 1))
+  (rewrite (KShl (KShl a j) k) (KShl a (+ j k)) :when ((<= (+ j k) 30)))
+  ;; 2^k * shifted constants: x*3 = (x<<1)+x, x*5 = (x<<2)+x, x*9 = (x<<3)+x
+  (rewrite (KMul a (KConst 3)) (KAdd (KShl a 1) a))
+  (rewrite (KMul a (KConst 5)) (KAdd (KShl a 2) a))
+  (rewrite (KMul a (KConst 9)) (KAdd (KShl a 3) a))
+  |}
+
+let rec to_egglog = function
+  | Const c -> Printf.sprintf "(KConst %d)" c
+  | Arg i -> Printf.sprintf "(KArg %d)" i
+  | Add (a, b) -> Printf.sprintf "(KAdd %s %s)" (to_egglog a) (to_egglog b)
+  | Sub (a, b) -> Printf.sprintf "(KSub %s %s)" (to_egglog a) (to_egglog b)
+  | Mul (a, b) -> Printf.sprintf "(KMul %s %s)" (to_egglog a) (to_egglog b)
+  | Neg a -> Printf.sprintf "(KNeg %s)" (to_egglog a)
+  | Shl (a, k) -> Printf.sprintf "(KShl %s %d)" (to_egglog a) k
+
+exception Bad_term of string
+
+let rec of_term (t : Egglog.Extract.term) : expr =
+  match t with
+  | Egglog.Extract.T_app (f, args) -> (
+    match (Egglog.Symbol.name f, args) with
+    | "KConst", [ Egglog.Extract.T_const (Egglog.Value.VInt c) ] -> Const c
+    | "KArg", [ Egglog.Extract.T_const (Egglog.Value.VInt i) ] -> Arg i
+    | "KAdd", [ a; b ] -> Add (of_term a, of_term b)
+    | "KSub", [ a; b ] -> Sub (of_term a, of_term b)
+    | "KMul", [ a; b ] -> Mul (of_term a, of_term b)
+    | "KNeg", [ a ] -> Neg (of_term a)
+    | "KShl", [ a; Egglog.Extract.T_const (Egglog.Value.VInt k) ] -> Shl (of_term a, k)
+    | name, _ -> raise (Bad_term name))
+  | Egglog.Extract.T_const v -> raise (Bad_term (Egglog.Value.to_string v))
+
+let optimize ?(iterations = 8) (e : expr) : expr =
+  let eng = Egglog.Engine.create ~scheduler:Egglog.Engine.backoff_default () in
+  ignore (Egglog.run_string eng rules_program);
+  ignore (Egglog.run_string eng (Printf.sprintf "(define root %s)" (to_egglog e)));
+  ignore (Egglog.Engine.run_iterations eng iterations);
+  let root = Egglog.Engine.eval_call eng "root" [] in
+  match Egglog.Engine.extract_value eng root with
+  | Some { Egglog.Extract.term; _ } ->
+    let optimized = of_term term in
+    if cost optimized < cost e then optimized else e
+  | None -> e

@@ -1,0 +1,35 @@
+(** A small egglog-backed expression optimizer — a downstream application
+    of the kind the paper's introduction motivates (program optimization
+    by equality saturation with a cost-aware extraction).
+
+    The IR is straight-line integer arithmetic over input arguments. The
+    optimizer runs equality saturation with algebraic identities,
+    constant folding (as rules over the [i64] base type) and strength
+    reduction, then extracts the cheapest equivalent expression under a
+    latency-style cost model ([:cost] per operator: multiplies are
+    expensive, shifts and adds are cheap). *)
+
+type expr =
+  | Const of int
+  | Arg of int  (** the n-th input *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Shl of expr * int  (** left shift by a constant *)
+
+val eval : expr -> int array -> int
+(** @raise Invalid_argument on an out-of-range argument index. *)
+
+val cost : expr -> int
+(** The latency-model cost the optimizer minimizes. *)
+
+val to_string : expr -> string
+
+val optimize : ?iterations:int -> expr -> expr
+(** Equality-saturate and extract the cheapest equivalent expression.
+    Semantics-preserving on all inputs (property-tested). *)
+
+val rules_program : string
+(** The egglog program (datatype + rewrite rules) the optimizer runs —
+    exposed for inspection and the examples. *)

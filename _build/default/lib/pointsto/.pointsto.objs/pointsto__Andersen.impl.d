@@ -1,0 +1,1 @@
+lib/pointsto/andersen.ml: Array Hashtbl Int Ir List Minidatalog Set Unix

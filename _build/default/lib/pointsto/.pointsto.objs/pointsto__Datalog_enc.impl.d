@@ -1,0 +1,1 @@
+lib/pointsto/datalog_enc.ml: Array Hashtbl Ir List Minidatalog Unix

@@ -1,0 +1,1 @@
+lib/pointsto/egglog_enc.ml: Array Egglog Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/pointsto/ir.ml: Array Format

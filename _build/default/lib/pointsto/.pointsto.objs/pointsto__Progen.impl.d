@@ -1,0 +1,1 @@
+lib/pointsto/progen.ml: Array Ir List Random

@@ -1,0 +1,1 @@
+lib/pointsto/reference.ml: Array Hashtbl Ir List Union_find

@@ -1,0 +1,243 @@
+(* The three Soufflé-style Steensgaard encodings of Fig. 8, on
+   {!Minidatalog}.
+
+   All three share a universe of "abstract locations":
+   - a phantom location per variable (the reification of Steensgaard's
+     per-variable pointee node, needed because Datalog cannot invent ids);
+   - the allocation sites;
+   - a field location per (location, field) pair, pre-generated because
+     Datalog heads cannot create fresh ids (egglog's TGD-ness, §7).
+
+   Flavours:
+   - [Eqrel]: the paper's `eqrel` baseline. vpt keeps *every* equivalent
+     location a pointer may point to; equivalence lives in an eqrel
+     relation and rules join modulo equivalence. Blow-up by design.
+   - [Patched]: the paper's patched cclyzer++: propagate only canonical
+     representatives (a Find view of the eqrel), but keep the
+     equivalence-closure joins that make the analysis sound.
+   - [Cclyzer]: the original cclyzer++ shape: canonical representatives,
+     no join modulo equivalence on loads, and no congruence closure over
+     contents or fields — fast and semantically unsound (the two bugs the
+     paper reports). *)
+
+module D = Minidatalog
+
+type flavor = Eqrel | Cclyzer | Patched
+
+type result = {
+  db : D.db;
+  vpt : D.rel;
+  eql : D.rel;
+  outcome : D.outcome;
+  seconds : float;
+  n_vars : int;
+  n_sites : int;
+}
+
+(* Location universe. Field locations must be pre-generated (Datalog heads
+   cannot invent ids — the tuple-generating power egglog adds, §7); we
+   skolemize [field_levels] levels of nesting, which covers the programs
+   the generator emits. *)
+let phantom v = v
+let site_loc ~n_vars s = n_vars + s
+let n_base ~n_vars ~n_sites = n_vars + n_sites
+let field_levels = 3
+
+let v x = D.V x
+let c x = D.C x
+
+let build flavor (p : Ir.program) =
+  let { Ir.n_vars; n_sites; n_fields; insts } = p in
+  let db = D.create () in
+  let allocR = D.relation db "alloc" 2 in
+  let copyR = D.relation db "copy" 2 in
+  let storeR = D.relation db "store" 2 in
+  let loadR = D.relation db "load" 2 in
+  let fieldR = D.relation db "field" 3 in
+  let phantomR = D.relation db "phantom" 2 in
+  let far = D.relation db "fieldAlloc" 3 in
+  let vpt = D.relation db "vpt" 2 in
+  let pts = D.relation db "pts" 2 in
+  let used = D.relation db "usedLoc" 1 in
+  let eql = D.eqrel db "eql" in
+  (* input facts *)
+  Array.iter
+    (fun inst ->
+      match inst with
+      | Ir.Alloc (vr, s) -> D.fact db allocR [| vr; site_loc ~n_vars s |]
+      | Ir.Copy (d, s) -> D.fact db copyR [| d; s |]
+      | Ir.Store (pp, q) -> D.fact db storeR [| pp; q |]
+      | Ir.Load (d, pp) -> D.fact db loadR [| d; pp |]
+      | Ir.Field (d, pp, f) -> D.fact db fieldR [| d; pp; f |])
+    insts;
+  for vr = 0 to n_vars - 1 do
+    D.fact db phantomR [| vr; phantom vr |]
+  done;
+  (* skolemized field locations, [field_levels] levels deep *)
+  let next_loc = ref (n_base ~n_vars ~n_sites) in
+  let level_start = ref 0 and level_end = ref (n_base ~n_vars ~n_sites) in
+  for _level = 1 to field_levels do
+    let fresh_start = !next_loc in
+    for b = !level_start to !level_end - 1 do
+      for f = 0 to n_fields - 1 do
+        D.fact db far [| b; f; !next_loc |];
+        incr next_loc
+      done
+    done;
+    level_start := fresh_start;
+    level_end := !next_loc
+  done;
+  (* shared structural rules *)
+  let canon x out body =
+    (* canonical-representative projection, only for Patched/Cclyzer *)
+    match flavor with
+    | Eqrel -> (out, body @ [ (x, out) ])  (* caller substitutes equality *)
+    | Cclyzer | Patched -> (out, body)
+  in
+  ignore canon;
+  let find_or_id x cv body =
+    match flavor with
+    | Eqrel -> body  (* no canonicalization: use x directly *)
+    | Cclyzer | Patched -> body @ [ D.Find (eql, v x, v cv) ]
+  in
+  let tgt x cv = match flavor with Eqrel -> x | Cclyzer | Patched -> cv in
+  (* vpt(v, a0) from the phantom *)
+  D.rule db
+    ~head:(vpt, [| v "p"; v (tgt "a" "c") |])
+    ~body:(find_or_id "a" "c" [ D.Atom (phantomR, [| v "p"; v "a" |]) ]);
+  (* alloc *)
+  D.rule db
+    ~head:(vpt, [| v "p"; v (tgt "a" "c") |])
+    ~body:(find_or_id "a" "c" [ D.Atom (allocR, [| v "p"; v "a" |]) ]);
+  (* copy *)
+  D.rule db
+    ~head:(vpt, [| v "d"; v (tgt "a" "c") |])
+    ~body:
+      (find_or_id "a" "c"
+         [ D.Atom (copyR, [| v "d"; v "s" |]); D.Atom (vpt, [| v "s"; v "a" |]) ]);
+  (* all pointees of one variable are equivalent *)
+  D.rule db
+    ~head:(eql, [| v "a"; v "b" |])
+    ~body:[ D.Atom (vpt, [| v "p"; v "a" |]); D.Atom (vpt, [| v "p"; v "b" |]) ];
+  (* demand: locations actually reached by some pointer *)
+  D.rule db
+    ~head:(used, [| v "a" |])
+    ~body:[ D.Atom (vpt, [| v "p"; v "a" |]) ];
+  (* store *)
+  D.rule db
+    ~head:(pts, [| v (tgt "a" "ca"); v (tgt "b" "cb") |])
+    ~body:
+      (find_or_id "b" "cb"
+         (find_or_id "a" "ca"
+            [
+              D.Atom (storeR, [| v "p"; v "q" |]);
+              D.Atom (vpt, [| v "p"; v "a" |]);
+              D.Atom (vpt, [| v "q"; v "b" |]);
+            ]));
+  (* loads also *define* contents: d's pointee is the contents of p's
+     pointee, so record the pts pair (otherwise two loads through
+     equivalent pointers with no store in between never unify) *)
+  D.rule db
+    ~head:(pts, [| v (tgt "a" "ca"); v (tgt "b" "cb") |])
+    ~body:
+      (find_or_id "b" "cb"
+         (find_or_id "a" "ca"
+            [
+              D.Atom (loadR, [| v "d"; v "p" |]);
+              D.Atom (vpt, [| v "p"; v "a" |]);
+              D.Atom (vpt, [| v "d"; v "b" |]);
+            ]));
+  (* load; Eqrel and Patched join modulo equivalence, Cclyzer does not
+     (its first unsoundness) *)
+  (match flavor with
+   | Eqrel | Patched ->
+     D.rule db
+       ~head:(vpt, [| v "d"; v (tgt "b" "cb") |])
+       ~body:
+         (find_or_id "b" "cb"
+            [
+              D.Atom (loadR, [| v "d"; v "p" |]);
+              D.Atom (vpt, [| v "p"; v "a" |]);
+              D.Atom (eql, [| v "a"; v "a2" |]);
+              D.Atom (pts, [| v "a2"; v "b" |]);
+            ])
+   | Cclyzer ->
+     D.rule db
+       ~head:(vpt, [| v "d"; v "cb" |])
+       ~body:
+         [
+           D.Atom (loadR, [| v "d"; v "p" |]);
+           D.Atom (vpt, [| v "p"; v "a" |]);
+           D.Atom (pts, [| v "a"; v "b" |]);
+           D.Find (eql, v "b", v "cb");
+         ]);
+  (* congruence of contents: what equivalent locations contain is
+     equivalent. Cclyzer++ missed this (its second unsoundness). *)
+  (match flavor with
+   | Eqrel | Patched ->
+     D.rule db
+       ~head:(eql, [| v "b1"; v "b2" |])
+       ~body:
+         [
+           D.Atom (pts, [| v "a1"; v "b1" |]);
+           D.Atom (eql, [| v "a1"; v "a2" |]);
+           D.Atom (pts, [| v "a2"; v "b2" |]);
+         ]
+   | Cclyzer -> ());
+  (* field address-of *)
+  D.rule db
+    ~head:(vpt, [| v "d"; v (tgt "fa" "cfa") |])
+    ~body:
+      (find_or_id "fa" "cfa"
+         [
+           D.Atom (fieldR, [| v "d"; v "p"; v "f" |]);
+           D.Atom (vpt, [| v "p"; v "a" |]);
+           D.Atom (far, [| v "a"; v "f"; v "fa" |]);
+         ]);
+  (* field congruence, demand-driven as in the real encodings (only field
+     locations some pointer reaches participate) *)
+  (match flavor with
+   | Eqrel | Patched ->
+     D.rule db
+       ~head:(eql, [| v "fa1"; v "fa2" |])
+       ~body:
+         [
+           D.Atom (used, [| v "fa1" |]);
+           D.Atom (far, [| v "a1"; v "f"; v "fa1" |]);
+           D.Atom (eql, [| v "a1"; v "a2" |]);
+           D.Atom (far, [| v "a2"; v "f"; v "fa2" |]);
+         ]
+   | Cclyzer -> ());
+  (db, vpt, eql)
+
+let analyze flavor ?(timeout_s = 20.0) (p : Ir.program) : result =
+  let db, vpt, eql = build flavor p in
+  let t0 = Unix.gettimeofday () in
+  let outcome = D.run db ~timeout_s () in
+  let seconds = Unix.gettimeofday () -. t0 in
+  { db; vpt; eql; outcome; seconds; n_vars = p.Ir.n_vars; n_sites = p.Ir.n_sites }
+
+(* Per-variable may-point-to site sets: all real allocation sites reachable
+   from any vpt entry through the equivalence relation. *)
+let var_sites (r : result) : int list array =
+  let is_site loc = loc >= r.n_vars && loc < r.n_vars + r.n_sites in
+  let site_of loc = loc - r.n_vars in
+  (* location -> the real sites in its equivalence class *)
+  let class_sites : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun cls ->
+      let sites = List.filter_map (fun l -> if is_site l then Some (site_of l) else None) cls in
+      List.iter (fun l -> Hashtbl.replace class_sites l sites) cls)
+    (D.classes r.db r.eql);
+  let sites_of loc =
+    match Hashtbl.find_opt class_sites loc with
+    | Some sites -> sites
+    | None -> if is_site loc then [ site_of loc ] else []
+  in
+  let out = Array.make r.n_vars [] in
+  D.iter r.db r.vpt (fun t ->
+      let var = t.(0) and loc = t.(1) in
+      if var < r.n_vars then out.(var) <- sites_of loc @ out.(var));
+  Array.map (fun l -> List.sort_uniq compare l) out
+
+let vpt_size (r : result) = D.size r.db r.vpt

@@ -1,0 +1,34 @@
+(* A miniature LLVM-like pointer IR: exactly the instruction shapes a
+   Steensgaard analysis interprets (§6.1). Variables and allocation sites
+   are dense integers. *)
+
+type inst =
+  | Alloc of int * int  (* v = &site *)
+  | Copy of int * int  (* d = s *)
+  | Store of int * int  (* *p = q *)
+  | Load of int * int  (* d = *p *)
+  | Field of int * int * int  (* d = &(p->f) *)
+
+type program = {
+  n_vars : int;
+  n_sites : int;
+  n_fields : int;
+  insts : inst array;
+}
+
+let pp_inst fmt = function
+  | Alloc (v, s) -> Format.fprintf fmt "v%d = &h%d" v s
+  | Copy (d, s) -> Format.fprintf fmt "v%d = v%d" d s
+  | Store (p, q) -> Format.fprintf fmt "*v%d = v%d" p q
+  | Load (d, p) -> Format.fprintf fmt "v%d = *v%d" d p
+  | Field (d, p, f) -> Format.fprintf fmt "v%d = &(v%d->f%d)" d p f
+
+let validate (p : program) =
+  Array.for_all
+    (fun inst ->
+      let var v = v >= 0 && v < p.n_vars in
+      match inst with
+      | Alloc (v, s) -> var v && s >= 0 && s < p.n_sites
+      | Copy (a, b) | Store (a, b) | Load (a, b) -> var a && var b
+      | Field (d, q, f) -> var d && var q && f >= 0 && f < p.n_fields)
+    p.insts

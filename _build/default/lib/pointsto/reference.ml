@@ -1,0 +1,125 @@
+(* Hand-written Steensgaard points-to analysis (Steensgaard 1996): the
+   ground truth the encodings are validated against. Near-linear:
+   union-find over location nodes, one pass over the instructions, with
+   recursive unification of targets and field maps. *)
+
+type info = {
+  mutable tgt : int option;  (* the single pointee class, if any *)
+  mutable flds : (int * int) list;  (* field -> field node *)
+}
+
+type t = {
+  uf : Union_find.t;
+  info : (int, info) Hashtbl.t;  (* canonical root -> class info *)
+  n_vars : int;
+}
+
+let node_info st n =
+  let r = Union_find.find st.uf n in
+  match Hashtbl.find_opt st.info r with
+  | Some i -> i
+  | None ->
+    let i = { tgt = None; flds = [] } in
+    Hashtbl.replace st.info r i;
+    i
+
+let fresh_node st =
+  let n = Union_find.make_set st.uf in
+  n
+
+(* Unify two location classes, merging their targets and field maps
+   (worklist to keep the recursion shallow). *)
+let unify st a b =
+  let wl = ref [ (a, b) ] in
+  while !wl <> [] do
+    match !wl with
+    | [] -> ()
+    | (a, b) :: rest ->
+      wl := rest;
+      let ra = Union_find.find st.uf a and rb = Union_find.find st.uf b in
+      if ra <> rb then begin
+        let ia = node_info st ra and ib = node_info st rb in
+        let w = Union_find.union st.uf ra rb in
+        let winner, loser = if w = ra then (ia, ib) else (ib, ia) in
+        (match (winner.tgt, loser.tgt) with
+         | Some t1, Some t2 -> wl := (t1, t2) :: !wl
+         | None, Some t -> winner.tgt <- Some t
+         | _, None -> ());
+        List.iter
+          (fun (f, n) ->
+            match List.assoc_opt f winner.flds with
+            | Some n' -> wl := (n, n') :: !wl
+            | None -> winner.flds <- (f, n) :: winner.flds)
+          loser.flds;
+        Hashtbl.remove st.info (if w = ra then rb else ra);
+        Hashtbl.replace st.info w winner
+      end
+  done
+
+let target st n =
+  let i = node_info st n in
+  match i.tgt with
+  | Some t -> t
+  | None ->
+    let t = fresh_node st in
+    i.tgt <- Some t;
+    t
+
+let field st n f =
+  let i = node_info st n in
+  match List.assoc_opt f i.flds with
+  | Some fn -> fn
+  | None ->
+    let fn = fresh_node st in
+    i.flds <- (f, fn) :: i.flds;
+    fn
+
+let analyze (p : Ir.program) : t =
+  let uf = Union_find.create () in
+  (* nodes 0..n_vars-1 are variables; n_vars..n_vars+n_sites-1 are sites *)
+  for _ = 1 to p.Ir.n_vars + p.Ir.n_sites do
+    ignore (Union_find.make_set uf)
+  done;
+  let st = { uf; info = Hashtbl.create 256; n_vars = p.Ir.n_vars } in
+  let var v = v in
+  let site s = p.Ir.n_vars + s in
+  Array.iter
+    (fun inst ->
+      match inst with
+      | Ir.Alloc (v, s) -> unify st (target st (var v)) (site s)
+      | Ir.Copy (d, s) -> unify st (target st (var d)) (target st (var s))
+      | Ir.Store (pq, q) -> unify st (target st (target st (var pq))) (target st (var q))
+      | Ir.Load (d, pq) -> unify st (target st (var d)) (target st (target st (var pq)))
+      | Ir.Field (d, pq, f) -> unify st (target st (var d)) (field st (target st (var pq)) f))
+    p.Ir.insts;
+  st
+
+(* ---- results ---- *)
+
+(* For each variable, the set of allocation sites it may point to (sorted);
+   the cross-system comparison key. *)
+let var_sites (p : Ir.program) (st : t) : int list array =
+  (* sites grouped by class *)
+  let by_class : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  for s = 0 to p.Ir.n_sites - 1 do
+    let r = Union_find.find st.uf (p.Ir.n_vars + s) in
+    Hashtbl.replace by_class r (s :: (try Hashtbl.find by_class r with Not_found -> []))
+  done;
+  Array.init p.Ir.n_vars (fun v ->
+      let i = node_info st v in
+      match i.tgt with
+      | None -> []
+      | Some t -> (
+        let r = Union_find.find st.uf t in
+        match Hashtbl.find_opt by_class r with
+        | Some sites -> List.sort compare sites
+        | None -> []))
+
+(* Number of (variable, canonical pointee class) pairs: the "size of the
+   computed points-to relation" in canonicalized form. *)
+let vpt_size (p : Ir.program) (st : t) =
+  let n = ref 0 in
+  for v = 0 to p.Ir.n_vars - 1 do
+    match (node_info st v).tgt with Some _ -> incr n | None -> ()
+  done;
+  !n

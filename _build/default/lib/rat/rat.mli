@@ -1,0 +1,53 @@
+(** Exact rationals over {!Bigint}, always in lowest terms with a positive
+    denominator. Backing for egglog's [Rational] base type and the interval
+    analysis of the Herbie case study (§6.2). *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalizes sign and reduces by the gcd.
+    @raise Division_by_zero when [den] is zero. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val of_string : string -> t
+(** Accepts ["n"], ["n/d"], and decimal ["i.f"] forms. *)
+
+val to_string : t -> string
+
+val of_float : float -> t
+(** Exact conversion of a finite double. @raise Invalid_argument on nan/inf. *)
+
+val to_float : t -> float
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val sign : t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val inv : t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+val pow : t -> int -> t
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+
+val is_integer : t -> bool
+val pp : Format.formatter -> t -> unit

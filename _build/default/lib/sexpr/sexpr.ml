@@ -1,0 +1,160 @@
+type t =
+  | Atom of string
+  | String of string
+  | Int of int
+  | Rational of Rat.t
+  | List of t list
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type lexer = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let error lx message = raise (Parse_error { line = lx.line; col = lx.col; message })
+let at_end lx = lx.pos >= String.length lx.src
+let peek lx = if at_end lx then '\000' else lx.src.[lx.pos]
+
+let advance lx =
+  if not (at_end lx) then begin
+    if lx.src.[lx.pos] = '\n' then begin
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+    end
+    else lx.col <- lx.col + 1;
+    lx.pos <- lx.pos + 1
+  end
+
+let rec skip_trivia lx =
+  match peek lx with
+  | ' ' | '\t' | '\n' | '\r' ->
+    advance lx;
+    skip_trivia lx
+  | ';' ->
+    while (not (at_end lx)) && peek lx <> '\n' do
+      advance lx
+    done;
+    skip_trivia lx
+  | _ -> ()
+
+let is_delim c =
+  match c with ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\000' -> true | _ -> false
+
+let read_string lx =
+  advance lx;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end lx then error lx "unterminated string literal"
+    else begin
+      match peek lx with
+      | '"' -> advance lx
+      | '\\' ->
+        advance lx;
+        (match peek lx with
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '"' -> Buffer.add_char buf '"'
+         | c -> error lx (Printf.sprintf "bad escape \\%c" c));
+        advance lx;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* A token is numeric when it looks like -?digits(/digits | .digits)?
+   and nothing else; otherwise it is a symbol (so "-", "+", "1+" stay
+   symbols, matching egglog's lexing of operator names). *)
+let classify_atom tok =
+  let len = String.length tok in
+  let start = if len > 0 && (tok.[0] = '-' || tok.[0] = '+') then 1 else 0 in
+  if start >= len || not (is_digit tok.[start]) then Atom tok
+  else begin
+    let rec digits i = if i < len && is_digit tok.[i] then digits (i + 1) else i in
+    let i = digits start in
+    if i = len then Int (int_of_string tok)
+    else if tok.[i] = '/' && i + 1 < len && digits (i + 1) = len then Rational (Rat.of_string tok)
+    else if tok.[i] = '.' && i + 1 < len && digits (i + 1) = len then Rational (Rat.of_string tok)
+    else Atom tok
+  end
+
+let read_atom lx =
+  let start = lx.pos in
+  while not (is_delim (peek lx)) do
+    advance lx
+  done;
+  classify_atom (String.sub lx.src start (lx.pos - start))
+
+let rec read_expr lx =
+  skip_trivia lx;
+  match peek lx with
+  | '\000' -> error lx "unexpected end of input"
+  | '(' ->
+    advance lx;
+    let items = ref [] in
+    let rec go () =
+      skip_trivia lx;
+      match peek lx with
+      | ')' -> advance lx
+      | '\000' -> error lx "unclosed parenthesis"
+      | _ ->
+        items := read_expr lx :: !items;
+        go ()
+    in
+    go ();
+    List (List.rev !items)
+  | ')' -> error lx "unexpected ')'"
+  | '"' -> String (read_string lx)
+  | _ -> read_atom lx
+
+let parse_string src =
+  let lx = { src; pos = 0; line = 1; col = 1 } in
+  let items = ref [] in
+  let rec go () =
+    skip_trivia lx;
+    if not (at_end lx) then begin
+      items := read_expr lx :: !items;
+      go ()
+    end
+  in
+  go ();
+  List.rev !items
+
+let parse_one src =
+  match parse_string src with
+  | [ e ] -> e
+  | es ->
+    raise
+      (Parse_error
+         { line = 1; col = 1; message = Printf.sprintf "expected 1 expression, found %d" (List.length es) })
+
+let needs_quoting s = s = "" || String.exists is_delim s
+
+let rec pp fmt e =
+  match e with
+  | Atom s -> Format.pp_print_string fmt s
+  | String s -> Format.fprintf fmt "%S" s
+  | Int i -> Format.pp_print_int fmt i
+  | Rational r -> Rat.pp fmt r
+  | List items ->
+    Format.fprintf fmt "(@[<hov 1>%a@])"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      items
+
+let to_string e = Format.asprintf "%a" pp e
+
+let rec equal a b =
+  match (a, b) with
+  | Atom x, Atom y -> String.equal x y
+  | String x, String y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Rational x, Rational y -> Rat.equal x y
+  | List xs, List ys -> (try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | (Atom _ | String _ | Int _ | Rational _ | List _), _ -> false
+
+let () = ignore needs_quoting

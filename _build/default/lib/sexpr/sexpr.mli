@@ -1,0 +1,25 @@
+(** S-expressions: the concrete syntax of the egglog language (§3).
+
+    Atoms distinguish symbols, string literals, integers and rationals at
+    the lexical level so the frontend does not need to re-parse numerals. *)
+
+type t =
+  | Atom of string  (** bare symbol, including keywords like [:merge] *)
+  | String of string  (** double-quoted literal, unescaped *)
+  | Int of int
+  | Rational of Rat.t  (** [n/d] or decimal [i.f] numerals *)
+  | List of t list
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val parse_string : string -> t list
+(** All toplevel s-expressions in the input. Comments run from [;] to end of
+    line. @raise Parse_error on malformed input. *)
+
+val parse_one : string -> t
+(** Exactly one toplevel expression. @raise Parse_error otherwise. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

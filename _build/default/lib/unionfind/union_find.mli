@@ -1,0 +1,42 @@
+(** Union-find (disjoint sets) over dense integer ids, with path compression
+    and union by size (§3.3; Tarjan 1975).
+
+    Two egglog-specific extras beyond the textbook structure:
+    - unions are recorded in a {e merge log} so the rebuilding procedure
+      (§4.2) can find ids whose table occurrences may be stale;
+    - [union] reports which id won, because egglog keeps databases
+      canonical and callers must re-canonicalize the loser's occurrences. *)
+
+type t
+
+val create : unit -> t
+
+val make_set : t -> int
+(** Allocate a fresh id, its own canonical representative. *)
+
+val size : t -> int
+(** Number of ids ever allocated. *)
+
+val find : t -> int -> int
+(** Canonical representative (with path compression). *)
+
+val union : t -> int -> int -> int
+(** Merge the two classes; returns the surviving representative.
+    No-op (returning the shared root) when already equal. *)
+
+val equiv : t -> int -> int -> bool
+
+val is_canonical : t -> int -> bool
+
+val dirty : t -> int list
+(** Ids dethroned by unions since the last {!clear_dirty}: every id here was
+    a canonical representative that lost a union. *)
+
+val has_dirty : t -> bool
+val clear_dirty : t -> unit
+
+val n_classes : t -> int
+(** Number of distinct equivalence classes among allocated ids. *)
+
+val copy : t -> t
+(** Snapshot for push/pop support. *)

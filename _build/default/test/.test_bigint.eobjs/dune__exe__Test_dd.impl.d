@@ -1,0 +1,1 @@
+test/test_dd.ml: Alcotest Dd Float List QCheck2 QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Egglog Egraph Format Hashtbl List Math_suite Minidatalog Option Printf QCheck2 QCheck_alcotest Random Sexpr String

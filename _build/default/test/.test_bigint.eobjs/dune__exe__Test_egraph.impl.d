@@ -1,0 +1,1 @@
+test/test_egraph.ml: Alcotest Egglog Egraph List Math_suite QCheck2 QCheck_alcotest Random

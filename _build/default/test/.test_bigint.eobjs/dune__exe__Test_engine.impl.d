@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Buffer Egglog List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_engine_props.ml: Alcotest Egglog List Printf QCheck2 QCheck_alcotest Sexpr

@@ -1,0 +1,1 @@
+test/test_herbie.ml: Alcotest Dd Egglog Float Herbie List Printf Rat

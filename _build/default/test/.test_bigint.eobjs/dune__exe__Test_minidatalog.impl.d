@@ -1,0 +1,1 @@
+test/test_minidatalog.ml: Alcotest Array List Minidatalog Random

@@ -1,0 +1,1 @@
+test/test_miniopt.ml: Alcotest List Miniopt QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pearls.ml: Alcotest Egglog List Minidatalog String

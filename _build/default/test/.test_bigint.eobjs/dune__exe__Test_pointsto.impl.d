@@ -1,0 +1,1 @@
+test/test_pointsto.ml: Alcotest Array List Minidatalog Pointsto Printf String

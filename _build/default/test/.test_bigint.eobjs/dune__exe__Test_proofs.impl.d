@@ -1,0 +1,1 @@
+test/test_proofs.ml: Alcotest Array Egglog List Printf QCheck2 QCheck_alcotest String

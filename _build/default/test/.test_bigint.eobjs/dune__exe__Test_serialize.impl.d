@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Egglog List Option Printf QCheck2 QCheck_alcotest

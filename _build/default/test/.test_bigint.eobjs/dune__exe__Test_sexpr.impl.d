@@ -1,0 +1,1 @@
+test/test_sexpr.ml: Alcotest List QCheck2 QCheck_alcotest Rat Sexpr

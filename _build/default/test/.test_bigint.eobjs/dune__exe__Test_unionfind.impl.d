@@ -1,0 +1,1 @@
+test/test_unionfind.ml: Alcotest Array Fun List QCheck2 QCheck_alcotest Union_find

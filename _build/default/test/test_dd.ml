@@ -1,0 +1,93 @@
+(* Double-double arithmetic: check it is meaningfully more precise than
+   double — it is the high-precision oracle for the Herbie case study. *)
+
+let test_exact_sum_error () =
+  (* 0.1 + 0.2 in dd is closer to exact 0.3 than the double sum. *)
+  let dd = Dd.add (Dd.of_float 0.1) (Dd.of_float 0.2) in
+  let exact = Rat.add (Rat.of_float 0.1) (Rat.of_float 0.2) in
+  let dd_err = Float.abs (Rat.to_float exact -. Dd.to_float dd) in
+  Alcotest.(check bool) "dd sum of floats is the float sum rounded" true (dd_err < 1e-16);
+  (* but the lo component captures the rounding error exactly *)
+  let reconstructed = Rat.add (Rat.of_float dd.Dd.hi) (Rat.of_float dd.Dd.lo) in
+  Alcotest.(check bool) "hi+lo is exactly the real sum" true (Rat.equal reconstructed exact)
+
+let test_mul_exact () =
+  let a = 1.0 +. (1.0 /. 1024.0) and b = 1.0 -. (1.0 /. 1024.0) in
+  let dd = Dd.mul (Dd.of_float a) (Dd.of_float b) in
+  let exact = Rat.mul (Rat.of_float a) (Rat.of_float b) in
+  let reconstructed = Rat.add (Rat.of_float dd.Dd.hi) (Rat.of_float dd.Dd.lo) in
+  Alcotest.(check bool) "two_prod keeps the product exact" true (Rat.equal reconstructed exact)
+
+let test_cancellation () =
+  (* sqrt(x+1) - sqrt(x) at large x: doubles cancel catastrophically,
+     dd keeps ~16 extra digits. *)
+  let x = 1e15 in
+  let naive = sqrt (x +. 1.0) -. sqrt x in
+  let dd = Dd.sub (Dd.sqrt (Dd.add (Dd.of_float x) Dd.one)) (Dd.sqrt (Dd.of_float x)) in
+  let accurate = 1.0 /. (sqrt (x +. 1.0) +. sqrt x) in
+  let naive_err = Float.abs (naive -. accurate) /. accurate in
+  let dd_err = Float.abs (Dd.to_float dd -. accurate) /. accurate in
+  Alcotest.(check bool) "naive is visibly wrong" true (naive_err > 1e-10);
+  Alcotest.(check bool) "dd is much closer" true (dd_err < naive_err /. 1e4)
+
+let test_div () =
+  let q = Dd.div (Dd.of_int 1) (Dd.of_int 3) in
+  let prod = Dd.mul q (Dd.of_int 3) in
+  Alcotest.(check bool) "1/3 * 3 ~ 1 to dd precision" true
+    (Float.abs (Dd.to_float (Dd.sub prod Dd.one)) < 1e-30)
+
+let test_sqrt_cbrt () =
+  let s = Dd.sqrt (Dd.of_int 2) in
+  let back = Dd.mul s s in
+  Alcotest.(check bool) "sqrt2^2 ~ 2" true (Float.abs (Dd.to_float back -. 2.0) < 1e-30);
+  let c = Dd.cbrt (Dd.of_int 2) in
+  let back = Dd.mul c (Dd.mul c c) in
+  Alcotest.(check bool) "cbrt2^3 ~ 2" true (Float.abs (Dd.to_float back -. 2.0) < 1e-28);
+  Alcotest.(check bool) "sqrt(-1) is nan" true (Dd.is_nan (Dd.sqrt (Dd.of_int (-1))));
+  let c = Dd.cbrt (Dd.of_int (-8)) in
+  Alcotest.(check (float 1e-14)) "cbrt(-8) = -2" (-2.0) (Dd.to_float c)
+
+let test_pow_int () =
+  Alcotest.(check (float 0.0)) "pow 2^10" 1024.0 (Dd.to_float (Dd.pow_int (Dd.of_int 2) 10));
+  Alcotest.(check (float 1e-18)) "pow 2^-2" 0.25 (Dd.to_float (Dd.pow_int (Dd.of_int 2) (-2)))
+
+let finite_float =
+  QCheck2.Gen.(map (fun (m, e) -> Float.ldexp m e) (pair (float_range (-1.0) 1.0) (int_range (-60) 60)))
+
+let prop_add_vs_rat =
+  QCheck2.Test.make ~name:"dd add exactly matches rational add" ~count:300
+    (QCheck2.Gen.pair finite_float finite_float)
+    (fun (a, b) ->
+      let dd = Dd.add (Dd.of_float a) (Dd.of_float b) in
+      let exact = Rat.add (Rat.of_float a) (Rat.of_float b) in
+      (* hi+lo should represent the exact sum when no overflow occurred *)
+      Rat.equal (Rat.add (Rat.of_float dd.Dd.hi) (Rat.of_float dd.Dd.lo)) exact)
+
+let prop_mul_vs_rat =
+  QCheck2.Test.make ~name:"dd mul error stays within 2^-100 relative" ~count:300
+    (QCheck2.Gen.pair finite_float finite_float)
+    (fun (a, b) ->
+      let dd = Dd.mul (Dd.of_float a) (Dd.of_float b) in
+      let exact = Rat.mul (Rat.of_float a) (Rat.of_float b) in
+      if Rat.sign exact = 0 then Dd.to_float dd = 0.0
+      else begin
+        let approx = Rat.add (Rat.of_float dd.Dd.hi) (Rat.of_float dd.Dd.lo) in
+        let rel = Rat.to_float (Rat.abs (Rat.div (Rat.sub approx exact) exact)) in
+        rel < Float.ldexp 1.0 (-99)
+      end)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_add_vs_rat; prop_mul_vs_rat ] in
+  Alcotest.run "dd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "exact sum" `Quick test_exact_sum_error;
+          Alcotest.test_case "exact product" `Quick test_mul_exact;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "division" `Quick test_div;
+          Alcotest.test_case "sqrt/cbrt" `Quick test_sqrt_cbrt;
+          Alcotest.test_case "pow_int" `Quick test_pow_int;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,244 @@
+(* Deeper engine properties: extraction soundness and cost consistency,
+   nested push/pop, planner behaviour on adversarial queries, scheduler
+   bookkeeping, and the i64/Rational primitive algebra. *)
+
+module E = Egglog
+
+let math_schema =
+  {| (datatype M (Num i64) (Var String) (Add M M) (Mul M M) (Neg M)) |}
+
+let gen_term_src =
+  QCheck2.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 0 then
+              oneof
+                [
+                  map (fun i -> Printf.sprintf "(Num %d)" i) (int_range (-5) 5);
+                  map (fun i -> Printf.sprintf "(Var \"v%d\")" i) (int_bound 2);
+                ]
+            else
+              oneof
+                [
+                  map (fun i -> Printf.sprintf "(Num %d)" i) (int_range (-5) 5);
+                  map2 (fun a b -> Printf.sprintf "(Add %s %s)" a b) (self (n / 2)) (self (n / 2));
+                  map2 (fun a b -> Printf.sprintf "(Mul %s %s)" a b) (self (n / 2)) (self (n / 2));
+                  map (fun a -> Printf.sprintf "(Neg %s)" a) (self (n - 1));
+                ])
+          (min n 5)))
+
+(* recompute the ast-size cost of an extracted term *)
+let rec term_cost (t : E.Extract.term) =
+  match t with
+  | E.Extract.T_const _ -> 0
+  | E.Extract.T_app (_, args) -> 1 + List.fold_left (fun acc a -> acc + term_cost a) 0 args
+
+let prop_extraction_sound_and_consistent =
+  QCheck2.Test.make ~name:"extraction: term is equal to root, cost consistent, minimal vs variants"
+    ~count:60 gen_term_src (fun src ->
+      let eng = E.Engine.create () in
+      ignore (E.run_string eng math_schema);
+      ignore (E.run_string eng (Printf.sprintf "(define root %s)" src));
+      ignore
+        (E.run_string eng
+           {|
+        (rewrite (Add a b) (Add b a))
+        (rewrite (Neg (Neg a)) a)
+        (rewrite (Add (Num x) (Num y)) (Num (+ x y)))
+        (rewrite (Mul (Num x) (Num y)) (Num (* x y)))
+        (run 4)
+      |});
+      let root = E.Engine.eval_call eng "root" [] in
+      match E.Engine.extract_value eng root with
+      | None -> false
+      | Some { E.Extract.term; cost } ->
+        (* 1. reported cost equals the term's recomputed cost *)
+        let consistent = term_cost term = cost in
+        (* 2. the extracted term is in the root's class *)
+        let printed = Sexpr.to_string (E.Extract.term_to_sexp term) in
+        let sound =
+          E.Engine.check_facts eng
+            [ E.Ast.Eq (E.Ast.Var "root", E.Frontend.expr_of_sexp (Sexpr.parse_one printed)) ]
+        in
+        (* 3. no enumerated variant beats it (excluding the root alias,
+           whose declared :cost is prohibitive but whose naive ast-size
+           recomputation here would be 1) *)
+        let variants = E.Engine.extract_candidates eng root ~max:64 in
+        let is_alias = function
+          | E.Extract.T_app (f, []) when E.Symbol.name f = "root" -> true
+          | _ -> false
+        in
+        let minimal =
+          List.for_all (fun v -> is_alias v || term_cost v >= cost) variants
+        in
+        consistent && sound && minimal)
+
+let prop_push_pop_nesting =
+  QCheck2.Test.make ~name:"nested push/pop restores sizes exactly" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 8) (int_range 0 2))
+    (fun script ->
+      let eng = E.Engine.create () in
+      ignore (E.run_string eng "(sort V) (function mk (i64) V) (relation r (i64))");
+      let counter = ref 0 in
+      let stack = ref [] in
+      let snapshot () = (E.Engine.total_rows eng, E.Engine.n_classes eng) in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+            ignore (E.run_string eng "(push)");
+            stack := snapshot () :: !stack
+          | 1 ->
+            incr counter;
+            ignore (E.Engine.eval_call eng "mk" [ E.Value.VInt !counter ]);
+            E.Engine.set_fact eng "r" [ E.Value.VInt !counter ] E.Value.VUnit
+          | _ -> (
+            match !stack with
+            | [] -> ()
+            | saved :: rest ->
+              ignore (E.run_string eng "(pop)");
+              stack := rest;
+              if snapshot () <> saved then ok := false))
+        script;
+      !ok)
+
+let test_planner_handles_cartesian () =
+  (* disconnected atoms = cross product; must still be correct *)
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       {|
+      (relation a (i64))
+      (relation b (i64))
+      (relation pair (i64 i64))
+      (rule ((a x) (b y)) ((pair x y)))
+      (a 1) (a 2) (a 3)
+      (b 10) (b 20)
+      (run)
+    |});
+  Alcotest.(check int) "3x2 pairs" 6 (E.Engine.table_size eng "pair")
+
+let test_planner_shared_var_chain () =
+  (* a chain query where the middle variable is the most selective *)
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       {|
+      (relation e (i64 i64))
+      (relation tri (i64 i64 i64))
+      (rule ((e x y) (e y z) (e z x)) ((tri x y z)))
+      (e 1 2) (e 2 3) (e 3 1)
+      (e 4 5) (e 5 4)
+      (run)
+    |});
+  (* the 3-cycle in each rotation *)
+  Alcotest.(check int) "triangles" 3 (E.Engine.table_size eng "tri")
+
+let test_self_join_nonlinear () =
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       {|
+      (relation e (i64 i64))
+      (relation dup (i64))
+      (rule ((e x x)) ((dup x)))
+      (e 1 1) (e 1 2) (e 2 2)
+      (run)
+    |});
+  Alcotest.(check int) "self loops" 2 (E.Engine.table_size eng "dup")
+
+let test_backoff_unbans () =
+  (* after a ban expires the rule fires again and reaches the fixpoint *)
+  let eng = E.Engine.create ~scheduler:(E.Engine.Backoff { match_limit = 1; ban_length = 1 }) () in
+  ignore
+    (E.run_string eng
+       {|
+      (relation n (i64))
+      (rule ((n x) (< x 6)) ((n (+ x 1))))
+      (n 0)
+    |});
+  let report = E.Engine.run_iterations eng 60 in
+  ignore report;
+  Alcotest.(check int) "reaches 7 numbers despite bans" 7 (E.Engine.table_size eng "n")
+
+let test_i64_primitive_algebra () =
+  let outputs =
+    E.run_program_string
+      {|
+      (function v (String) i64 :merge new)
+      (set (v "shl") (<< 3 4))
+      (set (v "shr") (>> -16 2))
+      (set (v "mod") (% 17 5))
+      (set (v "abs") (abs -9))
+      (check (= (v "shl") 48))
+      (check (= (v "shr") -4))
+      (check (= (v "mod") 2))
+      (check (= (v "abs") 9))
+    |}
+  in
+  Alcotest.(check int) "all pass" 4 (List.length outputs)
+
+let test_rational_algebra () =
+  let outputs =
+    E.run_program_string
+      {|
+      (function v (String) Rational :merge new)
+      (set (v "sum") (+ 1/3 1/6))
+      (set (v "prod") (* 2/3 9/4))
+      (set (v "div") (/ 1/2 1/8))
+      (set (v "neg") (- 0/1 22/7))
+      (check (= (v "sum") 1/2))
+      (check (= (v "prod") 3/2))
+      (check (= (v "div") 4/1))
+      (check (= (v "neg") (- 22/7)))
+    |}
+  in
+  Alcotest.(check int) "all pass" 4 (List.length outputs)
+
+let prop_run_is_idempotent_at_fixpoint =
+  QCheck2.Test.make ~name:"running past saturation changes nothing" ~count:40
+    QCheck2.Gen.(list_size (int_range 0 12) (pair (int_bound 5) (int_bound 5)))
+    (fun edges ->
+      let eng = E.Engine.create () in
+      ignore
+        (E.run_string eng
+           {|
+          (relation edge (i64 i64))
+          (relation path (i64 i64))
+          (rule ((edge x y)) ((path x y)))
+          (rule ((path x y) (edge y z)) ((path x z)))
+        |});
+      List.iter
+        (fun (a, b) -> E.Engine.set_fact eng "edge" [ E.Value.VInt a; E.Value.VInt b ] E.Value.VUnit)
+        edges;
+      ignore (E.Engine.run_iterations eng 50);
+      let before = (E.Engine.total_rows eng, E.Engine.n_classes eng) in
+      ignore (E.Engine.run_iterations eng 10);
+      (E.Engine.total_rows eng, E.Engine.n_classes eng) = before)
+
+let () =
+  Alcotest.run "engine-props"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "cartesian product" `Quick test_planner_handles_cartesian;
+          Alcotest.test_case "triangle query" `Quick test_planner_shared_var_chain;
+          Alcotest.test_case "nonlinear self join" `Quick test_self_join_nonlinear;
+        ] );
+      ( "scheduling",
+        [ Alcotest.test_case "backoff unbans" `Quick test_backoff_unbans ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "i64 algebra" `Quick test_i64_primitive_algebra;
+          Alcotest.test_case "rational algebra" `Quick test_rational_algebra;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_extraction_sound_and_consistent;
+            prop_push_pop_nesting;
+            prop_run_is_idempotent_at_fixpoint;
+          ] );
+    ]

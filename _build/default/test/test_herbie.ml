@@ -1,0 +1,162 @@
+(* The Herbie case study (§6.2): error metric, interval/neq analyses as
+   egglog rules, and the improvement pipeline. *)
+
+module F = Herbie.Fpexpr
+module E = Herbie.Error
+module S = Herbie.Suite
+module R = Herbie.Rules
+module P = Herbie.Pipeline
+
+let test_eval_consistency () =
+  let e = F.Div (F.Sub (F.Sqrt (F.Var "x"), F.Num (Rat.of_int 1)), F.Var "y") in
+  let env = function "x" -> 4.0 | "y" -> 2.0 | _ -> nan in
+  Alcotest.(check (float 1e-12)) "double" 0.5 (F.eval_double env e);
+  Alcotest.(check (float 1e-12)) "dd agrees" 0.5 (Dd.to_float (F.eval_dd env e))
+
+let test_ulps () =
+  Alcotest.(check (float 0.0)) "same value" 0.0 (E.ulps_between 1.0 1.0);
+  Alcotest.(check (float 0.0)) "one ulp" 1.0 (E.ulps_between 1.0 (Float.succ 1.0));
+  Alcotest.(check bool) "sign change is far" true (E.ulps_between (-1.0) 1.0 > 1e18)
+
+let test_error_metric () =
+  (* an exactly-representable computation has ~0 bits of error *)
+  let exact = F.Mul (F.Var "x", F.Num (Rat.of_int 2)) in
+  let spec = E.default_spec [ ("x", 1.0, 1e6) ] in
+  Alcotest.(check bool) "exact op ~ 0 bits" true (E.avg_bits spec exact < 0.01);
+  (* catastrophic cancellation is very inaccurate *)
+  let cancel = F.Sub (F.Sqrt (F.Add (F.Var "x", F.Num (Rat.of_int 1))), F.Sqrt (F.Var "x")) in
+  let spec = E.default_spec [ ("x", 1e10, 1e15) ] in
+  Alcotest.(check bool) "cancellation is >10 bits" true (E.avg_bits spec cancel > 10.0)
+
+let test_equivalence_check () =
+  let spec = E.default_spec [ ("x", 1.0, 1e6) ] in
+  let a = F.Mul (F.Var "x", F.Num (Rat.of_int 2)) in
+  let b = F.Add (F.Var "x", F.Var "x") in
+  let wrong = F.Add (F.Var "x", F.Num (Rat.of_int 2)) in
+  Alcotest.(check bool) "2x = x+x" true (E.equivalent_on spec a b);
+  Alcotest.(check bool) "2x != x+2" false (E.equivalent_on spec a wrong);
+  (* sqrt(x^2) vs x differ on negatives *)
+  let spec_neg = E.default_spec [ ("x", -1e4, -1.0) ] in
+  let sq = F.Sqrt (F.Mul (F.Var "x", F.Var "x")) in
+  Alcotest.(check bool) "sqrt(x^2) != x for x<0" false (E.equivalent_on spec_neg sq (F.Var "x"))
+
+let test_roundtrip () =
+  List.iter
+    (fun (b : S.bench) ->
+      let eng = Egglog.Engine.create () in
+      ignore (Egglog.run_string eng R.datatype);
+      ignore (Egglog.run_string eng (Printf.sprintf "(define root %s)" (R.expr_to_egglog b.S.expr)));
+      let root = Egglog.Engine.eval_call eng "root" [] in
+      match Egglog.Engine.extract_value eng root with
+      | Some { Egglog.Extract.term; _ } ->
+        let back = R.term_to_expr term in
+        let spec = E.default_spec b.S.ranges in
+        Alcotest.(check bool) (b.S.name ^ " roundtrips") true (E.equivalent_on spec b.S.expr back)
+      | None -> Alcotest.fail "nothing extracted")
+    S.benches
+
+let test_rulesets_load () =
+  let eng = Egglog.Engine.create () in
+  ignore (Egglog.run_string eng (R.sound_program ()));
+  let eng2 = Egglog.Engine.create () in
+  ignore (Egglog.run_string eng2 (R.unsound_program ()));
+  Alcotest.(check pass) "both parse and typecheck" () ()
+
+let test_interval_analysis () =
+  let eng = Egglog.Engine.create () in
+  ignore (Egglog.run_string eng (R.sound_program ()));
+  ignore
+    (Egglog.run_string eng
+       {|
+    (set (lo (RVar "x")) 2/1)
+    (set (hi (RVar "x")) 3/1)
+    (define e (RMul (RAdd (RVar "x") (RNum 1/1)) (RVar "x")))
+    (run 6)
+    (check (= (lo e) 6/1))
+    (check (= (hi e) 12/1))
+    (check (nonzero e))
+    (check (pos e))
+  |});
+  Alcotest.(check pass) "interval propagation" () ()
+
+let test_neq_analysis () =
+  let eng = Egglog.Engine.create () in
+  ignore (Egglog.run_string eng (R.sound_program ()));
+  ignore
+    (Egglog.run_string eng
+       {|
+    (define a (RCbrt (RAdd (RVar "v") (RNum 1/1))))
+    (define b (RCbrt (RVar "v")))
+    (run 6)
+    (check (neq (RAdd (RVar "v") (RNum 1/1)) (RVar "v")))
+    (check (neq a b))
+  |});
+  Alcotest.(check pass) "v+1 != v lifts through cbrt" () ()
+
+let test_sqrt_cancel_improves () =
+  let outcome = P.improve P.Sound (S.find "sqrt-cancel") in
+  Alcotest.(check bool) "starts inaccurate" true (outcome.P.bits_before > 10.0);
+  Alcotest.(check bool) "ends accurate" true (outcome.P.bits_after < 2.0)
+
+let test_cbrt_cancel_improves () =
+  (* the paper's flagship sound-analysis example *)
+  let outcome = P.improve P.Sound (S.find "cbrt-cancel") in
+  Alcotest.(check bool) "cbrt cancellation solved" true
+    (outcome.P.bits_before > 10.0 && outcome.P.bits_after < 3.0)
+
+let test_unsound_detection () =
+  let outcome = P.improve P.Unsound (S.find "sqrt-square-neg") in
+  Alcotest.(check bool) "sqrt(x^2)->x rejected by sampling" true (outcome.P.n_invalid > 0);
+  (* and the final answer must still be valid *)
+  let spec = E.default_spec (S.find "sqrt-square-neg").S.ranges in
+  Alcotest.(check bool) "result equivalent" true
+    (E.equivalent_on spec (S.find "sqrt-square-neg").S.expr outcome.P.chosen)
+
+let test_sound_mode_always_equivalent () =
+  (* sound candidates need no validation: check a sample of benches *)
+  List.iter
+    (fun name ->
+      let bench = S.find name in
+      let outcome = P.improve P.Sound bench in
+      let spec = E.default_spec bench.S.ranges in
+      Alcotest.(check bool) (name ^ " sound result is equivalent") true
+        (E.equivalent_on spec bench.S.expr outcome.P.chosen))
+    [ "sqrt-cancel"; "mul-div-cancel"; "frac-combine-crossing"; "poly-cancel"; "div-self" ]
+
+let test_improvement_never_hurts () =
+  (* the pipeline picks by training error and falls back to the input *)
+  List.iter
+    (fun (b : S.bench) ->
+      let s = P.improve ~iterations:4 P.Sound b in
+      Alcotest.(check bool)
+        (b.S.name ^ " no regression")
+        true
+        (s.P.bits_after <= s.P.bits_before +. 1.0))
+    S.benches
+
+let () =
+  Alcotest.run "herbie"
+    [
+      ( "substrate",
+        [
+          Alcotest.test_case "eval consistency" `Quick test_eval_consistency;
+          Alcotest.test_case "ulps" `Quick test_ulps;
+          Alcotest.test_case "error metric" `Quick test_error_metric;
+          Alcotest.test_case "equivalence check" `Quick test_equivalence_check;
+          Alcotest.test_case "expr roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "analyses",
+        [
+          Alcotest.test_case "rulesets load" `Quick test_rulesets_load;
+          Alcotest.test_case "intervals" `Quick test_interval_analysis;
+          Alcotest.test_case "not-equals" `Quick test_neq_analysis;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "sqrt cancel" `Quick test_sqrt_cancel_improves;
+          Alcotest.test_case "cbrt cancel (paper)" `Quick test_cbrt_cancel_improves;
+          Alcotest.test_case "unsound detection" `Quick test_unsound_detection;
+          Alcotest.test_case "sound equivalence" `Quick test_sound_mode_always_equivalent;
+          Alcotest.test_case "no regressions" `Slow test_improvement_never_hurts;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* The Soufflé-style baseline engine: plain semi-naïve Datalog, eqrel
+   relations with their quadratic enumeration, find views and choice. *)
+
+module D = Minidatalog
+
+let test_transitive_closure () =
+  let db = D.create () in
+  let edge = D.relation db "edge" 2 in
+  let path = D.relation db "path" 2 in
+  D.rule db ~head:(path, [| D.V "x"; D.V "y" |]) ~body:[ D.Atom (edge, [| D.V "x"; D.V "y" |]) ];
+  D.rule db
+    ~head:(path, [| D.V "x"; D.V "z" |])
+    ~body:[ D.Atom (path, [| D.V "x"; D.V "y" |]); D.Atom (edge, [| D.V "y"; D.V "z" |]) ];
+  List.iter (fun (a, b) -> D.fact db edge [| a; b |]) [ (1, 2); (2, 3); (3, 4) ];
+  (match D.run db () with
+   | D.Fixpoint _ -> ()
+   | D.Timeout -> Alcotest.fail "unexpected timeout");
+  Alcotest.(check int) "path size" 6 (D.size db path);
+  Alcotest.(check bool) "1->4" true (D.mem db path [| 1; 4 |]);
+  Alcotest.(check bool) "no 4->1" false (D.mem db path [| 4; 1 |])
+
+let test_semi_naive_matches_naive () =
+  (* same fixpoint regardless of seeding order; randomized edges *)
+  let run_tc edges =
+    let db = D.create () in
+    let edge = D.relation db "edge" 2 in
+    let path = D.relation db "path" 2 in
+    D.rule db ~head:(path, [| D.V "x"; D.V "y" |]) ~body:[ D.Atom (edge, [| D.V "x"; D.V "y" |]) ];
+    D.rule db
+      ~head:(path, [| D.V "x"; D.V "z" |])
+      ~body:[ D.Atom (path, [| D.V "x"; D.V "y" |]); D.Atom (edge, [| D.V "y"; D.V "z" |]) ];
+    List.iter (fun (a, b) -> D.fact db edge [| a; b |]) edges;
+    ignore (D.run db ());
+    D.size db path
+  in
+  let naive_tc edges =
+    (* reference: floyd-warshall style closure *)
+    let n = 10 in
+    let reach = Array.make_matrix n n false in
+    List.iter (fun (a, b) -> reach.(a).(b) <- true) edges;
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+        done
+      done
+    done;
+    let c = ref 0 in
+    Array.iter (Array.iter (fun b -> if b then incr c)) reach;
+    !c
+  in
+  let rand = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    let edges =
+      List.init
+        (Random.State.int rand 20)
+        (fun _ -> (Random.State.int rand 10, Random.State.int rand 10))
+    in
+    Alcotest.(check int) "tc sizes agree" (naive_tc edges) (run_tc edges)
+  done
+
+let test_eqrel_basics () =
+  let db = D.create () in
+  let eql = D.eqrel db "eql" in
+  D.fact db eql [| 1; 2 |];
+  D.fact db eql [| 2; 3 |];
+  D.fact db eql [| 10; 11 |];
+  Alcotest.(check bool) "1~3" true (D.mem db eql [| 1; 3 |]);
+  Alcotest.(check bool) "1!~10" false (D.mem db eql [| 1; 10 |]);
+  (* quadratic pair count: 3^2 + 2^2 *)
+  Alcotest.(check int) "pairs" 13 (D.size db eql);
+  let parts = D.classes db eql |> List.map (List.sort compare) |> List.sort compare in
+  Alcotest.(check (list (list int))) "partition" [ [ 1; 2; 3 ]; [ 10; 11 ] ] parts
+
+let test_eqrel_in_rules () =
+  (* vpt(v, a), propagate through equivalence: the join-modulo-equivalence
+     pattern from §6.1 *)
+  let db = D.create () in
+  let vpt = D.relation db "vpt" 2 in
+  let eql = D.eqrel db "eql" in
+  let out = D.relation db "out" 2 in
+  D.rule db
+    ~head:(out, [| D.V "v"; D.V "b" |])
+    ~body:[ D.Atom (vpt, [| D.V "v"; D.V "a" |]); D.Atom (eql, [| D.V "a"; D.V "b" |]) ];
+  D.fact db vpt [| 100; 1 |];
+  D.fact db eql [| 1; 2 |];
+  D.fact db eql [| 2; 3 |];
+  ignore (D.run db ());
+  Alcotest.(check int) "out enumerates the class" 3 (D.size db out);
+  Alcotest.(check bool) "out(100,3)" true (D.mem db out [| 100; 3 |])
+
+let test_eqrel_derived_head () =
+  (* deriving into an eqrel head builds the closure incrementally *)
+  let db = D.create () in
+  let link = D.relation db "link" 2 in
+  let eql = D.eqrel db "eql" in
+  D.rule db
+    ~head:(eql, [| D.V "x"; D.V "y" |])
+    ~body:[ D.Atom (link, [| D.V "x"; D.V "y" |]) ];
+  (* congruence-ish: if x~y then their successors (x+10, y+10) unify too *)
+  let succ = D.relation db "succ" 2 in
+  D.rule db
+    ~head:(eql, [| D.V "sx"; D.V "sy" |])
+    ~body:
+      [
+        D.Atom (eql, [| D.V "x"; D.V "y" |]);
+        D.Atom (succ, [| D.V "x"; D.V "sx" |]);
+        D.Atom (succ, [| D.V "y"; D.V "sy" |]);
+      ];
+  D.fact db link [| 1; 2 |];
+  D.fact db succ [| 1; 11 |];
+  D.fact db succ [| 2; 12 |];
+  D.fact db succ [| 11; 21 |];
+  D.fact db succ [| 12; 22 |];
+  ignore (D.run db ());
+  Alcotest.(check bool) "11~12" true (D.mem db eql [| 11; 12 |]);
+  Alcotest.(check bool) "21~22 (two levels)" true (D.mem db eql [| 21; 22 |])
+
+let test_find_view () =
+  let db = D.create () in
+  let eql = D.eqrel db "eql" in
+  let inp = D.relation db "inp" 1 in
+  let canon = D.relation db "canon" 2 in
+  D.rule db
+    ~head:(canon, [| D.V "x"; D.V "c" |])
+    ~body:[ D.Atom (inp, [| D.V "x" |]); D.Find (eql, D.V "x", D.V "c") ];
+  D.fact db inp [| 5 |];
+  D.fact db inp [| 9 |];
+  D.fact db eql [| 5; 3 |];
+  ignore (D.run db ());
+  Alcotest.(check bool) "canonical is the min member" true (D.mem db canon [| 5; 3 |]);
+  Alcotest.(check bool) "unregistered is self" true (D.mem db canon [| 9; 9 |])
+
+let test_choice () =
+  let db = D.create () in
+  let pick = D.choice db "pick" 2 ~keys:[ 0 ] in
+  D.fact db pick [| 1; 10 |];
+  D.fact db pick [| 1; 20 |];
+  D.fact db pick [| 2; 30 |];
+  Alcotest.(check int) "one per key" 2 (D.size db pick);
+  Alcotest.(check bool) "first wins" true (D.mem db pick [| 1; 10 |]);
+  Alcotest.(check bool) "second rejected" false (D.mem db pick [| 1; 20 |])
+
+let test_timeout () =
+  (* an eqrel-enumeration blowup must hit the timeout, as in Fig. 8 *)
+  let db = D.create () in
+  let eql = D.eqrel db "eql" in
+  let pairs = D.relation db "pairs" 2 in
+  D.rule db
+    ~head:(pairs, [| D.V "x"; D.V "y" |])
+    ~body:[ D.Atom (eql, [| D.V "x"; D.V "y" |]) ];
+  (* one big class: enumerating it is quadratic *)
+  for i = 1 to 3000 do
+    D.fact db eql [| 0; i |]
+  done;
+  match D.run db ~timeout_s:0.05 () with
+  | D.Timeout -> ()
+  | D.Fixpoint _ ->
+    (* machines differ; accept fixpoint but then the size must be the full
+       quadratic enumeration *)
+    Alcotest.(check int) "quadratic" (3001 * 3001) (D.size db eql)
+
+let test_static_errors () =
+  let db = D.create () in
+  let r = D.relation db "r" 2 in
+  (match D.rule db ~head:(r, [| D.V "x"; D.V "y" |]) ~body:[ D.Atom (r, [| D.V "x"; D.V "x" |]) ] with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "expected unbound head variable error");
+  match D.fact db r [| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected arity error"
+
+let () =
+  Alcotest.run "minidatalog"
+    [
+      ( "plain",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "semi-naive = reference" `Quick test_semi_naive_matches_naive;
+          Alcotest.test_case "static errors" `Quick test_static_errors;
+        ] );
+      ( "eqrel",
+        [
+          Alcotest.test_case "basics" `Quick test_eqrel_basics;
+          Alcotest.test_case "join modulo equivalence" `Quick test_eqrel_in_rules;
+          Alcotest.test_case "derived heads" `Quick test_eqrel_derived_head;
+          Alcotest.test_case "find view" `Quick test_find_view;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+        ] );
+      ("choice", [ Alcotest.test_case "first wins" `Quick test_choice ]);
+    ]

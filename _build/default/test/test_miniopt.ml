@@ -1,0 +1,100 @@
+(* The egglog-backed expression optimizer: strength reduction, folding,
+   and a semantics-preservation property. *)
+
+module M = Miniopt
+
+let a0 = M.Arg 0
+let a1 = M.Arg 1
+let c n = M.Const n
+
+let check_opt msg input expected_str =
+  let out = M.optimize input in
+  Alcotest.(check string) msg expected_str (M.to_string out)
+
+let test_strength_reduction () =
+  check_opt "x*2 -> shift" (M.Mul (a0, c 2)) "(a0 << 1)";
+  check_opt "x*8 -> shift" (M.Mul (a0, c 8)) "(a0 << 3)";
+  check_opt "8*x -> shift (commuted)" (M.Mul (c 8, a0)) "(a0 << 3)";
+  check_opt "x+x -> shift" (M.Add (a0, a0)) "(a0 << 1)";
+  (* x*16 via nested shifts from x*2*8 *)
+  check_opt "(x*2)*8 -> one shift" (M.Mul (M.Mul (a0, c 2), c 8)) "(a0 << 4)"
+
+let test_multiply_by_three () =
+  let out = M.optimize (M.Mul (a0, c 3)) in
+  Alcotest.(check bool) "x*3 becomes shift+add" true (M.cost out < M.cost (M.Mul (a0, c 3)));
+  Alcotest.(check bool) "shape is shift plus add" true
+    (List.mem (M.to_string out) [ "((a0 << 1) + a0)"; "(a0 + (a0 << 1))" ])
+
+let test_folding_and_identities () =
+  check_opt "constants fold" (M.Add (c 2, M.Mul (c 3, c 4))) "14";
+  check_opt "x*1" (M.Mul (a0, c 1)) "a0";
+  check_opt "x+0" (M.Add (a0, c 0)) "a0";
+  check_opt "x-x" (M.Sub (a1, a1)) "0";
+  check_opt "x*0 swallows work" (M.Mul (M.Mul (a0, a1), c 0)) "0";
+  check_opt "double negation" (M.Neg (M.Neg a0)) "a0"
+
+let test_combined () =
+  (* (x + 0) * (2 * 2): fold to x*4 then shift *)
+  check_opt "pipeline" (M.Mul (M.Add (a0, c 0), M.Mul (c 2, c 2))) "(a0 << 2)";
+  (* a*b + a*c with b+c constant-foldable: factor then fold then reduce *)
+  check_opt "factor + fold"
+    (M.Add (M.Mul (a0, c 3), M.Mul (a0, c 5)))
+    "(a0 << 3)"
+
+let test_cost_never_increases () =
+  let exprs =
+    [
+      M.Mul (a0, a1);
+      M.Add (M.Mul (a0, c 7), a1);
+      M.Sub (M.Shl (a0, 2), M.Neg a1);
+      M.Mul (M.Add (a0, a1), M.Sub (a0, a1));
+    ]
+  in
+  List.iter
+    (fun e ->
+      let out = M.optimize e in
+      Alcotest.(check bool) (M.to_string e ^ " not worsened") true (M.cost out <= M.cost e))
+    exprs
+
+(* random expression generator *)
+let gen_expr =
+  QCheck2.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 0 then
+              oneof
+                [ map (fun c -> M.Const c) (int_range (-20) 20); map (fun i -> M.Arg i) (int_bound 2) ]
+            else
+              oneof
+                [
+                  map (fun c -> M.Const c) (int_range (-20) 20);
+                  map (fun i -> M.Arg i) (int_bound 2);
+                  map2 (fun a b -> M.Add (a, b)) (self (n / 2)) (self (n / 2));
+                  map2 (fun a b -> M.Sub (a, b)) (self (n / 2)) (self (n / 2));
+                  map2 (fun a b -> M.Mul (a, b)) (self (n / 2)) (self (n / 2));
+                  map (fun a -> M.Neg a) (self (n - 1));
+                  map2 (fun a k -> M.Shl (a, k)) (self (n - 1)) (int_bound 3);
+                ])
+          (min n 5)))
+
+let prop_semantics_preserved =
+  QCheck2.Test.make ~name:"optimize preserves evaluation on random inputs" ~count:150
+    QCheck2.Gen.(pair gen_expr (array_size (pure 3) (int_range (-50) 50)))
+    (fun (e, args) ->
+      let out = M.optimize ~iterations:5 e in
+      M.eval e args = M.eval out args && M.cost out <= M.cost e)
+
+let () =
+  Alcotest.run "miniopt"
+    [
+      ( "rewrites",
+        [
+          Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+          Alcotest.test_case "multiply by 3" `Quick test_multiply_by_three;
+          Alcotest.test_case "folding" `Quick test_folding_and_identities;
+          Alcotest.test_case "combined" `Quick test_combined;
+          Alcotest.test_case "cost monotone" `Quick test_cost_never_increases;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_semantics_preserved ]);
+    ]

@@ -1,0 +1,427 @@
+(* The appendix's "egglog pearls" (Figs. 13-19): functional programming
+   via fresh ids, lambda-calculus analyses, Hindley-Milner unification,
+   equation solving, proof datatypes, and matrix/Kronecker reasoning. *)
+
+let run_ok msg src =
+  match Egglog.run_program_string src with
+  | outputs -> outputs
+  | exception Egglog.Egglog_error e -> Alcotest.failf "%s: %s" msg e
+
+(* ---- Fig. 13b: tree size, demand-free thanks to fresh ids ---- *)
+
+let test_tree_size () =
+  let outputs =
+    run_ok "tree_size"
+      {|
+      (datatype Tree (Leaf) (Node Tree Tree))
+      (datatype Expr (EAdd Expr Expr) (ENum i64))
+      (function tree_size (Tree) Expr)
+      ;; compute tree size symbolically
+      (rewrite (tree_size (Node t1 t2)) (EAdd (tree_size t1) (tree_size t2)))
+      ;; evaluate the symbolic expression
+      (rewrite (EAdd (ENum n) (ENum m)) (ENum (+ n m)))
+      (union (tree_size (Leaf)) (ENum 1))
+      ;; compute size for a particular tree
+      (define two (tree_size (Node (Leaf) (Leaf))))
+      (run 6)
+      (check (= two (ENum 2)))
+      (define five (tree_size (Node (Node (Leaf) (Leaf)) (Node (Leaf) (Node (Leaf) (Leaf))))))
+      (run 8)
+      (check (= five (ENum 5)))
+      (extract five)
+    |}
+  in
+  Alcotest.(check bool) "extracts the numeral" true
+    (List.exists (fun s -> s = "(ENum 5) : cost 1") outputs)
+
+
+(* ---- Fig. 13a vs 13b: the demand transformation egglog makes redundant ---- *)
+
+let test_tree_size_datalog_demand () =
+  (* The Soufflé version (Fig. 13a): computing tree_size bottom-up diverges
+     without a manual demand relation, because the full relation is
+     infinite. Trees are pre-skolemized ids (Datalog cannot invent them):
+     0 = Leaf, 1 = Node(0,0), 2 = Node(1,0), 3 = Node(1,1). *)
+  let module D = Minidatalog in
+  let db = D.create () in
+  let node = D.relation db "node" 3 in  (* node(t, left, right) *)
+  let leaf = D.relation db "leaf" 1 in
+  let demand = D.relation db "demand" 1 in
+  let size = D.relation db "size" 2 in
+  D.fact db leaf [| 0 |];
+  D.fact db node [| 1; 0; 0 |];
+  D.fact db node [| 2; 1; 0 |];
+  D.fact db node [| 3; 1; 1 |];
+  (* demand flows root-to-leaves *)
+  D.rule db
+    ~head:(demand, [| D.V "l" |])
+    ~body:[ D.Atom (demand, [| D.V "t" |]); D.Atom (node, [| D.V "t"; D.V "l"; D.V "r" |]) ];
+  D.rule db
+    ~head:(demand, [| D.V "r" |])
+    ~body:[ D.Atom (demand, [| D.V "t" |]); D.Atom (node, [| D.V "t"; D.V "l"; D.V "r" |]) ];
+  (* sizes flow leaves-to-root, but only for demanded trees. There is no
+     arithmetic in minidatalog, so sizes are tabulated pairs we join on;
+     enumerate possible (s1, s2, s) sum triples for this universe. *)
+  let sum = D.relation db "sum" 3 in
+  for s1 = 1 to 7 do
+    for s2 = 1 to 7 do
+      if s1 + s2 <= 15 then D.fact db sum [| s1; s2; s1 + s2 + 1 |]
+    done
+  done;
+  D.rule db
+    ~head:(size, [| D.V "t"; D.C 1 |])
+    ~body:[ D.Atom (demand, [| D.V "t" |]); D.Atom (leaf, [| D.V "t" |]) ];
+  D.rule db
+    ~head:(size, [| D.V "t"; D.V "s" |])
+    ~body:
+      [
+        D.Atom (demand, [| D.V "t" |]);
+        D.Atom (node, [| D.V "t"; D.V "l"; D.V "r" |]);
+        D.Atom (size, [| D.V "l"; D.V "s1" |]);
+        D.Atom (size, [| D.V "r"; D.V "s2" |]);
+        D.Atom (sum, [| D.V "s1"; D.V "s2"; D.V "s" |]);
+      ];
+  (* the demand: size of tree 3 = Node(Node(Leaf,Leaf), Node(Leaf,Leaf)) *)
+  D.fact db demand [| 3 |];
+  ignore (D.run db ());
+  Alcotest.(check bool) "size(3) = 7" true (D.mem db size [| 3; 7 |]);
+  (* crucially, undemanded trees were never computed *)
+  Alcotest.(check bool) "no stray demand" false (D.mem db demand [| 2 |]);
+  Alcotest.(check bool) "size(2) not computed" false (D.mem db size [| 2; 5 |])
+
+(* ---- Fig. 14: free variables and capture-avoiding substitution ---- *)
+
+let test_lambda_free_vars () =
+  ignore
+    (run_ok "free vars"
+       {|
+      (datatype Term
+        (Val i64)
+        (TVar String)
+        (Lam String Term)
+        (App Term Term)
+        (Let String Term Term))
+      (function free (Term) (Set String) :merge (set-intersect old new))
+
+      (rule ((= e (Val v))) ((set (free e) (set-empty))))
+      (rule ((= e (TVar v))) ((set (free e) (set-singleton v))))
+      (rule ((= e (Lam var body)) (= (free body) fv))
+            ((set (free e) (set-remove fv var))))
+      (rule ((= e (App e1 e2)) (= (free e1) fv1) (= (free e2) fv2))
+            ((set (free e) (set-union fv1 fv2))))
+      (rule ((= e (Let var e1 e2)) (= (free e1) fv1) (= (free e2) fv2))
+            ((set (free e) (set-union fv2 (set-remove fv1 var)))))
+
+      ;; \x. (y x)
+      (define t1 (Lam "x" (App (TVar "y") (TVar "x"))))
+      (run 5)
+      (check (= (free t1) (set-singleton "y")))
+
+      ;; rewriting x*... shrinking free sets: x - x ~ 0 via union
+      (define t2 (App (TVar "x") (TVar "x")))
+      (run 2)
+      (union t2 (Val 0))
+      (run 3)
+      (check (= (free t2) (set-empty)))
+    |})
+
+let test_capture_avoiding_subst () =
+  (* Identifiers are a datatype lifting strings or skolem terms, exactly as
+     the appendix describes, so fresh names are just constructor calls. *)
+  ignore
+    (run_ok "subst"
+       {|
+      ;; Term and Ident are mutually recursive: declare the sorts first,
+      ;; constructors are just functions into them (datatype is sugar)
+      (sort Term)
+      (sort Ident)
+      (function Val (i64) Term)
+      (function TVar (Ident) Term)
+      (function Lam (Ident Term) Term)
+      (function App (Term Term) Term)
+      (function IName (String) Ident)
+      (function IFresh (Term) Ident)
+      (function free (Term) (Set Ident) :merge (set-intersect old new))
+      (function subst (Ident Term Term) Term)
+
+      (rule ((= e (Val v))) ((set (free e) (set-empty))))
+      (rule ((= e (TVar v))) ((set (free e) (set-singleton v))))
+      (rule ((= e (Lam var body)) (= (free body) fv))
+            ((set (free e) (set-remove fv var))))
+      (rule ((= e (App e1 e2)) (= (free e1) fv1) (= (free e2) fv2))
+            ((set (free e) (set-union fv1 fv2))))
+
+      (rewrite (subst v e2 (TVar v)) e2)
+      (rewrite (subst v e2 (TVar w)) (TVar w) :when ((!= v w)))
+      (rewrite (subst v e2 (Val n)) (Val n))
+      (rewrite (subst v e2 (App a b)) (App (subst v e2 a) (subst v e2 b)))
+      ;; [e2/v]\v.e1 = \v.e1
+      (rewrite (subst v e2 (Lam v e1)) (Lam v e1))
+      ;; [e2/v2]\v1.e1 = \v1.[e2/v2]e1 when v1 not free in e2
+      (rewrite (subst v2 e2 (Lam v1 e1)) (Lam v1 (subst v2 e2 e1))
+               :when ((!= v1 v2) (= (free e2) fv) (set-not-contains fv v1)))
+      ;; otherwise rename with a skolemized fresh identifier
+      (rule ((= expr (subst v2 e2 (Lam v1 e1)))
+             (!= v1 v2)
+             (= (free e2) fv)
+             (set-contains fv v1))
+            ((let v3 (IFresh expr))
+             (union expr (Lam v3 (subst v2 e2 (subst v1 (TVar v3) e1))))))
+
+      ;; [(y)/x](\z. x z) --> \z. y z
+      (define s1 (subst (IName "x") (TVar (IName "y"))
+                        (Lam (IName "z") (App (TVar (IName "x")) (TVar (IName "z"))))))
+      (run 8)
+      (check (= s1 (Lam (IName "z") (App (TVar (IName "y")) (TVar (IName "z"))))))
+
+      ;; capture case: [(z)/x](\z. x) must NOT become \z. z
+      (define s2 (subst (IName "x") (TVar (IName "z")) (Lam (IName "z") (TVar (IName "x")))))
+      (run 8)
+      (fail (check (= s2 (Lam (IName "z") (TVar (IName "z"))))))
+      ;; instead it renamed the binder and substituted under it
+      (check (= (free s2) (set-singleton (IName "z"))))
+    |})
+
+
+(* ---- Fig. 15: STLC type inference with contexts ---- *)
+
+let test_stlc_typing () =
+  ignore
+    (run_ok "stlc"
+       {|
+      (datatype Type
+        (TInt)
+        (TArr Type Type))
+      (sort Expr)
+      (sort Ctx)
+      (function ENum (i64) Expr)
+      (function EVar (String) Expr)
+      (function ELam (String Type Expr) Expr)
+      (function EApp (Expr Expr) Expr)
+      (function CNil () Ctx)
+      (function CCons (String Type Ctx) Ctx)
+
+      (function typeof (Ctx Expr) Type)
+      (function lookup (Ctx String) Type)
+
+      ;; context lookup
+      (rewrite (lookup (CCons x t ctx) x) t)
+      (rewrite (lookup (CCons y t ctx) x) (lookup ctx x) :when ((!= x y)))
+
+      ;; numbers and variables
+      (rewrite (typeof ctx (ENum n)) (TInt))
+      (rewrite (typeof ctx (EVar x)) (lookup ctx x))
+
+      ;; lambda: typeof in the extended context, result is an arrow
+      (rewrite (typeof ctx (ELam x t1 e)) (TArr t1 (typeof (CCons x t1 ctx) e)))
+
+      ;; application: populate demand for subexpressions, then combine
+      (rule ((= (typeof ctx (EApp f e)) t2))
+            ((typeof ctx f) (typeof ctx e)))
+      (rule ((= (typeof ctx (EApp f e)) t)
+             (= (typeof ctx f) (TArr t1 t2))
+             (= (typeof ctx e) t1))
+            ((union t t2)))
+
+      ;; ((\x:Int. x) 5) : Int
+      (define prog (EApp (ELam "x" (TInt) (EVar "x")) (ENum 5)))
+      (define ty (typeof (CNil) prog))
+      (run 8)
+      (check (= ty (TInt)))
+
+      ;; \f:Int->Int. \y:Int. (f y)  :  (Int->Int) -> Int -> Int
+      (define prog2 (ELam "f" (TArr (TInt) (TInt)) (ELam "y" (TInt) (EApp (EVar "f") (EVar "y")))))
+      (define ty2 (typeof (CNil) prog2))
+      (run 10)
+      (check (= ty2 (TArr (TArr (TInt) (TInt)) (TArr (TInt) (TInt)))))
+
+      ;; shadowing: \x:Int. \x:Int->Int. x has the inner type
+      (define prog3 (ELam "x" (TInt) (ELam "x" (TArr (TInt) (TInt)) (EVar "x"))))
+      (define ty3 (typeof (CNil) prog3))
+      (run 10)
+      (check (= ty3 (TArr (TInt) (TArr (TArr (TInt) (TInt)) (TArr (TInt) (TInt))))))
+    |})
+
+(* ---- Fig. 16 (subset): Hindley-Milner style unification ---- *)
+
+let test_hm_unification () =
+  ignore
+    (run_ok "unification"
+       {|
+      (datatype Type
+        (TInt)
+        (TBool)
+        (TArrow Type Type)
+        (TMeta String))
+
+      ;; injectivity: unifying arrows unifies the pieces
+      (rule ((= (TArrow fr1 to1) (TArrow fr2 to2)))
+            ((union fr1 fr2) (union to1 to2)))
+
+      ;; occurs check
+      (relation occurs-check (String Type))
+      (relation occurs-fail (String))
+      (rule ((= (TMeta x) (TArrow fr to)))
+            ((occurs-check x fr) (occurs-check x to)))
+      (rule ((occurs-check x (TArrow fr to)))
+            ((occurs-check x fr) (occurs-check x to)))
+      (rule ((occurs-check x (TMeta x)))
+            ((occurs-fail x)))
+
+      ;; unify a -> b with Int -> (Bool -> Int)
+      (union (TArrow (TMeta "a") (TMeta "b")) (TArrow (TInt) (TArrow (TBool) (TInt))))
+      (run 5)
+      (check (= (TMeta "a") (TInt)))
+      (check (= (TMeta "b") (TArrow (TBool) (TInt))))
+      (fail (check (occurs-fail "a")))
+    |});
+  (* occurs check fires on a = a -> a *)
+  ignore
+    (run_ok "occurs"
+       {|
+      (datatype Type (TInt) (TArrow Type Type) (TMeta String))
+      (rule ((= (TArrow fr1 to1) (TArrow fr2 to2)))
+            ((union fr1 fr2) (union to1 to2)))
+      (relation occurs-check (String Type))
+      (relation occurs-fail (String))
+      (rule ((= (TMeta x) (TArrow fr to)))
+            ((occurs-check x fr) (occurs-check x to)))
+      (rule ((occurs-check x (TArrow fr to)))
+            ((occurs-check x fr) (occurs-check x to)))
+      (rule ((occurs-check x (TMeta x)))
+            ((occurs-fail x)))
+      (union (TMeta "a") (TArrow (TMeta "a") (TInt)))
+      (run 5)
+      (check (occurs-fail "a"))
+    |})
+
+(* ---- Fig. 17: equation solving ---- *)
+
+let test_equation_solving () =
+  let outputs =
+    run_ok "equations"
+      {|
+      (datatype Expr
+        (EAdd Expr Expr)
+        (EMul Expr Expr)
+        (ENeg Expr)
+        (ENum i64)
+        (EVar String))
+
+      (rewrite (EAdd x y) (EAdd y x))
+      (rewrite (EAdd (EAdd x y) z) (EAdd x (EAdd y z)))
+      (rewrite (EAdd (EMul y x) (EMul z x)) (EMul (EAdd y z) x))
+      (rewrite (EVar x) (EMul (ENum 1) (EVar x)))
+      (rewrite (EAdd (ENum x) (ENum y)) (ENum (+ x y)))
+      (rewrite (ENeg (ENum n)) (ENum (- n)))
+      (rewrite (EAdd (ENeg x) x) (ENum 0))
+
+      ;; isolate variables by rewriting the entire equation
+      (rule ((= (EAdd x y) z)) ((union (EAdd z (ENeg y)) x)))
+      (rule ((= (EMul (ENum x) y) (ENum z)) (= (% z x) 0))
+            ((union (ENum (/ z x)) y)))
+
+      ;; system: z + y = 6 ; 2z = y
+      (set (EAdd (EVar "z") (EVar "y")) (ENum 6))
+      (set (EAdd (EVar "z") (EVar "z")) (EVar "y"))
+      (run 6)
+      (extract (EVar "y"))
+      (extract (EVar "z"))
+    |}
+  in
+  Alcotest.(check bool) "y = 4" true (List.exists (String.equal "(ENum 4) : cost 1") outputs);
+  Alcotest.(check bool) "z = 2" true (List.exists (String.equal "(ENum 2) : cost 1") outputs)
+
+(* ---- Fig. 18: proof datatypes with proof irrelevance ---- *)
+
+let test_proof_datatype () =
+  let outputs =
+    run_ok "proofs"
+      {|
+      (datatype Proof
+        (Trans i64 Proof)
+        (Edge i64 i64))
+      (function path (i64 i64) Proof)
+      (relation edge (i64 i64))
+
+      (rule ((edge x y)) ((set (path x y) (Edge x y))))
+      (rule ((edge x y) (= p (path y z))) ((set (path x z) (Trans x p))))
+
+      (edge 1 2)
+      (edge 2 3)
+      (edge 1 3)
+      (run)
+      (extract (path 1 3))
+    |}
+  in
+  (* both a direct edge proof and a transitive proof exist; extraction
+     returns the smaller (the direct edge) *)
+  Alcotest.(check (list string)) "smallest proof"
+    [ "(Edge 1 3) : cost 1" ]
+    (List.filter (fun s -> String.length s > 0 && s.[0] = '(') outputs)
+
+(* ---- Fig. 19: matrices with dimension-guarded Kronecker rules ---- *)
+
+let test_kronecker () =
+  ignore
+    (run_ok "kronecker"
+       {|
+      (datatype MExpr
+        (MMul MExpr MExpr)
+        (Kron MExpr MExpr)
+        (MVar String))
+      (datatype Dim
+        (Times Dim Dim)
+        (NamedDim String)
+        (Lit i64))
+
+      (function nrows (MExpr) Dim)
+      (function ncols (MExpr) Dim)
+
+      ;; dimensions of compound expressions
+      (rewrite (nrows (Kron A B)) (Times (nrows A) (nrows B)))
+      (rewrite (ncols (Kron A B)) (Times (ncols A) (ncols B)))
+      (rewrite (nrows (MMul A B)) (nrows A))
+      (rewrite (ncols (MMul A B)) (ncols B))
+      ;; reasoning about dimensionality is itself rewriting
+      (rewrite (Times a (Times b c)) (Times (Times a b) c))
+      (rewrite (Times (Lit i) (Lit j)) (Lit (* i j)))
+      (rewrite (Times a b) (Times b a))
+
+      ;; the guarded optimization: (A (x) B)(C (x) D) = AC (x) BD needs dims to align
+      (rewrite (MMul (Kron A B) (Kron C D)) (Kron (MMul A C) (MMul B D))
+               :when ((= (ncols A) (nrows C)) (= (ncols B) (nrows D))))
+
+      ;; set up dimensions: A: n x m, C: m x n, B: 2x3, D: 3x2
+      (set (nrows (MVar "A")) (NamedDim "n"))
+      (set (ncols (MVar "A")) (NamedDim "m"))
+      (set (nrows (MVar "C")) (NamedDim "m"))
+      (set (ncols (MVar "C")) (NamedDim "n"))
+      (set (nrows (MVar "B")) (Lit 2))
+      (set (ncols (MVar "B")) (Lit 3))
+      (set (nrows (MVar "D")) (Lit 3))
+      (set (ncols (MVar "D")) (Lit 2))
+
+      (define good (MMul (Kron (MVar "A") (MVar "B")) (Kron (MVar "C") (MVar "D"))))
+      (define bad  (MMul (Kron (MVar "A") (MVar "B")) (Kron (MVar "D") (MVar "C"))))
+      (run 8)
+      (check (= good (Kron (MMul (MVar "A") (MVar "C")) (MMul (MVar "B") (MVar "D")))))
+      (fail (check (= bad (Kron (MMul (MVar "A") (MVar "D")) (MMul (MVar "B") (MVar "C"))))))
+    |})
+
+let () =
+  Alcotest.run "pearls"
+    [
+      ( "appendix",
+        [
+          Alcotest.test_case "fig13b tree size (egglog)" `Quick test_tree_size;
+          Alcotest.test_case "fig13a tree size (datalog demand)" `Quick test_tree_size_datalog_demand;
+          Alcotest.test_case "fig14 free variables" `Quick test_lambda_free_vars;
+          Alcotest.test_case "fig14 capture-avoiding subst" `Quick test_capture_avoiding_subst;
+          Alcotest.test_case "fig15 STLC typing" `Quick test_stlc_typing;
+          Alcotest.test_case "fig16 HM unification" `Quick test_hm_unification;
+          Alcotest.test_case "fig17 equation solving" `Quick test_equation_solving;
+          Alcotest.test_case "fig18 proof datatype" `Quick test_proof_datatype;
+          Alcotest.test_case "fig19 kronecker" `Quick test_kronecker;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Explanation generation (the §7 "proof problem" future direction):
+   the proof forest, id-level explanations through the typed API, and the
+   textual (explain ...) command. *)
+
+module E = Egglog
+module PF = Egglog.Proof_forest
+
+let test_forest_basic () =
+  let t = PF.create () in
+  PF.record t 0 1 PF.Asserted;
+  PF.record t 1 2 (PF.Rule "r");
+  (match PF.explain t 0 2 with
+   | Some steps -> Alcotest.(check int) "two steps" 2 (List.length steps)
+   | None -> Alcotest.fail "expected a chain");
+  (match PF.explain t 0 0 with
+   | Some [] -> ()
+   | _ -> Alcotest.fail "identical ids explain to []");
+  match PF.explain t 0 5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "disconnected ids have no chain"
+
+let test_forest_reroot () =
+  (* unions in arbitrary order still connect everything *)
+  let t = PF.create () in
+  PF.record t 0 1 PF.Asserted;
+  PF.record t 2 3 PF.Asserted;
+  PF.record t 1 3 (PF.Rule "bridge");
+  List.iter
+    (fun (a, b) ->
+      match PF.explain t a b with
+      | Some steps ->
+        Alcotest.(check bool)
+          (Printf.sprintf "chain %d-%d connects" a b)
+          true
+          (steps <> [] || a = b);
+        (* the chain must be contiguous *)
+        let rec contiguous cur = function
+          | [] -> cur = b
+          | (s : PF.step) :: rest ->
+            Alcotest.(check int) "step starts where previous ended" cur s.PF.from_id;
+            contiguous s.PF.to_id rest
+        in
+        Alcotest.(check bool) "ends at target" true (contiguous a steps)
+      | None -> Alcotest.failf "no chain %d-%d" a b)
+    [ (0, 3); (3, 0); (0, 2); (1, 2) ]
+
+let test_id_level_explanations () =
+  (* hold pre-union handles via the typed API: the chain is precise *)
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng "(sort V) (function mk (i64) V)");
+  let a = E.Engine.eval_call eng "mk" [ E.Value.VInt 1 ] in
+  let b = E.Engine.eval_call eng "mk" [ E.Value.VInt 2 ] in
+  let c = E.Engine.eval_call eng "mk" [ E.Value.VInt 3 ] in
+  let db = E.Engine.database eng in
+  Alcotest.(check bool) "not yet equal" true (E.Database.explain db a b = None);
+  ignore (E.Engine.union_values eng a b);
+  ignore (E.Engine.union_values eng b c);
+  (match E.Database.explain db a c with
+   | Some steps ->
+     (* unions record edges between canonical-at-the-time ids, so the chain
+        may be shortened; it must exist and be non-empty *)
+     Alcotest.(check bool) "a=c has a non-empty chain" true (List.length steps >= 1)
+   | None -> Alcotest.fail "expected chain");
+  (* congruence reasons appear when rebuilding repairs a function *)
+  ignore (E.run_string eng "(function g (V) V)");
+  let d = E.Engine.eval_call eng "mk" [ E.Value.VInt 10 ] in
+  let e = E.Engine.eval_call eng "mk" [ E.Value.VInt 11 ] in
+  let gd = E.Engine.eval_call eng "g" [ d ] in
+  let ge = E.Engine.eval_call eng "g" [ e ] in
+  ignore (E.Engine.union_values eng d e);
+  E.Engine.rebuild eng;
+  (match E.Database.explain db gd ge with
+   | Some steps ->
+     Alcotest.(check bool) "mentions congruence of g" true
+       (List.exists
+          (fun (s : PF.step) ->
+            match s.PF.why with
+            | PF.Congruence f -> E.Symbol.name f = "g"
+            | _ -> false)
+          steps)
+   | None -> Alcotest.fail "g(d)=g(e) must have a proof")
+
+let test_rule_reasons () =
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       {|
+      (datatype M (X) (Y))
+      (rule ((= a (X))) ((union a (Y))) :name "x-is-y")
+    |});
+  let x = E.Engine.eval_call eng "X" [] in
+  let y = E.Engine.eval_call eng "Y" [] in
+  ignore (E.Engine.run_iterations eng 2);
+  match E.Database.explain (E.Engine.database eng) x y with
+  | Some steps ->
+    Alcotest.(check bool) "justified by the named rule" true
+      (List.exists
+         (fun (s : PF.step) -> match s.PF.why with PF.Rule "x-is-y" -> true | _ -> false)
+         steps)
+  | None -> Alcotest.fail "x=y must have a proof"
+
+let test_explain_command () =
+  let outputs =
+    Egglog.run_program_string
+      {|
+      (datatype M (A) (B) (C))
+      (union (A) (B))
+      (rule ((= x (B))) ((union x (C))) :name "to-c")
+      (run 2)
+      (explain (A) (C))
+    |}
+  in
+  let joined = String.concat "\n" outputs in
+  let has needle =
+    let nh = String.length joined and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub joined i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions the rule" true (has "rule to-c");
+  Alcotest.(check bool) "mentions the assertion" true (has "asserted")
+
+let test_explain_not_equal () =
+  let outputs =
+    Egglog.run_program_string
+      {| (datatype M (A) (B)) (explain (A) (B)) |}
+  in
+  Alcotest.(check (list string)) "reports inequality" [ "not equal: no explanation" ] outputs
+
+let test_explain_survives_push_pop () =
+  let outputs =
+    Egglog.run_program_string
+      {|
+      (datatype M (A) (B))
+      (push)
+      (union (A) (B))
+      (pop)
+      (explain (A) (B))
+    |}
+  in
+  Alcotest.(check (list string)) "popped union is forgotten" [ "not equal: no explanation" ]
+    outputs
+
+let prop_random_unions_explainable =
+  QCheck2.Test.make ~name:"every derived equality has an explanation" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 20) (pair (int_bound 9) (int_bound 9)))
+    (fun unions ->
+      let eng = E.Engine.create () in
+      ignore (E.run_string eng "(sort V) (function mk (i64) V)");
+      let handles = Array.init 10 (fun i -> E.Engine.eval_call eng "mk" [ E.Value.VInt i ]) in
+      List.iter (fun (a, b) -> ignore (E.Engine.union_values eng handles.(a) handles.(b))) unions;
+      E.Engine.rebuild eng;
+      let db = E.Engine.database eng in
+      let ok = ref true in
+      for i = 0 to 9 do
+        for j = 0 to 9 do
+          let equal = E.Database.are_equal db handles.(i) handles.(j) in
+          let explained =
+            match E.Database.explain db handles.(i) handles.(j) with
+            | Some _ -> true
+            | None -> false
+          in
+          if equal <> explained then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "proofs"
+    [
+      ( "forest",
+        [
+          Alcotest.test_case "basic chains" `Quick test_forest_basic;
+          Alcotest.test_case "rerooting" `Quick test_forest_reroot;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "id-level explanations" `Quick test_id_level_explanations;
+          Alcotest.test_case "rule reasons" `Quick test_rule_reasons;
+          Alcotest.test_case "explain command" `Quick test_explain_command;
+          Alcotest.test_case "not equal" `Quick test_explain_not_equal;
+          Alcotest.test_case "push/pop" `Quick test_explain_survives_push_pop;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_random_unions_explainable ] );
+    ]

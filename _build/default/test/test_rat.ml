@@ -1,0 +1,97 @@
+(* Unit + property tests for exact rationals. *)
+
+module R = Rat
+
+let r = R.of_ints
+let check_r msg expected actual = Alcotest.(check string) msg expected (R.to_string actual)
+
+let test_normalization () =
+  check_r "reduce" "1/2" (r 2 4);
+  check_r "sign" "-1/2" (r 1 (-2));
+  check_r "integer" "3" (r 6 2);
+  check_r "zero" "0" (r 0 17);
+  Alcotest.check_raises "zero den" Division_by_zero (fun () -> ignore (r 1 0))
+
+let test_arith () =
+  check_r "add" "5/6" (R.add (r 1 2) (r 1 3));
+  check_r "sub" "1/6" (R.sub (r 1 2) (r 1 3));
+  check_r "mul" "1/6" (R.mul (r 1 2) (r 1 3));
+  check_r "div" "3/2" (R.div (r 1 2) (r 1 3));
+  check_r "neg" "-5" (R.neg (R.of_int 5));
+  check_r "inv" "-2" (R.inv (r 1 (-2)));
+  check_r "pow" "8/27" (R.pow (r 2 3) 3);
+  check_r "pow neg" "9/4" (R.pow (r 2 3) (-2))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (R.compare (r 1 3) (r 1 2) < 0);
+  Alcotest.(check bool) "-1/2 < 1/3" true (R.compare (r (-1) 2) (r 1 3) < 0);
+  check_r "min" "1/3" (R.min (r 1 2) (r 1 3));
+  check_r "max" "1/2" (R.max (r 1 2) (r 1 3))
+
+let test_floor_ceil () =
+  Alcotest.(check string) "floor 7/2" "3" (Bigint.to_string (R.floor (r 7 2)));
+  Alcotest.(check string) "ceil 7/2" "4" (Bigint.to_string (R.ceil (r 7 2)));
+  Alcotest.(check string) "floor -7/2" "-4" (Bigint.to_string (R.floor (r (-7) 2)));
+  Alcotest.(check string) "ceil -7/2" "-3" (Bigint.to_string (R.ceil (r (-7) 2)));
+  Alcotest.(check string) "floor int" "5" (Bigint.to_string (R.floor (R.of_int 5)))
+
+let test_strings () =
+  check_r "parse frac" "22/7" (R.of_string "22/7");
+  check_r "parse int" "-4" (R.of_string "-4");
+  check_r "parse decimal" "3/2" (R.of_string "1.5");
+  check_r "parse neg decimal" "-1/8" (R.of_string "-0.125");
+  check_r "parse .5" "1/2" (R.of_string "0.5")
+
+let test_of_float () =
+  check_r "of_float 0.5" "1/2" (R.of_float 0.5);
+  check_r "of_float 0.25" "1/4" (R.of_float 0.25);
+  Alcotest.(check (float 0.0)) "roundtrip pi-ish" 3.141592653589793
+    (R.to_float (R.of_float 3.141592653589793))
+
+let rat_gen =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> r n d)
+      (int_range (-10000) 10000)
+      (oneof [ int_range 1 10000; int_range (-10000) (-1) ]))
+
+let prop_add_comm =
+  QCheck2.Test.make ~name:"rat add commutative" ~count:300 (QCheck2.Gen.pair rat_gen rat_gen)
+    (fun (a, b) -> R.equal (R.add a b) (R.add b a))
+
+let prop_field =
+  QCheck2.Test.make ~name:"rat a * (1/a) = 1" ~count:300 rat_gen (fun a ->
+      if R.sign a = 0 then true else R.equal (R.mul a (R.inv a)) R.one)
+
+let prop_distrib =
+  QCheck2.Test.make ~name:"rat distributivity" ~count:300
+    (QCheck2.Gen.triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) -> R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c)))
+
+let prop_compare_consistent =
+  QCheck2.Test.make ~name:"rat compare consistent with sub sign" ~count:300
+    (QCheck2.Gen.pair rat_gen rat_gen)
+    (fun (a, b) -> R.compare a b = R.sign (R.sub a b))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"rat to_string/of_string roundtrip" ~count:300 rat_gen (fun a ->
+      R.equal a (R.of_string (R.to_string a)))
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_add_comm; prop_field; prop_distrib; prop_compare_consistent; prop_string_roundtrip ]
+  in
+  Alcotest.run "rat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "of_float" `Quick test_of_float;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,119 @@
+(* Database snapshots: dump a saturated database, reload into a fresh
+   engine with the same schema, and observe identical behaviour. *)
+
+module E = Egglog
+
+let schema =
+  {|
+  (datatype Math (Num i64) (Var String) (Add Math Math))
+  (relation edge (i64 i64))
+  (function best (i64) i64 :merge (max old new))
+  (function tags (i64) (Set String) :merge (set-union old new))
+  |}
+
+let test_roundtrip_tables () =
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       (schema
+       ^ {|
+    (edge 1 2) (edge 2 3)
+    (set (best 0) 5) (set (best 0) 9) (set (best 1) 2)
+    (set (tags 0) (set-singleton "a"))
+    (set (tags 0) (set-singleton "b"))
+    (Add (Num 1) (Var "x")) ;; materialize a term
+  |}));
+  let snapshot = E.Serialize.dump_string eng in
+  let eng2 = E.Engine.create () in
+  ignore (E.run_string eng2 schema);
+  E.Serialize.load_string eng2 snapshot;
+  Alcotest.(check int) "edge size" 2 (E.Engine.table_size eng2 "edge");
+  Alcotest.(check (option string)) "lattice value preserved" (Some "9")
+    (Option.map E.Value.to_string (E.Engine.lookup_fact eng2 "best" [ E.Value.VInt 0 ]));
+  (match E.Engine.lookup_fact eng2 "tags" [ E.Value.VInt 0 ] with
+   | Some (E.Value.VSet elems) -> Alcotest.(check int) "set merged" 2 (List.length elems)
+   | _ -> Alcotest.fail "tags missing");
+  Alcotest.(check int) "same total rows" (E.Engine.total_rows eng)
+    (E.Engine.total_rows eng2)
+
+let test_roundtrip_equivalences () =
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       (schema
+       ^ {|
+    (union (Add (Num 1) (Num 2)) (Add (Num 2) (Num 1)))
+    (run 1)
+  |}));
+  let snapshot = E.Serialize.dump_string eng in
+  let eng2 = E.Engine.create () in
+  ignore (E.run_string eng2 schema);
+  E.Serialize.load_string eng2 snapshot;
+  (* terms that were equal stay equal; congruence still works *)
+  Alcotest.(check bool) "a = b survives" true
+    (E.Engine.check_facts eng2
+       [ E.Ast.Eq
+           ( E.Ast.Call ("Add", [ E.Ast.Call ("Num", [ E.Ast.Lit (E.Value.VInt 1) ]); E.Ast.Call ("Num", [ E.Ast.Lit (E.Value.VInt 2) ]) ]),
+             E.Ast.Call ("Add", [ E.Ast.Call ("Num", [ E.Ast.Lit (E.Value.VInt 2) ]); E.Ast.Call ("Num", [ E.Ast.Lit (E.Value.VInt 1) ]) ]) ) ]);
+  Alcotest.(check int) "same classes" (E.Engine.n_classes eng) (E.Engine.n_classes eng2)
+
+let test_resaturation_after_load () =
+  (* rules added after loading continue from the snapshot *)
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng (schema ^ {| (edge 1 2) (edge 2 3) (edge 3 4) |}));
+  let snapshot = E.Serialize.dump_string eng in
+  let eng2 = E.Engine.create () in
+  ignore (E.run_string eng2 schema);
+  E.Serialize.load_string eng2 snapshot;
+  ignore
+    (E.run_string eng2
+       {|
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (run)
+    (check (path 1 4))
+  |});
+  Alcotest.(check int) "closure computed" 6 (E.Engine.table_size eng2 "path")
+
+let test_load_errors () =
+  let eng = E.Engine.create () in
+  (match E.Serialize.load_string eng "(database (ids (0 Nope)))" with
+   | exception E.Serialize.Load_error _ -> ()
+   | () -> Alcotest.fail "expected unknown-sort error");
+  match E.Serialize.load_string eng "(not-a-database)" with
+  | exception E.Serialize.Load_error _ -> ()
+  | () -> Alcotest.fail "expected shape error"
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"dump/load roundtrip on random math e-graphs" ~count:40
+    QCheck2.Gen.(list_size (int_range 1 6) (int_range 0 5))
+    (fun nums ->
+      let eng = E.Engine.create () in
+      ignore (E.run_string eng schema);
+      List.iteri
+        (fun _i n ->
+          ignore
+            (E.run_string eng
+               (Printf.sprintf "(Add (Num %d) (Add (Num %d) (Var \"v\")))" n (n + 1))))
+        nums;
+      ignore (E.run_string eng "(rewrite (Add a b) (Add b a)) (run 3)");
+      let snapshot = E.Serialize.dump_string eng in
+      let eng2 = E.Engine.create () in
+      ignore (E.run_string eng2 schema);
+      E.Serialize.load_string eng2 snapshot;
+      E.Engine.total_rows eng = E.Engine.total_rows eng2
+      && E.Engine.n_classes eng = E.Engine.n_classes eng2)
+
+let () =
+  Alcotest.run "serialize"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "tables" `Quick test_roundtrip_tables;
+          Alcotest.test_case "equivalences" `Quick test_roundtrip_equivalences;
+          Alcotest.test_case "resaturation" `Quick test_resaturation_after_load;
+          Alcotest.test_case "errors" `Quick test_load_errors;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip_random ]);
+    ]

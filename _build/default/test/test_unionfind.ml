@@ -1,0 +1,113 @@
+(* Union-find invariants, including the merge log the rebuilder relies on. *)
+
+module U = Union_find
+
+let test_basic () =
+  let uf = U.create () in
+  let a = U.make_set uf and b = U.make_set uf and c = U.make_set uf in
+  Alcotest.(check bool) "fresh distinct" false (U.equiv uf a b);
+  ignore (U.union uf a b);
+  Alcotest.(check bool) "a~b" true (U.equiv uf a b);
+  Alcotest.(check bool) "a!~c" false (U.equiv uf a c);
+  ignore (U.union uf b c);
+  Alcotest.(check bool) "transitive" true (U.equiv uf a c);
+  Alcotest.(check int) "one class" 1 (U.n_classes uf)
+
+let test_union_returns_winner () =
+  let uf = U.create () in
+  let a = U.make_set uf and b = U.make_set uf in
+  let w = U.union uf a b in
+  Alcotest.(check bool) "winner canonical" true (U.is_canonical uf w);
+  Alcotest.(check int) "find a" w (U.find uf a);
+  Alcotest.(check int) "find b" w (U.find uf b);
+  Alcotest.(check int) "idempotent union" w (U.union uf a b)
+
+let test_dirty_log () =
+  let uf = U.create () in
+  let a = U.make_set uf and b = U.make_set uf and c = U.make_set uf in
+  Alcotest.(check bool) "clean initially" false (U.has_dirty uf);
+  ignore (U.union uf a b);
+  ignore (U.union uf a c);
+  Alcotest.(check int) "two losers logged" 2 (List.length (U.dirty uf));
+  List.iter
+    (fun loser -> Alcotest.(check bool) "loser not canonical" false (U.is_canonical uf loser))
+    (U.dirty uf);
+  U.clear_dirty uf;
+  Alcotest.(check bool) "cleared" false (U.has_dirty uf);
+  ignore (U.union uf a b);
+  Alcotest.(check bool) "no-op union logs nothing" false (U.has_dirty uf)
+
+let test_copy_isolation () =
+  let uf = U.create () in
+  let a = U.make_set uf and b = U.make_set uf in
+  let snapshot = U.copy uf in
+  ignore (U.union uf a b);
+  Alcotest.(check bool) "original merged" true (U.equiv uf a b);
+  Alcotest.(check bool) "snapshot untouched" false (U.equiv snapshot a b)
+
+let test_growth () =
+  let uf = U.create () in
+  let ids = Array.init 10_000 (fun _ -> U.make_set uf) in
+  Alcotest.(check int) "all allocated" 10_000 (U.size uf);
+  Array.iteri (fun i id -> Alcotest.(check int) "dense ids" i id) ids;
+  for i = 1 to 9_999 do
+    ignore (U.union uf ids.(0) ids.(i))
+  done;
+  Alcotest.(check int) "single class" 1 (U.n_classes uf)
+
+(* Property: union-find equivalence matches a naive partition refinement. *)
+let prop_matches_naive =
+  QCheck2.Test.make ~name:"union-find matches naive partition" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 60) (pair (int_range 0 19) (int_range 0 19)))
+    (fun unions ->
+      let uf = Union_find.create () in
+      let ids = Array.init 20 (fun _ -> Union_find.make_set uf) in
+      let naive = Array.init 20 Fun.id in
+      let naive_find i =
+        let rec go i = if naive.(i) = i then i else go naive.(i) in
+        go i
+      in
+      List.iter
+        (fun (a, b) ->
+          ignore (Union_find.union uf ids.(a) ids.(b));
+          let ra = naive_find a and rb = naive_find b in
+          if ra <> rb then naive.(ra) <- rb)
+        unions;
+      let ok = ref true in
+      for i = 0 to 19 do
+        for j = 0 to 19 do
+          let uf_eq = Union_find.equiv uf ids.(i) ids.(j) in
+          let nv_eq = naive_find i = naive_find j in
+          if uf_eq <> nv_eq then ok := false
+        done
+      done;
+      !ok)
+
+let prop_class_count =
+  QCheck2.Test.make ~name:"n_classes = n - effective unions" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 40) (pair (int_range 0 14) (int_range 0 14)))
+    (fun unions ->
+      let uf = Union_find.create () in
+      let ids = Array.init 15 (fun _ -> Union_find.make_set uf) in
+      let effective = ref 0 in
+      List.iter
+        (fun (a, b) ->
+          if not (Union_find.equiv uf ids.(a) ids.(b)) then incr effective;
+          ignore (Union_find.union uf ids.(a) ids.(b)))
+        unions;
+      Union_find.n_classes uf = 15 - !effective)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_matches_naive; prop_class_count ] in
+  Alcotest.run "union_find"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "winner" `Quick test_union_returns_winner;
+          Alcotest.test_case "dirty log" `Quick test_dirty_log;
+          Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+          Alcotest.test_case "growth" `Quick test_growth;
+        ] );
+      ("properties", props);
+    ]
