@@ -1,11 +1,13 @@
 (* The egglog command-line tool: run .egg programs or an interactive REPL
    (the language-based design of §5.2). *)
 
-let run_file ~seminaive ~backoff ~load ~dump path =
+let run_file ~seminaive ~backoff ~node_limit ~time_limit ~load ~dump path =
   let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
-  let eng = Egglog.Engine.create ~seminaive ~scheduler () in
-  let src = In_channel.with_open_text path In_channel.input_all in
+  let eng =
+    Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ()
+  in
   match
+    let src = In_channel.with_open_text path In_channel.input_all in
     (* Snapshots carry data, not declarations: FILE must (re)declare the
        schema; the snapshot is loaded after the program runs, ready for
        further sessions. *)
@@ -37,10 +39,20 @@ let run_file ~seminaive ~backoff ~load ~dump path =
   | exception Egglog.Serialize.Load_error msg ->
     Printf.eprintf "snapshot error: %s\n" msg;
     1
+  | exception Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  (* Catch-all: an internal failure must produce a diagnostic and a clean
+     nonzero exit, never an uncaught-exception crash. *)
+  | exception e ->
+    Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
+    1
 
-let repl ~seminaive ~backoff () =
+let repl ~seminaive ~backoff ~node_limit ~time_limit () =
   let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
-  let eng = Egglog.Engine.create ~seminaive ~scheduler () in
+  let eng =
+    Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ()
+  in
   Printf.printf "egglog repl — enter commands, ctrl-d to exit\n%!";
   let rec loop buffer =
     Printf.printf "%s %!" (if buffer = "" then ">" else "...");
@@ -48,21 +60,24 @@ let repl ~seminaive ~backoff () =
     | None -> 0
     | Some line -> (
       let src = buffer ^ "\n" ^ line in
-      (* Keep reading until the parens balance. *)
-      let depth =
-        String.fold_left
-          (fun d c -> if c = '(' then d + 1 else if c = ')' then d - 1 else d)
-          0 src
-      in
-      if depth > 0 then loop src
-      else begin
+      (* Parens inside strings and comments do not count; a stray ')'
+         resets the buffer with an error instead of evaluating. *)
+      match Egglog.Frontend.paren_balance src with
+      | Egglog.Frontend.Incomplete -> loop src
+      | Egglog.Frontend.Unbalanced ->
+        Printf.printf "error: unbalanced ')'\n";
+        loop ""
+      | Egglog.Frontend.Balanced ->
+        (* Commands are transactional, so after any error — including an
+           internal one — the engine state is intact and the session can
+           continue. *)
         (match Egglog.run_string eng src with
          | outputs -> List.iter print_endline outputs
          | exception Egglog.Egglog_error msg -> Printf.printf "error: %s\n" msg
          | exception Sexpr.Parse_error { message; _ } -> Printf.printf "parse error: %s\n" message
-         | exception Egglog.Frontend.Syntax_error msg -> Printf.printf "syntax error: %s\n" msg);
-        loop ""
-      end)
+         | exception Egglog.Frontend.Syntax_error msg -> Printf.printf "syntax error: %s\n" msg
+         | exception e -> Printf.printf "internal error: %s\n" (Printexc.to_string e));
+        loop "")
   in
   loop ""
 
@@ -77,6 +92,14 @@ let () =
   let backoff =
     Arg.(value & flag & info [ "backoff" ] ~doc:"Use the BackOff rule scheduler (as in egg)")
   in
+  let node_limit =
+    Arg.(value & opt (some int) None & info [ "node-limit" ] ~docv:"N"
+           ~doc:"Stop any run once the database exceeds N tuples (per-command :node-limit overrides)")
+  in
+  let time_limit =
+    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
+           ~doc:"Stop any run after SECONDS of wall-clock time (per-command :time-limit overrides)")
+  in
   let load =
     Arg.(value & opt (some string) None & info [ "load" ] ~docv:"SNAPSHOT"
            ~doc:"Load a database snapshot (produced by --dump) after running FILE")
@@ -85,13 +108,15 @@ let () =
     Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"SNAPSHOT"
            ~doc:"Dump the final database to this file")
   in
-  let main file no_seminaive backoff load dump =
+  let main file no_seminaive backoff node_limit time_limit load dump =
     let seminaive = not no_seminaive in
     match file with
-    | Some path -> run_file ~seminaive ~backoff ~load ~dump path
-    | None -> repl ~seminaive ~backoff ()
+    | Some path -> run_file ~seminaive ~backoff ~node_limit ~time_limit ~load ~dump path
+    | None -> repl ~seminaive ~backoff ~node_limit ~time_limit ()
   in
-  let term = Term.(const main $ file $ no_seminaive $ backoff $ load $ dump) in
+  let term =
+    Term.(const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ load $ dump)
+  in
   let info =
     Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"
   in

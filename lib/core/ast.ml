@@ -42,6 +42,18 @@ type function_decl = {
   cost : int option;
 }
 
+(* Resource budget for a run: every field optional, all enforced
+   cooperatively by the engine (see Engine.stop_reason). *)
+type run_spec = {
+  run_limit : int option;  (* iteration cap; None: engine default *)
+  run_node_limit : int option;  (* stop once total tuples exceed this *)
+  run_time_limit : float option;  (* stop after this many wall-clock seconds *)
+  run_until : fact list;  (* stop as soon as all facts hold; [] = never *)
+}
+
+let plain_run limit =
+  { run_limit = limit; run_node_limit = None; run_time_limit = None; run_until = [] }
+
 (* Run schedules: compose rulesets into saturation strategies. *)
 type schedule =
   | Sched_run of string option * int  (* (run <ruleset>? <n>) *)
@@ -59,7 +71,7 @@ type command =
   | Add_rewrite of { lhs : expr; rhs : expr; conds : fact list; ruleset : string option }
   | Define of string * expr
   | Top_action of action
-  | Run of int option  (* None: run to saturation (bounded by engine cap) *)
+  | Run of run_spec  (* limit None: run to saturation (bounded by engine cap) *)
   | Run_schedule of schedule list
   | Check of fact list
   | Check_fail of fact list  (* (fail (check ...)) *)

@@ -1,3 +1,6 @@
+exception Merge_conflict of { func : Symbol.t; old_value : Value.t; new_value : Value.t }
+exception Internal_error of string
+
 type t = {
   uf : Union_find.t;
   sorts : (Symbol.t, unit) Hashtbl.t;
@@ -7,8 +10,22 @@ type t = {
   mutable timestamp : int;
   mutable changes : int;
   mutable merge_hook : (Schema.func -> Value.t -> Value.t -> Value.t) option;
+  mutable txn_hook : (unit -> unit) option;
+      (* one-shot: fires just before the first mutation after being armed,
+         letting the engine snapshot the still-clean state (transactions) *)
   proofs : Proof_forest.t;
 }
+
+let set_txn_hook db f = db.txn_hook <- Some f
+let clear_txn_hook db = db.txn_hook <- None
+
+(* Called at the top of every mutator, before anything is written. *)
+let touched db =
+  match db.txn_hook with
+  | Some f ->
+    db.txn_hook <- None;
+    f ()
+  | None -> ()
 
 let dummy_sym = Symbol.intern "<none>"
 
@@ -22,15 +39,20 @@ let create () =
     timestamp = 0;
     changes = 0;
     merge_hook = None;
+    txn_hook = None;
     proofs = Proof_forest.create ();
   }
 
-let declare_sort db s = Hashtbl.replace db.sorts s ()
+let declare_sort db s =
+  touched db;
+  Hashtbl.replace db.sorts s ()
+
 let is_sort db s = Hashtbl.mem db.sorts s
 
 let declare_func db (f : Schema.func) =
   if Hashtbl.mem db.funcs f.name then
     invalid_arg (Printf.sprintf "function %s is already declared" (Symbol.name f.name));
+  touched db;
   Hashtbl.replace db.funcs f.name (Table.create f);
   db.func_order <- f.name :: db.func_order
 
@@ -42,6 +64,7 @@ let iter_tables db f =
 let set_merge_hook db hook = db.merge_hook <- Some hook
 
 let fresh_id db sort =
+  touched db;
   let id = Union_find.make_set db.uf in
   if id >= Array.length db.id_sorts then begin
     let bigger = Array.make (2 * Array.length db.id_sorts) dummy_sym in
@@ -71,7 +94,10 @@ let rec is_canon db (v : Value.t) =
   | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> true
 
 let timestamp db = db.timestamp
-let bump_timestamp db = db.timestamp <- db.timestamp + 1
+
+let bump_timestamp db =
+  touched db;
+  db.timestamp <- db.timestamp + 1
 let change_counter db = db.changes
 
 let lookup db table key =
@@ -84,6 +110,7 @@ let union db ?(reason = Proof_forest.Asserted) a b =
   | Value.VId x, Value.VId y ->
     if x = y then Value.VId x
     else begin
+      touched db;
       db.changes <- db.changes + 1;
       Proof_forest.record db.proofs x y reason;
       Value.VId (Union_find.union db.uf x y)
@@ -99,15 +126,14 @@ let resolve_merge db (func : Schema.func) old_v new_v =
   match func.merge with
   | Schema.Merge_union -> union db ~reason:(Proof_forest.Congruence func.name) old_v new_v
   | Schema.Merge_panic ->
-    failwith
-      (Printf.sprintf "merge conflict on function %s: %s vs %s (no :merge declared)"
-         (Symbol.name func.name) (Value.to_string old_v) (Value.to_string new_v))
+    raise (Merge_conflict { func = func.name; old_value = old_v; new_value = new_v })
   | Schema.Merge_expr _ ->
     (match db.merge_hook with
      | Some hook -> hook func old_v new_v
-     | None -> failwith "internal error: merge hook not installed")
+     | None -> raise (Internal_error "merge hook not installed"))
 
 let set db table key value =
+  touched db;
   let key = canon_key db key in
   let value = canon db value in
   match Table.get table key with
@@ -127,7 +153,9 @@ let set db table key value =
       | `Unchanged -> ()
     end
 
-let remove db table key = Table.remove table (canon_key db key)
+let remove db table key =
+  touched db;
+  Table.remove table (canon_key db key)
 
 (* One repair round over a table: pull out all rows whose key or value
    mention a non-canonical id, then re-insert them canonically, letting
@@ -183,5 +211,6 @@ let copy db =
     timestamp = db.timestamp;
     changes = db.changes;
     merge_hook = db.merge_hook;
+    txn_hook = None;  (* transactions never follow a copy across a swap *)
     proofs = Proof_forest.copy db.proofs;
   }

@@ -6,6 +6,14 @@
 
 type t
 
+exception Merge_conflict of { func : Symbol.t; old_value : Value.t; new_value : Value.t }
+(** A functional-dependency violation on a function whose merge behaviour is
+    panic (base-typed, no [:merge]), with the two conflicting outputs. *)
+
+exception Internal_error of string
+(** An engine invariant was broken (e.g. a [:merge] function whose evaluator
+    hook was never installed); indicates a bug, not a user error. *)
+
 val create : unit -> t
 
 (** {1 Declarations} *)
@@ -74,3 +82,16 @@ val total_rows : t -> int
 (** {1 Snapshots (push/pop)} *)
 
 val copy : t -> t
+
+(** {1 Transactions}
+
+    [set_txn_hook db f] arms a one-shot hook that fires immediately {e
+    before} the first subsequent mutation (insert, union, remove, fresh id,
+    declaration, timestamp bump) — at which point the database is still in
+    its pre-mutation state, so [f] can take a {!copy} for rollback. Commands
+    that fail before mutating never pay for a snapshot. The hook disarms
+    itself after firing; {!clear_txn_hook} disarms it explicitly. Copies
+    made by {!copy} carry no hook. *)
+
+val set_txn_hook : t -> (unit -> unit) -> unit
+val clear_txn_hook : t -> unit

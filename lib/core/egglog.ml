@@ -39,7 +39,9 @@ let run_string (eng : Engine.t) (src : string) : string list =
   Engine.run_program eng (Frontend.parse_program src)
 
 (** Convenience: fresh engine, run a program, return outputs. *)
-let run_program_string ?seminaive ?scheduler ?fast_paths ?index_caching (src : string) :
-    string list =
-  let eng = Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching () in
+let run_program_string ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit
+    (src : string) : string list =
+  let eng =
+    Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit ()
+  in
   run_string eng src

@@ -25,8 +25,8 @@ type snapshot = {
 type t = {
   mutable db : Database.t;
   mutable rules : rt_rule list;  (* in declaration order *)
-  merge_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
-  default_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
+  mutable merge_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
+  mutable default_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
   mutable stack : snapshot list;
   seminaive : bool;
   fast_paths : bool;
@@ -35,6 +35,8 @@ type t = {
   mutable iteration : int;
   mutable rule_counter : int;
   run_cap : int;  (* iteration bound for (run) without a limit *)
+  mutable default_node_limit : int option;  (* session-wide budget (CLI --node-limit) *)
+  mutable default_time_limit : float option;  (* session-wide budget (CLI --time-limit) *)
   join_cache : Join.cache;
   mutable current_reason : Proof_forest.reason;  (* justification for unions *)
   mutable rulesets : string list;  (* declared named rulesets *)
@@ -109,7 +111,7 @@ let exec_action eng (slots : Value.t array) (a : Compile.caction) =
     Database.remove eng.db (table_of eng f) vals
 
 let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
-    ?(index_caching = true) () =
+    ?(index_caching = true) ?node_limit ?time_limit () =
   let eng =
     {
       db = Database.create ();
@@ -124,6 +126,8 @@ let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
       iteration = 0;
       rule_counter = 0;
       run_cap = 1000;
+      default_node_limit = node_limit;
+      default_time_limit = time_limit;
       join_cache = Join.new_cache ();
       current_reason = Proof_forest.Asserted;
       rulesets = [];
@@ -320,7 +324,36 @@ type iteration_stat = {
   it_matches : int;
 }
 
-type run_report = { iterations : iteration_stat list; saturated : bool; total_seconds : float }
+type stop_reason =
+  | Saturated  (* an iteration changed nothing and no rule was banned *)
+  | Iteration_limit  (* ran the requested number of iterations *)
+  | Node_limit of int  (* total tuples when the budget tripped *)
+  | Time_limit of float  (* elapsed seconds when the budget tripped *)
+  | Until_satisfied  (* the :until facts became derivable *)
+
+let describe_stop_reason = function
+  | Saturated -> "saturated"
+  | Iteration_limit -> "iteration limit"
+  | Node_limit n -> Printf.sprintf "node limit, %d tuples" n
+  | Time_limit s -> Printf.sprintf "time limit after %.2fs" s
+  | Until_satisfied -> "until condition satisfied"
+
+type rule_stat = {
+  rs_rule : string;
+  rs_matches : int;  (* matches applied during this run *)
+  rs_bans : int;  (* times the scheduler banned the rule during this run *)
+}
+
+type run_report = {
+  iterations : iteration_stat list;
+  stop_reason : stop_reason;
+  rule_stats : rule_stat list;
+  total_seconds : float;
+}
+
+(* Raised cooperatively inside the run loop when a budget trips. Never
+   escapes run_iterations. *)
+exception Stop_run of stop_reason
 
 let search_matches eng ?cache (r : rt_rule) : Value.t array list =
   let cache = if eng.index_caching then cache else None in
@@ -370,7 +403,21 @@ type phase_times = {
   mutable ph_matches : int;
 }
 
-let run_one_iteration ?ruleset eng (ph : phase_times) : bool =
+(* Re-raise join invariant failures with the rule that triggered them. *)
+let with_rule_context (r : rt_rule) f =
+  try f ()
+  with Join.Internal_error { in_func; detail } ->
+    let where =
+      match in_func with
+      | Some fn -> Printf.sprintf " (function %s)" (Symbol.name fn)
+      | None -> ""
+    in
+    error "internal error in rule %s%s: %s" r.rr_name where detail
+
+let no_budget_check ~within_iteration:_ = ()
+
+let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
+    ?(rule_matches : (string, int) Hashtbl.t option) eng (ph : phase_times) : bool =
   let in_scope r =
     match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
   in
@@ -386,7 +433,11 @@ let run_one_iteration ?ruleset eng (ph : phase_times) : bool =
     List.filter_map
       (fun r ->
         if (not (in_scope r)) || r.rr_banned_until > eng.iteration then None
-        else Some (r, search_matches eng ~cache r))
+        else begin
+          let matches = with_rule_context r (fun () -> search_matches eng ~cache r) in
+          budget_check ~within_iteration:true;
+          Some (r, matches)
+        end)
       eng.rules
   in
   ph.ph_search <- ph.ph_search +. (Unix.gettimeofday () -. t_search);
@@ -410,7 +461,16 @@ let run_one_iteration ?ruleset eng (ph : phase_times) : bool =
   List.iter
     (fun (r, matches) ->
       ph.ph_matches <- ph.ph_matches + List.length matches;
-      List.iter (fun binding -> apply_match eng r binding) matches;
+      (match rule_matches with
+       | Some tbl ->
+         let prev = Option.value (Hashtbl.find_opt tbl r.rr_name) ~default:0 in
+         Hashtbl.replace tbl r.rr_name (prev + List.length matches)
+       | None -> ());
+      List.iter
+        (fun binding ->
+          with_rule_context r (fun () -> apply_match eng r binding);
+          budget_check ~within_iteration:true)
+        matches;
       r.rr_last_stamp <- t0 + 1)
     to_apply;
   eng.current_reason <- Proof_forest.Asserted;
@@ -420,15 +480,56 @@ let run_one_iteration ?ruleset eng (ph : phase_times) : bool =
   ph.ph_rebuild <- ph.ph_rebuild +. (Unix.gettimeofday () -. t_rebuild);
   Database.change_counter db > changes0
 
-let run_iterations ?ruleset eng n =
+let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
+  let start_all = Unix.gettimeofday () in
   let stats = ref [] in
   let total = ref 0.0 in
-  let saturated = ref false in
+  let rule_matches : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bans0 = List.map (fun r -> (r, r.rr_times_banned)) eng.rules in
+  (* Budgets are checked cooperatively: between iterations always, and
+     within an iteration after every rule search and (throttled) after each
+     applied match, so one explosive iteration cannot run away. *)
+  let tick = ref 0 in
+  let budget_check ~within_iteration =
+    let due =
+      if not within_iteration then true
+      else begin
+        incr tick;
+        !tick land 15 = 0
+      end
+    in
+    if due then begin
+      (match node_limit with
+       | Some k ->
+         let rows = Database.total_rows eng.db in
+         if rows > k then raise (Stop_run (Node_limit rows))
+       | None -> ());
+      match time_limit with
+      | Some s ->
+        let dt = Unix.gettimeofday () -. start_all in
+        if dt > s then raise (Stop_run (Time_limit dt))
+      | None -> ()
+    end
+  in
+  let until_holds () = until <> [] && check_facts eng until in
+  let stop = ref Iteration_limit in
   (try
+     if until_holds () then raise (Stop_run Until_satisfied);
+     budget_check ~within_iteration:false;
      for i = 1 to n do
        let ph = { ph_search = 0.0; ph_apply = 0.0; ph_rebuild = 0.0; ph_matches = 0 } in
        let start = Unix.gettimeofday () in
-       let changed = run_one_iteration ?ruleset eng ph in
+       let outcome =
+         try Ok (run_one_iteration ?ruleset ~budget_check ~rule_matches eng ph)
+         with Stop_run r -> Error r
+       in
+       (* A budget can trip mid-iteration; restore the canonical invariant
+          before reporting (partial progress is kept, as in egg). *)
+       (match outcome with
+        | Error _ ->
+          eng.current_reason <- Proof_forest.Asserted;
+          Database.rebuild eng.db
+        | Ok _ -> ());
        let dt = Unix.gettimeofday () -. start in
        total := !total +. dt;
        stats :=
@@ -437,20 +538,38 @@ let run_iterations ?ruleset eng n =
            it_seconds = dt;
            it_rows = Database.total_rows eng.db;
            it_classes = Database.n_classes eng.db;
-           it_changed = changed;
+           it_changed = (match outcome with Ok c -> c | Error _ -> true);
            it_search_seconds = ph.ph_search;
            it_apply_seconds = ph.ph_apply;
            it_rebuild_seconds = ph.ph_rebuild;
            it_matches = ph.ph_matches;
          }
          :: !stats;
-       if (not changed) && not (any_banned eng) then begin
-         saturated := true;
-         raise Exit
-       end
+       match outcome with
+       | Error r -> raise (Stop_run r)
+       | Ok changed ->
+         if until_holds () then raise (Stop_run Until_satisfied);
+         budget_check ~within_iteration:false;
+         if (not changed) && not (any_banned eng) then raise (Stop_run Saturated)
      done
-   with Exit -> ());
-  { iterations = List.rev !stats; saturated = !saturated; total_seconds = !total }
+   with Stop_run r -> stop := r);
+  let rule_stats =
+    List.filter_map
+      (fun (r, bans_before) ->
+        let in_scope =
+          match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
+        in
+        if not in_scope then None
+        else
+          Some
+            {
+              rs_rule = r.rr_name;
+              rs_matches = Option.value (Hashtbl.find_opt rule_matches r.rr_name) ~default:0;
+              rs_bans = r.rr_times_banned - bans_before;
+            })
+      bans0
+  in
+  { iterations = List.rev !stats; stop_reason = !stop; rule_stats; total_seconds = !total }
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -519,7 +638,13 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
     let rec exec (sched : Ast.schedule) : bool (* changed *) =
       match sched with
       | Ast.Sched_run (rs, n) ->
-        let report = run_iterations ?ruleset:(resolve_rs rs) eng n in
+        (* Session-wide budgets also bound schedules; once a budget trips,
+           each sub-run stops at its entry check with zero iterations, so
+           saturate loops observe "no change" and terminate. *)
+        let report =
+          run_iterations ?ruleset:(resolve_rs rs) ?node_limit:eng.default_node_limit
+            ?time_limit:eng.default_time_limit eng n
+        in
         total := !total + List.length report.iterations;
         List.exists (fun s -> s.it_changed) report.iterations
       | Ast.Sched_seq scheds ->
@@ -584,15 +709,26 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
   | Ast.Top_action a ->
     exec_top_actions eng [ a ];
     []
-  | Ast.Run limit ->
+  | Ast.Run spec ->
     (* As in egglog, (run n) runs the default ruleset; named rulesets run
-       through (run-schedule ...). *)
-    let n = Option.value limit ~default:eng.run_cap in
-    let report = run_iterations ~ruleset:"" eng n in
+       through (run-schedule ...). Budgets from the command override the
+       session-wide defaults (CLI --node-limit / --time-limit). *)
+    let n = Option.value spec.Ast.run_limit ~default:eng.run_cap in
+    let first_some a b = match a with Some _ -> a | None -> b in
+    let node_limit = first_some spec.Ast.run_node_limit eng.default_node_limit in
+    let time_limit = first_some spec.Ast.run_time_limit eng.default_time_limit in
+    let report =
+      run_iterations ~ruleset:"" ?node_limit ?time_limit ~until:spec.Ast.run_until eng n
+    in
+    let stop_note =
+      match report.stop_reason with
+      | Saturated -> " (saturated)"
+      | Iteration_limit -> ""
+      | (Node_limit _ | Time_limit _ | Until_satisfied) as r ->
+        Printf.sprintf " (stopped: %s)" (describe_stop_reason r)
+    in
     [ Printf.sprintf "ran %d iteration(s)%s; %d tuples, %d classes"
-        (List.length report.iterations)
-        (if report.saturated then " (saturated)" else "")
-        (total_rows eng) (n_classes eng) ]
+        (List.length report.iterations) stop_note (total_rows eng) (n_classes eng) ]
   | Ast.Check facts ->
     if check_facts eng facts then begin
       match facts with
@@ -726,12 +862,110 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
      | Sexpr.Parse_error { line; col; message } ->
        error "include %s:%d:%d: %s" path line col message)
 
+(* ------------------------------------------------------------------ *)
+(* Transactional command execution                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a failed command could have perturbed. The database copy is
+   the expensive part, so it is taken lazily: Database.set_txn_hook fires
+   just before the first mutation, when the database is still clean —
+   commands that fail before mutating (bad declarations, failed checks,
+   unknown names) pay nothing beyond the cheap scalar capture. *)
+type txn = {
+  tx_db0 : Database.t;  (* the database object at command start *)
+  tx_db_saved : Database.t option ref;  (* pre-mutation copy, filled lazily *)
+  tx_rules : rt_rule list;
+  tx_rule_states : (int * int * int) list;
+  tx_iteration : int;
+  tx_rule_counter : int;
+  tx_rulesets : string list;
+  tx_stack : snapshot list;
+  tx_merge_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
+  tx_default_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
+}
+
+(* [deep_stack] additionally copies the databases held by push/pop
+   snapshots: an (include ...) can pop into one of them and then mutate it
+   through the eng.db alias, which would corrupt the restored stack. *)
+let capture_txn ?(deep_stack = false) eng =
+  {
+    tx_db0 = eng.db;
+    tx_db_saved = ref None;
+    tx_rules = eng.rules;
+    tx_rule_states =
+      List.map (fun r -> (r.rr_last_stamp, r.rr_times_banned, r.rr_banned_until)) eng.rules;
+    tx_iteration = eng.iteration;
+    tx_rule_counter = eng.rule_counter;
+    tx_rulesets = eng.rulesets;
+    tx_stack =
+      (if deep_stack then
+         List.map (fun sn -> { sn with sn_db = Database.copy sn.sn_db }) eng.stack
+       else eng.stack);
+    tx_merge_exprs = Hashtbl.copy eng.merge_exprs;
+    tx_default_exprs = Hashtbl.copy eng.default_exprs;
+  }
+
+let rollback_txn eng tx =
+  (eng.db <-
+     (match !(tx.tx_db_saved) with
+      | Some saved -> saved  (* the command mutated: restore the clean copy *)
+      | None -> tx.tx_db0 (* fast path: it failed before mutating *)));
+  eng.rules <- tx.tx_rules;
+  List.iter2
+    (fun r (ls, tb, bu) ->
+      r.rr_last_stamp <- ls;
+      r.rr_times_banned <- tb;
+      r.rr_banned_until <- bu)
+    tx.tx_rules tx.tx_rule_states;
+  eng.iteration <- tx.tx_iteration;
+  eng.rule_counter <- tx.tx_rule_counter;
+  eng.rulesets <- tx.tx_rulesets;
+  eng.stack <- tx.tx_stack;
+  eng.merge_exprs <- tx.tx_merge_exprs;
+  eng.default_exprs <- tx.tx_default_exprs;
+  eng.current_reason <- Proof_forest.Asserted
+
 (* Normalize internal failures (merge conflicts, bad unions, primitive
-   division by zero) into the single user-facing exception. *)
+   division by zero, broken join invariants) into the single user-facing
+   exception. *)
+let user_error (e : exn) : exn =
+  match e with
+  | Failure msg -> Egglog_error msg
+  | Invalid_argument msg -> Egglog_error msg
+  | Division_by_zero -> Egglog_error "division by zero"
+  | Database.Merge_conflict { func; old_value; new_value } ->
+    Egglog_error
+      (Printf.sprintf "merge conflict on function %s: %s vs %s (no :merge declared)"
+         (Symbol.name func) (Value.to_string old_value) (Value.to_string new_value))
+  | Database.Internal_error msg -> Egglog_error (Printf.sprintf "internal error: %s" msg)
+  | Join.Internal_error { in_func; detail } ->
+    let where =
+      match in_func with
+      | Some fn -> Printf.sprintf " (function %s)" (Symbol.name fn)
+      | None -> ""
+    in
+    Egglog_error (Printf.sprintf "internal error%s: %s" where detail)
+  | e -> e
+
 let run_command eng cmd =
-  try run_command_inner eng cmd with
-  | Failure msg -> raise (Egglog_error msg)
-  | Invalid_argument msg -> raise (Egglog_error msg)
-  | Division_by_zero -> raise (Egglog_error "division by zero")
+  match cmd with
+  (* Read-only commands skip the transaction machinery entirely. *)
+  | Ast.Print_function _ | Ast.Print_size _ | Ast.Print_stats -> (
+    try run_command_inner eng cmd with e -> raise (user_error e))
+  | _ ->
+    let deep_stack = match cmd with Ast.Include _ -> true | _ -> false in
+    let tx = capture_txn ~deep_stack eng in
+    Database.set_txn_hook tx.tx_db0 (fun () ->
+        if !(tx.tx_db_saved) = None then tx.tx_db_saved := Some (Database.copy tx.tx_db0));
+    Fun.protect
+      ~finally:(fun () ->
+        Database.clear_txn_hook tx.tx_db0;
+        Database.clear_txn_hook eng.db)
+      (fun () ->
+        try run_command_inner eng cmd
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          rollback_txn eng tx;
+          Printexc.raise_with_backtrace (user_error e) bt)
 
 let run_program eng cmds = List.concat_map (run_command eng) cmds

@@ -19,9 +19,20 @@ val backoff_default : scheduler
 type t
 
 val create :
-  ?seminaive:bool -> ?scheduler:scheduler -> ?fast_paths:bool -> ?index_caching:bool -> unit -> t
+  ?seminaive:bool ->
+  ?scheduler:scheduler ->
+  ?fast_paths:bool ->
+  ?index_caching:bool ->
+  ?node_limit:int ->
+  ?time_limit:float ->
+  unit ->
+  t
 (** [seminaive:false] gives the paper's egglogNI baseline; [fast_paths] and
-    [index_caching] exist for the ablation benchmarks. *)
+    [index_caching] exist for the ablation benchmarks. [node_limit] /
+    [time_limit] install session-wide budgets applied to every [(run ...)]
+    and [(run-schedule ...)] command (the CLI's [--node-limit] /
+    [--time-limit]); per-command [:node-limit] / [:time-limit] override
+    them. *)
 
 val database : t -> Database.t
 
@@ -62,20 +73,61 @@ type iteration_stat = {
   it_matches : int;  (** matches applied *)
 }
 
+(** Why a run stopped. Budgets are enforced cooperatively: between
+    iterations always, and within an iteration after each rule search and
+    (throttled) after each applied match, so one explosive iteration cannot
+    exhaust memory. A budgeted stop keeps the partial progress (as in egg's
+    Runner) and leaves the database rebuilt and usable. *)
+type stop_reason =
+  | Saturated  (** an iteration changed nothing and no rule is banned *)
+  | Iteration_limit  (** ran the requested number of iterations *)
+  | Node_limit of int  (** tuple budget tripped; payload = tuples at stop *)
+  | Time_limit of float  (** wall-clock budget tripped; payload = elapsed seconds *)
+  | Until_satisfied  (** the [until] facts became derivable *)
+
+val describe_stop_reason : stop_reason -> string
+
+type rule_stat = {
+  rs_rule : string;  (** rule name *)
+  rs_matches : int;  (** matches applied during this run *)
+  rs_bans : int;  (** times the scheduler banned the rule during this run *)
+}
+(** Per-rule accounting for one run — enough to diagnose which rule made a
+    workload explode. *)
+
 type run_report = {
   iterations : iteration_stat list;  (** in order *)
-  saturated : bool;
+  stop_reason : stop_reason;
+  rule_stats : rule_stat list;  (** in declaration order, searched rules only *)
   total_seconds : float;
 }
 
-val run_iterations : ?ruleset:string -> t -> int -> run_report
-(** Restrict to one named ruleset when given. *)
+val run_iterations :
+  ?ruleset:string ->
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?until:Ast.fact list ->
+  t ->
+  int ->
+  run_report
+(** Run up to [n] iterations, restricted to one named ruleset when given.
+    [node_limit] stops once total tuples exceed it; [time_limit] stops after
+    that many wall-clock seconds; [until] stops as soon as all its facts are
+    derivable (checked before the first iteration and after each one). *)
 
 (** {1 Commands (the textual language)} *)
 
 val run_command : t -> Ast.command -> string list
 (** Execute one command; returns its printed outputs (check results,
-    extracted terms, …). *)
+    extracted terms, …).
+
+    Commands are {e transactional}: if execution raises for any reason (a
+    failed check, a mid-run primitive error, a merge conflict, an internal
+    invariant violation), the engine is rolled back to its pre-command state
+    — database, rules, scheduler state, push/pop stack — before the
+    exception is re-raised as {!Egglog_error}. The database snapshot is
+    taken lazily at the first mutation, so commands that fail before
+    mutating pay no copy. *)
 
 val run_program : t -> Ast.command list -> string list
 

@@ -142,8 +142,45 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
       [ Ast.Add_rewrite { lhs = expr_of_sexp lhs; rhs = expr_of_sexp rhs; conds; ruleset };
         Ast.Add_rewrite { lhs = expr_of_sexp rhs; rhs = expr_of_sexp lhs; conds; ruleset } ]
     | ("define" | "let"), [ Sexpr.Atom x; e ] -> [ Ast.Define (x, expr_of_sexp e) ]
-    | "run", [] -> [ Ast.Run None ]
-    | "run", [ Sexpr.Int n ] -> [ Ast.Run (Some n) ]
+    | "run", rest ->
+      let limit, kw_items =
+        match rest with
+        | Sexpr.Int n :: tl -> (Some n, tl)
+        | tl -> (None, tl)
+      in
+      let kws = keywords_of kw_items in
+      List.iter
+        (fun (kw, _) ->
+          match kw with
+          | ":until" | ":node-limit" | ":time-limit" -> ()
+          | other -> error "unknown run option %s" other)
+        kws;
+      let node_limit =
+        match List.assoc_opt ":node-limit" kws with
+        | Some (Sexpr.Int k) when k >= 0 -> Some k
+        | Some v -> error "malformed :node-limit %s (want a non-negative integer)" (Sexpr.to_string v)
+        | None -> None
+      in
+      let time_limit =
+        match List.assoc_opt ":time-limit" kws with
+        | Some (Sexpr.Int s) when s >= 0 -> Some (float_of_int s)
+        | Some (Sexpr.Rational r) when Rat.to_float r >= 0.0 -> Some (Rat.to_float r)
+        | Some v -> error "malformed :time-limit %s (want seconds)" (Sexpr.to_string v)
+        | None -> None
+      in
+      let until =
+        match List.assoc_opt ":until" kws with
+        (* either one fact, or a parenthesized list of facts *)
+        | Some (Sexpr.List (Sexpr.List _ :: _) as fs) ->
+          (match fs with
+           | Sexpr.List items -> List.map fact_of_sexp items
+           | _ -> assert false)
+        | Some (Sexpr.List (Sexpr.Atom _ :: _) as f) -> [ fact_of_sexp f ]
+        | Some v -> error "malformed :until %s (want a fact or a list of facts)" (Sexpr.to_string v)
+        | None -> []
+      in
+      [ Ast.Run { Ast.run_limit = limit; run_node_limit = node_limit;
+                  run_time_limit = time_limit; run_until = until } ]
     | "run-schedule", scheds ->
       let rec sched_of_sexp (s : Sexpr.t) : Ast.schedule =
         match s with
@@ -184,5 +221,32 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
   | _ -> error "expected a command, got %s" (Sexpr.to_string s)
 
 let parse_program src = List.concat_map command_of_sexp (Sexpr.parse_string src)
+
+(* ---- incremental-input support (the REPL's line reader) ---- *)
+
+type balance = Balanced | Incomplete | Unbalanced
+
+let paren_balance src =
+  let depth = ref 0 in
+  let state = ref `Code in
+  let unbalanced = ref false in
+  String.iter
+    (fun c ->
+      match !state with
+      | `Code ->
+        if c = '(' then incr depth
+        else if c = ')' then begin
+          decr depth;
+          if !depth < 0 then unbalanced := true
+        end
+        else if c = '"' then state := `Str
+        else if c = ';' then state := `Comment
+      | `Str -> if c = '\\' then state := `Esc else if c = '"' then state := `Code
+      | `Esc -> state := `Str
+      | `Comment -> if c = '\n' then state := `Code)
+    src;
+  if !unbalanced then Unbalanced
+  else if !depth > 0 || !state = `Str || !state = `Esc then Incomplete
+  else Balanced
 
 let () = ignore split_keywords

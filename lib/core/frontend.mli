@@ -13,3 +13,11 @@ val command_of_sexp : Sexpr.t -> Ast.command list
 
 val parse_program : string -> Ast.command list
 (** @raise Syntax_error or {!Sexpr.Parse_error} on malformed programs. *)
+
+(** Classification of possibly-incomplete input (the REPL's line reader):
+    [Incomplete] needs more lines (open parens or an unterminated string);
+    [Unbalanced] has a stray [')'] and can never complete. Parens inside
+    string literals and [;] line comments do not count. *)
+type balance = Balanced | Incomplete | Unbalanced
+
+val paren_balance : string -> balance

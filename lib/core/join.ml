@@ -1,3 +1,8 @@
+exception Internal_error of { in_func : Symbol.t option; detail : string }
+
+let internal ?in_func fmt =
+  Format.kasprintf (fun detail -> raise (Internal_error { in_func; detail })) fmt
+
 module VTbl = Hashtbl.Make (struct
   type t = Value.t
 
@@ -27,7 +32,9 @@ let plan_atom db (q : Compile.cquery) (atom : Compile.atom) : atom_plan =
   let table =
     match Database.find_func db atom.a_func.Schema.name with
     | Some t -> t
-    | None -> failwith ("internal error: no table for " ^ Symbol.name atom.a_func.Schema.name)
+    | None ->
+      internal ~in_func:atom.a_func.Schema.name "no table for function %s (popped scope?)"
+        (Symbol.name atom.a_func.Schema.name)
   in
   let n = Array.length atom.a_args in
   let first_pos : (int, int) Hashtbl.t = Hashtbl.create 8 in
@@ -355,7 +362,7 @@ let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_
       | Compile.A_var v -> (
         match env.(v) with
         | Some x -> x
-        | None -> failwith "internal error: unbound variable in primitive")
+        | None -> internal "unbound variable in primitive argument")
     in
     (* Run the primitives scheduled at a depth. Returns the computed vars to
        undo, or None on guard failure (partial bindings already undone). *)
@@ -396,7 +403,7 @@ let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_
           (fun i o ->
             match o with
             | Some v -> v
-            | None -> failwith ("internal error: unbound variable " ^ q.var_names.(i)))
+            | None -> internal "unbound variable %s at emit" q.var_names.(i))
           env
       in
       callback binding
@@ -410,13 +417,14 @@ let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_
            let v = q.order.(d) in
            let parts = parts_for_depth.(d) in
            match parts with
-           | [] -> failwith "internal error: join variable covered by no atom"
+           | [] -> internal "join variable %s covered by no atom" q.var_names.(v)
            | _ ->
              (* Iterate the smallest candidate set, probe the others. *)
              let node_table ai =
                match cursors.(ai) with
                | Node t -> t
-               | Leaf -> failwith "internal error: trie cursor exhausted"
+               | Leaf ->
+                 internal ~in_func:q.atoms.(ai).a_func.Schema.name "trie cursor exhausted"
              in
              let smallest =
                List.fold_left

@@ -6,6 +6,12 @@
     atom [j] to rows stamped since the rule last ran, and later atoms to
     everything. *)
 
+exception Internal_error of { in_func : Symbol.t option; detail : string }
+(** A join invariant was broken (missing table, unbound variable, exhausted
+    trie cursor) — a bug in query planning or scope management, not a user
+    error. [in_func] names the function symbol involved when known; the
+    engine adds the rule name before surfacing it. *)
+
 type stamp_range = { lo : int; hi : int }
 (** Rows with [lo <= stamp < hi] participate. *)
 

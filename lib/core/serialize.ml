@@ -48,6 +48,19 @@ let dump (eng : Engine.t) : Sexpr.t =
     | Value.VSet xs | Value.VVec xs -> List.iter note xs
     | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> ()
   in
+  (* The dump is canonical — rows, tables and ids are sorted — so two
+     databases with the same contents serialize identically regardless of
+     hash-table iteration order or insertion history. Rollback/equivalence
+     tests and snapshot diffing rely on this. *)
+  let compare_row (k1, v1) (k2, v2) =
+    let rec arrays i =
+      if i >= Array.length k1 || i >= Array.length k2 then
+        Int.compare (Array.length k1) (Array.length k2)
+      else
+        match Value.compare k1.(i) k2.(i) with 0 -> arrays (i + 1) | c -> c
+    in
+    match arrays 0 with 0 -> Value.compare v1 v2 | c -> c
+  in
   let tables = ref [] in
   Database.iter_tables db (fun table ->
       let func = Table.func table in
@@ -56,25 +69,38 @@ let dump (eng : Engine.t) : Sexpr.t =
         (fun key row ->
           Array.iter note key;
           note row.Table.value;
-          rows :=
-            Sexpr.List
-              [
-                Sexpr.List (Array.to_list (Array.map sexp_of_value key));
-                sexp_of_value row.Table.value;
-              ]
-            :: !rows)
+          rows := (key, row.Table.value) :: !rows)
         table;
-      if !rows <> [] then
+      if !rows <> [] then begin
+        let sorted = List.sort compare_row !rows in
+        let row_sexps =
+          List.map
+            (fun (key, value) ->
+              Sexpr.List
+                [
+                  Sexpr.List (Array.to_list (Array.map sexp_of_value key));
+                  sexp_of_value value;
+                ])
+            sorted
+        in
         tables :=
-          Sexpr.List (Sexpr.Atom "table" :: Sexpr.Atom (Symbol.name func.Schema.name) :: !rows)
-          :: !tables);
+          ( Symbol.name func.Schema.name,
+            Sexpr.List
+              (Sexpr.Atom "table" :: Sexpr.Atom (Symbol.name func.Schema.name) :: row_sexps) )
+          :: !tables
+      end);
   let id_entries =
-    Hashtbl.fold (fun id sort acc -> Sexpr.List [ Sexpr.Int id; Sexpr.Atom sort ] :: acc) ids []
+    Hashtbl.fold (fun id sort acc -> (id, sort) :: acc) ids []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map (fun (id, sort) -> Sexpr.List [ Sexpr.Int id; Sexpr.Atom sort ])
+  in
+  let table_sexps =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !tables |> List.map snd
   in
   Sexpr.List
     (Sexpr.Atom "database"
      :: Sexpr.List (Sexpr.Atom "ids" :: id_entries)
-     :: List.rev !tables)
+     :: table_sexps)
 
 let dump_string eng = Sexpr.to_string (dump eng)
 

@@ -540,7 +540,8 @@ let test_saturation_detection () =
     |});
   let report = Egglog.Engine.run_iterations eng 100 in
   Alcotest.(check bool) "saturates early" true (List.length report.Egglog.Engine.iterations < 10);
-  Alcotest.(check bool) "flag set" true report.Egglog.Engine.saturated
+  Alcotest.(check bool) "flag set" true
+    (report.Egglog.Engine.stop_reason = Egglog.Engine.Saturated)
 
 
 (* ---- containers and newer commands ---- *)
