@@ -1,43 +1,36 @@
 (* The egglog command-line tool: run .egg programs or an interactive REPL
-   (the language-based design of §5.2). *)
+   (the language-based design of §5.2), optionally under a write-ahead
+   journal with periodic checkpoints (--journal / --checkpoint-every) and
+   crash recovery (--recover). *)
 
-let run_file ~seminaive ~backoff ~node_limit ~time_limit ~load ~dump path =
+let make_engine ~seminaive ~backoff ~node_limit ~time_limit =
   let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
-  let eng =
-    Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ()
-  in
-  match
-    let src = In_channel.with_open_text path In_channel.input_all in
-    (* Snapshots carry data, not declarations: FILE must (re)declare the
-       schema; the snapshot is loaded after the program runs, ready for
-       further sessions. *)
-    (match load with
-     | Some snap_path ->
-       let outputs = Egglog.run_string eng src in
-       Egglog.Serialize.load_string eng (In_channel.with_open_text snap_path In_channel.input_all);
-       outputs
-     | None -> Egglog.run_string eng src)
-  with
-  | outputs ->
-    List.iter print_endline outputs;
-    (match dump with
-     | Some out_path ->
-       Out_channel.with_open_text out_path (fun oc ->
-           Out_channel.output_string oc (Egglog.Serialize.dump_string eng));
-       Printf.printf "dumped database to %s\n" out_path
-     | None -> ());
-    0
+  Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ()
+
+(* Every mode funnels through one exception ladder so each failure class
+   has one message shape and one exit code. A simulated crash (fault
+   injection) exits 70 so the recovery harness can tell "crashed as
+   scheduled" from both success and real errors. *)
+let with_errors ~where f =
+  match f () with
+  | code -> code
+  | exception Egglog.Fault.Crash point ->
+    Printf.eprintf "simulated crash at %s\n" point;
+    70
   | exception Egglog.Egglog_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
   | exception Sexpr.Parse_error { line; col; message } ->
-    Printf.eprintf "%s:%d:%d: parse error: %s\n" path line col message;
+    Printf.eprintf "%s:%d:%d: parse error: %s\n" where line col message;
     1
   | exception Egglog.Frontend.Syntax_error msg ->
-    Printf.eprintf "%s: syntax error: %s\n" path msg;
+    Printf.eprintf "%s: syntax error: %s\n" where msg;
     1
   | exception Egglog.Serialize.Load_error msg ->
     Printf.eprintf "snapshot error: %s\n" msg;
+    1
+  | exception Egglog.Journal.Journal_error msg ->
+    Printf.eprintf "journal error: %s\n" msg;
     1
   | exception Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -48,16 +41,60 @@ let run_file ~seminaive ~backoff ~node_limit ~time_limit ~load ~dump path =
     Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
     1
 
-let repl ~seminaive ~backoff ~node_limit ~time_limit () =
-  let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
-  let eng =
-    Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ()
-  in
+let write_dump eng = function
+  | Some out_path ->
+    Egglog.Serialize.write_snapshot eng out_path;
+    Printf.printf "dumped database to %s\n" out_path
+  | None -> ()
+
+let print_report (r : Egglog.Durable.recovery_report) =
+  List.iter (fun w -> Printf.eprintf "warning: %s\n" w) r.rc_warnings;
+  Printf.printf "recovered %d committed command(s): %s, %d replayed from the journal%s\n"
+    r.rc_committed
+    (match r.rc_checkpoint with
+     | Some seq -> Printf.sprintf "checkpoint generation %d" seq
+     | None -> "no checkpoint")
+    r.rc_replayed
+    (if r.rc_torn then "; dropped a torn trailing record" else "")
+
+let run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
+    ~dump path =
+  with_errors ~where:path (fun () ->
+      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit in
+      let src = In_channel.with_open_text path In_channel.input_all in
+      let cmds = Egglog.Frontend.parse_program src in
+      let outputs =
+        match journal with
+        | Some journal_path ->
+          let d = Egglog.Durable.attach eng ~journal_path ~checkpoint_every in
+          Fun.protect
+            ~finally:(fun () -> Egglog.Durable.close d)
+            (fun () -> Egglog.Durable.run_program d cmds)
+        | None -> Egglog.Engine.run_program eng cmds
+      in
+      (* Snapshots carry data, not declarations: FILE must (re)declare the
+         schema — and add no data of its own — before the snapshot loads. *)
+      (match load with
+       | Some snap_path -> Egglog.Serialize.load_snapshot eng snap_path
+       | None -> ());
+      List.iter print_endline outputs;
+      write_dump eng dump;
+      0)
+
+let repl ?durable eng =
   Printf.printf "egglog repl — enter commands, ctrl-d to exit\n%!";
+  let exec src =
+    let cmds = Egglog.Frontend.parse_program src in
+    match durable with
+    | Some d -> Egglog.Durable.run_program d cmds
+    | None -> Egglog.Engine.run_program eng cmds
+  in
   let rec loop buffer =
     Printf.printf "%s %!" (if buffer = "" then ">" else "...");
     match In_channel.input_line stdin with
-    | None -> 0
+    | None ->
+      (match durable with Some d -> Egglog.Durable.close d | None -> ());
+      0
     | Some line -> (
       let src = buffer ^ "\n" ^ line in
       (* Parens inside strings and comments do not count; a stray ')'
@@ -70,19 +107,76 @@ let repl ~seminaive ~backoff ~node_limit ~time_limit () =
       | Egglog.Frontend.Balanced ->
         (* Commands are transactional, so after any error — including an
            internal one — the engine state is intact and the session can
-           continue. *)
-        (match Egglog.run_string eng src with
+           continue. A simulated crash is the one exception: it must
+           propagate and kill the process, that is its job. *)
+        (match exec src with
          | outputs -> List.iter print_endline outputs
+         | exception (Egglog.Fault.Crash _ as e) -> raise e
          | exception Egglog.Egglog_error msg -> Printf.printf "error: %s\n" msg
          | exception Sexpr.Parse_error { message; _ } -> Printf.printf "parse error: %s\n" message
          | exception Egglog.Frontend.Syntax_error msg -> Printf.printf "syntax error: %s\n" msg
+         | exception Egglog.Journal.Journal_error msg -> Printf.printf "journal error: %s\n" msg
          | exception e -> Printf.printf "internal error: %s\n" (Printexc.to_string e));
         loop "")
   in
   loop ""
 
+let repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~recover
+    ~dump () =
+  with_errors
+    ~where:(match journal with Some j -> j | None -> "<repl>")
+    (fun () ->
+      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit in
+      match journal with
+      | None -> repl eng
+      | Some journal_path when not recover ->
+        let d = Egglog.Durable.attach eng ~journal_path ~checkpoint_every in
+        repl ~durable:d eng
+      | Some journal_path ->
+        let d, report = Egglog.Durable.recover eng ~journal_path ~checkpoint_every in
+        print_report report;
+        write_dump eng dump;
+        (* Recover-and-exit when scripted (the CI harness dumps and diffs);
+           recover-and-continue when a human is attached. *)
+        if Unix.isatty Unix.stdin then repl ~durable:d eng
+        else begin
+          Egglog.Durable.close d;
+          0
+        end)
+
 let () =
   let open Cmdliner in
+  let positive_int ~what =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %d" what n))
+      | None -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let positive_float ~what =
+    let parse s =
+      match float_of_string_opt s with
+      | Some x when x > 0.0 -> Ok x
+      | Some _ -> Error (`Msg (Printf.sprintf "%s must be a positive number of seconds" what))
+      | None -> Error (`Msg (Printf.sprintf "%s must be a number of seconds, got %S" what s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  let fault_point =
+    let parse s =
+      match String.rindex_opt s ':' with
+      | Some i when i > 0 -> (
+        let point = String.sub s 0 i in
+        let n = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Ok (point, n)
+        | _ -> Error (`Msg "expected POINT:N with N a positive occurrence index"))
+      | _ -> Error (`Msg "expected POINT:N (e.g. journal.append.torn:2)")
+    in
+    Arg.conv (parse, fun fmt (p, n) -> Format.fprintf fmt "%s:%d" p n)
+  in
   let file =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"egglog program to run")
   in
@@ -93,29 +187,74 @@ let () =
     Arg.(value & flag & info [ "backoff" ] ~doc:"Use the BackOff rule scheduler (as in egg)")
   in
   let node_limit =
-    Arg.(value & opt (some int) None & info [ "node-limit" ] ~docv:"N"
-           ~doc:"Stop any run once the database exceeds N tuples (per-command :node-limit overrides)")
+    Arg.(value & opt (some (positive_int ~what:"--node-limit")) None
+         & info [ "node-limit" ] ~docv:"N"
+             ~doc:"Stop any run once the database exceeds N tuples (per-command :node-limit overrides)")
   in
   let time_limit =
-    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
-           ~doc:"Stop any run after SECONDS of wall-clock time (per-command :time-limit overrides)")
+    Arg.(value & opt (some (positive_float ~what:"--time-limit")) None
+         & info [ "time-limit" ] ~docv:"SECONDS"
+             ~doc:"Stop any run after SECONDS of wall-clock time (per-command :time-limit overrides)")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"JOURNAL"
+           ~doc:"Record every committed command to this write-ahead journal (fsync'd per command); recover after a crash with $(b,--recover)")
+  in
+  let checkpoint_every =
+    Arg.(value & opt (some (positive_int ~what:"--checkpoint-every")) None
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"With $(b,--journal): write an atomic checkpoint and truncate the journal after every N committed commands")
+  in
+  let recover =
+    Arg.(value & flag & info [ "recover" ]
+           ~doc:"Recover state from $(b,--journal)'s newest checkpoint plus journal replay, report what was restored, then continue (REPL on a terminal, exit otherwise)")
+  in
+  let fault =
+    Arg.(value & opt (some fault_point) None & info [ "fault" ] ~docv:"POINT:N"
+           ~doc:"Deterministic fault injection for testing: simulate a crash (exit 70) at the N-th hit of the named injection point, e.g. journal.append.torn:2")
   in
   let load =
     Arg.(value & opt (some string) None & info [ "load" ] ~docv:"SNAPSHOT"
-           ~doc:"Load a database snapshot (produced by --dump) after running FILE")
+           ~doc:"Load a database snapshot (produced by --dump) after running FILE; FILE must declare the schema and add no data")
   in
   let dump =
     Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"SNAPSHOT"
-           ~doc:"Dump the final database to this file")
+           ~doc:"Dump the final database to this file (atomic write; versioned, checksummed format)")
   in
-  let main file no_seminaive backoff node_limit time_limit load dump =
+  let main file no_seminaive backoff node_limit time_limit journal checkpoint_every recover
+      fault load dump =
     let seminaive = not no_seminaive in
-    match file with
-    | Some path -> run_file ~seminaive ~backoff ~node_limit ~time_limit ~load ~dump path
-    | None -> repl ~seminaive ~backoff ~node_limit ~time_limit ()
+    let usage_error msg =
+      Printf.eprintf "egglog: %s\n" msg;
+      2
+    in
+    (match fault with Some (point, n) -> Egglog.Fault.arm_nth point n | None -> ());
+    if journal = None && checkpoint_every <> None then
+      usage_error "--checkpoint-every requires --journal"
+    else if journal = None && recover then usage_error "--recover requires --journal"
+    else if journal <> None && load <> None then
+      usage_error "--journal is incompatible with --load (recover the journal instead)"
+    else if load <> None && file = None then
+      usage_error
+        "--load requires FILE: snapshots carry data, not declarations, so FILE must declare \
+         the snapshot's schema (and add no data) before the snapshot loads"
+    else if recover && file <> None then
+      usage_error
+        "--recover restores the journaled program's state; it cannot also run FILE (its \
+         declarations would clash). Recover on a terminal to continue interactively."
+    else
+      match file with
+      | Some path ->
+        run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
+          ~dump path
+      | None ->
+        repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every
+          ~recover ~dump ()
   in
   let term =
-    Term.(const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ load $ dump)
+    Term.(
+      const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ journal
+      $ checkpoint_every $ recover $ fault $ load $ dump)
   in
   let info =
     Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"

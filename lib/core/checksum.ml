@@ -1,0 +1,21 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force table in
+  let c = ref 0xffffffff in
+  String.iter (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xffffffff
+
+let to_hex c = Printf.sprintf "%08x" (c land 0xffffffff)
+
+let of_hex s =
+  match int_of_string_opt ("0x" ^ s) with
+  | Some c when c >= 0 && c <= 0xffffffff -> Some c
+  | Some _ | None -> None

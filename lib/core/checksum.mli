@@ -1,0 +1,11 @@
+(** CRC-32 (the IEEE 802.3 polynomial) over strings. Used to frame journal
+    records and checkpoint/snapshot payloads so torn or corrupted writes are
+    detected at load time instead of silently misloading. *)
+
+val crc32 : string -> int
+(** In [0, 0xffffffff]. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase hex, the on-disk form. *)
+
+val of_hex : string -> int option

@@ -1,0 +1,73 @@
+(** The durability controller: ties an {!Engine} to a write-ahead
+    {!Journal} and periodic {!Serialize} checkpoints, and recovers the pair
+    after a crash.
+
+    {2 Protocol}
+
+    Every journal-worthy command goes through {!run_command}: it executes
+    (transactionally — see {!Engine.run_command}), and only once it has
+    {e committed} is its concrete syntax appended to the journal and
+    fsync'd. A command that fails is rolled back and never journaled; a
+    crash between commit and append loses at most that one command (it was
+    never acknowledged as durable). After [checkpoint_every] committed
+    commands, a checkpoint lands atomically and the journal is reset to a
+    new, empty generation.
+
+    {2 Recovery guarantee}
+
+    {!recover} on a fresh engine — newest valid checkpoint, then journal
+    replay — reproduces a state whose {!Serialize.dump} is byte-identical
+    to an uninterrupted run of the same committed command prefix. A torn
+    trailing journal record (crash mid-append) is dropped with a warning,
+    never an error. Caveats: [(include ...)] is journaled by name, so the
+    file must still exist at recovery; runs under a wall-clock [:time-limit]
+    or the Backoff scheduler stop at a time-dependent point, so their
+    replayed prefix is only guaranteed equivalent when the run saturates or
+    hits a deterministic limit. *)
+
+type t
+
+val attach : Engine.t -> journal_path:string -> checkpoint_every:int option -> t
+(** Start journaling a (fresh or pre-loaded) engine to a {e new} journal.
+    Refuses (with {!Journal.Journal_error}) to overwrite an existing journal
+    file — recover it or remove it first. *)
+
+type recovery_report = {
+  rc_checkpoint : int option;  (** checkpoint generation restored, if any *)
+  rc_replayed : int;  (** journal entries replayed on top of it *)
+  rc_committed : int;  (** total committed commands after recovery *)
+  rc_torn : bool;  (** a torn trailing record was dropped *)
+  rc_warnings : string list;  (** human-readable recovery notes *)
+}
+
+val recover :
+  Engine.t -> journal_path:string -> checkpoint_every:int option -> t * recovery_report
+(** Rebuild state into a {e fresh} engine: load the journal's checkpoint
+    generation (replaying its declaration program, then loading its data
+    dump), replay the journal tail, and return a controller ready for more
+    commands. Handles every crash window: a torn trailing record is
+    truncated; a checkpoint that landed whose journal reset did not is
+    detected by sequence number (the stale journal is discarded); a
+    checkpoint temp file that never renamed is simply ignored.
+    @raise Journal.Journal_error if the journal is unreadable or its
+    checkpoint generation is missing/corrupt (the journal alone cannot
+    reproduce state that was folded into a checkpoint). *)
+
+val run_command : t -> Ast.command -> string list
+(** Execute, then journal on commit (read-only print commands are executed
+    but not journaled). May trigger a checkpoint; checkpointing is deferred
+    while a [(push)] scope is open. *)
+
+val run_program : t -> Ast.command list -> string list
+
+val checkpoint : t -> unit
+(** Force a checkpoint now. @raise Journal.Journal_error inside an open
+    [(push)] scope. *)
+
+val engine : t -> Engine.t
+val committed : t -> int
+(** Journal-worthy commands committed since the journal's genesis. *)
+
+val close : t -> unit
+
+val journal_worthy : Ast.command -> bool

@@ -31,6 +31,10 @@ module Extract = Extract
 module Engine = Engine
 module Frontend = Frontend
 module Serialize = Serialize
+module Checksum = Checksum
+module Fault = Fault
+module Journal = Journal
+module Durable = Durable
 
 exception Egglog_error = Engine.Egglog_error
 

@@ -20,6 +20,7 @@ type snapshot = {
   sn_rules : rt_rule list;
   sn_rule_states : (int * int * int) list;  (* last_stamp, times_banned, banned_until *)
   sn_iteration : int;
+  sn_decl_log : Ast.command list;
 }
 
 type t = {
@@ -40,6 +41,7 @@ type t = {
   join_cache : Join.cache;
   mutable current_reason : Proof_forest.reason;  (* justification for unions *)
   mutable rulesets : string list;  (* declared named rulesets *)
+  mutable decl_log : Ast.command list;  (* reversed; see [decl_commands] *)
 }
 
 let database eng = eng.db
@@ -131,6 +133,7 @@ let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
       join_cache = Join.new_cache ();
       current_reason = Proof_forest.Asserted;
       rulesets = [];
+      decl_log = [];
     }
   in
   Database.set_merge_hook eng.db (fun func old_v new_v ->
@@ -158,10 +161,22 @@ let rec resolve_ty eng (t : Ast.tyexpr) : Ty.t =
       if Database.is_sort eng.db (Symbol.intern name) then Ty.Sort (Symbol.intern name)
       else error "unknown type %s" name)
 
+(* The declaration log records every committed schema-shaping operation
+   (sorts, functions, rules, rulesets) as a replayable command, at the level
+   of the primitive typed-API entry points: sugar (datatype, relation,
+   rewrite, define) is logged desugared, so replaying the log into a fresh
+   engine reproduces the schema, the rule set and the deterministic
+   auto-naming counters exactly. Checkpoints persist this log alongside the
+   data dump (a {!Serialize.dump} carries no declarations). *)
+let log_decl eng cmd = eng.decl_log <- cmd :: eng.decl_log
+let decl_commands eng = List.rev eng.decl_log
+let scope_depth eng = List.length eng.stack
+
 let declare_sort eng name =
   let sym = Symbol.intern name in
   if Database.is_sort eng.db sym then error "sort %s is already declared" name;
-  Database.declare_sort eng.db sym
+  Database.declare_sort eng.db sym;
+  log_decl eng (Ast.Decl_sort name)
 
 let wrap_compile f = try f () with Compile.Error msg -> raise (Egglog_error msg)
 
@@ -203,11 +218,12 @@ let declare_function eng (decl : Ast.function_decl) =
       (match merge with
        | Schema.Merge_expr e -> Hashtbl.replace eng.merge_exprs name (Compile.compile_merge_expr env func e)
        | Schema.Merge_union | Schema.Merge_panic -> ());
-      match default with
-      | Schema.Default_expr e ->
-        let ce, _ = Compile.compile_closed_expr env ~expected:ret_ty e in
-        Hashtbl.replace eng.default_exprs name ce
-      | Schema.Default_fresh | Schema.Default_panic -> ())
+      (match default with
+       | Schema.Default_expr e ->
+         let ce, _ = Compile.compile_closed_expr env ~expected:ret_ty e in
+         Hashtbl.replace eng.default_exprs name ce
+       | Schema.Default_fresh | Schema.Default_panic -> ());
+      log_decl eng (Ast.Decl_function decl))
 
 let declare_relation eng name arg_tys =
   declare_function eng
@@ -258,11 +274,13 @@ let add_rule eng (rule : Ast.rule) =
           rr_banned_until = 0;
         }
       in
-      eng.rules <- eng.rules @ [ rt ])
+      eng.rules <- eng.rules @ [ rt ];
+      log_decl eng (Ast.Add_rule rule))
 
 let declare_ruleset eng name =
   if List.mem name eng.rulesets then error "ruleset %s is already declared" name;
-  eng.rulesets <- name :: eng.rulesets
+  eng.rulesets <- name :: eng.rulesets;
+  log_decl eng (Ast.Decl_ruleset name)
 
 let rewrite_counter = ref 0
 
@@ -421,6 +439,9 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
   let in_scope r =
     match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
   in
+  (* Durability injection point: a crash here models process death in the
+     middle of a long fixpoint run ("mid-run apply"). *)
+  Fault.hit "engine.iteration";
   let db = eng.db in
   Database.rebuild db;
   eng.iteration <- eng.iteration + 1;
@@ -610,6 +631,7 @@ let rec ground_value eng (e : Ast.expr) : Value.t option =
     end)
 
 let exec_top_actions eng (actions : Ast.action list) =
+  Fault.hit "engine.top-action";
   wrap_compile (fun () ->
       let cas, n_slots = Compile.compile_top_actions (compile_env eng) actions in
       let slots = Array.make (max n_slots 1) Value.VUnit in
@@ -803,6 +825,7 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
         sn_rule_states =
           List.map (fun r -> (r.rr_last_stamp, r.rr_times_banned, r.rr_banned_until)) eng.rules;
         sn_iteration = eng.iteration;
+        sn_decl_log = eng.decl_log;
       }
       :: eng.stack;
     []
@@ -820,6 +843,7 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
           r.rr_banned_until <- bu)
         snap.sn_rules snap.sn_rule_states;
       eng.iteration <- snap.sn_iteration;
+      eng.decl_log <- snap.sn_decl_log;
       [])
   | Ast.Print_function (name, n) ->
     let table = find_table_exn eng name in
@@ -882,6 +906,7 @@ type txn = {
   tx_stack : snapshot list;
   tx_merge_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
   tx_default_exprs : (Symbol.t, Compile.cexpr) Hashtbl.t;
+  tx_decl_log : Ast.command list;
 }
 
 (* [deep_stack] additionally copies the databases held by push/pop
@@ -903,6 +928,7 @@ let capture_txn ?(deep_stack = false) eng =
        else eng.stack);
     tx_merge_exprs = Hashtbl.copy eng.merge_exprs;
     tx_default_exprs = Hashtbl.copy eng.default_exprs;
+    tx_decl_log = eng.decl_log;
   }
 
 let rollback_txn eng tx =
@@ -923,6 +949,7 @@ let rollback_txn eng tx =
   eng.stack <- tx.tx_stack;
   eng.merge_exprs <- tx.tx_merge_exprs;
   eng.default_exprs <- tx.tx_default_exprs;
+  eng.decl_log <- tx.tx_decl_log;
   eng.current_reason <- Proof_forest.Asserted
 
 (* Normalize internal failures (merge conflicts, bad unions, primitive

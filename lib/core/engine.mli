@@ -133,6 +133,17 @@ val run_program : t -> Ast.command list -> string list
 
 (** {1 Introspection} *)
 
+val decl_commands : t -> Ast.command list
+(** The committed schema-shaping history, in order, as replayable commands:
+    sorts, functions, rules and rulesets, with sugar (datatype, relation,
+    rewrite, define) recorded desugared. Running these into a fresh engine
+    reproduces the schema and rule set (including deterministic auto-naming)
+    without any data; checkpoints persist this list alongside the data dump.
+    Tracks rollback and push/pop like the rest of the engine state. *)
+
+val scope_depth : t -> int
+(** Number of open [(push)] scopes. Checkpointing is deferred while > 0. *)
+
 val total_rows : t -> int
 val n_classes : t -> int
 val table_size : t -> string -> int

@@ -1,0 +1,47 @@
+exception Crash of string
+
+let enabled = ref false
+let schedule : (string -> bool) ref = ref (fun _ -> false)
+let counts : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let reset_state () =
+  schedule := (fun _ -> false);
+  Hashtbl.reset counts
+
+let arm f =
+  reset_state ();
+  schedule := f;
+  enabled := true
+
+let arm_nth point n =
+  let seen = ref 0 in
+  arm (fun p ->
+      if String.equal p point then begin
+        incr seen;
+        !seen = n
+      end
+      else false)
+
+let arm_counting () = arm (fun _ -> false)
+
+let disarm () =
+  enabled := false;
+  reset_state ()
+
+let crash point = raise (Crash point)
+
+let record point =
+  Hashtbl.replace counts point (1 + Option.value (Hashtbl.find_opt counts point) ~default:0)
+
+let would_crash point =
+  if not !enabled then false
+  else begin
+    record point;
+    !schedule point
+  end
+
+let hit point = if !enabled then if would_crash point then crash point
+
+let hit_counts () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -222,6 +222,169 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
 
 let parse_program src = List.concat_map command_of_sexp (Sexpr.parse_string src)
 
+(* ---- printing commands back to concrete syntax ----
+
+   The durability subsystem journals committed commands as text and replays
+   them through [command_of_sexp]; the invariant is that for every command
+   the parser can produce, [command_of_sexp (sexp_of_command c) = [c]].
+   Commands built through the typed API can mention literals that have no
+   concrete syntax (ids, sets, vectors, unit); printing those raises
+   [Syntax_error] — the journal layer prints before executing, so such a
+   command is rejected up front rather than silently dropped from the
+   durable history. *)
+
+let sexp_of_lit (v : Value.t) : Sexpr.t =
+  match v with
+  | Value.VBool true -> Sexpr.Atom "true"
+  | Value.VBool false -> Sexpr.Atom "false"
+  | Value.VInt i -> Sexpr.Int i
+  | Value.VRat r ->
+    (* [Rat.pp] prints integral rationals as bare integers, which would
+       re-parse as i64; force the n/d form so the literal keeps its type. *)
+    if Rat.is_integer r then Sexpr.Atom (Rat.to_string r ^ "/1") else Sexpr.Rational r
+  | Value.VStr s -> Sexpr.String (Symbol.name s)
+  | Value.VUnit | Value.VId _ | Value.VSet _ | Value.VVec _ ->
+    error "literal %s has no concrete syntax" (Value.to_string v)
+
+let rec sexp_of_expr (e : Ast.expr) : Sexpr.t =
+  match e with
+  | Ast.Var x -> Sexpr.Atom x
+  | Ast.Lit v -> sexp_of_lit v
+  | Ast.Call (f, args) -> Sexpr.List (Sexpr.Atom f :: List.map sexp_of_expr args)
+
+let sexp_of_fact (f : Ast.fact) : Sexpr.t =
+  match f with
+  | Ast.Eq (a, b) -> Sexpr.List [ Sexpr.Atom "="; sexp_of_expr a; sexp_of_expr b ]
+  | Ast.Holds e -> sexp_of_expr e
+
+let rec sexp_of_tyexpr (t : Ast.tyexpr) : Sexpr.t =
+  match t with
+  | Ast.T_name n -> Sexpr.Atom n
+  | Ast.T_set inner -> Sexpr.List [ Sexpr.Atom "Set"; sexp_of_tyexpr inner ]
+  | Ast.T_vec inner -> Sexpr.List [ Sexpr.Atom "Vec"; sexp_of_tyexpr inner ]
+
+let sexp_of_action (a : Ast.action) : Sexpr.t =
+  match a with
+  | Ast.Set (f, args, v) ->
+    Sexpr.List
+      [ Sexpr.Atom "set"; Sexpr.List (Sexpr.Atom f :: List.map sexp_of_expr args);
+        sexp_of_expr v ]
+  | Ast.Union (a, b) -> Sexpr.List [ Sexpr.Atom "union"; sexp_of_expr a; sexp_of_expr b ]
+  | Ast.Let (x, e) -> Sexpr.List [ Sexpr.Atom "let"; Sexpr.Atom x; sexp_of_expr e ]
+  | Ast.Do e -> sexp_of_expr e
+  | Ast.Panic msg -> Sexpr.List [ Sexpr.Atom "panic"; Sexpr.String msg ]
+  | Ast.Delete (f, args) ->
+    Sexpr.List [ Sexpr.Atom "delete"; Sexpr.List (Sexpr.Atom f :: List.map sexp_of_expr args) ]
+
+(* A float budget re-parses as Int when integral, Rational otherwise; both
+   are accepted by the [run] keyword parser and round-trip exactly. *)
+let sexp_of_seconds s =
+  if Float.is_integer s && Float.abs s < 1e15 then Sexpr.Int (int_of_float s)
+  else Sexpr.Rational (Rat.of_float s)
+
+let sexp_of_command (cmd : Ast.command) : Sexpr.t =
+  match cmd with
+  | Ast.Decl_sort name -> Sexpr.List [ Sexpr.Atom "sort"; Sexpr.Atom name ]
+  | Ast.Decl_ruleset name -> Sexpr.List [ Sexpr.Atom "ruleset"; Sexpr.Atom name ]
+  | Ast.Decl_datatype (name, variants) ->
+    Sexpr.List
+      (Sexpr.Atom "datatype" :: Sexpr.Atom name
+       :: List.map
+            (fun (cname, args) ->
+              Sexpr.List (Sexpr.Atom cname :: List.map sexp_of_tyexpr args))
+            variants)
+  | Ast.Decl_function { fname; arg_tys; ret_ty; merge; default; cost } ->
+    let kws =
+      (match merge with
+       | Ast.Merge_default -> []
+       | Ast.Merge_expr e -> [ Sexpr.Atom ":merge"; sexp_of_expr e ])
+      @ (match default with
+         | None -> []
+         | Some e -> [ Sexpr.Atom ":default"; sexp_of_expr e ])
+      @ (match cost with None -> [] | Some n -> [ Sexpr.Atom ":cost"; Sexpr.Int n ])
+    in
+    Sexpr.List
+      (Sexpr.Atom "function" :: Sexpr.Atom fname
+       :: Sexpr.List (List.map sexp_of_tyexpr arg_tys)
+       :: sexp_of_tyexpr ret_ty :: kws)
+  | Ast.Decl_relation (name, arg_tys) ->
+    Sexpr.List
+      [ Sexpr.Atom "relation"; Sexpr.Atom name;
+        Sexpr.List (List.map sexp_of_tyexpr arg_tys) ]
+  | Ast.Add_rule { rule_name; query; actions; ruleset } ->
+    let kws =
+      (match rule_name with
+       | None -> []
+       | Some n -> [ Sexpr.Atom ":name"; Sexpr.String n ])
+      @ (match ruleset with
+         | None -> []
+         | Some rs -> [ Sexpr.Atom ":ruleset"; Sexpr.Atom rs ])
+    in
+    Sexpr.List
+      (Sexpr.Atom "rule"
+       :: Sexpr.List (List.map sexp_of_fact query)
+       :: Sexpr.List (List.map sexp_of_action actions)
+       :: kws)
+  | Ast.Add_rewrite { lhs; rhs; conds; ruleset } ->
+    let kws =
+      (match conds with
+       | [] -> []
+       | _ -> [ Sexpr.Atom ":when"; Sexpr.List (List.map sexp_of_fact conds) ])
+      @ (match ruleset with
+         | None -> []
+         | Some rs -> [ Sexpr.Atom ":ruleset"; Sexpr.Atom rs ])
+    in
+    Sexpr.List (Sexpr.Atom "rewrite" :: sexp_of_expr lhs :: sexp_of_expr rhs :: kws)
+  | Ast.Define (x, e) -> Sexpr.List [ Sexpr.Atom "define"; Sexpr.Atom x; sexp_of_expr e ]
+  | Ast.Top_action a -> sexp_of_action a
+  | Ast.Run { run_limit; run_node_limit; run_time_limit; run_until } ->
+    let limit = match run_limit with None -> [] | Some n -> [ Sexpr.Int n ] in
+    let kws =
+      (match run_node_limit with
+       | None -> []
+       | Some k -> [ Sexpr.Atom ":node-limit"; Sexpr.Int k ])
+      @ (match run_time_limit with
+         | None -> []
+         | Some s -> [ Sexpr.Atom ":time-limit"; sexp_of_seconds s ])
+      @
+      match run_until with
+      | [] -> []
+      | [ f ] -> [ Sexpr.Atom ":until"; sexp_of_fact f ]
+      | fs -> [ Sexpr.Atom ":until"; Sexpr.List (List.map sexp_of_fact fs) ]
+    in
+    Sexpr.List ((Sexpr.Atom "run" :: limit) @ kws)
+  | Ast.Run_schedule scheds ->
+    let rec sexp_of_sched (s : Ast.schedule) : Sexpr.t =
+      match s with
+      | Ast.Sched_run (None, n) -> Sexpr.List [ Sexpr.Atom "run"; Sexpr.Int n ]
+      | Ast.Sched_run (Some rs, n) ->
+        Sexpr.List [ Sexpr.Atom "run"; Sexpr.Atom rs; Sexpr.Int n ]
+      | Ast.Sched_saturate inner ->
+        Sexpr.List (Sexpr.Atom "saturate" :: List.map sexp_of_sched inner)
+      | Ast.Sched_seq inner -> Sexpr.List (Sexpr.Atom "seq" :: List.map sexp_of_sched inner)
+      | Ast.Sched_repeat (n, inner) ->
+        Sexpr.List (Sexpr.Atom "repeat" :: Sexpr.Int n :: List.map sexp_of_sched inner)
+    in
+    Sexpr.List (Sexpr.Atom "run-schedule" :: List.map sexp_of_sched scheds)
+  | Ast.Check facts -> Sexpr.List (Sexpr.Atom "check" :: List.map sexp_of_fact facts)
+  | Ast.Check_fail facts ->
+    Sexpr.List
+      [ Sexpr.Atom "fail"; Sexpr.List (Sexpr.Atom "check" :: List.map sexp_of_fact facts) ]
+  | Ast.Extract (e, variants) ->
+    Sexpr.List
+      [ Sexpr.Atom "extract"; sexp_of_expr e; Sexpr.Atom ":variants"; Sexpr.Int variants ]
+  | Ast.Simplify (n, e) -> Sexpr.List [ Sexpr.Atom "simplify"; Sexpr.Int n; sexp_of_expr e ]
+  | Ast.Include path -> Sexpr.List [ Sexpr.Atom "include"; Sexpr.String path ]
+  | Ast.Explain (a, b) -> Sexpr.List [ Sexpr.Atom "explain"; sexp_of_expr a; sexp_of_expr b ]
+  | Ast.Push -> Sexpr.List [ Sexpr.Atom "push" ]
+  | Ast.Pop -> Sexpr.List [ Sexpr.Atom "pop" ]
+  | Ast.Print_function (name, n) ->
+    Sexpr.List [ Sexpr.Atom "print-function"; Sexpr.Atom name; Sexpr.Int n ]
+  | Ast.Print_size name -> Sexpr.List [ Sexpr.Atom "print-size"; Sexpr.Atom name ]
+  | Ast.Print_stats -> Sexpr.List [ Sexpr.Atom "print-stats" ]
+
+let command_to_string cmd = Sexpr.to_string (sexp_of_command cmd)
+
 (* ---- incremental-input support (the REPL's line reader) ---- *)
 
 type balance = Balanced | Incomplete | Unbalanced

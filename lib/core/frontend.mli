@@ -14,6 +14,22 @@ val command_of_sexp : Sexpr.t -> Ast.command list
 val parse_program : string -> Ast.command list
 (** @raise Syntax_error or {!Sexpr.Parse_error} on malformed programs. *)
 
+(** {1 Printing}
+
+    Inverse of the parser, used by the durability layer to journal committed
+    commands as replayable text: for every command the parser can produce,
+    [command_of_sexp (sexp_of_command c) = [c]]. *)
+
+val sexp_of_expr : Ast.expr -> Sexpr.t
+(** @raise Syntax_error on literals with no concrete syntax (ids, sets,
+    vectors, unit), which only the typed API can construct. *)
+
+val sexp_of_fact : Ast.fact -> Sexpr.t
+val sexp_of_command : Ast.command -> Sexpr.t
+
+val command_to_string : Ast.command -> string
+(** [Sexpr.to_string] of {!sexp_of_command}. *)
+
 (** Classification of possibly-incomplete input (the REPL's line reader):
     [Incomplete] needs more lines (open parens or an unterminated string);
     [Unbalanced] has a stray [')'] and can never complete. Parens inside

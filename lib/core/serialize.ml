@@ -4,7 +4,8 @@ let error fmt = Format.kasprintf (fun s -> raise (Load_error s)) fmt
 
 (* ---- values <-> s-expressions ---- *)
 
-let rec sexp_of_value (v : Value.t) : Sexpr.t =
+let rec sexp_of_value ?(id = fun i -> Sexpr.List [ Sexpr.Atom "id"; Sexpr.Int i ])
+    (v : Value.t) : Sexpr.t =
   match v with
   | Value.VUnit -> Sexpr.List [ Sexpr.Atom "unit" ]
   | Value.VBool b -> Sexpr.Atom (string_of_bool b)
@@ -12,9 +13,9 @@ let rec sexp_of_value (v : Value.t) : Sexpr.t =
   | Value.VRat r ->
     Sexpr.List [ Sexpr.Atom "rat"; Sexpr.String (Rat.to_string r) ]
   | Value.VStr s -> Sexpr.String (Symbol.name s)
-  | Value.VId id -> Sexpr.List [ Sexpr.Atom "id"; Sexpr.Int id ]
-  | Value.VSet xs -> Sexpr.List (Sexpr.Atom "set" :: List.map sexp_of_value xs)
-  | Value.VVec xs -> Sexpr.List (Sexpr.Atom "vec" :: List.map sexp_of_value xs)
+  | Value.VId i -> id i
+  | Value.VSet xs -> Sexpr.List (Sexpr.Atom "set" :: List.map (sexp_of_value ~id) xs)
+  | Value.VVec xs -> Sexpr.List (Sexpr.Atom "vec" :: List.map (sexp_of_value ~id) xs)
 
 let rec value_of_sexp ~remap (s : Sexpr.t) : Value.t =
   match s with
@@ -30,28 +31,227 @@ let rec value_of_sexp ~remap (s : Sexpr.t) : Value.t =
   | Sexpr.List (Sexpr.Atom "vec" :: xs) -> Value.VVec (List.map (value_of_sexp ~remap) xs)
   | _ -> error "malformed value %s" (Sexpr.to_string s)
 
+(* ---- canonical id numbering ----
+
+   The dump renumbers e-class ids by {e content}, not by their allocation
+   history: two databases holding the same tables modulo a renaming of ids
+   serialize to identical bytes. Crash recovery depends on this — a
+   recovered engine (checkpoint load + journal replay) allocates different
+   concrete ids and different union-find representatives than the
+   uninterrupted process it mirrors, yet must produce an identical dump.
+
+   The numbering is computed by color refinement with individualization:
+   every id starts colored by its sort, and is repeatedly re-colored by the
+   multiset of rows it occurs in (rendered with the current colors, the id
+   itself as a hole). When refinement stalls with a class of
+   indistinguishable ids, one member is individualized and refinement
+   resumes; for ids the refinement cannot split, any choice of member is an
+   automorphism of the database in all but adversarially-constructed cases,
+   so the emitted bytes do not depend on the choice. *)
+
+let canonical_numbering (rows : (string * Value.t array * Value.t) list)
+    ~(sort_of : int -> string) : (int, int) Hashtbl.t =
+  let present : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec note (v : Value.t) =
+    match v with
+    | Value.VId i -> Hashtbl.replace present i ()
+    | Value.VSet xs | Value.VVec xs -> List.iter note xs
+    | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> ()
+  in
+  List.iter
+    (fun (_, key, v) ->
+      Array.iter note key;
+      note v)
+    rows;
+  let ids = Hashtbl.fold (fun i () acc -> i :: acc) present [] |> List.sort Int.compare in
+  let numbering : (int, int) Hashtbl.t = Hashtbl.create (List.length ids) in
+  if ids = [] then numbering
+  else begin
+    let n = List.length ids in
+    let color : (int, string) Hashtbl.t = Hashtbl.create n in
+    List.iter (fun i -> Hashtbl.replace color i ("s:" ^ sort_of i)) ids;
+    (* rows mentioning each id, built once *)
+    let occ : (int, (string * Value.t array * Value.t) list ref) Hashtbl.t = Hashtbl.create n in
+    List.iter (fun i -> Hashtbl.replace occ i (ref [])) ids;
+    List.iter
+      (fun ((_, key, v) as row) ->
+        let seen : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+        let rec mark (x : Value.t) =
+          match x with
+          | Value.VId i ->
+            if not (Hashtbl.mem seen i) then begin
+              Hashtbl.replace seen i ();
+              let r = Hashtbl.find occ i in
+              r := row :: !r
+            end
+          | Value.VSet xs | Value.VVec xs -> List.iter mark xs
+          | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> ()
+        in
+        Array.iter mark key;
+        mark v)
+      rows;
+    let render_row ~self (f, key, v) =
+      let rec render buf (x : Value.t) =
+        match x with
+        | Value.VId i ->
+          if i = self then Buffer.add_string buf "<*>"
+          else begin
+            Buffer.add_char buf '<';
+            Buffer.add_string buf (Hashtbl.find color i);
+            Buffer.add_char buf '>'
+          end
+        | Value.VSet xs ->
+          (* set order is id-number-dependent; render as a sorted multiset of
+             member renders so the signature is content-only *)
+          let parts =
+            List.map
+              (fun m ->
+                let b = Buffer.create 16 in
+                render b m;
+                Buffer.contents b)
+              xs
+            |> List.sort String.compare
+          in
+          Buffer.add_char buf '{';
+          List.iter
+            (fun p ->
+              Buffer.add_string buf p;
+              Buffer.add_char buf ' ')
+            parts;
+          Buffer.add_char buf '}'
+        | Value.VVec xs ->
+          Buffer.add_char buf '[';
+          List.iter
+            (fun m ->
+              render buf m;
+              Buffer.add_char buf ' ')
+            xs;
+          Buffer.add_char buf ']'
+        | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ ->
+          Buffer.add_string buf (Value.to_string x)
+      in
+      let buf = Buffer.create 64 in
+      Buffer.add_char buf '(';
+      Buffer.add_string buf f;
+      Array.iter
+        (fun x ->
+          Buffer.add_char buf ' ';
+          render buf x)
+        key;
+      Buffer.add_string buf " -> ";
+      render buf v;
+      Buffer.add_char buf ')';
+      Buffer.contents buf
+    in
+    let distinct_colors () =
+      let s : (string, unit) Hashtbl.t = Hashtbl.create n in
+      List.iter (fun i -> Hashtbl.replace s (Hashtbl.find color i) ()) ids;
+      Hashtbl.length s
+    in
+    let refine_round () =
+      let long : (int * string) list =
+        List.map
+          (fun i ->
+            let sigs =
+              List.map (render_row ~self:i) !(Hashtbl.find occ i) |> List.sort String.compare
+            in
+            (i, Hashtbl.find color i ^ "|" ^ String.concat ";" sigs))
+          ids
+      in
+      (* compress long signatures to dense ranks to keep colors short *)
+      let sorted = List.sort_uniq String.compare (List.map snd long) in
+      let rank : (string, string) Hashtbl.t = Hashtbl.create n in
+      List.iteri (fun k s -> Hashtbl.replace rank s (Printf.sprintf "%06d" k)) sorted;
+      List.iter (fun (i, s) -> Hashtbl.replace color i (Hashtbl.find rank s)) long
+    in
+    let individualize () =
+      (* group by color; split the first tied class by marking its member
+         with the smallest concrete id *)
+      let classes : (string, int list ref) Hashtbl.t = Hashtbl.create n in
+      List.iter
+        (fun i ->
+          let c = Hashtbl.find color i in
+          match Hashtbl.find_opt classes c with
+          | Some r -> r := i :: !r
+          | None -> Hashtbl.replace classes c (ref [ i ]))
+        ids;
+      let tied =
+        Hashtbl.fold (fun c r acc -> if List.length !r > 1 then (c, !r) :: acc else acc) classes []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      match tied with
+      | [] -> ()
+      | (c, members) :: _ ->
+        let m = List.fold_left min (List.hd members) members in
+        Hashtbl.replace color m (c ^ "!")
+    in
+    let continue_ = ref true in
+    let classes = ref (distinct_colors ()) in
+    while !continue_ do
+      refine_round ();
+      let classes' = distinct_colors () in
+      if classes' = n then continue_ := false
+      else if classes' > !classes then classes := classes'
+      else begin
+        individualize ();
+        classes := !classes + 1
+      end
+    done;
+    let in_order =
+      List.sort (fun a b -> String.compare (Hashtbl.find color a) (Hashtbl.find color b)) ids
+    in
+    List.iteri (fun k i -> Hashtbl.replace numbering i k) in_order;
+    numbering
+  end
+
 (* ---- dump ---- *)
 
 let dump (eng : Engine.t) : Sexpr.t =
   Engine.rebuild eng;
   let db = Engine.database eng in
-  (* collect every id that appears in the database, with its sort *)
-  let ids : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  (* collect every row and every id that appears in one, with its sort *)
+  let sorts : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let rec note (v : Value.t) =
     match v with
     | Value.VId id ->
-      if not (Hashtbl.mem ids id) then begin
+      if not (Hashtbl.mem sorts id) then begin
         match Database.sort_of_id db id with
-        | Ty.Sort s -> Hashtbl.replace ids id (Symbol.name s)
+        | Ty.Sort s -> Hashtbl.replace sorts id (Symbol.name s)
         | _ -> ()
       end
     | Value.VSet xs | Value.VVec xs -> List.iter note xs
     | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> ()
   in
-  (* The dump is canonical — rows, tables and ids are sorted — so two
-     databases with the same contents serialize identically regardless of
-     hash-table iteration order or insertion history. Rollback/equivalence
-     tests and snapshot diffing rely on this. *)
+  let by_table : (string * (Value.t array * Value.t) list) list ref = ref [] in
+  let all_rows : (string * Value.t array * Value.t) list ref = ref [] in
+  Database.iter_tables db (fun table ->
+      let func = Table.func table in
+      let fname = Symbol.name func.Schema.name in
+      let rows = ref [] in
+      Table.iter
+        (fun key row ->
+          Array.iter note key;
+          note row.Table.value;
+          rows := (key, row.Table.value) :: !rows;
+          all_rows := (fname, key, row.Table.value) :: !all_rows)
+        table;
+      if !rows <> [] then by_table := (fname, !rows) :: !by_table);
+  (* The dump is canonical — rows, tables and ids are sorted, and ids are
+     renumbered by content — so two databases with the same contents
+     serialize identically regardless of hash-table iteration order,
+     insertion history, union-find representatives or concrete id
+     allocation. Rollback/equivalence tests, snapshot diffing and crash
+     recovery rely on this. *)
+  let numbering =
+    canonical_numbering !all_rows ~sort_of:(fun i -> Hashtbl.find sorts i)
+  in
+  let rec renumber (v : Value.t) : Value.t =
+    match v with
+    | Value.VId i -> Value.VId (Hashtbl.find numbering i)
+    | Value.VSet xs -> Value.mk_set (List.map renumber xs)
+    | Value.VVec xs -> Value.VVec (List.map renumber xs)
+    | Value.VUnit | Value.VBool _ | Value.VInt _ | Value.VRat _ | Value.VStr _ -> v
+  in
   let compare_row (k1, v1) (k2, v2) =
     let rec arrays i =
       if i >= Array.length k1 || i >= Array.length k2 then
@@ -61,41 +261,33 @@ let dump (eng : Engine.t) : Sexpr.t =
     in
     match arrays 0 with 0 -> Value.compare v1 v2 | c -> c
   in
-  let tables = ref [] in
-  Database.iter_tables db (fun table ->
-      let func = Table.func table in
-      let rows = ref [] in
-      Table.iter
-        (fun key row ->
-          Array.iter note key;
-          note row.Table.value;
-          rows := (key, row.Table.value) :: !rows)
-        table;
-      if !rows <> [] then begin
-        let sorted = List.sort compare_row !rows in
+  let plain_id i = Sexpr.List [ Sexpr.Atom "id"; Sexpr.Int i ] in
+  let table_sexps =
+    List.map
+      (fun (fname, rows) ->
+        let rows =
+          List.map (fun (key, v) -> (Array.map renumber key, renumber v)) rows
+          |> List.sort compare_row
+        in
         let row_sexps =
           List.map
             (fun (key, value) ->
               Sexpr.List
                 [
-                  Sexpr.List (Array.to_list (Array.map sexp_of_value key));
-                  sexp_of_value value;
+                  Sexpr.List (Array.to_list (Array.map (sexp_of_value ~id:plain_id) key));
+                  sexp_of_value ~id:plain_id value;
                 ])
-            sorted
+            rows
         in
-        tables :=
-          ( Symbol.name func.Schema.name,
-            Sexpr.List
-              (Sexpr.Atom "table" :: Sexpr.Atom (Symbol.name func.Schema.name) :: row_sexps) )
-          :: !tables
-      end);
+        (fname, Sexpr.List (Sexpr.Atom "table" :: Sexpr.Atom fname :: row_sexps)))
+      !by_table
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map snd
+  in
   let id_entries =
-    Hashtbl.fold (fun id sort acc -> (id, sort) :: acc) ids []
+    Hashtbl.fold (fun old_id sort acc -> (Hashtbl.find numbering old_id, sort) :: acc) sorts []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     |> List.map (fun (id, sort) -> Sexpr.List [ Sexpr.Int id; Sexpr.Atom sort ])
-  in
-  let table_sexps =
-    List.sort (fun (a, _) (b, _) -> String.compare a b) !tables |> List.map snd
   in
   Sexpr.List
     (Sexpr.Atom "database"
@@ -108,6 +300,16 @@ let dump_string eng = Sexpr.to_string (dump eng)
 
 let load (eng : Engine.t) (s : Sexpr.t) : unit =
   let db = Engine.database eng in
+  (* Loading merges nothing: the target must hold no data (no ids, no rows).
+     Declarations are fine — they are required, since a snapshot carries
+     only data. Loading into a populated database has no well-defined
+     meaning (id remapping could silently alias or duplicate rows), so it is
+     an explicit error rather than an unspecified merge. *)
+  if Database.n_ids db > 0 || Database.total_rows db > 0 then
+    error
+      "load into a non-empty database (%d ids, %d rows); load only into a freshly \
+       declared engine"
+      (Database.n_ids db) (Database.total_rows db);
   match s with
   | Sexpr.List (Sexpr.Atom "database" :: Sexpr.List (Sexpr.Atom "ids" :: id_entries) :: tables) ->
     (* allocate a fresh id per dumped id; the dump is canonical, so the
@@ -151,3 +353,167 @@ let load (eng : Engine.t) (s : Sexpr.t) : unit =
   | _ -> error "expected (database ...)"
 
 let load_string eng src = load eng (Sexpr.parse_one src)
+
+(* ---- versioned on-disk containers ----
+
+   Snapshots and checkpoints share one container layout:
+
+   {v
+   <magic> <format-version>[ <extra>]\n
+   <payload-length> <crc32-hex>\n
+   <payload bytes>
+   v}
+
+   Writes go to [path ^ ".tmp"], are fsync'd, and land with an atomic
+   rename, so a crash mid-write can never truncate or corrupt an existing
+   file. Reads verify magic, version, length and checksum, turning every
+   corruption mode into a clear {!Load_error}. *)
+
+let format_version = 1
+let snapshot_magic = "egglog-snapshot"
+let checkpoint_magic = "egglog-checkpoint"
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let fsync_dir path =
+  (* Make the rename itself durable. Directory fsync is not supported
+     everywhere; failure to sync the directory only weakens durability, it
+     never corrupts, so errors are ignored. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_versioned ~kind ~magic ~extra ~path payload =
+  Fault.hit (kind ^ ".before");
+  let tmp = path ^ ".tmp" in
+  let header =
+    Printf.sprintf "%s %d%s\n%d %s\n" magic format_version
+      (if extra = "" then "" else " " ^ extra)
+      (String.length payload)
+      (Checksum.to_hex (Checksum.crc32 payload))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd header;
+      write_all fd payload;
+      Unix.fsync fd);
+  Fault.hit (kind ^ ".unrenamed");
+  Sys.rename tmp path;
+  fsync_dir path;
+  Fault.hit (kind ^ ".renamed")
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg -> error "%s" msg
+
+let read_versioned ~magic ~path : string * string =
+  let contents = read_file path in
+  let fail_line () =
+    error "%s is not a versioned %s file (magic mismatch; a pre-versioned snapshot?)" path
+      magic
+  in
+  match String.index_opt contents '\n' with
+  | None -> fail_line ()
+  | Some nl1 -> (
+    let line1 = String.sub contents 0 nl1 in
+    match String.split_on_char ' ' line1 with
+    | m :: version :: extra when String.equal m magic -> (
+      (match int_of_string_opt version with
+       | Some v when v = format_version -> ()
+       | Some v ->
+         error "%s: unsupported %s format version %d (this build reads version %d)" path magic
+           v format_version
+       | None -> fail_line ());
+      match String.index_from_opt contents (nl1 + 1) '\n' with
+      | None -> error "%s: truncated header" path
+      | Some nl2 -> (
+        let line2 = String.sub contents (nl1 + 1) (nl2 - nl1 - 1) in
+        match String.split_on_char ' ' line2 with
+        | [ len_s; crc_s ] -> (
+          match (int_of_string_opt len_s, Checksum.of_hex crc_s) with
+          | Some len, Some crc ->
+            let body_start = nl2 + 1 in
+            let avail = String.length contents - body_start in
+            if avail < len then
+              error "%s: truncated payload (%d of %d bytes)" path avail len
+            else begin
+              let payload = String.sub contents body_start len in
+              if avail > len then error "%s: trailing garbage after payload" path;
+              if Checksum.crc32 payload <> crc then
+                error "%s: payload checksum mismatch (corrupted file)" path;
+              (String.concat " " extra, payload)
+            end
+          | _ -> error "%s: malformed payload header %S" path line2)
+        | _ -> error "%s: malformed payload header %S" path line2))
+    | _ -> fail_line ())
+
+(* ---- snapshot files (the CLI's --dump / --load) ---- *)
+
+let write_snapshot eng path =
+  write_versioned ~kind:"snapshot" ~magic:snapshot_magic ~extra:"" ~path
+    (dump_string eng ^ "\n")
+
+let load_snapshot eng path =
+  let _, payload = read_versioned ~magic:snapshot_magic ~path in
+  match Sexpr.parse_one payload with
+  | s -> load eng s
+  | exception Sexpr.Parse_error { message; _ } ->
+    error "%s: unparsable snapshot payload: %s" path message
+
+(* ---- checkpoint files (durability) ---- *)
+
+type checkpoint = {
+  ck_seq : int;
+  ck_committed : int;
+  ck_program : Ast.command list;
+  ck_database : Sexpr.t;
+}
+
+let write_checkpoint eng ~path ~seq ~committed =
+  let program = List.map Frontend.sexp_of_command (Engine.decl_commands eng) in
+  let payload =
+    Sexpr.to_string
+      (Sexpr.List
+         [
+           Sexpr.Atom "checkpoint";
+           Sexpr.List [ Sexpr.Atom "committed"; Sexpr.Int committed ];
+           Sexpr.List (Sexpr.Atom "program" :: program);
+           dump eng;
+         ])
+    ^ "\n"
+  in
+  write_versioned ~kind:"checkpoint" ~magic:checkpoint_magic ~extra:(string_of_int seq) ~path
+    payload
+
+let read_checkpoint path =
+  let extra, payload = read_versioned ~magic:checkpoint_magic ~path in
+  let seq =
+    match int_of_string_opt extra with
+    | Some s -> s
+    | None -> error "%s: malformed checkpoint sequence %S" path extra
+  in
+  match Sexpr.parse_one payload with
+  | Sexpr.List
+      [
+        Sexpr.Atom "checkpoint";
+        Sexpr.List [ Sexpr.Atom "committed"; Sexpr.Int committed ];
+        Sexpr.List (Sexpr.Atom "program" :: program);
+        db;
+      ] ->
+    let commands =
+      try List.concat_map Frontend.command_of_sexp program
+      with Frontend.Syntax_error msg -> error "%s: bad checkpoint program: %s" path msg
+    in
+    { ck_seq = seq; ck_committed = committed; ck_program = commands; ck_database = db }
+  | _ -> error "%s: malformed checkpoint payload" path
+  | exception Sexpr.Parse_error { message; _ } ->
+    error "%s: unparsable checkpoint payload: %s" path message

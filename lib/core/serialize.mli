@@ -1,17 +1,77 @@
-(** Database snapshots as s-expressions: persist a saturated database and
-    reload it into an engine with the same declarations (ids are remapped,
-    the equivalence relation and every table row are preserved).
+(** Canonical database serialization, versioned snapshot files, and
+    checkpoint files for the durability layer.
 
-    The snapshot holds only {e data} — sorts of ids, the partition, table
-    rows — not declarations or rules; reload into an engine whose schema
-    was re-declared (typically by re-running the program's header). *)
+    {2 Canonical dumps}
 
-val dump : Engine.t -> Sexpr.t
-val dump_string : Engine.t -> string
+    {!dump} emits the database as a single s-expression whose bytes depend
+    only on the database's {e content}: rows and tables are sorted, and
+    e-class ids are renumbered canonically (by iterative color refinement
+    over the rows they appear in), so two databases holding the same facts
+    modulo a renaming of ids serialize identically — regardless of
+    hash-table iteration order, insertion history, union-find representative
+    choice or concrete id allocation. Crash recovery relies on this:
+    a recovered engine allocates different internal ids than the process it
+    mirrors, yet [dump] of both is byte-identical. (When a database has
+    genuinely indistinguishable ids the renumbering breaks the tie
+    deterministically per-process; for such automorphic ids any choice
+    yields the same bytes.)
+
+    {2 On-disk container}
+
+    {!write_snapshot} / {!write_checkpoint} wrap the payload in a versioned
+    container — a [magic version] header line, a [length crc32] line, then
+    the payload — written to a temp file, fsync'd, and atomically renamed
+    into place. Readers verify magic, version, length and checksum and
+    raise {!Load_error} with a clear message on any mismatch (including
+    pre-versioned legacy files). *)
 
 exception Load_error of string
 
+val dump : Engine.t -> Sexpr.t
+(** Rebuilds, then serializes the database (data only — not schema, rules,
+    or push/pop stack) in canonical form. *)
+
+val dump_string : Engine.t -> string
+
 val load : Engine.t -> Sexpr.t -> unit
-(** @raise Load_error on malformed input or schema mismatch. *)
+(** Load a dump into an engine whose schema (sorts and functions) is
+    already declared but whose database is {e empty} — no ids, no rows.
+    Loading into a populated database has no well-defined meaning (id
+    remapping could silently alias or duplicate rows), so it raises
+    {!Load_error} instead of performing an unspecified merge. Also raises
+    on unknown sorts/functions and malformed input. *)
 
 val load_string : Engine.t -> string -> unit
+
+(** {1 Snapshot files} *)
+
+val write_snapshot : Engine.t -> string -> unit
+(** Atomic, versioned, checksummed dump-to-file (the CLI's [--dump]). A
+    crash mid-write never truncates or corrupts an existing file at the
+    destination path. *)
+
+val load_snapshot : Engine.t -> string -> unit
+(** Read a {!write_snapshot} file and {!load} it. @raise Load_error on
+    magic/version mismatch (e.g. a pre-versioned snapshot), truncation,
+    checksum failure, or any {!load} error. *)
+
+(** {1 Checkpoint files}
+
+    A checkpoint persists everything needed to reconstruct an engine:
+    the committed schema-shaping command history ({!Engine.decl_commands}),
+    the canonical data dump, the count of commands committed so far, and a
+    sequence number tying it to the journal generation that follows it. *)
+
+type checkpoint = {
+  ck_seq : int;
+      (** checkpoint sequence number; the journal generation that follows it
+          carries the same number *)
+  ck_committed : int;
+      (** journal-worthy commands committed before this checkpoint *)
+  ck_program : Ast.command list;  (** replayable declarations, in order *)
+  ck_database : Sexpr.t;  (** canonical {!dump} *)
+}
+
+val write_checkpoint : Engine.t -> path:string -> seq:int -> committed:int -> unit
+val read_checkpoint : string -> checkpoint
+(** @raise Load_error on any corruption or version mismatch. *)

@@ -48,13 +48,44 @@ let read_string lx =
       | '"' -> advance lx
       | '\\' ->
         advance lx;
+        (* the full repertoire the printer ([%S]) can emit, so every printed
+           string reads back: n t r b backslash double-quote, decimal ddd *)
         (match peek lx with
-         | 'n' -> Buffer.add_char buf '\n'
-         | 't' -> Buffer.add_char buf '\t'
-         | '\\' -> Buffer.add_char buf '\\'
-         | '"' -> Buffer.add_char buf '"'
+         | 'n' ->
+           Buffer.add_char buf '\n';
+           advance lx
+         | 't' ->
+           Buffer.add_char buf '\t';
+           advance lx
+         | 'r' ->
+           Buffer.add_char buf '\r';
+           advance lx
+         | 'b' ->
+           Buffer.add_char buf '\b';
+           advance lx
+         | '\\' ->
+           Buffer.add_char buf '\\';
+           advance lx
+         | '"' ->
+           Buffer.add_char buf '"';
+           advance lx
+         | '0' .. '9' ->
+           let digit () =
+             if at_end lx then error lx "unterminated \\ddd escape"
+             else
+               match peek lx with
+               | '0' .. '9' as d ->
+                 advance lx;
+                 Char.code d - Char.code '0'
+               | c -> error lx (Printf.sprintf "bad digit %c in \\ddd escape" c)
+           in
+           let d1 = digit () in
+           let d2 = digit () in
+           let d3 = digit () in
+           let code = (100 * d1) + (10 * d2) + d3 in
+           if code > 255 then error lx (Printf.sprintf "escape \\%03d out of range" code);
+           Buffer.add_char buf (Char.chr code)
          | c -> error lx (Printf.sprintf "bad escape \\%c" c));
-        advance lx;
         go ()
       | c ->
         Buffer.add_char buf c;

@@ -1,0 +1,424 @@
+(* Crash recovery: simulate process death at every durability injection
+   point across randomized programs, recover from checkpoint + journal, and
+   require the recovered state (and the finished run) to dump byte-identical
+   to an uninterrupted run. *)
+
+module E = Egglog
+
+let all_points =
+  [
+    "journal.append.before";
+    "journal.append.torn";
+    "journal.append.synced";
+    "checkpoint.before";
+    "checkpoint.unrenamed";
+    "checkpoint.renamed";
+    "checkpoint.before-reset";
+    "engine.iteration";
+    "engine.top-action";
+  ]
+
+(* ---- scratch directories ---- *)
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "egglog_recovery_%d_%d" (Unix.getpid ()) !ctr)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+let cleanup_dir d =
+  Array.iter (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ()) (Sys.readdir d);
+  try Unix.rmdir d with Unix.Unix_error _ -> ()
+
+(* ---- random program generation ----
+
+   Deterministic programs drawn from a grammar that exercises everything
+   the journal must reproduce: relations and ground facts (Datalog),
+   datatype terms and unions (e-graph), rules and rewrites added mid-run,
+   saturation runs, push/pop, and passing checks. All commands are
+   journal-worthy and always succeed, so the journal records the whole
+   program in order. *)
+
+let gen_program (rng : Random.State.t) : E.Ast.command list =
+  let n_cmds = 8 + Random.State.int rng 8 in
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "(relation edge (i64 i64))";
+  add "(relation path (i64 i64))";
+  add "(datatype M (Num i64) (Add M M))";
+  (* edges known to hold at the current push depth (pop rolls back the
+     scope's additions, so checks may only name surviving edges) *)
+  let edges = ref [ [] ] in
+  let note e = edges := (e :: List.hd !edges) :: List.tl !edges in
+  let rules_added = ref false in
+  for _ = 1 to n_cmds do
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 ->
+      let a = Random.State.int rng 5 and b = Random.State.int rng 5 in
+      note (a, b);
+      add "(edge %d %d)" a b
+    | 3 ->
+      let a = Random.State.int rng 4 and b = Random.State.int rng 4 in
+      add "(union (Num %d) (Num %d))" a b
+    | 4 ->
+      let a = Random.State.int rng 4 and b = Random.State.int rng 4 in
+      add "(Add (Num %d) (Num %d))" a b
+    | 5 when not !rules_added ->
+      rules_added := true;
+      add "(rule ((edge x y)) ((path x y)))";
+      add "(rule ((path x y) (edge y z)) ((path x z)))";
+      add "(rewrite (Add a b) (Add b a))"
+    | 5 | 6 -> add "(run 2)"
+    | 7 ->
+      (match List.hd !edges with
+       | (a, b) :: _ -> add "(check (edge %d %d))" a b
+       | [] ->
+         note (0, 0);
+         add "(edge 0 0)")
+    | 8 when List.length !edges <= 2 ->
+      edges := List.hd !edges :: !edges;
+      add "(push)"
+    | 8 | 9 ->
+      if List.length !edges > 1 then begin
+        edges := List.tl !edges;
+        add "(pop)"
+      end
+      else add "(run 1)"
+    | _ -> assert false
+  done;
+  (* close any open scopes so checkpoints are not deferred forever *)
+  for _ = 1 to List.length !edges - 1 do
+    add "(pop)"
+  done;
+  add "(run 3)";
+  E.Frontend.parse_program (Buffer.contents buf)
+
+(* ---- reference runs ---- *)
+
+(* State after the first [k] journal-worthy commands, straight-line (no
+   journal involved). *)
+let reference_dump cmds k =
+  let eng = E.Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun c ->
+      if !count < k then begin
+        ignore (E.Engine.run_command eng c);
+        if E.Durable.journal_worthy c then incr count
+      end)
+    cmds;
+  E.Serialize.dump_string eng
+
+let remaining_after cmds k =
+  let rec go n cmds =
+    if n >= k then cmds
+    else
+      match cmds with
+      | [] -> []
+      | c :: rest -> go (n + if E.Durable.journal_worthy c then 1 else 0) rest
+  in
+  go 0 cmds
+
+(* ---- the crash matrix ---- *)
+
+let checkpoint_every = Some 3
+
+(* One full journaled run under hit counting: how often does each injection
+   point fire for this program? Deterministic, so the same schedule holds
+   for the crashing runs. *)
+let count_hits cmds =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      E.Fault.disarm ();
+      cleanup_dir dir)
+    (fun () ->
+      E.Fault.arm_counting ();
+      let eng = E.Engine.create () in
+      let d =
+        E.Durable.attach eng ~journal_path:(Filename.concat dir "journal") ~checkpoint_every
+      in
+      List.iter (fun c -> ignore (E.Durable.run_command d c)) cmds;
+      E.Durable.close d;
+      E.Fault.hit_counts ())
+
+let crash_recover_finish ~label cmds ~full_dump point occ =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      E.Fault.disarm ();
+      cleanup_dir dir)
+    (fun () ->
+      let journal_path = Filename.concat dir "journal" in
+      (* phase 1: run until the simulated crash *)
+      let eng = E.Engine.create () in
+      let d = E.Durable.attach eng ~journal_path ~checkpoint_every in
+      E.Fault.arm_nth point occ;
+      let crashed =
+        try
+          List.iter (fun c -> ignore (E.Durable.run_command d c)) cmds;
+          false
+        with E.Fault.Crash _ -> true
+      in
+      E.Fault.disarm ();
+      E.Durable.close d;
+      Alcotest.(check bool) (label ^ ": crash fired") true crashed;
+      (* phase 2: recover into a fresh engine; its state must equal a
+         straight-line run of exactly the committed prefix *)
+      let eng2 = E.Engine.create () in
+      let d2, report = E.Durable.recover eng2 ~journal_path ~checkpoint_every in
+      Alcotest.(check string)
+        (label ^ ": recovered dump = committed prefix")
+        (reference_dump cmds report.E.Durable.rc_committed)
+        (E.Serialize.dump_string eng2);
+      (* phase 3: finish the program on the recovered engine; the final
+         state must equal the uninterrupted run *)
+      let rest = remaining_after cmds report.E.Durable.rc_committed in
+      List.iter (fun c -> ignore (E.Durable.run_command d2 c)) rest;
+      Alcotest.(check string)
+        (label ^ ": finished dump = uninterrupted run")
+        full_dump
+        (E.Serialize.dump_string eng2);
+      E.Durable.close d2)
+
+let test_crash_matrix seed () =
+  let rng = Random.State.make [| seed |] in
+  let cmds = gen_program rng in
+  let full_dump = reference_dump cmds max_int in
+  let hits = count_hits cmds in
+  let tested = ref 0 in
+  List.iter
+    (fun point ->
+      let h = match List.assoc_opt point hits with Some h -> h | None -> 0 in
+      if h > 0 then begin
+        let occs = List.sort_uniq Int.compare [ 1; ((h + 1) / 2 : int); h ] in
+        List.iter
+          (fun occ ->
+            if occ >= 1 && occ <= h then begin
+              incr tested;
+              let label = Printf.sprintf "seed %d %s:%d" seed point occ in
+              crash_recover_finish ~label cmds ~full_dump point occ
+            end)
+          occs
+      end)
+    all_points;
+  if !tested = 0 then Alcotest.fail "no injection point fired at all"
+
+(* ---- targeted scenarios ---- *)
+
+let test_torn_tail_truncated () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_dir dir)
+    (fun () ->
+      let path = Filename.concat dir "journal" in
+      let j = E.Journal.create path ~ckpt_seq:0 in
+      E.Journal.append j "(edge 1 2)";
+      E.Journal.append j "(edge 2 3)";
+      E.Journal.close j;
+      (* simulate a crash mid-append: half a record at the end *)
+      let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+      Out_channel.output_string oc "r 999 00000000\n(edge 3";
+      Out_channel.close oc;
+      let contents = E.Journal.read path in
+      Alcotest.(check bool) "torn detected" true contents.E.Journal.torn;
+      Alcotest.(check (list string))
+        "valid prefix kept"
+        [ "(edge 1 2)"; "(edge 2 3)" ]
+        contents.E.Journal.entries;
+      (* reopening truncates the torn tail and appending works again *)
+      let j2, reopened = E.Journal.open_append path in
+      Alcotest.(check bool) "reopen reports torn" true reopened.E.Journal.torn;
+      E.Journal.append j2 "(edge 3 4)";
+      E.Journal.close j2;
+      let final = E.Journal.read path in
+      Alcotest.(check bool) "clean after truncation" false final.E.Journal.torn;
+      Alcotest.(check (list string))
+        "appended after truncation"
+        [ "(edge 1 2)"; "(edge 2 3)"; "(edge 3 4)" ]
+        final.E.Journal.entries)
+
+let test_attach_refuses_existing () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_dir dir)
+    (fun () ->
+      let path = Filename.concat dir "journal" in
+      let d =
+        E.Durable.attach (E.Engine.create ()) ~journal_path:path ~checkpoint_every:None
+      in
+      E.Durable.close d;
+      match E.Durable.attach (E.Engine.create ()) ~journal_path:path ~checkpoint_every:None with
+      | _ -> Alcotest.fail "attach over an existing journal must be refused"
+      | exception E.Journal.Journal_error _ -> ())
+
+let test_corrupt_checkpoint_is_clear_error () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_dir dir)
+    (fun () ->
+      let path = Filename.concat dir "journal" in
+      let eng = E.Engine.create () in
+      let d = E.Durable.attach eng ~journal_path:path ~checkpoint_every:(Some 2) in
+      let cmds =
+        E.Frontend.parse_program
+          "(relation edge (i64 i64)) (edge 1 2) (edge 2 3) (edge 3 4)"
+      in
+      List.iter (fun c -> ignore (E.Durable.run_command d c)) cmds;
+      E.Durable.close d;
+      (* destroy the checkpoint generation the journal depends on *)
+      let ckpt =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> not (String.equal f "journal"))
+        |> List.sort String.compare |> List.rev |> List.hd
+      in
+      let ckpt_path = Filename.concat dir ckpt in
+      let bytes = In_channel.with_open_bin ckpt_path In_channel.input_all in
+      let b = Bytes.of_string bytes in
+      Bytes.set b (Bytes.length b - 3) '\255';
+      Out_channel.with_open_bin ckpt_path (fun oc -> Out_channel.output_bytes oc b);
+      match E.Durable.recover (E.Engine.create ()) ~journal_path:path ~checkpoint_every:None with
+      | _ -> Alcotest.fail "recovery from a corrupt checkpoint must fail"
+      | exception E.Journal.Journal_error msg ->
+        Alcotest.(check bool)
+          "error names the missing generation" true
+          (let rec has i =
+             i + 10 <= String.length msg
+             && (String.equal (String.sub msg i 10) "checkpoint" || has (i + 1))
+           in
+           has 0))
+
+let test_checkpoint_deferred_inside_push () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_dir dir)
+    (fun () ->
+      let path = Filename.concat dir "journal" in
+      let eng = E.Engine.create () in
+      let d = E.Durable.attach eng ~journal_path:path ~checkpoint_every:(Some 3) in
+      let run src =
+        List.iter
+          (fun c -> ignore (E.Durable.run_command d c))
+          (E.Frontend.parse_program src)
+      in
+      let ckpts () =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> not (String.equal f "journal"))
+        |> List.length
+      in
+      (* 6 commands cross the every-3 threshold, but inside the scope *)
+      run "(relation edge (i64 i64)) (push) (edge 1 2) (edge 2 3) (edge 3 4) (edge 4 5)";
+      Alcotest.(check int) "no checkpoint inside push" 0 (ckpts ());
+      run "(pop)";
+      Alcotest.(check bool) "checkpoint resumes after pop" true (ckpts () > 0);
+      E.Durable.close d)
+
+let test_recover_fresh_journal () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_dir dir)
+    (fun () ->
+      let path = Filename.concat dir "journal" in
+      E.Durable.close
+        (E.Durable.attach (E.Engine.create ()) ~journal_path:path ~checkpoint_every:None);
+      let eng = E.Engine.create () in
+      let _, report = E.Durable.recover eng ~journal_path:path ~checkpoint_every:None in
+      Alcotest.(check int) "nothing committed" 0 report.E.Durable.rc_committed;
+      Alcotest.(check int) "nothing replayed" 0 report.E.Durable.rc_replayed)
+
+let test_journal_version_rejected () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_dir dir)
+    (fun () ->
+      let path = Filename.concat dir "journal" in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "egglog-journal 99 0\n");
+      match E.Journal.read path with
+      | _ -> Alcotest.fail "future journal version must be rejected"
+      | exception E.Journal.Journal_error msg ->
+        Alcotest.(check bool) "mentions version" true
+          (let rec has i =
+             i + 7 <= String.length msg
+             && (String.equal (String.sub msg i 7) "version" || has (i + 1))
+           in
+           has 0))
+
+let test_command_print_roundtrip () =
+  (* the journal records commands as printed text; for every construct the
+     parser can produce, print -> parse -> print must be a fixpoint *)
+  let corpus =
+    {|
+    (sort S)
+    (ruleset rs)
+    (datatype M (Num i64) (Var String) (Add M M))
+    (function f (i64 String) Rational :merge new :cost 3)
+    (function g (M) M :default (Num 0))
+    (relation edge (i64 i64))
+    (rule ((edge x y) (= z (Add (Num x) (Num y)))) ((edge y x) (let w (Num 9)) (union z w))
+          :name "my rule" :ruleset rs)
+    (rewrite (Add a b) (Add b a) :when ((edge 1 2)) :ruleset rs)
+    (define e (Add (Num 1) (Var "x")))
+    (set (f 1 "k") 3/4)
+    (delete (edge 1 2))
+    (union (Num 1) (Num 2))
+    (run 5)
+    (run 2 :until ((edge 1 2) (edge 2 3)))
+    (run 2 :until (edge 1 2))
+    (run 3 :node-limit 100 :time-limit 2)
+    (run-schedule (saturate (run rs 1)) (repeat 2 (run 1)) (seq (run 1) (run 2)))
+    (check (edge 1 2) (= (Num 1) (Num 2)))
+    (fail (check (edge 9 9)))
+    (extract (Num 1) :variants 3)
+    (simplify 10 (Add (Num 1) (Num 2)))
+    (include "other.egg")
+    (push)
+    (pop)
+    (print-function edge 10)
+    (print-size edge)
+    (print-stats)
+    |}
+  in
+  List.iter
+    (fun cmd ->
+      let printed = E.Frontend.command_to_string cmd in
+      match E.Frontend.command_of_sexp (Sexpr.parse_one printed) with
+      | [ cmd' ] ->
+        Alcotest.(check string)
+          ("fixpoint: " ^ printed) printed
+          (E.Frontend.command_to_string cmd')
+      | _ -> Alcotest.failf "%s did not reparse to one command" printed
+      | exception e ->
+        Alcotest.failf "%s failed to reparse: %s" printed (Printexc.to_string e))
+    (E.Frontend.parse_program corpus)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "crash-matrix",
+        [
+          Alcotest.test_case "seed 1" `Quick (test_crash_matrix 1);
+          Alcotest.test_case "seed 2" `Quick (test_crash_matrix 2);
+          Alcotest.test_case "seed 3" `Quick (test_crash_matrix 3);
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "torn tail truncated" `Quick test_torn_tail_truncated;
+          Alcotest.test_case "attach refuses existing journal" `Quick test_attach_refuses_existing;
+          Alcotest.test_case "corrupt checkpoint is a clear error" `Quick
+            test_corrupt_checkpoint_is_clear_error;
+          Alcotest.test_case "checkpoint deferred inside push" `Quick
+            test_checkpoint_deferred_inside_push;
+          Alcotest.test_case "recover a fresh journal" `Quick test_recover_fresh_journal;
+          Alcotest.test_case "future journal version rejected" `Quick
+            test_journal_version_rejected;
+          Alcotest.test_case "command print/parse fixpoint" `Quick
+            test_command_print_roundtrip;
+        ] );
+    ]

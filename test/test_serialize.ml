@@ -105,6 +105,178 @@ let prop_roundtrip_random =
       E.Engine.total_rows eng = E.Engine.total_rows eng2
       && E.Engine.n_classes eng = E.Engine.n_classes eng2)
 
+(* ---- canonical bytes over every base value type ----
+
+   The dump renumbers ids by content, so it must be byte-stable under both
+   a reload (fresh id allocation) and a different insertion order (different
+   union-find representatives). The ops below are all order-independent at
+   the content level — relations cannot conflict, [f_int] merges with
+   [max], unions close the same equivalence — so applying them in any order
+   must serialize to the same bytes. *)
+
+let value_schema =
+  {|
+  (sort S)
+  (function mk (i64) S)
+  (function link (S S) S)
+  (function f_int (i64) i64 :merge (max old new))
+  (relation r_str (String String))
+  (relation r_rat (Rational Rational))
+  (relation r_unit (i64))
+  |}
+
+type op =
+  | OInt of int * int
+  | OStr of string * string
+  | ORat of (int * int) * (int * int)
+  | OUnit of int
+  | OMk of int
+  | OLink of int * int
+  | OUnion of int * int
+
+let apply_op eng op =
+  let v x = E.Value.VInt x in
+  let s x = E.Value.VStr (E.Symbol.intern x) in
+  let q (n, d) = E.Value.VRat (Rat.of_ints n d) in
+  let mk k = E.Engine.eval_call eng "mk" [ v k ] in
+  match op with
+  | OInt (k, x) -> E.Engine.set_fact eng "f_int" [ v k ] (v x)
+  | OStr (a, b) -> E.Engine.set_fact eng "r_str" [ s a; s b ] E.Value.VUnit
+  | ORat (a, b) -> E.Engine.set_fact eng "r_rat" [ q a; q b ] E.Value.VUnit
+  | OUnit k -> E.Engine.set_fact eng "r_unit" [ v k ] E.Value.VUnit
+  | OMk k -> ignore (mk k)
+  | OLink (a, b) -> ignore (E.Engine.eval_call eng "link" [ mk a; mk b ])
+  | OUnion (a, b) -> ignore (E.Engine.union_values eng (mk a) (mk b))
+
+let gen_op =
+  let open QCheck2.Gen in
+  let small = int_range 0 7 in
+  (* arbitrary bytes, including quotes, backslashes and control characters:
+     the printer escapes them and the reader must bring them back *)
+  let str = string_size (int_range 0 6) ~gen:(map Char.chr (int_range 0 255)) in
+  let rat = pair (int_range (-20) 20) (int_range 1 9) in
+  oneof
+    [
+      map2 (fun k x -> OInt (k, x)) small (int_range (-50) 50);
+      map2 (fun a b -> OStr (a, b)) str str;
+      map2 (fun a b -> ORat (a, b)) rat rat;
+      map (fun k -> OUnit k) small;
+      map (fun k -> OMk k) small;
+      map2 (fun a b -> OLink (a, b)) small small;
+      map2 (fun a b -> OUnion (a, b)) small small;
+    ]
+
+let engine_with ops order =
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng value_schema);
+  List.iter (apply_op eng) (order ops);
+  eng
+
+let show_op = function
+  | OInt (k, x) -> Printf.sprintf "OInt(%d,%d)" k x
+  | OStr (a, b) -> Printf.sprintf "OStr(%S,%S)" a b
+  | ORat ((a, b), (c, d)) -> Printf.sprintf "ORat(%d/%d,%d/%d)" a b c d
+  | OUnit k -> Printf.sprintf "OUnit(%d)" k
+  | OMk k -> Printf.sprintf "OMk(%d)" k
+  | OLink (a, b) -> Printf.sprintf "OLink(%d,%d)" a b
+  | OUnion (a, b) -> Printf.sprintf "OUnion(%d,%d)" a b
+
+let show_ops ops = String.concat "; " (List.map show_op ops)
+
+let prop_dump_load_dump_bytes =
+  QCheck2.Test.make ~name:"dump -> load -> dump is byte-identical" ~count:100
+    ~print:show_ops
+    QCheck2.Gen.(list_size (int_range 1 25) gen_op)
+    (fun ops ->
+      let eng = engine_with ops Fun.id in
+      let d1 = E.Serialize.dump_string eng in
+      let eng2 = E.Engine.create () in
+      ignore (E.run_string eng2 value_schema);
+      E.Serialize.load_string eng2 d1;
+      String.equal d1 (E.Serialize.dump_string eng2))
+
+let prop_dump_order_independent =
+  QCheck2.Test.make ~name:"dump bytes independent of insertion order" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 25) gen_op)
+    (fun ops ->
+      String.equal
+        (E.Serialize.dump_string (engine_with ops Fun.id))
+        (E.Serialize.dump_string (engine_with ops List.rev)))
+
+(* ---- versioned snapshot files ---- *)
+
+let with_temp f =
+  let path = Filename.temp_file "egglog_snap" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let contains ~substr msg =
+  let n = String.length substr and m = String.length msg in
+  let rec go i = i + n <= m && (String.equal (String.sub msg i n) substr || go (i + 1)) in
+  go 0
+
+let expect_load_error ~substr f =
+  match f () with
+  | () -> Alcotest.failf "expected Load_error mentioning %S" substr
+  | exception E.Serialize.Load_error msg ->
+    if not (contains ~substr msg) then
+      Alcotest.failf "Load_error %S does not mention %S" msg substr
+
+let populated_engine () =
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng (value_schema ^ {| (r_unit 1) (r_unit 2) |}));
+  List.iter (apply_op eng) [ OUnion (0, 1); OInt (0, 42); OStr ("a", "b") ];
+  eng
+
+let test_snapshot_file_roundtrip () =
+  with_temp (fun path ->
+      let eng = populated_engine () in
+      E.Serialize.write_snapshot eng path;
+      let eng2 = E.Engine.create () in
+      ignore (E.run_string eng2 value_schema);
+      E.Serialize.load_snapshot eng2 path;
+      Alcotest.(check string) "same canonical bytes" (E.Serialize.dump_string eng)
+        (E.Serialize.dump_string eng2))
+
+let test_snapshot_rejects_legacy () =
+  with_temp (fun path ->
+      let eng = populated_engine () in
+      (* a pre-versioned snapshot: the bare dump text, no header *)
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (E.Serialize.dump_string eng));
+      let eng2 = E.Engine.create () in
+      ignore (E.run_string eng2 value_schema);
+      expect_load_error ~substr:"magic" (fun () -> E.Serialize.load_snapshot eng2 path))
+
+let test_snapshot_rejects_future_version () =
+  with_temp (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "egglog-snapshot 999\n3 00000000\nxyz");
+      let eng = E.Engine.create () in
+      expect_load_error ~substr:"version" (fun () -> E.Serialize.load_snapshot eng path))
+
+let test_snapshot_rejects_corruption () =
+  with_temp (fun path ->
+      let eng = populated_engine () in
+      E.Serialize.write_snapshot eng path;
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      (* flip one payload byte; the checksum must catch it *)
+      let b = Bytes.of_string bytes in
+      let i = Bytes.length b - 2 in
+      Bytes.set b i (if Bytes.get b i = 'x' then 'y' else 'x');
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+      let eng2 = E.Engine.create () in
+      ignore (E.run_string eng2 value_schema);
+      expect_load_error ~substr:"checksum" (fun () -> E.Serialize.load_snapshot eng2 path);
+      (* truncation is caught by the length field *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub bytes 0 (String.length bytes - 5)));
+      expect_load_error ~substr:"truncated" (fun () -> E.Serialize.load_snapshot eng2 path))
+
+let test_load_requires_empty () =
+  let eng = populated_engine () in
+  let snapshot = E.Serialize.dump_string (populated_engine ()) in
+  expect_load_error ~substr:"non-empty" (fun () -> E.Serialize.load_string eng snapshot)
+
 let () =
   Alcotest.run "serialize"
     [
@@ -115,5 +287,18 @@ let () =
           Alcotest.test_case "resaturation" `Quick test_resaturation_after_load;
           Alcotest.test_case "errors" `Quick test_load_errors;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip_random ]);
+      ( "files",
+        [
+          Alcotest.test_case "snapshot file roundtrip" `Quick test_snapshot_file_roundtrip;
+          Alcotest.test_case "legacy format rejected" `Quick test_snapshot_rejects_legacy;
+          Alcotest.test_case "future version rejected" `Quick test_snapshot_rejects_future_version;
+          Alcotest.test_case "corruption rejected" `Quick test_snapshot_rejects_corruption;
+          Alcotest.test_case "load requires empty db" `Quick test_load_requires_empty;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_dump_load_dump_bytes;
+          QCheck_alcotest.to_alcotest prop_dump_order_independent;
+        ] );
     ]
