@@ -26,19 +26,19 @@ let run_math (c : config) ~iters =
       ~index_caching:c.index_caching ~scheduler:Egglog.Engine.backoff_default ()
   in
   ignore (Egglog.run_string eng (Math_suite.egglog_program ()));
-  let t0 = Unix.gettimeofday () in
+  let t0 = Egglog.Telemetry.now () in
   ignore (Egglog.Engine.run_iterations eng iters);
-  (Unix.gettimeofday () -. t0, Egglog.Engine.total_rows eng)
+  (Egglog.Telemetry.now () -. t0, Egglog.Engine.total_rows eng)
 
 let run_pointsto (c : config) ~size =
   let p = Pointsto.Progen.generate ~size ~seed:1 () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Egglog.Telemetry.now () in
   let eng =
     Pointsto.Egglog_enc.load ~seminaive:c.seminaive ~fast_paths:c.fast_paths
       ~index_caching:c.index_caching p
   in
   ignore (Egglog.Engine.run_iterations eng 1000);
-  (Unix.gettimeofday () -. t0, Egglog.Engine.total_rows eng)
+  (Egglog.Telemetry.now () -. t0, Egglog.Engine.total_rows eng)
 
 let run ~full () =
   let iters = if full then 35 else 25 in

@@ -71,9 +71,16 @@ let time_to_size (s : series) size =
 let run ?(iters = 40) ?(reps = 3) () =
   Printf.printf "=== Fig. 7: egglog vs egglogNI vs egg (math suite, BackOff) ===\n";
   Printf.printf "iterations=%d repetitions=%d (median per-iteration times)\n%!" iters reps;
+  (* Collect engine counters over the whole measured region; the snapshot
+     lands in BENCH_fig7.json so a regression in e.g. tuples scanned is
+     visible without rerunning under --trace. *)
+  Egglog.Telemetry.reset ();
+  Egglog.Telemetry.enable ();
   let egg = collect "egg" ~reps (fun ~iters () -> run_egg ~iters ()) ~iters in
   let ni = collect "egglogNI" ~reps (fun ~iters () -> run_egglog ~seminaive:false ~iters ()) ~iters in
   let sn = collect "egglog" ~reps (fun ~iters () -> run_egglog ~seminaive:true ~iters ()) ~iters in
+  Egglog.Telemetry.disable ();
+  let telemetry = Egglog.Telemetry.snapshot_to_json (Egglog.Telemetry.snapshot ()) in
   Printf.printf "%6s  %22s  %22s  %22s\n" "iter" "egg (nodes, cum s)" "egglogNI (tuples, s)"
     "egglog (tuples, s)";
   let len = min (Array.length egg.sizes) (min (Array.length ni.sizes) (Array.length sn.sizes)) in
@@ -88,12 +95,13 @@ let run ?(iters = 40) ?(reps = 3) () =
   let target = min (final egg) (min (final ni) (final sn)) in
   let egg_time = Option.get (time_to_size egg target) in
   Printf.printf "\ncommon target size: %d e-nodes; egg needs %.3fs\n" target egg_time;
-  (match time_to_size ni target with
+  let ni_time = time_to_size ni target and sn_time = time_to_size sn target in
+  (match ni_time with
    | Some t ->
      Printf.printf "egglogNI reaches %d tuples in %.3fs -> %.2fx speedup over egg (paper: 3.34x)\n"
        target t (egg_time /. t)
    | None -> Printf.printf "egglogNI never reached %d tuples in %d iterations\n" target iters);
-  (match time_to_size sn target with
+  (match sn_time with
    | Some t ->
      Printf.printf "egglog   reaches %d tuples in %.3fs -> %.2fx speedup over egg (paper: 9.27x)\n"
        target t (egg_time /. t)
@@ -102,4 +110,29 @@ let run ?(iters = 40) ?(reps = 3) () =
   let sn_final = sn.sizes.(Array.length sn.sizes - 1) in
   Printf.printf
     "egglog final e-graph: %d tuples (vs egg %d): larger space explored, as in the paper\n%!"
-    sn_final egg_final_size
+    sn_final egg_final_size;
+  let module J = Egglog.Telemetry.Json in
+  let series_json s =
+    J.Obj
+      [
+        ("label", J.Str s.label);
+        ("sizes", Bench_report.int_array s.sizes);
+        ("cum_seconds", Bench_report.float_array s.cum_seconds);
+      ]
+  in
+  let speedup = function
+    | Some t when t > 0.0 -> J.Float (egg_time /. t)
+    | Some _ | None -> J.Null
+  in
+  Bench_report.write ~telemetry ~bench:"fig7"
+    ~params:(J.Obj [ ("iters", J.Int iters); ("reps", J.Int reps) ])
+    ~data:
+      (J.Obj
+         [
+           ("series", J.List (List.map series_json [ egg; ni; sn ]));
+           ("target_size", J.Int target);
+           ("egg_seconds_to_target", J.Float egg_time);
+           ("speedup_egglogNI_over_egg", speedup ni_time);
+           ("speedup_egglog_over_egg", speedup sn_time);
+         ])
+    ()

@@ -86,18 +86,35 @@ let tests () =
       Test.make ~name:"rat-arith" (rat_bench ());
     ]
 
-let run () =
+let run ?(quota = 0.5) () =
   Printf.printf "=== Micro-benchmarks (bechamel, ns/run) ===\n%!";
+  (* Telemetry stays OFF here on purpose: these numbers are the baseline for
+     the "disabled telemetry costs nothing" claim, so the measured region
+     must exercise the disabled path. *)
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances (tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
-  List.iter
-    (fun (name, ols_result) ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> Printf.printf "  %-34s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "  %-34s (no estimate)\n" name)
-    (List.sort compare rows);
-  print_newline ()
+  let rows = List.sort compare rows in
+  let module J = Egglog.Telemetry.Json in
+  let data_rows =
+    List.map
+      (fun (name, ols_result) ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "  %-34s %12.1f ns/run\n" name est;
+            J.Float est
+          | _ ->
+            Printf.printf "  %-34s (no estimate)\n" name;
+            J.Null
+        in
+        J.Obj [ ("name", J.Str name); ("ns_per_run", est) ])
+      rows
+  in
+  print_newline ();
+  Bench_report.write ~bench:"micro"
+    ~params:(J.Obj [ ("quota_seconds", J.Float quota) ])
+    ~data:(J.List data_rows) ()

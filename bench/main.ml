@@ -1,19 +1,31 @@
 (* Benchmark harness: one entry per figure in the paper's evaluation, plus
-   bechamel micro-benchmarks for the engine's hot paths (§5.3).
+   bechamel micro-benchmarks for the engine's hot paths (§5.3). Each figure
+   bench also writes a machine-readable BENCH_<name>.json (see
+   {!Bench_report}) so CI validates results without scraping stdout.
 
      dune exec bench/main.exe            -- run everything (reduced sizes)
      dune exec bench/main.exe -- fig7    -- just one figure
+     dune exec bench/main.exe -- smoke   -- tiny parameters for CI
      dune exec bench/main.exe -- full    -- paper-scale parameters (slow)
 *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let want name = args = [] || List.mem name args || List.mem "full" args in
+  let smoke = List.mem "smoke" args in
   let full = List.mem "full" args in
-  if want "micro" then Bench_micro.run ();
-  if want "fig7" then
-    if full then Bench_fig7.run ~iters:60 ~reps:5 () else Bench_fig7.run ~iters:35 ~reps:3 ();
-  if want "fig8" then Bench_fig8.run ~full ();
-  if want "fig11" || want "fig12" then Bench_herbie.run ~full ();
-  if want "ablation" then Bench_ablation.run ~full ();
+  if smoke then begin
+    (* CI gate: exercise every reporting path in seconds, not minutes. *)
+    Bench_micro.run ~quota:0.05 ();
+    Bench_fig7.run ~iters:5 ~reps:1 ();
+    Bench_fig8.run_smoke ()
+  end
+  else begin
+    let want name = args = [] || List.mem name args || full in
+    if want "micro" then Bench_micro.run ();
+    if want "fig7" then
+      if full then Bench_fig7.run ~iters:60 ~reps:5 () else Bench_fig7.run ~iters:35 ~reps:3 ();
+    if want "fig8" then Bench_fig8.run ~full ();
+    if want "fig11" || want "fig12" then Bench_herbie.run ~full ();
+    if want "ablation" then Bench_ablation.run ~full ()
+  end;
   print_endline "\nAll requested benchmarks finished."

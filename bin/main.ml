@@ -41,6 +41,53 @@ let with_errors ~where f =
     Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
     1
 
+(* --stats: the engine phase split first — "other" is the iteration time not
+   attributed to search/apply/rebuild, so the four lines sum to the total by
+   construction — then the generic counter/timing tables. *)
+let print_stats () =
+  let snap = Egglog.Telemetry.snapshot () in
+  let timing name = List.assoc_opt name snap.Egglog.Telemetry.sn_timings in
+  (match timing "engine.iteration" with
+   | Some it ->
+     let phase n =
+       match timing n with Some t -> t.Egglog.Telemetry.t_total | None -> 0.0
+     in
+     let search = phase "engine.search"
+     and apply = phase "engine.apply"
+     and rebuild = phase "engine.rebuild" in
+     let total = it.Egglog.Telemetry.t_total in
+     let other = Float.max 0.0 (total -. (search +. apply +. rebuild)) in
+     Printf.printf "run phases (%d iteration(s), %.6fs total):\n"
+       it.Egglog.Telemetry.t_count total;
+     Printf.printf "  search   %9.6fs\n" search;
+     Printf.printf "  apply    %9.6fs\n" apply;
+     Printf.printf "  rebuild  %9.6fs\n" rebuild;
+     Printf.printf "  other    %9.6fs\n" other
+   | None -> ());
+  Egglog.Telemetry.pp_table Format.std_formatter snap;
+  Format.pp_print_flush Format.std_formatter ()
+
+(* Turn telemetry on around the whole program when --trace or --stats asks
+   for it, and always flush/close on the way out — including on error paths,
+   so a partial trace of a failing run is still on disk to read. *)
+let with_telemetry ~trace ~stats f =
+  if trace = None && not stats then f ()
+  else begin
+    let oc = Option.map open_out trace in
+    let sink =
+      match oc with
+      | Some oc -> Some (fun line -> output_string oc line; output_char oc '\n')
+      | None -> None
+    in
+    Egglog.Telemetry.enable ?sink ();
+    Fun.protect
+      ~finally:(fun () ->
+        Egglog.Telemetry.flush_counters ();
+        Egglog.Telemetry.disable ();
+        Option.iter close_out oc)
+      f
+  end
+
 let write_dump eng = function
   | Some out_path ->
     Egglog.Serialize.write_snapshot eng out_path;
@@ -58,19 +105,20 @@ let print_report (r : Egglog.Durable.recovery_report) =
     (if r.rc_torn then "; dropped a torn trailing record" else "")
 
 let run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
-    ~dump path =
+    ~dump ~trace ~stats path =
   with_errors ~where:path (fun () ->
       let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit in
       let src = In_channel.with_open_text path In_channel.input_all in
       let cmds = Egglog.Frontend.parse_program src in
       let outputs =
-        match journal with
-        | Some journal_path ->
-          let d = Egglog.Durable.attach eng ~journal_path ~checkpoint_every in
-          Fun.protect
-            ~finally:(fun () -> Egglog.Durable.close d)
-            (fun () -> Egglog.Durable.run_program d cmds)
-        | None -> Egglog.Engine.run_program eng cmds
+        with_telemetry ~trace ~stats (fun () ->
+            match journal with
+            | Some journal_path ->
+              let d = Egglog.Durable.attach eng ~journal_path ~checkpoint_every in
+              Fun.protect
+                ~finally:(fun () -> Egglog.Durable.close d)
+                (fun () -> Egglog.Durable.run_program d cmds)
+            | None -> Egglog.Engine.run_program eng cmds)
       in
       (* Snapshots carry data, not declarations: FILE must (re)declare the
          schema — and add no data of its own — before the snapshot loads. *)
@@ -79,6 +127,7 @@ let run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_ev
        | None -> ());
       List.iter print_endline outputs;
       write_dump eng dump;
+      if stats then print_stats ();
       0)
 
 let repl ?durable eng =
@@ -122,27 +171,33 @@ let repl ?durable eng =
   loop ""
 
 let repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~recover
-    ~dump () =
+    ~dump ~trace ~stats () =
   with_errors
     ~where:(match journal with Some j -> j | None -> "<repl>")
     (fun () ->
       let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit in
+      let session f =
+        let code = with_telemetry ~trace ~stats f in
+        if stats then print_stats ();
+        code
+      in
       match journal with
-      | None -> repl eng
+      | None -> session (fun () -> repl eng)
       | Some journal_path when not recover ->
         let d = Egglog.Durable.attach eng ~journal_path ~checkpoint_every in
-        repl ~durable:d eng
+        session (fun () -> repl ~durable:d eng)
       | Some journal_path ->
-        let d, report = Egglog.Durable.recover eng ~journal_path ~checkpoint_every in
-        print_report report;
-        write_dump eng dump;
-        (* Recover-and-exit when scripted (the CI harness dumps and diffs);
-           recover-and-continue when a human is attached. *)
-        if Unix.isatty Unix.stdin then repl ~durable:d eng
-        else begin
-          Egglog.Durable.close d;
-          0
-        end)
+        session (fun () ->
+            let d, report = Egglog.Durable.recover eng ~journal_path ~checkpoint_every in
+            print_report report;
+            write_dump eng dump;
+            (* Recover-and-exit when scripted (the CI harness dumps and diffs);
+               recover-and-continue when a human is attached. *)
+            if Unix.isatty Unix.stdin then repl ~durable:d eng
+            else begin
+              Egglog.Durable.close d;
+              0
+            end))
 
 let () =
   let open Cmdliner in
@@ -221,8 +276,16 @@ let () =
     Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"SNAPSHOT"
            ~doc:"Dump the final database to this file (atomic write; versioned, checksummed format)")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
+           ~doc:"Write a structured trace of the run (span begin/end, scheduler decisions, per-iteration and per-rule stats, final counters) to FILE as JSON Lines")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"After the program finishes, print the engine phase split (search/apply/rebuild/other) and all telemetry counters and timings")
+  in
   let main file no_seminaive backoff node_limit time_limit journal checkpoint_every recover
-      fault load dump =
+      fault load dump trace stats =
     let seminaive = not no_seminaive in
     let usage_error msg =
       Printf.eprintf "egglog: %s\n" msg;
@@ -246,15 +309,15 @@ let () =
       match file with
       | Some path ->
         run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
-          ~dump path
+          ~dump ~trace ~stats path
       | None ->
         repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every
-          ~recover ~dump ()
+          ~recover ~dump ~trace ~stats ()
   in
   let term =
     Term.(
       const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ journal
-      $ checkpoint_every $ recover $ fault $ load $ dump)
+      $ checkpoint_every $ recover $ fault $ load $ dump $ trace $ stats)
   in
   let info =
     Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"

@@ -19,11 +19,11 @@ let () =
     (fun i inst -> if i < 12 then Format.printf "  %a@." P.Ir.pp_inst inst)
     program.P.Ir.insts;
 
-  let t0 = Unix.gettimeofday () in
+  let t0 = Egglog.Telemetry.now () in
   let eng, report = P.Egglog_enc.analyze program in
   Printf.printf "\negglog: fixpoint after %d iterations in %.4fs\n"
     (List.length report.Egglog.Engine.iterations)
-    (Unix.gettimeofday () -. t0);
+    (Egglog.Telemetry.now () -. t0);
 
   let egglog_sites = P.Egglog_enc.var_sites program eng in
   let reference_sites = P.Reference.var_sites program (P.Reference.analyze program) in

@@ -1,6 +1,10 @@
 exception Merge_conflict of { func : Symbol.t; old_value : Value.t; new_value : Value.t }
 exception Internal_error of string
 
+let c_unions = Telemetry.counter "db.unions"
+let c_rebuild_rounds = Telemetry.counter "rebuild.rounds"
+let c_rebuild_canon = Telemetry.counter "rebuild.tuples_canonicalized"
+
 type t = {
   uf : Union_find.t;
   sorts : (Symbol.t, unit) Hashtbl.t;
@@ -112,6 +116,7 @@ let union db ?(reason = Proof_forest.Asserted) a b =
     else begin
       touched db;
       db.changes <- db.changes + 1;
+      Telemetry.bump c_unions 1;
       Proof_forest.record db.proofs x y reason;
       Value.VId (Union_find.union db.uf x y)
     end
@@ -168,14 +173,37 @@ let repair_table db table =
       let key_ok = Array.for_all (is_canon db) key in
       if not (key_ok && is_canon db row.value) then stale := (key, row.value) :: !stale)
     table;
+  Telemetry.bump c_rebuild_canon (List.length !stale);
   List.iter (fun (key, _) -> Table.remove table key) !stale;
   List.iter (fun (key, value) -> set db table key value) !stale
 
+let total_rows db =
+  let n = ref 0 in
+  iter_tables db (fun table -> n := !n + Table.length table);
+  !n
+
 let rebuild db =
-  while Union_find.has_dirty db.uf do
-    Union_find.clear_dirty db.uf;
-    iter_tables db (fun table -> repair_table db table)
-  done
+  (* Only pay for a span (and emit events) when there is repair work: rebuild
+     is called after every iteration and is usually a no-op. *)
+  if Union_find.has_dirty db.uf then begin
+    let emit = Telemetry.is_enabled () in
+    let rows0 = if emit then total_rows db else 0 in
+    let classes0 = if emit then Union_find.n_classes db.uf else 0 in
+    Telemetry.span "db.rebuild" (fun () ->
+        while Union_find.has_dirty db.uf do
+          Telemetry.bump c_rebuild_rounds 1;
+          Union_find.clear_dirty db.uf;
+          iter_tables db (fun table -> repair_table db table)
+        done);
+    if emit then
+      Telemetry.instant "db.rebuild.stat"
+        [
+          ("rows_before", Telemetry.Json.Int rows0);
+          ("rows_after", Telemetry.Json.Int (total_rows db));
+          ("classes_before", Telemetry.Json.Int classes0);
+          ("classes_after", Telemetry.Json.Int (Union_find.n_classes db.uf));
+        ]
+  end
 
 let explain db a b =
   match (canon db a, canon db b) with
@@ -194,9 +222,9 @@ let class_history db v =
 let n_ids db = Union_find.size db.uf
 let n_classes db = Union_find.n_classes db.uf
 
-let total_rows db =
+let total_log_entries db =
   let n = ref 0 in
-  iter_tables db (fun table -> n := !n + Table.length table);
+  iter_tables db (fun table -> n := !n + Table.log_length table);
   !n
 
 let copy db =

@@ -79,6 +79,10 @@ val n_ids : t -> int
 val n_classes : t -> int
 val total_rows : t -> int
 
+val total_log_entries : t -> int
+(** Sum of {!Table.log_length} over all tables; its growth over an
+    iteration is the semi-naïve frontier ("delta") size. *)
+
 (** {1 Snapshots (push/pop)} *)
 
 val copy : t -> t

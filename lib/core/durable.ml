@@ -24,11 +24,15 @@ let journal_worthy (cmd : Ast.command) =
   | Ast.Print_function _ | Ast.Print_size _ | Ast.Print_stats -> false
   | _ -> true
 
+let c_checkpoints = Telemetry.counter "checkpoint.writes"
+
 let do_checkpoint t =
   let seq = t.seq + 1 in
   let base = Journal.path t.journal in
-  Serialize.write_checkpoint t.engine ~path:(checkpoint_path base seq) ~seq
-    ~committed:t.committed;
+  Telemetry.bump c_checkpoints 1;
+  Telemetry.span "checkpoint.write" (fun () ->
+      Serialize.write_checkpoint t.engine ~path:(checkpoint_path base seq) ~seq
+        ~committed:t.committed);
   (* keep the previous checkpoint as a backup for manual recovery; prune
      anything older *)
   let stale = checkpoint_path base (seq - 2) in
@@ -97,8 +101,9 @@ let command_of_entry entry =
     error "malformed journal entry (%s): %s" msg entry
 
 let load_checkpoint engine (ck : Serialize.checkpoint) =
-  List.iter (fun cmd -> ignore (Engine.run_command engine cmd)) ck.Serialize.ck_program;
-  Serialize.load engine ck.Serialize.ck_database
+  Telemetry.span "recover.load_checkpoint" (fun () ->
+      List.iter (fun cmd -> ignore (Engine.run_command engine cmd)) ck.Serialize.ck_program;
+      Serialize.load engine ck.Serialize.ck_database)
 
 let recover engine ~journal_path ~checkpoint_every =
   let journal, contents = Journal.open_append journal_path in
@@ -160,11 +165,13 @@ let recover engine ~journal_path ~checkpoint_every =
         end
       in
       let replayed = ref 0 in
-      List.iter
-        (fun entry ->
-          ignore (Engine.run_command engine (command_of_entry entry));
-          incr replayed)
-        contents.Journal.entries;
+      Telemetry.span "recover.replay" (fun () ->
+          List.iter
+            (fun entry ->
+              ignore (Engine.run_command engine (command_of_entry entry));
+              incr replayed)
+            contents.Journal.entries);
+      Telemetry.add "recover.replayed" !replayed;
       {
         rc_checkpoint = used;
         rc_replayed = !replayed;

@@ -33,6 +33,7 @@ module Frontend = Frontend
 module Serialize = Serialize
 module Checksum = Checksum
 module Fault = Fault
+module Telemetry = Telemetry
 module Journal = Journal
 module Durable = Durable
 

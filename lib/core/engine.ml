@@ -2,6 +2,14 @@ exception Egglog_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Egglog_error s)) fmt
 
+(* Run-loop telemetry: bumped live from the hot loops (one branch when
+   disabled), snapshotted by --stats and the bench harness. *)
+let c_iterations = Telemetry.counter "engine.iterations"
+let c_matches = Telemetry.counter "engine.matches_applied"
+let c_new = Telemetry.counter "engine.tuples_inserted"
+let c_dup = Telemetry.counter "engine.matches_deduplicated"
+let c_bans = Telemetry.counter "scheduler.bans"
+
 type scheduler = Simple | Backoff of { match_limit : int; ban_length : int }
 
 let backoff_default = Backoff { match_limit = 1000; ban_length = 5 }
@@ -340,6 +348,7 @@ type iteration_stat = {
   it_apply_seconds : float;
   it_rebuild_seconds : float;
   it_matches : int;
+  it_delta_rows : int;  (* tuples (re)stamped this iteration: the next semi-naïve frontier *)
 }
 
 type stop_reason =
@@ -359,6 +368,8 @@ let describe_stop_reason = function
 type rule_stat = {
   rs_rule : string;
   rs_matches : int;  (* matches applied during this run *)
+  rs_inserted : int;  (* tuples inserted / unions performed by its actions *)
+  rs_deduplicated : int;  (* matches whose actions changed nothing *)
   rs_bans : int;  (* times the scheduler banned the rule during this run *)
 }
 
@@ -419,7 +430,26 @@ type phase_times = {
   mutable ph_apply : float;
   mutable ph_rebuild : float;
   mutable ph_matches : int;
+  mutable ph_delta : int;
 }
+
+(* Per-rule accounting across one run. [ra_inserted] counts database change
+   events (inserts + unions) attributable to the rule's actions;
+   [ra_deduplicated] counts matches whose actions changed nothing — the
+   semi-naïve duplicates and already-derived facts. *)
+type rule_acc = {
+  mutable ra_matches : int;
+  mutable ra_inserted : int;
+  mutable ra_deduplicated : int;
+}
+
+let rule_acc_for tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some acc -> acc
+  | None ->
+    let acc = { ra_matches = 0; ra_inserted = 0; ra_deduplicated = 0 } in
+    Hashtbl.replace tbl name acc;
+    acc
 
 (* Re-raise join invariant failures with the rule that triggered them. *)
 let with_rule_context (r : rt_rule) f =
@@ -435,33 +465,35 @@ let with_rule_context (r : rt_rule) f =
 let no_budget_check ~within_iteration:_ = ()
 
 let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
-    ?(rule_matches : (string, int) Hashtbl.t option) eng (ph : phase_times) : bool =
+    ?(rule_accs : (string, rule_acc) Hashtbl.t option) eng (ph : phase_times) : bool =
   let in_scope r =
     match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
   in
   (* Durability injection point: a crash here models process death in the
      middle of a long fixpoint run ("mid-run apply"). *)
   Fault.hit "engine.iteration";
+  Telemetry.bump c_iterations 1;
   let db = eng.db in
   Database.rebuild db;
   eng.iteration <- eng.iteration + 1;
   let t0 = Database.timestamp db in
   let changes0 = Database.change_counter db in
+  let log0 = Database.total_log_entries db in
   let cache = eng.join_cache in
   Join.clear_scratch cache;
-  let t_search = Unix.gettimeofday () in
-  let searched =
-    List.filter_map
-      (fun r ->
-        if (not (in_scope r)) || r.rr_banned_until > eng.iteration then None
-        else begin
-          let matches = with_rule_context r (fun () -> search_matches eng ~cache r) in
-          budget_check ~within_iteration:true;
-          Some (r, matches)
-        end)
-      eng.rules
+  let dt_search, searched =
+    Telemetry.timed_span "engine.search" (fun () ->
+        List.filter_map
+          (fun r ->
+            if (not (in_scope r)) || r.rr_banned_until > eng.iteration then None
+            else begin
+              let matches = with_rule_context r (fun () -> search_matches eng ~cache r) in
+              budget_check ~within_iteration:true;
+              Some (r, matches)
+            end)
+          eng.rules)
   in
-  ph.ph_search <- ph.ph_search +. (Unix.gettimeofday () -. t_search);
+  ph.ph_search <- ph.ph_search +. dt_search;
   let to_apply =
     List.filter_map
       (fun (r, matches) ->
@@ -472,44 +504,71 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
           if List.length matches > threshold then begin
             r.rr_banned_until <- eng.iteration + (ban_length lsl r.rr_times_banned);
             r.rr_times_banned <- r.rr_times_banned + 1;
+            Telemetry.bump c_bans 1;
+            if Telemetry.is_enabled () then
+              Telemetry.instant "scheduler.ban"
+                [
+                  ("rule", Telemetry.Json.Str r.rr_name);
+                  ("reason", Telemetry.Json.Str "match-limit-exceeded");
+                  ("matches", Telemetry.Json.Int (List.length matches));
+                  ("threshold", Telemetry.Json.Int threshold);
+                  ("banned_until", Telemetry.Json.Int r.rr_banned_until);
+                  ("times_banned", Telemetry.Json.Int r.rr_times_banned);
+                ];
             None
           end
           else Some (r, matches))
       searched
   in
   Database.bump_timestamp db;
-  let t_apply = Unix.gettimeofday () in
-  List.iter
-    (fun (r, matches) ->
-      ph.ph_matches <- ph.ph_matches + List.length matches;
-      (match rule_matches with
-       | Some tbl ->
-         let prev = Option.value (Hashtbl.find_opt tbl r.rr_name) ~default:0 in
-         Hashtbl.replace tbl r.rr_name (prev + List.length matches)
-       | None -> ());
-      List.iter
-        (fun binding ->
-          with_rule_context r (fun () -> apply_match eng r binding);
-          budget_check ~within_iteration:true)
-        matches;
-      r.rr_last_stamp <- t0 + 1)
-    to_apply;
+  let dt_apply, () =
+    Telemetry.timed_span "engine.apply" (fun () ->
+        List.iter
+          (fun (r, matches) ->
+            ph.ph_matches <- ph.ph_matches + List.length matches;
+            Telemetry.bump c_matches (List.length matches);
+            let acc =
+              match rule_accs with
+              | Some tbl ->
+                let acc = rule_acc_for tbl r.rr_name in
+                acc.ra_matches <- acc.ra_matches + List.length matches;
+                Some acc
+              | None -> None
+            in
+            List.iter
+              (fun binding ->
+                let changes_before = Database.change_counter db in
+                with_rule_context r (fun () -> apply_match eng r binding);
+                let delta = Database.change_counter db - changes_before in
+                if delta = 0 then Telemetry.bump c_dup 1 else Telemetry.bump c_new delta;
+                (match acc with
+                 | Some acc ->
+                   if delta = 0 then acc.ra_deduplicated <- acc.ra_deduplicated + 1
+                   else acc.ra_inserted <- acc.ra_inserted + delta
+                 | None -> ());
+                budget_check ~within_iteration:true)
+              matches;
+            r.rr_last_stamp <- t0 + 1)
+          to_apply)
+  in
   eng.current_reason <- Proof_forest.Asserted;
-  ph.ph_apply <- ph.ph_apply +. (Unix.gettimeofday () -. t_apply);
-  let t_rebuild = Unix.gettimeofday () in
-  Database.rebuild db;
-  ph.ph_rebuild <- ph.ph_rebuild +. (Unix.gettimeofday () -. t_rebuild);
+  ph.ph_apply <- ph.ph_apply +. dt_apply;
+  let dt_rebuild, () = Telemetry.timed_span "engine.rebuild" (fun () -> Database.rebuild db) in
+  ph.ph_rebuild <- ph.ph_rebuild +. dt_rebuild;
+  ph.ph_delta <- ph.ph_delta + (Database.total_log_entries db - log0);
   Database.change_counter db > changes0
 
 let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
-  let start_all = Unix.gettimeofday () in
+  let start_all = Telemetry.now () in
   let stats = ref [] in
   let total = ref 0.0 in
-  let rule_matches : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let rule_accs : (string, rule_acc) Hashtbl.t = Hashtbl.create 16 in
   let bans0 = List.map (fun r -> (r, r.rr_times_banned)) eng.rules in
   (* Budgets are checked cooperatively: between iterations always, and
      within an iteration after every rule search and (throttled) after each
-     applied match, so one explosive iteration cannot run away. *)
+     applied match, so one explosive iteration cannot run away. Deadlines
+     read the telemetry clock (monotonic), so a wall-clock jump can neither
+     fire a time budget early nor let a run outlive it. *)
   let tick = ref 0 in
   let budget_check ~within_iteration =
     let due =
@@ -527,7 +586,7 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
        | None -> ());
       match time_limit with
       | Some s ->
-        let dt = Unix.gettimeofday () -. start_all in
+        let dt = Telemetry.now () -. start_all in
         if dt > s then raise (Stop_run (Time_limit dt))
       | None -> ()
     end
@@ -538,22 +597,27 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
      if until_holds () then raise (Stop_run Until_satisfied);
      budget_check ~within_iteration:false;
      for i = 1 to n do
-       let ph = { ph_search = 0.0; ph_apply = 0.0; ph_rebuild = 0.0; ph_matches = 0 } in
-       let start = Unix.gettimeofday () in
-       let outcome =
-         try Ok (run_one_iteration ?ruleset ~budget_check ~rule_matches eng ph)
-         with Stop_run r -> Error r
+       let ph =
+         { ph_search = 0.0; ph_apply = 0.0; ph_rebuild = 0.0; ph_matches = 0; ph_delta = 0 }
        in
-       (* A budget can trip mid-iteration; restore the canonical invariant
-          before reporting (partial progress is kept, as in egg). *)
-       (match outcome with
-        | Error _ ->
-          eng.current_reason <- Proof_forest.Asserted;
-          Database.rebuild eng.db
-        | Ok _ -> ());
-       let dt = Unix.gettimeofday () -. start in
+       let dt, outcome =
+         Telemetry.timed_span "engine.iteration" (fun () ->
+             let outcome =
+               try Ok (run_one_iteration ?ruleset ~budget_check ~rule_accs eng ph)
+               with Stop_run r -> Error r
+             in
+             (* A budget can trip mid-iteration; restore the canonical
+                invariant before reporting (partial progress is kept, as in
+                egg). *)
+             (match outcome with
+              | Error _ ->
+                eng.current_reason <- Proof_forest.Asserted;
+                Database.rebuild eng.db
+              | Ok _ -> ());
+             outcome)
+       in
        total := !total +. dt;
-       stats :=
+       let stat =
          {
            it_index = i;
            it_seconds = dt;
@@ -564,8 +628,20 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
            it_apply_seconds = ph.ph_apply;
            it_rebuild_seconds = ph.ph_rebuild;
            it_matches = ph.ph_matches;
+           it_delta_rows = ph.ph_delta;
          }
-         :: !stats;
+       in
+       stats := stat :: !stats;
+       if Telemetry.is_enabled () then
+         Telemetry.instant "engine.iteration.stat"
+           [
+             ("iter", Telemetry.Json.Int eng.iteration);
+             ("rows", Telemetry.Json.Int stat.it_rows);
+             ("classes", Telemetry.Json.Int stat.it_classes);
+             ("delta_rows", Telemetry.Json.Int stat.it_delta_rows);
+             ("matches", Telemetry.Json.Int stat.it_matches);
+             ("changed", Telemetry.Json.Bool stat.it_changed);
+           ];
        match outcome with
        | Error r -> raise (Stop_run r)
        | Ok changed ->
@@ -581,16 +657,64 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
           match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
         in
         if not in_scope then None
-        else
+        else begin
+          let acc =
+            Option.value (Hashtbl.find_opt rule_accs r.rr_name)
+              ~default:{ ra_matches = 0; ra_inserted = 0; ra_deduplicated = 0 }
+          in
           Some
             {
               rs_rule = r.rr_name;
-              rs_matches = Option.value (Hashtbl.find_opt rule_matches r.rr_name) ~default:0;
+              rs_matches = acc.ra_matches;
+              rs_inserted = acc.ra_inserted;
+              rs_deduplicated = acc.ra_deduplicated;
               rs_bans = r.rr_times_banned - bans_before;
-            })
+            }
+        end)
       bans0
   in
+  if Telemetry.is_enabled () then
+    List.iter
+      (fun rs ->
+        if rs.rs_matches > 0 || rs.rs_bans > 0 then
+          Telemetry.instant "rule.stats"
+            [
+              ("rule", Telemetry.Json.Str rs.rs_rule);
+              ("matches", Telemetry.Json.Int rs.rs_matches);
+              ("inserted", Telemetry.Json.Int rs.rs_inserted);
+              ("deduplicated", Telemetry.Json.Int rs.rs_deduplicated);
+              ("bans", Telemetry.Json.Int rs.rs_bans);
+            ])
+      rule_stats;
   { iterations = List.rev !stats; stop_reason = !stop; rule_stats; total_seconds = !total }
+
+(* Human-readable report: one summary line, a phase split, and — only when
+   at least one rule was searched — a per-rule table. A run over an empty
+   or fully-banned ruleset must not print a dangling table header. *)
+let pp_run_report fmt (r : run_report) =
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 r.iterations in
+  let sum_i f = List.fold_left (fun acc s -> acc + f s) 0 r.iterations in
+  Format.fprintf fmt "%d iteration(s) in %.6fs (%s); %d match(es) applied@\n"
+    (List.length r.iterations) r.total_seconds
+    (describe_stop_reason r.stop_reason)
+    (sum_i (fun s -> s.it_matches));
+  if r.iterations <> [] then begin
+    let search = sum (fun s -> s.it_search_seconds) in
+    let apply = sum (fun s -> s.it_apply_seconds) in
+    let rebuild = sum (fun s -> s.it_rebuild_seconds) in
+    Format.fprintf fmt "  phases: search %.6fs, apply %.6fs, rebuild %.6fs, other %.6fs@\n"
+      search apply rebuild
+      (Float.max 0.0 (r.total_seconds -. search -. apply -. rebuild))
+  end;
+  if r.rule_stats <> [] then begin
+    Format.fprintf fmt "  %-28s %10s %10s %8s %6s@\n" "rule" "matches" "inserted" "dedup"
+      "bans";
+    List.iter
+      (fun rs ->
+        Format.fprintf fmt "  %-28s %10d %10d %8d %6d@\n" rs.rs_rule rs.rs_matches
+          rs.rs_inserted rs.rs_deduplicated rs.rs_bans)
+      r.rule_stats
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)

@@ -71,6 +71,9 @@ type iteration_stat = {
   it_apply_seconds : float;
   it_rebuild_seconds : float;
   it_matches : int;  (** matches applied *)
+  it_delta_rows : int;
+      (** tuples (re)stamped during this iteration — the frontier semi-naïve
+          evaluation will scan next iteration *)
 }
 
 (** Why a run stopped. Budgets are enforced cooperatively: between
@@ -90,10 +93,16 @@ val describe_stop_reason : stop_reason -> string
 type rule_stat = {
   rs_rule : string;  (** rule name *)
   rs_matches : int;  (** matches applied during this run *)
+  rs_inserted : int;
+      (** database change events (tuple inserts + unions) performed by the
+          rule's actions *)
+  rs_deduplicated : int;
+      (** matches whose actions changed nothing: semi-naïve duplicates and
+          already-derived facts *)
   rs_bans : int;  (** times the scheduler banned the rule during this run *)
 }
 (** Per-rule accounting for one run — enough to diagnose which rule made a
-    workload explode. *)
+    workload explode, and how much of its matching was wasted. *)
 
 type run_report = {
   iterations : iteration_stat list;  (** in order *)
@@ -101,6 +110,11 @@ type run_report = {
   rule_stats : rule_stat list;  (** in declaration order, searched rules only *)
   total_seconds : float;
 }
+
+val pp_run_report : Format.formatter -> run_report -> unit
+(** Summary line, phase split, and a per-rule table. The rule table is
+    omitted entirely when no rule was searched (empty or fully-banned
+    ruleset) rather than printing a dangling header. *)
 
 val run_iterations :
   ?ruleset:string ->

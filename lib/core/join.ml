@@ -3,6 +3,13 @@ exception Internal_error of { in_func : Symbol.t option; detail : string }
 let internal ?in_func fmt =
   Format.kasprintf (fun detail -> raise (Internal_error { in_func; detail })) fmt
 
+let c_scanned = Telemetry.counter "join.tuples_scanned"
+let c_trie_builds = Telemetry.counter "join.trie_builds"
+let c_index_builds = Telemetry.counter "join.index_builds"
+let c_cache_hits = Telemetry.counter "join.cache_hits"
+let c_cache_misses = Telemetry.counter "join.cache_misses"
+let c_yielded = Telemetry.counter "join.matches_yielded"
+
 module VTbl = Hashtbl.Make (struct
   type t = Value.t
 
@@ -68,11 +75,16 @@ let row_passes (plan : atom_plan) key (row : Table.row) =
 
 let build_trie (plan : atom_plan) (range : stamp_range) : trie =
   let depth = Array.length plan.ap_sources in
+  Telemetry.bump c_trie_builds 1;
+  Telemetry.observe "join.trie_depth" (float_of_int depth);
+  let scanned = ref 0 in
+  let result =
   if depth = 0 then begin
     (* Fully ground atom: Leaf iff some row passes the checks. *)
     let found = ref false in
     (try
        Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+           incr scanned;
            if row_passes plan key row then begin
              found := true;
              raise Exit
@@ -83,6 +95,7 @@ let build_trie (plan : atom_plan) (range : stamp_range) : trie =
   else begin
     let root = VTbl.create 64 in
     Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+        incr scanned;
         if row_passes plan key row then begin
           let cell i = if i < Array.length key then key.(i) else row.Table.value in
           let node = ref root in
@@ -102,6 +115,9 @@ let build_trie (plan : atom_plan) (range : stamp_range) : trie =
         end);
     Node root
   end
+  in
+  Telemetry.bump c_scanned !scanned;
+  result
 
 exception Found
 
@@ -157,8 +173,11 @@ let cached_trie cache atom plan range =
     let key = "t" ^ cache_key atom plan range in
     let full = is_full range in
     match cache_find c ~full ~table:plan.ap_table key with
-    | Some (B_trie trie) -> trie
+    | Some (B_trie trie) ->
+      Telemetry.bump c_cache_hits 1;
+      trie
     | Some (B_index _) | None ->
+      Telemetry.bump c_cache_misses 1;
       let trie = build_trie plan range in
       cache_store c ~full ~table:plan.ap_table key (B_trie trie);
       trie)
@@ -166,8 +185,11 @@ let cached_trie cache atom plan range =
 (* Hash index over an atom: projected shared-variable values -> the values
    of the atom's remaining variables, one entry per passing row. *)
 let build_index (plan : atom_plan) (range : stamp_range) ~(proj : int array) ~(rest : int array) =
+  Telemetry.bump c_index_builds 1;
+  let scanned = ref 0 in
   let index : Value.t array list Value.Key_tbl.t = Value.Key_tbl.create 64 in
   Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+      incr scanned;
       if row_passes plan key row then begin
         let cell i = if i < Array.length key then key.(i) else row.Table.value in
         let k = Array.map cell proj in
@@ -175,6 +197,7 @@ let build_index (plan : atom_plan) (range : stamp_range) ~(proj : int array) ~(r
         let existing = try Value.Key_tbl.find index k with Not_found -> [] in
         Value.Key_tbl.replace index k (v :: existing)
       end);
+  Telemetry.bump c_scanned !scanned;
   index
 
 let cached_index cache atom plan range ~proj ~rest =
@@ -188,8 +211,11 @@ let cached_index cache atom plan range ~proj ~rest =
     in
     let full = is_full range in
     match cache_find c ~full ~table:plan.ap_table key with
-    | Some (B_index idx) -> idx
+    | Some (B_index idx) ->
+      Telemetry.bump c_cache_hits 1;
+      idx
     | Some (B_trie _) | None ->
+      Telemetry.bump c_cache_misses 1;
       let idx = build_index plan range ~proj ~rest in
       cache_store c ~full ~table:plan.ap_table key (B_index idx);
       idx)
@@ -217,7 +243,9 @@ let search_single_atom (q : Compile.cquery) (plan : atom_plan) (range : stamp_ra
       all_prims
   in
   let eval_arg = function Compile.A_const v -> v | Compile.A_var v -> env.(v) in
+  let scanned = ref 0 in
   Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+      incr scanned;
       if row_passes plan key row then begin
         let cell i = if i < Array.length key then key.(i) else row.Table.value in
         Array.iteri (fun level src -> env.(plan.ap_vars.(level)) <- cell src) plan.ap_sources;
@@ -242,7 +270,8 @@ let search_single_atom (q : Compile.cquery) (plan : atom_plan) (range : stamp_ra
             prim_binds
         in
         if ok then callback env
-      end)
+      end);
+  Telemetry.bump c_scanned !scanned
 
 (* Prims as a flat, statically classified checklist: every join variable is
    bound before they run, so outputs either bind (computed vars) or check. *)
@@ -309,8 +338,10 @@ let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
   let prim_plan = static_prim_plan q [ dplan.ap_vars; oplan.ap_vars ] in
   let env = Array.make q.Compile.n_vars Value.VUnit in
   let probe_key = Array.make (Array.length shared) Value.VUnit in
+  let scanned = ref 0 in
   Table.iter_range dplan.ap_table ~lo:ranges.(driver).lo ~hi:ranges.(driver).hi
     (fun key row ->
+      incr scanned;
       if row_passes dplan key row then begin
         let cell i = if i < Array.length key then key.(i) else row.Table.value in
         Array.iteri (fun level src -> env.(dplan.ap_vars.(level)) <- cell src) dplan.ap_sources;
@@ -323,12 +354,21 @@ let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
               Array.iteri (fun i (v, _) -> env.(v) <- rest_vals.(i)) rest;
               if run_static_prims env prim_plan then callback env)
             entries
-      end)
+      end);
+  Telemetry.bump c_scanned !scanned
 
 let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_range array)
     callback =
   let n_atoms = Array.length q.atoms in
   if Array.length ranges <> n_atoms then invalid_arg "Join.search: ranges arity mismatch";
+  (* Count yields only when telemetry is on: the wrapper closure would
+     otherwise cost an allocation per search even with everything off. *)
+  let callback =
+    if Telemetry.is_enabled () then (fun env ->
+      Telemetry.bump c_yielded 1;
+      callback env)
+    else callback
+  in
   let plans = Array.map (plan_atom db q) q.atoms in
   if fast_paths && n_atoms = 1 && Array.length plans.(0).ap_sources > 0 then
     search_single_atom q plans.(0) ranges.(0) callback

@@ -149,8 +149,15 @@ let open_append path =
 
 let check_open t = if t.closed then error "%s: journal handle is closed" t.path
 
+let c_appends = Telemetry.counter "journal.appends"
+let c_append_bytes = Telemetry.counter "journal.append_bytes"
+let c_resets = Telemetry.counter "journal.resets"
+
 let append t payload =
   check_open t;
+  Telemetry.bump c_appends 1;
+  Telemetry.bump c_append_bytes (String.length payload);
+  Telemetry.span "journal.append" @@ fun () ->
   Fault.hit "journal.append.before";
   let hdr =
     Printf.sprintf "r %d %s\n" (String.length payload)
@@ -173,6 +180,7 @@ let append t payload =
 
 let reset t ~ckpt_seq =
   check_open t;
+  Telemetry.bump c_resets 1;
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
   atomic_write t.path (header_line ckpt_seq);
   t.fd <- open_at_end t.path (String.length (header_line ckpt_seq))

@@ -26,6 +26,12 @@ let create func =
 let func t = t.func
 let length t = Value.Key_tbl.length t.data
 let version t = t.version
+
+(* Entries ever appended to the timestamp log (inserts + re-stamps). The
+   growth of this number over an iteration is exactly the frontier the next
+   semi-naïve round will scan, which makes it the right "delta size" to
+   report in telemetry. *)
+let log_length t = t.log_len
 let get t key = Value.Key_tbl.find_opt t.data key
 
 let log_append t key stamp =

@@ -19,6 +19,11 @@ val length : t -> int
 val version : t -> int
 (** Bumped on every mutation; lets query-side caches validate reuse. *)
 
+val log_length : t -> int
+(** Entries ever appended to the timestamp log (inserts + re-stamps). Its
+    growth over an iteration is the frontier semi-naïve evaluation scans
+    next round — the "delta size" reported by telemetry. *)
+
 val get : t -> Value.t array -> row option
 (** Keys must already be canonical. *)
 

@@ -1,0 +1,470 @@
+(* See telemetry.mli for the design constraints: global, off by default,
+   one-branch no-ops while disabled, monotonic, injectable clock. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let escape_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float x ->
+      if Float.is_finite x then begin
+        (* shortest decimal that round-trips; JSON forbids a bare leading
+           '.' or trailing '.', which %.17g never produces *)
+        let s = Printf.sprintf "%.12g" x in
+        Buffer.add_string buf s
+      end
+      else Buffer.add_string buf "null"
+    | Str s -> escape_string buf s
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 128 in
+    write buf j;
+    Buffer.contents buf
+
+  (* ---- a small recursive-descent parser (for tests and validation) ---- *)
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some got when got = c -> advance ()
+      | Some got -> fail "expected %c at offset %d, got %c" c !pos got
+      | None -> fail "expected %c at offset %d, got end of input" c !pos
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail "invalid literal at offset %d" !pos
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          (if !pos >= n then fail "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | None -> fail "bad \\u escape %S" hex
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some code ->
+                (* we only ever emit \u00xx for control chars; decode the
+                   rest as UTF-8 for robustness *)
+                if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end)
+           | e -> fail "bad escape \\%c" e);
+          go ()
+        | c -> Buffer.add_char buf c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text in
+      if is_float then
+        match float_of_string_opt text with
+        | Some x -> Float x
+        | None -> fail "bad number %S" text
+      else begin
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt text with
+          | Some x -> Float x
+          | None -> fail "bad number %S" text)
+      end
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}' at offset %d" !pos
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']' at offset %d" !pos
+          in
+          items_loop ();
+          List (List.rev !items)
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let write_file path j =
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_string j);
+        Out_channel.output_char oc '\n')
+end
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* CLOCK_MONOTONIC via bechamel's tiny stub library: nanoseconds as int64,
+   noalloc. Wall-clock (gettimeofday) is only ever a display concern. *)
+let default_clock () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let clock = ref default_clock
+let now () = !clock ()
+let set_clock f = clock := f
+let use_default_clock () = clock := default_clock
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let enabled = ref false
+let is_enabled () = !enabled
+
+let sink : (string -> unit) option ref = ref None
+let origin = ref 0.0
+let depth = ref 0
+
+type counter = { c_name : string; mutable c_value : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let bump c n = if !enabled then c.c_value <- c.c_value + n
+let add name n = if !enabled then (counter name).c_value <- (counter name).c_value + n
+
+type timing_acc = {
+  mutable a_count : int;
+  mutable a_total : float;
+  mutable a_min : float;
+  mutable a_max : float;
+}
+
+let timings : (string, timing_acc) Hashtbl.t = Hashtbl.create 64
+
+let observe name dt =
+  if !enabled then begin
+    let acc =
+      match Hashtbl.find_opt timings name with
+      | Some acc -> acc
+      | None ->
+        let acc = { a_count = 0; a_total = 0.0; a_min = infinity; a_max = neg_infinity } in
+        Hashtbl.replace timings name acc;
+        acc
+    in
+    acc.a_count <- acc.a_count + 1;
+    acc.a_total <- acc.a_total +. dt;
+    if dt < acc.a_min then acc.a_min <- dt;
+    if dt > acc.a_max then acc.a_max <- dt
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.reset timings;
+  depth := 0
+
+let enable ?sink:s () =
+  enabled := true;
+  (match s with Some f -> sink := Some f | None -> ());
+  origin := now ()
+
+let disable () =
+  enabled := false;
+  sink := None
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let emit line = match !sink with Some f -> f line | None -> ()
+let rel t = t -. !origin
+
+let emit_event t kind name fields =
+  match !sink with
+  | None -> ()
+  | Some _ ->
+    emit
+      (Json.to_string
+         (Json.Obj
+            (("t", Json.Float (rel t)) :: ("ev", Json.Str kind) :: ("name", Json.Str name)
+            :: fields)))
+
+let span name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = now () in
+    emit_event t0 "b" name [ ("depth", Json.Int !depth) ];
+    incr depth;
+    let finish () =
+      decr depth;
+      let t1 = now () in
+      observe name (t1 -. t0);
+      emit_event t1 "e" name [ ("dur", Json.Float (t1 -. t0)); ("depth", Json.Int !depth) ]
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let timed_span name f =
+  if not !enabled then begin
+    let t0 = now () in
+    let v = f () in
+    (now () -. t0, v)
+  end
+  else begin
+    let t0 = now () in
+    emit_event t0 "b" name [ ("depth", Json.Int !depth) ];
+    incr depth;
+    let finish () =
+      decr depth;
+      let t1 = now () in
+      observe name (t1 -. t0);
+      emit_event t1 "e" name [ ("dur", Json.Float (t1 -. t0)); ("depth", Json.Int !depth) ];
+      t1 -. t0
+    in
+    match f () with
+    | v -> (finish (), v)
+    | exception e ->
+      ignore (finish ());
+      raise e
+  end
+
+let instant name fields = if !enabled then emit_event (now ()) "i" name fields
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type timing = { t_count : int; t_total : float; t_min : float; t_max : float }
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_timings : (string * timing) list;
+}
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold (fun name c acc -> if c.c_value = 0 then acc else (name, c.c_value) :: acc)
+      counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let ts =
+    Hashtbl.fold
+      (fun name a acc ->
+        (name, { t_count = a.a_count; t_total = a.a_total; t_min = a.a_min; t_max = a.a_max })
+        :: acc)
+      timings []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { sn_counters = cs; sn_timings = ts }
+
+let flush_counters () =
+  match !sink with
+  | None -> ()
+  | Some _ ->
+    let t = now () in
+    let snap = snapshot () in
+    List.iter
+      (fun (name, v) -> emit_event t "c" name [ ("value", Json.Int v) ])
+      snap.sn_counters;
+    List.iter
+      (fun (name, tm) ->
+        emit_event t "h" name
+          [
+            ("count", Json.Int tm.t_count);
+            ("total", Json.Float tm.t_total);
+            ("min", Json.Float tm.t_min);
+            ("max", Json.Float tm.t_max);
+          ])
+      snap.sn_timings
+
+let snapshot_to_json snap =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) snap.sn_counters));
+      ( "timings",
+        Json.Obj
+          (List.map
+             (fun (name, t) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int t.t_count);
+                     ("total_s", Json.Float t.t_total);
+                     ("min_s", Json.Float t.t_min);
+                     ("max_s", Json.Float t.t_max);
+                   ] ))
+             snap.sn_timings) );
+    ]
+
+let report_to_json snap = Json.to_string (snapshot_to_json snap)
+
+let pp_table fmt snap =
+  let name_width =
+    List.fold_left
+      (fun w (name, _) -> max w (String.length name))
+      0
+      (List.map (fun (n, _) -> (n, ())) snap.sn_counters
+      @ List.map (fun (n, _) -> (n, ())) snap.sn_timings)
+  in
+  let w = max 24 name_width in
+  if snap.sn_timings <> [] then begin
+    Format.fprintf fmt "%-*s %10s %12s %12s %12s@\n" w "timing" "count" "total" "min" "max";
+    List.iter
+      (fun (name, t) ->
+        Format.fprintf fmt "%-*s %10d %11.6fs %11.6fs %11.6fs@\n" w name t.t_count t.t_total
+          t.t_min t.t_max)
+      snap.sn_timings
+  end;
+  if snap.sn_counters <> [] then begin
+    if snap.sn_timings <> [] then Format.fprintf fmt "@\n";
+    Format.fprintf fmt "%-*s %12s@\n" w "counter" "value";
+    List.iter (fun (name, v) -> Format.fprintf fmt "%-*s %12d@\n" w name v) snap.sn_counters
+  end

@@ -1,0 +1,145 @@
+(** Engine telemetry: monotonic-clock spans, named counters and timing
+    histograms, and an optional JSONL trace-event sink.
+
+    The paper's whole evaluation (§6) is about {e where time goes} —
+    e-matching vs rebuilding vs apply, per-rule match counts, database
+    growth across iterations — so every layer of the pipeline reports here:
+    the generic join (tuples scanned, index builds/reuses, trie depth),
+    the semi-naïve loop (per-phase split, delta sizes, scheduler bans),
+    rebuilding (congruence rounds, unions, canonicalized tuples) and the
+    durability layer (journal append latency, checkpoint timings).
+
+    Design constraints, mirroring {!Fault}'s injection style:
+
+    - {b Global and off by default.} All recording entry points are no-ops
+      behind a single boolean check until {!enable} is called, so the fully
+      disabled path costs one predictable branch and allocates nothing.
+      Call sites that would have to build a dynamic string or field list
+      must guard on {!is_enabled} themselves.
+    - {b Monotonic.} {!now} reads CLOCK_MONOTONIC, so wall-clock jumps can
+      neither corrupt phase timings nor fire time budgets early. The engine
+      uses it for {e all} timing, including [:time-limit] deadlines.
+    - {b Deterministic in tests.} {!set_clock} injects a fake clock; every
+      timestamp and duration then comes from the injected source. *)
+
+(** A minimal JSON value: enough to print the trace events and bench
+    reports this module emits, and to parse them back in tests. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val to_string : t -> string
+  (** Compact single-line rendering. Non-finite floats print as [null]
+      (JSON has no representation for them). *)
+
+  val parse : string -> t
+  (** Parse one JSON document. @raise Parse_error on malformed input or
+      trailing garbage. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+  val write_file : string -> t -> unit
+  (** Write a document plus trailing newline, atomically enough for bench
+      reports (plain create/write/close). *)
+end
+
+(** {1 Clock} *)
+
+val now : unit -> float
+(** Seconds on the telemetry clock. Monotonic (CLOCK_MONOTONIC) by
+    default; the absolute value is meaningless, only differences are.
+    Works whether or not telemetry is enabled. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the clock (tests inject a deterministic fake). *)
+
+val use_default_clock : unit -> unit
+
+(** {1 Lifecycle} *)
+
+val enable : ?sink:(string -> unit) -> unit -> unit
+(** Turn recording on. [sink], when given, receives one JSON line per
+    trace event (no trailing newline); without it only the aggregate
+    counters and timings are maintained. The event-time origin is set to
+    [now ()] at each call. *)
+
+val disable : unit -> unit
+(** Turn recording off and detach any sink. Aggregates are kept (read
+    them with {!snapshot}); {!reset} clears them. *)
+
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero all counters and timing aggregates. Existing {!counter} handles
+    stay valid. *)
+
+(** {1 Counters and timings} *)
+
+type counter
+(** A named monotone counter. Handles are interned by name: create them
+    once at module initialisation and {!bump} them from hot loops — a bump
+    is one branch plus one add, and a no-op while disabled. *)
+
+val counter : string -> counter
+val bump : counter -> int -> unit
+
+val add : string -> int -> unit
+(** Convenience for cold paths: [bump (counter name) n]. *)
+
+val observe : string -> float -> unit
+(** Record one observation into the named timing/histogram aggregate
+    (count, total, min, max). Spans observe their duration automatically
+    under their own name. *)
+
+(** {1 Spans and events} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span: when enabled, emits a begin event
+    and an end event (balanced even on exceptions) around it and observes
+    the duration; when disabled, calls the thunk directly with zero
+    overhead (the clock is not even read). *)
+
+val timed_span : string -> (unit -> 'a) -> float * 'a
+(** Like {!span} but always measures and returns the duration, enabled or
+    not — for call sites that need the elapsed time regardless (the
+    engine's [run_report] phase splits). On exception the span is closed
+    and the exception re-raised. *)
+
+val instant : string -> (string * Json.t) list -> unit
+(** Emit an instant trace event with extra fields (e.g. a scheduler ban
+    with its rule and reason). Dropped unless a sink is attached. Guard
+    call sites on {!is_enabled} when building the field list costs. *)
+
+val flush_counters : unit -> unit
+(** Emit every counter (["ev":"c"]) and timing aggregate (["ev":"h"]) to
+    the sink, e.g. just before closing a trace file. *)
+
+(** {1 Reports} *)
+
+type timing = { t_count : int; t_total : float; t_min : float; t_max : float }
+
+type snapshot = {
+  sn_counters : (string * int) list;  (** sorted by name; zero entries omitted *)
+  sn_timings : (string * timing) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val snapshot_to_json : snapshot -> Json.t
+(** Stable schema: [{"counters": {...}, "timings": {name: {"count": ...,
+    "total_s": ..., "min_s": ..., "max_s": ...}}}]. *)
+
+val report_to_json : snapshot -> string
+
+val pp_table : Format.formatter -> snapshot -> unit
+(** Human-readable end-of-run table: timings then counters; prints
+    nothing at all for an empty snapshot. *)

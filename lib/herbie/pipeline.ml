@@ -25,12 +25,17 @@ type outcome = {
 let iterations = 7
 let max_candidates = 40
 
+let c_candidates = Egglog.Telemetry.counter "herbie.candidates"
+let c_invalid = Egglog.Telemetry.counter "herbie.candidates_invalid"
+let c_retries = Egglog.Telemetry.counter "herbie.unsound_retries"
+
 let train_spec (bench : Suite.bench) = { (Error.default_spec bench.ranges) with seed = 7; n_samples = 64 }
 let test_spec (bench : Suite.bench) = { (Error.default_spec bench.ranges) with seed = 99; n_samples = 256 }
 
 (* One equality-saturation run at a given iteration budget, returning the
    candidate programs of the root class. *)
 let saturate (mode : mode) (bench : Suite.bench) ~iterations : Fpexpr.expr list =
+  Egglog.Telemetry.span "herbie.saturate" @@ fun () ->
   let eng = Egglog.Engine.create ~scheduler:Egglog.Engine.backoff_default () in
   let program =
     match mode with Sound -> Rules.sound_program () | Unsound -> Rules.unsound_program ()
@@ -55,7 +60,7 @@ let saturate (mode : mode) (bench : Suite.bench) ~iterations : Fpexpr.expr list 
   List.filter_map (fun t -> try Some (Rules.term_to_expr t) with Rules.Bad_term _ -> None) terms
 
 let improve ?(iterations = iterations) (mode : mode) (bench : Suite.bench) : outcome =
-  let t0 = Unix.gettimeofday () in
+  let dt, outcome_no_time = Egglog.Telemetry.timed_span "herbie.improve" @@ fun () ->
   let train = train_spec bench in
   let n_invalid = ref 0 in
   let n_candidates = ref 0 in
@@ -84,10 +89,16 @@ let improve ?(iterations = iterations) (mode : mode) (bench : Suite.bench) : out
             exprs
         in
         n_invalid := !n_invalid + !invalid;
-        if !invalid > 0 && iters > 1 then attempt (iters - 1) else good
+        if !invalid > 0 && iters > 1 then begin
+          Egglog.Telemetry.bump c_retries 1;
+          attempt (iters - 1)
+        end
+        else good
       in
       attempt iterations
   in
+  Egglog.Telemetry.bump c_candidates !n_candidates;
+  Egglog.Telemetry.bump c_invalid !n_invalid;
   let bits_before = Error.avg_bits (test_spec bench) bench.Suite.expr in
   let scored =
     List.map (fun e -> (Error.avg_bits train e, e)) (bench.Suite.expr :: validated)
@@ -104,7 +115,9 @@ let improve ?(iterations = iterations) (mode : mode) (bench : Suite.bench) : out
     chosen;
     bits_before;
     bits_after;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = 0.0;  (* patched in below, once timed_span hands back [dt] *)
     n_candidates = !n_candidates;
     n_invalid = !n_invalid;
   }
+  in
+  { outcome_no_time with seconds = dt }

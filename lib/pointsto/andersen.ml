@@ -167,9 +167,10 @@ let datalog_analyze ?(timeout_s = 60.0) (p : Ir.program) =
         Minidatalog.Atom (vpt, [| v "p"; v "a" |]);
         Minidatalog.Atom (far, [| v "a"; v "f"; v "fa" |]);
       ];
-  let t0 = Unix.gettimeofday () in
-  let outcome = Minidatalog.run db ~timeout_s () in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds, outcome =
+    Egglog.Telemetry.timed_span "pointsto.andersen.run" (fun () ->
+        Minidatalog.run db ~timeout_s ())
+  in
   let sites = Array.make n_vars [] in
   (match outcome with
    | Minidatalog.Timeout -> ()

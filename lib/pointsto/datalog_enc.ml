@@ -212,9 +212,9 @@ let build flavor (p : Ir.program) =
 
 let analyze flavor ?(timeout_s = 20.0) (p : Ir.program) : result =
   let db, vpt, eql = build flavor p in
-  let t0 = Unix.gettimeofday () in
-  let outcome = D.run db ~timeout_s () in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds, outcome =
+    Egglog.Telemetry.timed_span "pointsto.datalog.run" (fun () -> D.run db ~timeout_s ())
+  in
   { db; vpt; eql; outcome; seconds; n_vars = p.Ir.n_vars; n_sites = p.Ir.n_sites }
 
 (* Per-variable may-point-to site sets: all real allocation sites reachable

@@ -80,6 +80,7 @@ let load ?(seminaive = true) ?fast_paths ?index_caching ?(direct = false) (p : I
   eng
 
 let analyze ?seminaive ?direct (p : Ir.program) =
+  Egglog.Telemetry.span "pointsto.egglog.run" @@ fun () ->
   let eng = load ?seminaive ?direct p in
   let report = Egglog.Engine.run_iterations eng 1000 in
   (eng, report)

@@ -1,0 +1,330 @@
+(* The telemetry subsystem: deterministic fake clock, span begin/end
+   balance (including across exceptions), counter exactness on a program
+   whose match counts are derivable by hand, JSONL round-trips through the
+   JSON printer/parser, and the fully disabled path recording nothing. *)
+
+module E = Egglog
+module T = Egglog.Telemetry
+module J = T.Json
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Every test starts from a clean slate and leaves one behind: the module
+   state is global, exactly like Fault's. *)
+let fresh () =
+  T.disable ();
+  T.reset ();
+  T.use_default_clock ()
+
+(* A clock that advances one second per reading. *)
+let install_ticker () =
+  let t = ref 0.0 in
+  T.set_clock (fun () ->
+      t := !t +. 1.0;
+      !t)
+
+let with_sink f =
+  let events = ref [] in
+  T.enable ~sink:(fun line -> events := line :: !events) ();
+  f ();
+  T.disable ();
+  List.rev_map J.parse !events
+
+let field name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "event %s lacks field %s" (J.to_string j) name
+
+let str_field name j =
+  match field name j with
+  | J.Str s -> s
+  | _ -> Alcotest.failf "field %s is not a string in %s" name (J.to_string j)
+
+let int_field name j =
+  match field name j with
+  | J.Int n -> n
+  | _ -> Alcotest.failf "field %s is not an int in %s" name (J.to_string j)
+
+(* ---- fake clock ---- *)
+
+let test_fake_clock () =
+  fresh ();
+  install_ticker ();
+  (* disabled timed_span reads the clock exactly twice *)
+  let dt, v = T.timed_span "t" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check (float 1e-9)) "duration is one tick" 1.0 dt;
+  (* now() keeps ticking deterministically *)
+  let a = T.now () and b = T.now () in
+  Alcotest.(check (float 1e-9)) "one tick apart" 1.0 (b -. a);
+  fresh ()
+
+(* ---- span nesting and balance ---- *)
+
+let test_span_balance () =
+  fresh ();
+  install_ticker ();
+  let events =
+    with_sink (fun () ->
+        T.span "outer" (fun () ->
+            T.span "inner" (fun () -> ());
+            (try T.span "boom" (fun () -> raise Exit) with Exit -> ())))
+  in
+  let sig_of e = (str_field "ev" e, str_field "name" e, int_field "depth" e) in
+  Alcotest.(check (list (triple string string int)))
+    "b/e pairing and depth"
+    [
+      ("b", "outer", 0);
+      ("b", "inner", 1);
+      ("e", "inner", 1);
+      ("b", "boom", 1);
+      ("e", "boom", 1);  (* closed even though the body raised *)
+      ("e", "outer", 0);
+    ]
+    (List.map sig_of events);
+  (* timestamps never go backwards *)
+  let ts =
+    List.map (fun e -> match field "t" e with J.Float t -> t | J.Int t -> float_of_int t | _ -> nan) events
+  in
+  let rec sorted = function a :: (b :: _ as rest) -> a <= b && sorted rest | _ -> true in
+  Alcotest.(check bool) "timestamps nondecreasing" true (sorted ts);
+  fresh ()
+
+(* ---- counter exactness ---- *)
+
+(* Three-edge chain, transitive closure. Semi-naïve, by hand:
+   iter 1: base rule fires on the 3 edges (3 matches, 3 inserts);
+   iter 2: the 3 new paths join edges at 2 places (2 matches, 2 inserts);
+   iter 3: 1 match, 1 insert;  iter 4: nothing — saturated.
+   Totals: 4 iterations, 6 matches, 6 inserts, 0 duplicates, 0 unions. *)
+let path_program =
+  {|
+  (relation edge (i64 i64))
+  (relation path (i64 i64))
+  (rule ((edge a b)) ((path a b)))
+  (rule ((path a b) (edge b c)) ((path a c)))
+  (edge 1 2) (edge 2 3) (edge 3 4)
+  (run 10)
+|}
+
+let counter_value snap name =
+  match List.assoc_opt name snap.T.sn_counters with Some n -> n | None -> 0
+
+let test_counters_hand_counted () =
+  fresh ();
+  T.enable ();
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng path_program);
+  T.disable ();
+  let snap = T.snapshot () in
+  let check name expected =
+    Alcotest.(check int) name expected (counter_value snap name)
+  in
+  check "engine.iterations" 4;
+  check "engine.matches_applied" 6;
+  check "engine.tuples_inserted" 6;
+  check "engine.matches_deduplicated" 0;
+  check "db.unions" 0;
+  check "scheduler.bans" 0;
+  (* the timing aggregates exist and phase times sum inside the total *)
+  let timing name = List.assoc_opt name snap.T.sn_timings in
+  (match (timing "engine.iteration", timing "engine.search") with
+   | Some it, Some se ->
+     Alcotest.(check int) "iteration count" 4 it.T.t_count;
+     Alcotest.(check bool) "search fits in iteration" true (se.T.t_total <= it.T.t_total)
+   | _ -> Alcotest.fail "missing engine timing aggregates");
+  fresh ()
+
+(* Duplicate derivations: a second rule re-deriving the same base paths
+   must count as matches that deduplicate, not as inserts. *)
+let test_deduplicated_matches () =
+  fresh ();
+  T.enable ();
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       {|
+  (relation edge (i64 i64))
+  (relation path (i64 i64))
+  (rule ((edge a b)) ((path a b)))
+  (rule ((edge x y)) ((path x y)))
+  (edge 1 2) (edge 2 3) (edge 3 4)
+|});
+  let report = E.Engine.run_iterations eng 10 in
+  T.disable ();
+  let snap = T.snapshot () in
+  Alcotest.(check int) "matches" 6 (counter_value snap "engine.matches_applied");
+  Alcotest.(check int) "inserted" 3 (counter_value snap "engine.tuples_inserted");
+  Alcotest.(check int) "deduplicated" 3 (counter_value snap "engine.matches_deduplicated");
+  let total_dedup =
+    List.fold_left (fun acc (r : E.Engine.rule_stat) -> acc + r.rs_deduplicated) 0
+      report.E.Engine.rule_stats
+  in
+  Alcotest.(check int) "rule_stats agree on dedup" 3 total_dedup;
+  let total_inserted =
+    List.fold_left (fun acc (r : E.Engine.rule_stat) -> acc + r.rs_inserted) 0
+      report.E.Engine.rule_stats
+  in
+  Alcotest.(check int) "rule_stats agree on inserts" 3 total_inserted;
+  fresh ()
+
+(* ---- run_report printer ---- *)
+
+let test_report_printer () =
+  fresh ();
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng "(relation edge (i64 i64)) (edge 1 2)");
+  (* no rules at all: the report must not print a dangling rule table *)
+  let report = E.Engine.run_iterations eng 3 in
+  let out = Format.asprintf "%a" E.Engine.pp_run_report report in
+  Alcotest.(check bool) "no empty rule table" false (contains out "rule");
+  Alcotest.(check bool) "has summary" true (contains out "iteration(s)");
+  (* with rules, the table appears with the new columns *)
+  let eng2 = E.Engine.create () in
+  ignore (E.run_string eng2 path_program) |> ignore;
+  ignore
+    (E.run_string eng2 "(edge 4 5)");
+  let report2 = E.Engine.run_iterations eng2 10 in
+  let out2 = Format.asprintf "%a" E.Engine.pp_run_report report2 in
+  Alcotest.(check bool) "rule table present" true (contains out2 "matches");
+  Alcotest.(check bool) "dedup column present" true (contains out2 "dedup");
+  fresh ()
+
+(* ---- JSONL round-trip ---- *)
+
+let test_jsonl_roundtrip () =
+  fresh ();
+  install_ticker ();
+  let events =
+    with_sink (fun () ->
+        let eng = E.Engine.create () in
+        ignore (E.run_string eng path_program);
+        T.flush_counters ())
+  in
+  Alcotest.(check bool) "produced events" true (List.length events > 10);
+  (* with the integer-stepping fake clock every float is exactly
+     representable, so print -> parse is the identity *)
+  List.iter
+    (fun e ->
+      let reparsed = J.parse (J.to_string e) in
+      if reparsed <> e then
+        Alcotest.failf "round-trip changed %s into %s" (J.to_string e) (J.to_string reparsed))
+    events;
+  (* every event carries the envelope fields *)
+  List.iter
+    (fun e ->
+      ignore (str_field "ev" e);
+      ignore (str_field "name" e))
+    events;
+  (* the flush included counters and aggregates *)
+  let kinds = List.map (fun e -> str_field "ev" e) events in
+  Alcotest.(check bool) "has counter flush" true (List.mem "c" kinds);
+  Alcotest.(check bool) "has histogram flush" true (List.mem "h" kinds);
+  fresh ()
+
+let test_json_parser () =
+  fresh ();
+  let roundtrip j = Alcotest.(check bool) (J.to_string j) true (J.parse (J.to_string j) = j) in
+  roundtrip (J.Obj [ ("a", J.List [ J.Int 1; J.Float 2.5; J.Null; J.Bool true ]) ]);
+  roundtrip (J.Str "quote\" slash\\ newline\n tab\t");
+  roundtrip (J.List []);
+  roundtrip (J.Obj []);
+  Alcotest.(check bool) "unicode escape" true (J.parse {|"A"|} = J.Str "A");
+  (match J.parse "{\"x\": [1, {\"y\": null}]}" with
+   | J.Obj _ -> ()
+   | _ -> Alcotest.fail "nested parse");
+  List.iter
+    (fun bad ->
+      match J.parse bad with
+      | exception J.Parse_error _ -> ()
+      | j -> Alcotest.failf "accepted %S as %s" bad (J.to_string j))
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ];
+  fresh ()
+
+(* ---- disabled path ---- *)
+
+let test_disabled_records_nothing () =
+  fresh ();
+  (* capture events while enabled, then disable and keep poking *)
+  let live = ref 0 in
+  T.enable ~sink:(fun _ -> incr live) ();
+  T.add "probe" 1;
+  T.flush_counters ();
+  let while_enabled = !live in
+  Alcotest.(check bool) "sink saw the flush" true (while_enabled > 0);
+  T.disable ();
+  T.reset ();
+  let c = T.counter "test.disabled" in
+  T.bump c 5;
+  T.add "test.disabled2" 7;
+  T.observe "test.timing" 1.0;
+  T.instant "test.instant" [ ("x", J.Int 1) ];
+  T.span "test.span" (fun () -> ());
+  ignore (T.timed_span "test.timed" (fun () -> ()));
+  T.flush_counters ();
+  Alcotest.(check int) "no events after disable" while_enabled !live;
+  let snap = T.snapshot () in
+  Alcotest.(check int) "no counters" 0 (List.length snap.T.sn_counters);
+  Alcotest.(check int) "no timings" 0 (List.length snap.T.sn_timings);
+  Alcotest.(check bool) "reports disabled" false (T.is_enabled ());
+  (* pp_table prints nothing at all for an empty snapshot *)
+  Alcotest.(check string) "empty table" "" (Format.asprintf "%a" T.pp_table snap);
+  fresh ()
+
+(* ---- snapshot JSON ---- *)
+
+let test_snapshot_json () =
+  fresh ();
+  T.enable ();
+  T.add "alpha" 2;
+  T.observe "beta" 0.5;
+  T.disable ();
+  let j = T.snapshot_to_json (T.snapshot ()) in
+  (match J.member "counters" j with
+   | Some (J.Obj [ ("alpha", J.Int 2) ]) -> ()
+   | other ->
+     Alcotest.failf "unexpected counters: %s"
+       (match other with Some o -> J.to_string o | None -> "<missing>"));
+  (match J.member "timings" j with
+   | Some (J.Obj [ ("beta", obj) ]) ->
+     Alcotest.(check int) "count" 1 (int_field "count" obj)
+   | other ->
+     Alcotest.failf "unexpected timings: %s"
+       (match other with Some o -> J.to_string o | None -> "<missing>"));
+  (* report_to_json is parseable *)
+  (match J.parse (T.report_to_json (T.snapshot ())) with
+   | J.Obj _ -> ()
+   | _ -> Alcotest.fail "report_to_json not an object");
+  fresh ()
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "fake clock is deterministic" `Quick test_fake_clock;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting, balance, exceptions" `Quick test_span_balance;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "hand-counted program" `Quick test_counters_hand_counted;
+          Alcotest.test_case "deduplicated matches" `Quick test_deduplicated_matches;
+          Alcotest.test_case "run report printer" `Quick test_report_printer;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "trace JSONL round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "parser accepts/rejects" `Quick test_json_parser;
+          Alcotest.test_case "snapshot schema" `Quick test_snapshot_json;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "records nothing" `Quick test_disabled_records_nothing;
+        ] );
+    ]
