@@ -105,7 +105,7 @@ let print_report (r : Egglog.Durable.recovery_report) =
     (if r.rc_torn then "; dropped a torn trailing record" else "")
 
 let run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
-    ~dump ~trace ~stats path =
+    ~dump ~trace ~stats ~explain_plans path =
   with_errors ~where:path (fun () ->
       let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit in
       let src = In_channel.with_open_text path In_channel.input_all in
@@ -126,6 +126,7 @@ let run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_ev
        | Some snap_path -> Egglog.Serialize.load_snapshot eng snap_path
        | None -> ());
       List.iter print_endline outputs;
+      if explain_plans then print_string (Egglog.Engine.explain_plans eng);
       write_dump eng dump;
       if stats then print_stats ();
       0)
@@ -284,8 +285,12 @@ let () =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"After the program finishes, print the engine phase split (search/apply/rebuild/other) and all telemetry counters and timings")
   in
+  let explain_plans =
+    Arg.(value & flag & info [ "explain-plans" ]
+           ~doc:"After the program finishes, print each rule's cost-based join plan against the final table statistics: atoms with row counts, the chosen variable order with cost estimates, the primitive schedule, and each semi-naive delta variant's order")
+  in
   let main file no_seminaive backoff node_limit time_limit journal checkpoint_every recover
-      fault load dump trace stats =
+      fault load dump trace stats explain_plans =
     let seminaive = not no_seminaive in
     let usage_error msg =
       Printf.eprintf "egglog: %s\n" msg;
@@ -309,15 +314,17 @@ let () =
       match file with
       | Some path ->
         run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
-          ~dump ~trace ~stats path
+          ~dump ~trace ~stats ~explain_plans path
       | None ->
-        repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every
-          ~recover ~dump ~trace ~stats ()
+        if explain_plans then usage_error "--explain-plans requires FILE"
+        else
+          repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every
+            ~recover ~dump ~trace ~stats ()
   in
   let term =
     Term.(
       const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ journal
-      $ checkpoint_every $ recover $ fault $ load $ dump $ trace $ stats)
+      $ checkpoint_every $ recover $ fault $ load $ dump $ trace $ stats $ explain_plans)
   in
   let info =
     Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"

@@ -157,8 +157,7 @@ let resolve_equalities st =
 (* Planning                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let plan ~var_names ~var_tys ~(atoms : atom array) ~(prims : prim_app list) ~name_args =
-  let n_vars = Array.length var_names in
+let count_occurrences ~n_vars (atoms : atom array) =
   let occurrences = Array.make n_vars 0 in
   Array.iter
     (fun atom ->
@@ -171,15 +170,14 @@ let plan ~var_names ~var_tys ~(atoms : atom array) ~(prims : prim_app list) ~nam
           | A_var _ | A_const _ -> ())
         atom.a_args)
     atoms;
-  let join_vars = ref [] in
-  for v = n_vars - 1 downto 0 do
-    if occurrences.(v) > 0 then join_vars := v :: !join_vars
-  done;
-  (* Greedy order: most shared variables first (they constrain the most). *)
-  let order =
-    List.stable_sort (fun a b -> Stdlib.compare occurrences.(b) occurrences.(a)) !join_vars
-    |> Array.of_list
-  in
+  occurrences
+
+(* Turn a chosen variable [order] into a full plan: per-variable depths plus
+   the primitive schedule. Shared by the initial occurrence-based plan, the
+   runtime cost-based [replan], and the test-only [reorder]. *)
+let finish_plan ~var_names ~var_tys ~(atoms : atom array) ~(prims : prim_app list) ~name_args
+    ~(occurrences : int array) ~(order : int array) =
+  let n_vars = Array.length var_names in
   let var_depth = Array.make n_vars 0 in
   Array.iteri (fun d v -> var_depth.(v) <- d + 1) order;
   let n_steps = Array.length order in
@@ -229,6 +227,189 @@ let plan ~var_names ~var_tys ~(atoms : atom array) ~(prims : prim_app list) ~nam
   (* preserve discovery order inside each depth *)
   let schedule = Array.map List.rev schedule in
   { n_vars; var_names; var_tys; atoms; order; var_depth; schedule; name_args }
+
+let join_vars_of ~n_vars (occurrences : int array) =
+  let join_vars = ref [] in
+  for v = n_vars - 1 downto 0 do
+    if occurrences.(v) > 0 then join_vars := v :: !join_vars
+  done;
+  !join_vars
+
+let plan ~var_names ~var_tys ~(atoms : atom array) ~(prims : prim_app list) ~name_args =
+  let n_vars = Array.length var_names in
+  let occurrences = count_occurrences ~n_vars atoms in
+  (* Cold-start order, used before any table statistics exist: most shared
+     variables first (they constrain the most). The engine replaces this
+     with a cost-based [replan] once it can see table cardinalities. *)
+  let order =
+    List.stable_sort
+      (fun a b -> Stdlib.compare occurrences.(b) occurrences.(a))
+      (join_vars_of ~n_vars occurrences)
+    |> Array.of_list
+  in
+  finish_plan ~var_names ~var_tys ~atoms ~prims ~name_args ~occurrences ~order
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based replanning                                               *)
+(* ------------------------------------------------------------------ *)
+
+type atom_card = {
+  ac_rows : int;
+  ac_distinct : int array;  (* per column: argument columns, then output *)
+}
+
+let prims_of (q : cquery) : prim_app list = List.concat (Array.to_list q.schedule)
+
+let distinct_at (c : atom_card) p =
+  if p < Array.length c.ac_distinct then max 1 c.ac_distinct.(p) else 1
+
+(* Estimated number of values the cursor for [v] enumerates in atom [ai],
+   given the set of already-bound variables: start from the atom's row
+   count, divide by the distinct count of every bound or constant column
+   (independence assumption), and never exceed the distinct count of the
+   column [v] itself sits in. *)
+let estimate ~(q : cquery) ~(cards : atom_card array) ~(bound : bool array) ai v =
+  let atom = q.atoms.(ai) and c = cards.(ai) in
+  let cand = ref (max 1 c.ac_rows) in
+  let seen = Hashtbl.create 8 in
+  Array.iteri
+    (fun p arg ->
+      match arg with
+      | A_const _ -> cand := max 1 (!cand / distinct_at c p)
+      | A_var u when u <> v && bound.(u) && not (Hashtbl.mem seen u) ->
+        Hashtbl.add seen u ();
+        cand := max 1 (!cand / distinct_at c p)
+      | A_var _ -> ())
+    atom.a_args;
+  let width = ref !cand in
+  (try
+     Array.iteri
+       (fun p arg ->
+         match arg with
+         | A_var u when u = v ->
+           width := distinct_at c p;
+           raise Exit
+         | A_var _ | A_const _ -> ())
+       atom.a_args
+   with Exit -> ());
+  min !cand !width
+
+(* Greedy cost-based variable ordering: repeatedly pick the unordered join
+   variable whose cheapest covering atom enumerates the fewest values under
+   the current bound set; break ties toward higher coverage (intersecting
+   more atoms prunes more), then toward the smaller variable index so plans
+   are deterministic. *)
+let replan (q : cquery) ~(cards : atom_card array) : cquery =
+  if Array.length cards <> Array.length q.atoms then
+    invalid_arg "Compile.replan: cardinality/atom arity mismatch";
+  let n_vars = q.n_vars in
+  if Array.length q.order <= 1 then q
+  else begin
+    let occurrences = count_occurrences ~n_vars q.atoms in
+    let covering = Array.make n_vars [] in
+    Array.iteri
+      (fun ai atom ->
+        let seen = Hashtbl.create 8 in
+        Array.iter
+          (function
+            | A_var v when not (Hashtbl.mem seen v) ->
+              Hashtbl.add seen v ();
+              covering.(v) <- ai :: covering.(v)
+            | A_var _ | A_const _ -> ())
+          atom.a_args)
+      q.atoms;
+    let bound = Array.make n_vars false in
+    let remaining = ref (Array.to_list q.order |> List.sort Stdlib.compare) in
+    let order = Array.make (Array.length q.order) 0 in
+    let next = ref 0 in
+    while !remaining <> [] do
+      let best = ref None in
+      List.iter
+        (fun v ->
+          let cost =
+            List.fold_left
+              (fun acc ai -> min acc (estimate ~q ~cards ~bound ai v))
+              max_int covering.(v)
+          in
+          let key = (cost, -List.length covering.(v), v) in
+          match !best with
+          | Some (bkey, _) when Stdlib.compare bkey key <= 0 -> ()
+          | Some _ | None -> best := Some (key, v))
+        !remaining;
+      let v = match !best with Some (_, v) -> v | None -> assert false in
+      order.(!next) <- v;
+      incr next;
+      bound.(v) <- true;
+      remaining := List.filter (fun u -> u <> v) !remaining
+    done;
+    finish_plan ~var_names:q.var_names ~var_tys:q.var_tys ~atoms:q.atoms ~prims:(prims_of q)
+      ~name_args:q.name_args ~occurrences ~order
+  end
+
+let reorder (q : cquery) ~(order : int array) : cquery =
+  let sorted a = List.sort Stdlib.compare (Array.to_list a) in
+  if sorted order <> sorted q.order then
+    invalid_arg "Compile.reorder: order is not a permutation of the query's join variables";
+  let occurrences = count_occurrences ~n_vars:q.n_vars q.atoms in
+  finish_plan ~var_names:q.var_names ~var_tys:q.var_tys ~atoms:q.atoms ~prims:(prims_of q)
+    ~name_args:q.name_args ~occurrences ~order
+
+(* ------------------------------------------------------------------ *)
+(* Plan dumps                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pp_plan ?cards fmt (q : cquery) =
+  let arg_str = function A_var v -> q.var_names.(v) | A_const c -> Value.to_string c in
+  Format.fprintf fmt "@[<v>";
+  if Array.length q.atoms = 0 then Format.fprintf fmt "atoms: (none)"
+  else begin
+    Format.fprintf fmt "atoms:";
+    Array.iteri
+      (fun i atom ->
+        let n = Array.length atom.a_args in
+        let args = Array.to_list (Array.map arg_str (Array.sub atom.a_args 0 (n - 1))) in
+        Format.fprintf fmt "@,  [%d] (%s%s) -> %s" i
+          (Symbol.name atom.a_func.Schema.name)
+          (String.concat "" (List.map (fun a -> " " ^ a) args))
+          (arg_str atom.a_args.(n - 1));
+        match cards with
+        | Some (cs : atom_card array) -> Format.fprintf fmt "  rows=%d" cs.(i).ac_rows
+        | None -> ())
+      q.atoms
+  end;
+  Format.fprintf fmt "@,order:";
+  if Array.length q.order = 0 then Format.fprintf fmt " (none)"
+  else begin
+    match cards with
+    | None ->
+      Array.iter (fun v -> Format.fprintf fmt " %s" q.var_names.(v)) q.order
+    | Some cards ->
+      (* Annotate each step with its estimated cursor width under the bound
+         set accumulated so far — the quantity the planner minimized. *)
+      let bound = Array.make q.n_vars false in
+      Array.iter
+        (fun v ->
+          let cost = ref max_int in
+          Array.iteri
+            (fun ai atom ->
+              if Array.exists (function A_var u -> u = v | A_const _ -> false) atom.a_args
+              then cost := min !cost (estimate ~q ~cards ~bound ai v))
+            q.atoms;
+          Format.fprintf fmt " %s(est=%d)" q.var_names.(v) !cost;
+          bound.(v) <- true)
+        q.order
+  end;
+  Array.iteri
+    (fun d prims ->
+      List.iter
+        (fun (p : prim_app) ->
+          Format.fprintf fmt "@,  prim@@%d (%s%s) -> %s" d p.p_prim.Primitives.pname
+            (String.concat ""
+               (List.map (fun a -> " " ^ arg_str a) (Array.to_list p.p_args)))
+            (arg_str p.p_out))
+        prims)
+    q.schedule;
+  Format.fprintf fmt "@]"
 
 (* ------------------------------------------------------------------ *)
 (* Type inference over the flattened query                             *)

@@ -60,6 +60,33 @@ type crule = {
 type env = { find_func : string -> Schema.func option }
 
 val compile_query : env -> Ast.fact list -> cquery
+
+type atom_card = {
+  ac_rows : int;  (** current row count of the atom's table *)
+  ac_distinct : int array;  (** distinct values per column (args, then output) *)
+}
+(** Per-atom cardinality statistics, supplied by the runtime (see
+    {!Database.table_stats}). *)
+
+val replan : cquery -> cards:atom_card array -> cquery
+(** Recompute the join variable order with a greedy cost model: at each step
+    bind the variable whose cheapest covering atom enumerates the fewest
+    values (row count divided by the distinct counts of bound/constant
+    columns, capped by the distinct count of the variable's own column).
+    Ties break toward variables covered by more atoms, then toward the
+    smaller variable index, so the result is deterministic. Atom and
+    variable numbering are preserved — only [order], [var_depth] and
+    [schedule] change — so compiled actions remain valid. *)
+
+val reorder : cquery -> order:int array -> cquery
+(** Rebuild the plan with an explicit variable order (must be a permutation
+    of the query's join variables). Used by differential tests to check
+    that every ordering produces the same matches. *)
+
+val pp_plan : ?cards:atom_card array -> Format.formatter -> cquery -> unit
+(** Deterministic textual plan dump: atoms, variable order (with cost
+    estimates when [cards] is given) and the primitive schedule. *)
+
 val compile_rule : env -> name:string -> Ast.rule -> crule
 
 val compile_top_actions : env -> Ast.action list -> caction array * int

@@ -227,6 +227,10 @@ let total_log_entries db =
   iter_tables db (fun table -> n := !n + Table.log_length table);
   !n
 
+(* Cardinality statistics for the cost-based planner: current row count and
+   per-column distinct counts (the latter cached inside the table). *)
+let table_stats (_db : t) table = (Table.length table, Table.column_distincts table)
+
 let copy db =
   let funcs = Hashtbl.create (Hashtbl.length db.funcs) in
   Hashtbl.iter (fun name table -> Hashtbl.replace funcs name (Table.copy table)) db.funcs;

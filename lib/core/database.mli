@@ -83,6 +83,11 @@ val total_log_entries : t -> int
 (** Sum of {!Table.log_length} over all tables; its growth over an
     iteration is the semi-naïve frontier ("delta") size. *)
 
+val table_stats : t -> Table.t -> int * int array
+(** [(rows, distinct-per-column)] for cost-based join planning; distinct
+    counts cover argument columns then the output and are cached against
+    the table version. *)
+
 (** {1 Snapshots (push/pop)} *)
 
 val copy : t -> t

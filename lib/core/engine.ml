@@ -5,6 +5,8 @@ let error fmt = Format.kasprintf (fun s -> raise (Egglog_error s)) fmt
 (* Run-loop telemetry: bumped live from the hot loops (one branch when
    disabled), snapshotted by --stats and the bench harness. *)
 let c_iterations = Telemetry.counter "engine.iterations"
+let c_plans_built = Telemetry.counter "join.plans_built"
+let c_replans = Telemetry.counter "join.replans"
 let c_matches = Telemetry.counter "engine.matches_applied"
 let c_new = Telemetry.counter "engine.tuples_inserted"
 let c_dup = Telemetry.counter "engine.matches_deduplicated"
@@ -21,6 +23,8 @@ type rt_rule = {
   mutable rr_last_stamp : int;
   mutable rr_times_banned : int;
   mutable rr_banned_until : int;
+  mutable rr_plan_sig : string;  (* size-bucket signature the cached plans were built for *)
+  mutable rr_plans : Compile.cquery array;  (* n_atoms delta variants + the full plan *)
 }
 
 type snapshot = {
@@ -71,6 +75,92 @@ let table_of eng (f : Schema.func) =
   match Database.find_func eng.db f.Schema.name with
   | Some t -> t
   | None -> error "function %s is not declared (popped scope?)" (Symbol.name f.Schema.name)
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based plan cache                                               *)
+(* ------------------------------------------------------------------ *)
+
+let atom_cards eng (q : Compile.cquery) : Compile.atom_card array =
+  Array.map
+    (fun (atom : Compile.atom) ->
+      let table = table_of eng atom.Compile.a_func in
+      let rows, distinct = Database.table_stats eng.db table in
+      { Compile.ac_rows = rows; ac_distinct = distinct })
+    q.Compile.atoms
+
+(* Replace an atom's statistics with its semi-naïve delta: [rows] becomes
+   the frontier size and every distinct count is capped by it (a window of
+   k rows cannot hold more than k distinct values in any column). *)
+let delta_card (c : Compile.atom_card) rows =
+  { Compile.ac_rows = rows; ac_distinct = Array.map (fun d -> min d (max 1 rows)) c.Compile.ac_distinct }
+
+(* log2 size bucket: statistics "shift" (and plans are recomputed) only
+   when a cardinality crosses a power-of-two boundary. *)
+let bucket n =
+  if n <= 0 then 0
+  else begin
+    let b = ref 0 and m = ref n in
+    while !m > 1 do
+      incr b;
+      m := !m lsr 1
+    done;
+    !b + 1
+  end
+
+(* The per-rule plan cache key: for each atom, the size bucket of the full
+   table and of the rule's current delta window. The schema and variable
+   structure are fixed per compiled rule, so buckets are all that can
+   shift. *)
+let plan_signature eng (q : Compile.cquery) ~low =
+  let buf = Buffer.create 32 in
+  Array.iter
+    (fun (atom : Compile.atom) ->
+      let table = table_of eng atom.Compile.a_func in
+      Buffer.add_string buf (string_of_int (bucket (Table.length table)));
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int (bucket (Table.entries_since table low)));
+      Buffer.add_char buf ';')
+    q.Compile.atoms;
+  Buffer.contents buf
+
+(* Cached cost-based plans for one rule: slot [j < n_atoms] is the
+   semi-naïve variant whose atom [j] is the delta, slot [n_atoms] the
+   full-range plan. Rebuilt only when the size-bucket signature shifts. *)
+let plans_for eng (r : rt_rule) : Compile.cquery array =
+  let q = r.rr_rule.Compile.cr_query in
+  let n_atoms = Array.length q.Compile.atoms in
+  if n_atoms = 0 || Array.length q.Compile.order <= 1 then begin
+    if Array.length r.rr_plans = 0 then r.rr_plans <- Array.make (n_atoms + 1) q;
+    r.rr_plans
+  end
+  else begin
+    let low = r.rr_last_stamp in
+    let signature = plan_signature eng q ~low in
+    if signature <> r.rr_plan_sig || Array.length r.rr_plans = 0 then begin
+      if Array.length r.rr_plans > 0 then Telemetry.bump c_replans 1;
+      let cards = atom_cards eng q in
+      let deltas =
+        Array.map
+          (fun (atom : Compile.atom) ->
+            Table.entries_since (table_of eng atom.Compile.a_func) low)
+          q.Compile.atoms
+      in
+      let plans =
+        Array.init (n_atoms + 1) (fun j ->
+            if j = n_atoms then Compile.replan q ~cards
+            else begin
+              let cards' =
+                Array.mapi (fun i c -> if i = j then delta_card c deltas.(i) else c) cards
+              in
+              Compile.replan q ~cards:cards'
+            end)
+      in
+      Telemetry.bump c_plans_built (n_atoms + 1);
+      r.rr_plans <- plans;
+      r.rr_plan_sig <- signature
+    end;
+    r.rr_plans
+  end
 
 let rec eval_expr eng (slots : Value.t array) (e : Compile.cexpr) : Value.t =
   match e with
@@ -280,6 +370,8 @@ let add_rule eng (rule : Ast.rule) =
           rr_last_stamp = 0;
           rr_times_banned = 0;
           rr_banned_until = 0;
+          rr_plan_sig = "";
+          rr_plans = [||];
         }
       in
       eng.rules <- eng.rules @ [ rt ];
@@ -331,8 +423,49 @@ let check_facts eng facts =
   wrap_compile (fun () ->
       Database.rebuild eng.db;
       match Compile.compile_query (compile_env eng) facts with
-      | q -> Join.exists eng.db q
+      | q ->
+        (* one-shot query: replan against current statistics, no caching *)
+        let q =
+          if Array.length q.Compile.atoms = 0 then q
+          else Compile.replan q ~cards:(atom_cards eng q)
+        in
+        Join.exists eng.db q
       | exception Compile.Unsat -> false)
+
+(* Deterministic dump of every rule's cost-based plan against current table
+   statistics: the full-range plan in detail plus the chosen variable order
+   of each semi-naïve delta variant. Read-only (statistics queries only). *)
+let explain_plans eng : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      let q = r.rr_rule.Compile.cr_query in
+      let n_atoms = Array.length q.Compile.atoms in
+      let ruleset = if r.rr_ruleset = "" then "default" else r.rr_ruleset in
+      Buffer.add_string buf (Printf.sprintf "rule %s (ruleset %s)\n" r.rr_name ruleset);
+      if n_atoms = 0 then Buffer.add_string buf "  (no atoms)\n"
+      else begin
+        let cards = atom_cards eng q in
+        let full = Compile.replan q ~cards in
+        let dump = Format.asprintf "%a" (Compile.pp_plan ~cards) full in
+        List.iter
+          (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n"))
+          (String.split_on_char '\n' dump);
+        let low = r.rr_last_stamp in
+        for j = 0 to n_atoms - 1 do
+          let delta = Table.entries_since (table_of eng q.Compile.atoms.(j).Compile.a_func) low in
+          let cards' = Array.mapi (fun i c -> if i = j then delta_card c delta else c) cards in
+          let variant = Compile.replan q ~cards:cards' in
+          Buffer.add_string buf
+            (Printf.sprintf "  delta[%d] (%d rows) order:%s\n" j delta
+               (String.concat ""
+                  (List.map
+                     (fun v -> " " ^ q.Compile.var_names.(v))
+                     (Array.to_list variant.Compile.order))))
+        done
+      end)
+    eng.rules;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* The run loop                                                        *)
@@ -387,14 +520,14 @@ exception Stop_run of stop_reason
 let search_matches eng ?cache (r : rt_rule) : Value.t array list =
   let cache = if eng.index_caching then cache else None in
   let fast_paths = eng.fast_paths in
-  let q = r.rr_rule.Compile.cr_query in
-  let n_atoms = Array.length q.Compile.atoms in
+  let plans = plans_for eng r in
+  let n_atoms = Array.length r.rr_rule.Compile.cr_query.Compile.atoms in
   let acc = ref [] in
   let emit b = acc := Array.copy b :: !acc in
   let low = r.rr_last_stamp in
   if (not eng.seminaive) || low = 0 || n_atoms = 0 then begin
     let ranges = Array.make n_atoms Join.all_rows in
-    Join.search eng.db ?cache ~fast_paths q ~ranges emit
+    Join.search eng.db ?cache ~fast_paths plans.(n_atoms) ~ranges emit
   end
   else
     (* Semi-naïve: m delta variants — atom j sees rows new since the rule
@@ -407,7 +540,7 @@ let search_matches eng ?cache (r : rt_rule) : Value.t array list =
         Array.init n_atoms (fun i ->
             if i = j then { Join.lo = low; hi = max_int } else Join.all_rows)
       in
-      Join.search eng.db ?cache ~fast_paths q ~ranges emit
+      Join.search eng.db ?cache ~fast_paths plans.(j) ~ranges emit
     done;
   !acc
 
@@ -968,6 +1101,9 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
         snap.sn_rules snap.sn_rule_states;
       eng.iteration <- snap.sn_iteration;
       eng.decl_log <- snap.sn_decl_log;
+      (* The restored tables are fresh incarnations (new uids): cached join
+         structures can never hit again, so drop them rather than leak. *)
+      Join.clear_all eng.join_cache;
       [])
   | Ast.Print_function (name, n) ->
     let table = find_table_exn eng name in
@@ -1074,6 +1210,7 @@ let rollback_txn eng tx =
   eng.merge_exprs <- tx.tx_merge_exprs;
   eng.default_exprs <- tx.tx_default_exprs;
   eng.decl_log <- tx.tx_decl_log;
+  Join.clear_all eng.join_cache;
   eng.current_reason <- Proof_forest.Asserted
 
 (* Normalize internal failures (merge conflicts, bad unions, primitive

@@ -59,6 +59,12 @@ val check_facts : t -> Ast.fact list -> bool
 val lookup_fact : t -> string -> Value.t list -> Value.t option
 val rebuild : t -> unit
 
+val explain_plans : t -> string
+(** Deterministic textual dump of every rule's cost-based join plan against
+    the current table statistics: atoms with row counts, the chosen
+    variable order with cost estimates, the primitive schedule, and the
+    order of each semi-naïve delta variant (CLI [--explain-plans]). *)
+
 (** {1 Running} *)
 
 type iteration_stat = {

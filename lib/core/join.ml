@@ -8,6 +8,8 @@ let c_trie_builds = Telemetry.counter "join.trie_builds"
 let c_index_builds = Telemetry.counter "join.index_builds"
 let c_cache_hits = Telemetry.counter "join.cache_hits"
 let c_cache_misses = Telemetry.counter "join.cache_misses"
+let c_cache_lookups = Telemetry.counter "join.cache_lookups"
+let c_index_patched = Telemetry.counter "join.index_patched"
 let c_yielded = Telemetry.counter "join.matches_yielded"
 
 module VTbl = Hashtbl.Make (struct
@@ -73,6 +75,26 @@ let row_passes (plan : atom_plan) key (row : Table.row) =
       | Check_same (i, j) -> Value.equal (cell i) (cell j))
     plan.ap_checks
 
+(* Insert one passing row's path into a trie rooted at [root]. Idempotent:
+   re-inserting a row walks the same path, so the patch path can feed rows
+   it may have seen before. *)
+let trie_add_row (plan : atom_plan) root ~depth key (row : Table.row) =
+  let cell i = if i < Array.length key then key.(i) else row.Table.value in
+  let node = ref root in
+  for level = 0 to depth - 1 do
+    let v = cell plan.ap_sources.(level) in
+    if level = depth - 1 then VTbl.replace !node v Leaf
+    else begin
+      match VTbl.find_opt !node v with
+      | Some (Node t) -> node := t
+      | Some Leaf -> assert false
+      | None ->
+        let t = VTbl.create 8 in
+        VTbl.replace !node v (Node t);
+        node := t
+    end
+  done
+
 let build_trie (plan : atom_plan) (range : stamp_range) : trie =
   let depth = Array.length plan.ap_sources in
   Telemetry.bump c_trie_builds 1;
@@ -96,23 +118,7 @@ let build_trie (plan : atom_plan) (range : stamp_range) : trie =
     let root = VTbl.create 64 in
     Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
         incr scanned;
-        if row_passes plan key row then begin
-          let cell i = if i < Array.length key then key.(i) else row.Table.value in
-          let node = ref root in
-          for level = 0 to depth - 1 do
-            let v = cell plan.ap_sources.(level) in
-            if level = depth - 1 then VTbl.replace !node v Leaf
-            else begin
-              match VTbl.find_opt !node v with
-              | Some (Node t) -> node := t
-              | Some Leaf -> assert false
-              | None ->
-                let t = VTbl.create 8 in
-                VTbl.replace !node v (Node t);
-                node := t
-            end
-          done
-        end);
+        if row_passes plan key row then trie_add_row plan root ~depth key row);
     Node root
   end
   in
@@ -123,64 +129,210 @@ exception Found
 
 (* The memo holds both kinds of built structure. Full-table entries
    (lo = 0, hi = max_int) live in the persistent tier, validated against
-   the table version, so indexes over tables that did not change survive
-   across iterations (input relations are indexed exactly once). Delta and
-   windowed entries go to the scratch tier, cleared each iteration. *)
+   the table's version and patched forward when the table only grew.
+   Delta and windowed entries go to the scratch tier, cleared each
+   iteration. *)
 type built = B_trie of trie | B_index of Value.t array list Value.Key_tbl.t
 
-type cache = {
-  persistent : (string, int * built) Hashtbl.t;  (* key -> table version, built *)
-  scratch : (string, built) Hashtbl.t;
+(* Structured cache key. The old scheme concatenated ints and printed
+   values with ad-hoc delimiters into one string, which both allowed
+   collisions (values may contain any delimiter) and could not tell two
+   incarnations of a table apart (push/pop restores an older table whose
+   version counter may coincide with the cached one). Comparing fields —
+   with [Value.equal] for check constants and the table's globally unique
+   [uid] for identity — removes both failure modes. *)
+type cache_key = {
+  k_kind : int;  (* 0 = trie, 1 = index *)
+  k_table : int;  (* Table.uid of the incarnation the entry was built over *)
+  k_sources : int array;
+  k_checks : check list;
+  k_lo : int;
+  k_hi : int;
+  k_proj : int array;  (* index keys only; [||] for tries *)
+  k_rest : int array;
 }
 
-let new_cache () : cache = { persistent = Hashtbl.create 64; scratch = Hashtbl.create 64 }
+module KTbl = Hashtbl.Make (struct
+  type t = cache_key
 
-let clear_scratch cache = Hashtbl.reset cache.scratch
+  let equal_check c1 c2 =
+    match (c1, c2) with
+    | Check_const (i, v), Check_const (j, w) -> i = j && Value.equal v w
+    | Check_same (i, j), Check_same (i', j') -> i = i' && j = j'
+    | Check_const _, Check_same _ | Check_same _, Check_const _ -> false
 
-let cache_find cache ~full ~table key =
-  if full then begin
-    match Hashtbl.find_opt cache.persistent key with
-    | Some (version, built) when version = Table.version table -> Some built
-    | Some _ | None -> None
-  end
-  else Hashtbl.find_opt cache.scratch key
+  let equal a b =
+    a.k_kind = b.k_kind && a.k_table = b.k_table && a.k_lo = b.k_lo && a.k_hi = b.k_hi
+    && a.k_sources = b.k_sources && a.k_proj = b.k_proj && a.k_rest = b.k_rest
+    && List.compare_lengths a.k_checks b.k_checks = 0
+    && List.for_all2 equal_check a.k_checks b.k_checks
 
-let cache_store cache ~full ~table key built =
-  if full then Hashtbl.replace cache.persistent key (Table.version table, built)
-  else Hashtbl.replace cache.scratch key built
+  let hash k =
+    let h = ref (((k.k_kind * 31) + k.k_table) * 31 + k.k_lo) in
+    let mix x = h := ((!h * 31) + x) land max_int in
+    mix (k.k_hi land 0xffff);
+    Array.iter mix k.k_sources;
+    Array.iter mix k.k_proj;
+    Array.iter mix k.k_rest;
+    List.iter
+      (function
+        | Check_const (i, v) -> mix ((i * 65599) + Value.hash v)
+        | Check_same (i, j) -> mix ((i * 65599) + j + 1))
+      k.k_checks;
+    !h
+end)
 
-let cache_key (atom : Compile.atom) (plan : atom_plan) (range : stamp_range) =
-  let buf = Buffer.create 32 in
-  Buffer.add_string buf (string_of_int (atom.a_func.Schema.name :> int));
-  Buffer.add_char buf '|';
-  Array.iter (fun s -> Buffer.add_string buf (string_of_int s); Buffer.add_char buf ',') plan.ap_sources;
-  Buffer.add_char buf '|';
-  List.iter
-    (function
-      | Check_const (i, v) ->
-        Buffer.add_string buf (Printf.sprintf "c%d=%s;" i (Value.to_string v))
-      | Check_same (i, j) -> Buffer.add_string buf (Printf.sprintf "s%d=%d;" i j))
-    plan.ap_checks;
-  Buffer.add_string buf (Printf.sprintf "|%d:%d" range.lo range.hi);
-  Buffer.contents buf
+(* A persistent entry remembers the mutation counters at build time so a
+   later lookup can tell "the table only grew" (patch the new rows in)
+   apart from "rows were removed or rewritten" (rebuild). *)
+type pentry = {
+  mutable pe_built : built;
+  mutable pe_version : int;
+  mutable pe_log_len : int;
+  mutable pe_removals : int;
+  mutable pe_value_updates : int;
+}
+
+type cache = { persistent : pentry KTbl.t; scratch : built KTbl.t }
+
+let new_cache () : cache = { persistent = KTbl.create 64; scratch = KTbl.create 64 }
+let clear_scratch cache = KTbl.reset cache.scratch
+
+let clear_all cache =
+  KTbl.reset cache.persistent;
+  KTbl.reset cache.scratch
+
+let mk_key kind (plan : atom_plan) (range : stamp_range) ~proj ~rest =
+  {
+    k_kind = kind;
+    k_table = Table.uid plan.ap_table;
+    (* an index is fully determined by proj + rest + checks + window; its
+       source layout varies with the plan's variable order, so keying on it
+       would needlessly duplicate identical indexes across replans *)
+    k_sources = (if kind = 1 then [||] else plan.ap_sources);
+    k_checks = plan.ap_checks;
+    k_lo = range.lo;
+    k_hi = range.hi;
+    k_proj = proj;
+    k_rest = rest;
+  }
 
 let is_full range = range.lo = 0 && range.hi = max_int
 
-let cached_trie cache atom plan range =
+(* Does the structure depend on the output column? Sources cover every cell
+   an index projects (proj/rest are drawn from them), so sources + checks
+   are the complete read set. When the answer is no, in-place output
+   overwrites cannot invalidate the structure. *)
+let reads_value (plan : atom_plan) =
+  let vpos = Schema.arity (Table.func plan.ap_table) in
+  Array.exists (fun s -> s = vpos) plan.ap_sources
+  || List.exists
+       (function
+         | Check_const (i, _) -> i = vpos
+         | Check_same (i, j) -> i = vpos || j = vpos)
+       plan.ap_checks
+
+let patchable (pe : pentry) table ~plan =
+  Table.removals table = pe.pe_removals
+  && (Table.value_updates table = pe.pe_value_updates || not (reads_value plan))
+
+let refresh (pe : pentry) table built =
+  pe.pe_built <- built;
+  pe.pe_version <- Table.version table;
+  pe.pe_log_len <- Table.log_length table;
+  pe.pe_removals <- Table.removals table;
+  pe.pe_value_updates <- Table.value_updates table
+
+let store_persistent c key table built =
+  KTbl.replace c.persistent key
+    {
+      pe_built = built;
+      pe_version = Table.version table;
+      pe_log_len = Table.log_length table;
+      pe_removals = Table.removals table;
+      pe_value_updates = Table.value_updates table;
+    }
+
+(* Fold the rows logged since the cached build into an existing trie.
+   Under the patchability conditions the suffix holds only fresh inserts
+   (or re-stamps of rows whose read cells are unchanged), and trie
+   insertion is idempotent, so the result equals a from-scratch build. *)
+let patch_trie (plan : atom_plan) (trie : trie) ~from : trie =
+  let depth = Array.length plan.ap_sources in
+  let scanned = ref 0 in
+  let result =
+    if depth = 0 then begin
+      match trie with
+      | Leaf -> Leaf  (* already satisfied; growth cannot unsatisfy it *)
+      | Node _ as empty ->
+        let found = ref false in
+        (try
+           Table.iter_log_suffix plan.ap_table ~from (fun key row ->
+               incr scanned;
+               if row_passes plan key row then begin
+                 found := true;
+                 raise Exit
+               end)
+         with Exit -> ());
+        if !found then Leaf else empty
+    end
+    else begin
+      match trie with
+      | Leaf -> assert false
+      | Node root ->
+        Table.iter_log_suffix plan.ap_table ~from (fun key row ->
+            incr scanned;
+            if row_passes plan key row then trie_add_row plan root ~depth key row);
+        trie
+    end
+  in
+  Telemetry.bump c_scanned !scanned;
+  result
+
+let cached_trie cache plan range =
   match cache with
   | None -> build_trie plan range
-  | Some c -> (
-    let key = "t" ^ cache_key atom plan range in
-    let full = is_full range in
-    match cache_find c ~full ~table:plan.ap_table key with
-    | Some (B_trie trie) ->
-      Telemetry.bump c_cache_hits 1;
-      trie
-    | Some (B_index _) | None ->
-      Telemetry.bump c_cache_misses 1;
-      let trie = build_trie plan range in
-      cache_store c ~full ~table:plan.ap_table key (B_trie trie);
-      trie)
+  | Some c ->
+    Telemetry.bump c_cache_lookups 1;
+    let table = plan.ap_table in
+    let key = mk_key 0 plan range ~proj:[||] ~rest:[||] in
+    if is_full range then begin
+      let rebuild existing =
+        Telemetry.bump c_cache_misses 1;
+        let trie = build_trie plan range in
+        (match existing with
+         | Some pe -> refresh pe table (B_trie trie)
+         | None -> store_persistent c key table (B_trie trie));
+        trie
+      in
+      match KTbl.find_opt c.persistent key with
+      | Some ({ pe_built = B_trie trie; _ } as pe) ->
+        if pe.pe_version = Table.version table then begin
+          Telemetry.bump c_cache_hits 1;
+          trie
+        end
+        else if patchable pe table ~plan then begin
+          let trie = patch_trie plan trie ~from:pe.pe_log_len in
+          refresh pe table (B_trie trie);
+          Telemetry.bump c_cache_hits 1;
+          Telemetry.bump c_index_patched 1;
+          trie
+        end
+        else rebuild (Some pe)
+      | Some pe -> rebuild (Some pe)
+      | None -> rebuild None
+    end
+    else begin
+      match KTbl.find_opt c.scratch key with
+      | Some (B_trie trie) ->
+        Telemetry.bump c_cache_hits 1;
+        trie
+      | Some (B_index _) | None ->
+        Telemetry.bump c_cache_misses 1;
+        let trie = build_trie plan range in
+        KTbl.replace c.scratch key (B_trie trie);
+        trie
+    end
 
 (* Hash index over an atom: projected shared-variable values -> the values
    of the atom's remaining variables, one entry per passing row. *)
@@ -200,25 +352,74 @@ let build_index (plan : atom_plan) (range : stamp_range) ~(proj : int array) ~(r
   Telemetry.bump c_scanned !scanned;
   index
 
-let cached_index cache atom plan range ~proj ~rest =
+(* Fold logged-since rows into an existing hash index. Distinct passing
+   rows always produce distinct (k, v) cell vectors (every key column is
+   either a source cell or pinned by a check), so duplicates can only come
+   from re-stamped rows — and those occur only when [dedupe] is set. *)
+let patch_index (plan : atom_plan) index ~from ~(proj : int array) ~(rest : int array) ~dedupe =
+  let scanned = ref 0 in
+  Table.iter_log_suffix plan.ap_table ~from (fun key row ->
+      incr scanned;
+      if row_passes plan key row then begin
+        let cell i = if i < Array.length key then key.(i) else row.Table.value in
+        let k = Array.map cell proj in
+        let v = Array.map cell rest in
+        let existing = try Value.Key_tbl.find index k with Not_found -> [] in
+        let duplicate =
+          dedupe
+          && List.exists
+               (fun e -> Array.length e = Array.length v && Array.for_all2 Value.equal e v)
+               existing
+        in
+        if not duplicate then Value.Key_tbl.replace index k (v :: existing)
+      end);
+  Telemetry.bump c_scanned !scanned
+
+let cached_index cache plan range ~proj ~rest =
   match cache with
   | None -> build_index plan range ~proj ~rest
-  | Some c -> (
-    let key =
-      Printf.sprintf "i%s#%s#%s" (cache_key atom plan range)
-        (String.concat "," (Array.to_list (Array.map string_of_int proj)))
-        (String.concat "," (Array.to_list (Array.map string_of_int rest)))
-    in
-    let full = is_full range in
-    match cache_find c ~full ~table:plan.ap_table key with
-    | Some (B_index idx) ->
-      Telemetry.bump c_cache_hits 1;
-      idx
-    | Some (B_trie _) | None ->
-      Telemetry.bump c_cache_misses 1;
-      let idx = build_index plan range ~proj ~rest in
-      cache_store c ~full ~table:plan.ap_table key (B_index idx);
-      idx)
+  | Some c ->
+    Telemetry.bump c_cache_lookups 1;
+    let table = plan.ap_table in
+    let key = mk_key 1 plan range ~proj ~rest in
+    if is_full range then begin
+      let rebuild existing =
+        Telemetry.bump c_cache_misses 1;
+        let idx = build_index plan range ~proj ~rest in
+        (match existing with
+         | Some pe -> refresh pe table (B_index idx)
+         | None -> store_persistent c key table (B_index idx));
+        idx
+      in
+      match KTbl.find_opt c.persistent key with
+      | Some ({ pe_built = B_index idx; _ } as pe) ->
+        if pe.pe_version = Table.version table then begin
+          Telemetry.bump c_cache_hits 1;
+          idx
+        end
+        else if patchable pe table ~plan then begin
+          let dedupe = Table.value_updates table <> pe.pe_value_updates in
+          patch_index plan idx ~from:pe.pe_log_len ~proj ~rest ~dedupe;
+          refresh pe table (B_index idx);
+          Telemetry.bump c_cache_hits 1;
+          Telemetry.bump c_index_patched 1;
+          idx
+        end
+        else rebuild (Some pe)
+      | Some pe -> rebuild (Some pe)
+      | None -> rebuild None
+    end
+    else begin
+      match KTbl.find_opt c.scratch key with
+      | Some (B_index idx) ->
+        Telemetry.bump c_cache_hits 1;
+        idx
+      | Some (B_trie _) | None ->
+        Telemetry.bump c_cache_misses 1;
+        let idx = build_index plan range ~proj ~rest in
+        KTbl.replace c.scratch key (B_index idx);
+        idx
+    end
 
 (* Fast path: a single-atom query needs no trie at all — scan the table
    (or just the log tail for delta ranges), filter, bind, run the primitive
@@ -332,9 +533,14 @@ let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
       let src = oplan.ap_sources.(level) in
       if in_driver.(v) then shared := (v, src) :: !shared else rest := (v, src) :: !rest)
     oplan.ap_vars;
-  let shared = Array.of_list (List.rev !shared) and rest = Array.of_list (List.rev !rest) in
+  (* canonicalize by column position: the index layout then depends only on
+     which variables are shared, not on the current plan's variable order,
+     so one cached index survives replans and serves every ordering *)
+  let by_src (_, s1) (_, s2) = Int.compare s1 s2 in
+  let shared = Array.of_list (List.sort by_src !shared)
+  and rest = Array.of_list (List.sort by_src !rest) in
   let proj = Array.map snd shared and rest_pos = Array.map snd rest in
-  let index = cached_index cache q.atoms.(other) oplan ranges.(other) ~proj ~rest:rest_pos in
+  let index = cached_index cache oplan ranges.(other) ~proj ~rest:rest_pos in
   let prim_plan = static_prim_plan q [ dplan.ap_vars; oplan.ap_vars ] in
   let env = Array.make q.Compile.n_vars Value.VUnit in
   let probe_key = Array.make (Array.length shared) Value.VUnit in
@@ -379,7 +585,7 @@ let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_
     && Array.length plans.(1).ap_sources > 0
   then search_two_atoms ?cache q plans ranges callback
   else begin
-  let tries = Array.init n_atoms (fun i -> cached_trie cache q.atoms.(i) plans.(i) ranges.(i)) in
+  let tries = Array.init n_atoms (fun i -> cached_trie cache plans.(i) ranges.(i)) in
   let unsat =
     Array.exists (function Node t -> VTbl.length t = 0 | Leaf -> false) tries
   in

@@ -27,7 +27,15 @@ val new_cache : unit -> cache
 
 val clear_scratch : cache -> unit
 (** Drop the per-iteration (delta/windowed) entries; persistent full-table
-    entries stay and are revalidated against table versions. *)
+    entries stay and are revalidated against table versions — and patched
+    forward when the table's log shows append-only growth since the build,
+    instead of being rebuilt from scratch. *)
+
+val clear_all : cache -> unit
+(** Drop both tiers. Called when the engine replaces its database object
+    (pop, transaction rollback): entries for the dead table incarnations
+    can never hit again (keys carry {!Table.uid}), so this is memory
+    hygiene, not a correctness requirement. *)
 
 val search :
   Database.t ->

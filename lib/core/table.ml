@@ -2,6 +2,7 @@ type row = { mutable value : Value.t; mutable stamp : int }
 
 type t = {
   func : Schema.func;
+  uid : int;  (* identity of this incarnation; fresh on create and copy *)
   data : row Value.Key_tbl.t;
   (* Append-only log of (key, stamp-at-append), nondecreasing in stamp.
      A log entry is current iff the row still exists and its stamp equals
@@ -11,21 +12,37 @@ type t = {
   mutable log_stamps : int array;
   mutable log_len : int;
   mutable version : int;  (* bumped on any mutation; index-cache validity *)
+  mutable removals : int;  (* rows ever removed; nonzero delta = not append-only *)
+  mutable value_updates : int;  (* in-place output overwrites of existing rows *)
+  mutable distinct_cache : (int * int array) option;  (* version, per-column distincts *)
 }
+
+let next_uid =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
 
 let create func =
   {
     func;
+    uid = next_uid ();
     data = Value.Key_tbl.create 64;
     log_keys = Array.make 16 [||];
     log_stamps = Array.make 16 0;
     log_len = 0;
     version = 0;
+    removals = 0;
+    value_updates = 0;
+    distinct_cache = None;
   }
 
 let func t = t.func
 let length t = Value.Key_tbl.length t.data
 let version t = t.version
+let uid t = t.uid
+let removals t = t.removals
+let value_updates t = t.value_updates
 
 (* Entries ever appended to the timestamp log (inserts + re-stamps). The
    growth of this number over an iteration is exactly the frontier the next
@@ -62,13 +79,15 @@ let set_raw t key value ~stamp =
       row.stamp <- stamp;
       if restamped then log_append t key stamp;
       t.version <- t.version + 1;
+      t.value_updates <- t.value_updates + 1;
       `Updated
     end
 
 let remove t key =
   if Value.Key_tbl.mem t.data key then begin
     Value.Key_tbl.remove t.data key;
-    t.version <- t.version + 1
+    t.version <- t.version + 1;
+    t.removals <- t.removals + 1
   end
 let iter f t = Value.Key_tbl.iter f t.data
 let fold f t init = Value.Key_tbl.fold f t.data init
@@ -81,6 +100,8 @@ let log_lower_bound t lo =
     if t.log_stamps.(mid) < lo then left := mid + 1 else right := mid
   done;
   !left
+
+let entries_since t lo = t.log_len - log_lower_bound t lo
 
 let iter_range t ~lo ~hi f =
   if lo <= 0 then
@@ -106,6 +127,46 @@ let iter_range t ~lo ~hi f =
     done
   end
 
+let iter_log_suffix t ~from f =
+  let from = max 0 from in
+  let seen = Value.Key_tbl.create (max 16 (t.log_len - from)) in
+  for i = from to t.log_len - 1 do
+    let key = t.log_keys.(i) in
+    match Value.Key_tbl.find_opt t.data key with
+    | Some row when row.stamp = t.log_stamps.(i) ->
+      if not (Value.Key_tbl.mem seen key) then begin
+        Value.Key_tbl.replace seen key ();
+        f key row
+      end
+    | Some _ | None -> ()
+  done
+
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Per-column distinct-value counts (argument columns then the output),
+   recomputed lazily and cached against the version: the planner asks for
+   them only when a table's size bucket shifts, so the O(rows * columns)
+   scan amortizes to nothing on steady-state workloads. *)
+let column_distincts t =
+  match t.distinct_cache with
+  | Some (v, d) when v = t.version -> d
+  | Some _ | None ->
+    let cols = Schema.arity t.func + 1 in
+    let tbls = Array.init cols (fun _ -> VTbl.create 64) in
+    Value.Key_tbl.iter
+      (fun key row ->
+        Array.iteri (fun i v -> VTbl.replace tbls.(i) v ()) key;
+        VTbl.replace tbls.(cols - 1) row.value ())
+      t.data;
+    let d = Array.map VTbl.length tbls in
+    t.distinct_cache <- Some (t.version, d);
+    d
+
 let copy t =
   let data = Value.Key_tbl.create (Value.Key_tbl.length t.data) in
   Value.Key_tbl.iter
@@ -113,9 +174,13 @@ let copy t =
     t.data;
   {
     func = t.func;
+    uid = next_uid ();
     data;
     log_keys = Array.map Fun.id (Array.sub t.log_keys 0 (max 16 t.log_len));
     log_stamps = Array.sub t.log_stamps 0 (max 16 t.log_len);
     log_len = t.log_len;
     version = t.version;
+    removals = t.removals;
+    value_updates = t.value_updates;
+    distinct_cache = None;
   }

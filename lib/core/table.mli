@@ -19,6 +19,26 @@ val length : t -> int
 val version : t -> int
 (** Bumped on every mutation; lets query-side caches validate reuse. *)
 
+val uid : t -> int
+(** Globally unique identity of this table incarnation. Fresh on [create]
+    {e and} on [copy], so caches keyed by uid can never confuse two tables
+    for the same function across push/pop or transaction rollback — version
+    counters alone can coincide between incarnations. *)
+
+val removals : t -> int
+(** Rows ever removed from this incarnation. An unchanged count between two
+    observations means no row disappeared in between, so an index built at
+    the first observation can be patched forward instead of rebuilt. *)
+
+val value_updates : t -> int
+(** In-place output overwrites of existing rows. An unchanged count means
+    every surviving row's output is what it was when an index was built. *)
+
+val entries_since : t -> int -> int
+(** [entries_since t lo] = number of log entries with stamp >= [lo]: an
+    upper bound on the delta a semi-naïve variant will scan (re-stamped
+    rows appear once per re-stamp). O(log n). *)
+
 val log_length : t -> int
 (** Entries ever appended to the timestamp log (inserts + re-stamps). Its
     growth over an iteration is the frontier semi-naïve evaluation scans
@@ -39,6 +59,15 @@ val iter_range : t -> lo:int -> hi:int -> (Value.t array -> row -> unit) -> unit
 (** Visit rows whose current stamp s satisfies [lo <= s < hi]. When [lo > 0]
     this walks only the stamp-ordered log tail (each surviving row exactly
     once); [lo = 0] falls back to a full scan filtered by [hi]. *)
+
+val iter_log_suffix : t -> from:int -> (Value.t array -> row -> unit) -> unit
+(** Visit each surviving row that was logged at position >= [from], exactly
+    once. This is the feed for incremental index maintenance: a structure
+    built when the log had length [from] learns exactly these rows. *)
+
+val column_distincts : t -> int array
+(** Distinct-value count per column (argument columns, then the output), for
+    cardinality estimation. Cached against [version]. *)
 
 val copy : t -> t
 (** Deep copy (for push/pop). *)

@@ -1,0 +1,121 @@
+(* A deliberately naive reference implementation of conjunctive-query
+   evaluation: enumerate every combination of rows (one per atom, honoring
+   each atom's stamp window), bind variables with backtracking, then run the
+   primitives to a fixpoint. No tries, no indexes, no variable ordering —
+   nothing shared with [Join] beyond the query representation — so the
+   differential properties in test_engine_props compare two genuinely
+   independent evaluators. *)
+
+module E = Egglog
+
+let in_range (range : E.Join.stamp_range) stamp = stamp >= range.E.Join.lo && stamp < range.E.Join.hi
+
+(* All matches of [q] against [db], one callback per binding (a fresh array
+   indexed like [q.var_names]). [ranges] gives each atom's stamp window. *)
+let search (db : E.Database.t) (q : E.Compile.cquery) ~(ranges : E.Join.stamp_range array)
+    callback =
+  let n_atoms = Array.length q.E.Compile.atoms in
+  if Array.length ranges <> n_atoms then invalid_arg "Ref_join.search: ranges arity mismatch";
+  (* Materialize each atom's candidate rows as full cell vectors (key
+     columns then the output). *)
+  let rows =
+    Array.init n_atoms (fun i ->
+        let atom = q.E.Compile.atoms.(i) in
+        let table =
+          match E.Database.find_func db atom.E.Compile.a_func.E.Schema.name with
+          | Some t -> t
+          | None -> failwith "Ref_join.search: no table for atom"
+        in
+        let acc = ref [] in
+        E.Table.iter
+          (fun key row ->
+            if in_range ranges.(i) row.E.Table.stamp then
+              acc := Array.append key [| row.E.Table.value |] :: !acc)
+          table;
+        List.rev !acc)
+  in
+  let env : E.Value.t option array = Array.make q.E.Compile.n_vars None in
+  let prims = List.concat (Array.to_list q.E.Compile.schedule) in
+  (* After the atoms bound everything they cover, evaluate primitives to a
+     fixpoint: an application whose inputs are all bound either binds its
+     output (if unbound) or checks it. Order-independent by construction. *)
+  let run_prims env2 =
+    let ready (p : E.Compile.prim_app) =
+      Array.for_all
+        (function E.Compile.A_const _ -> true | E.Compile.A_var v -> env2.(v) <> None)
+        p.E.Compile.p_args
+    in
+    let apply (p : E.Compile.prim_app) =
+      let args =
+        Array.map
+          (function E.Compile.A_const c -> c | E.Compile.A_var v -> Option.get env2.(v))
+          p.E.Compile.p_args
+      in
+      match p.E.Compile.p_prim.E.Primitives.impl args with
+      | None -> false
+      | Some result -> (
+        match p.E.Compile.p_out with
+        | E.Compile.A_const c -> E.Value.equal c result
+        | E.Compile.A_var v -> (
+          match env2.(v) with
+          | Some existing -> E.Value.equal existing result
+          | None ->
+            env2.(v) <- Some result;
+            true))
+    in
+    let rec loop remaining =
+      match List.partition ready remaining with
+      | [], [] -> true
+      | [], _ :: _ -> failwith "Ref_join.search: primitive inputs never became bound"
+      | todo, later -> List.for_all apply todo && loop later
+    in
+    loop prims
+  in
+  let emit () =
+    let env2 = Array.copy env in
+    if run_prims env2 then
+      callback
+        (Array.mapi
+           (fun i o ->
+             match o with
+             | Some v -> v
+             | None -> failwith ("Ref_join.search: unbound variable " ^ q.E.Compile.var_names.(i)))
+           env2)
+  in
+  (* Try to unify atom [i]'s pattern with the cell vector, recording fresh
+     bindings for undo. *)
+  let rec assign i =
+    if i = n_atoms then emit ()
+    else begin
+      let atom = q.E.Compile.atoms.(i) in
+      List.iter
+        (fun (cells : E.Value.t array) ->
+          let bound_here = ref [] in
+          let ok = ref true in
+          Array.iteri
+            (fun p arg ->
+              if !ok then
+                match arg with
+                | E.Compile.A_const c -> if not (E.Value.equal c cells.(p)) then ok := false
+                | E.Compile.A_var v -> (
+                  match env.(v) with
+                  | Some existing -> if not (E.Value.equal existing cells.(p)) then ok := false
+                  | None ->
+                    env.(v) <- Some cells.(p);
+                    bound_here := v :: !bound_here))
+            atom.E.Compile.a_args;
+          if !ok then assign (i + 1);
+          List.iter (fun v -> env.(v) <- None) !bound_here)
+        rows.(i)
+    end
+  in
+  assign 0
+
+(* Matches rendered as a sorted multiset of strings — the canonical form the
+   differential properties compare. *)
+let matches_multiset db q ~ranges =
+  let acc = ref [] in
+  search db q ~ranges (fun binding ->
+      acc :=
+        String.concat "," (Array.to_list (Array.map E.Value.to_string binding)) :: !acc);
+  List.sort compare !acc

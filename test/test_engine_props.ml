@@ -218,6 +218,278 @@ let prop_run_is_idempotent_at_fixpoint =
       ignore (E.Engine.run_iterations eng 10);
       (E.Engine.total_rows eng, E.Engine.n_classes eng) = before)
 
+(* ------------------------------------------------------------------ *)
+(* Differential testing: the planner + generic join vs the naive       *)
+(* reference evaluator in Ref_join.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let compile_env db =
+  {
+    E.Compile.find_func =
+      (fun name -> Option.map E.Table.func (E.Database.find_func db (E.Symbol.intern name)));
+  }
+
+let join_multiset db ?cache ?(fast_paths = true) q ~ranges =
+  let acc = ref [] in
+  E.Join.search db ?cache ~fast_paths q ~ranges (fun binding ->
+      acc := String.concat "," (Array.to_list (Array.map E.Value.to_string binding)) :: !acc);
+  List.sort compare !acc
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (fun y -> y <> x) l)))
+      l
+
+(* A randomized scenario: one or two relations (arity 1-3) plus an
+   i64-valued function [f], facts inserted in two stamped batches, a random
+   conjunctive query of 1-3 atoms over them, and optionally a primitive
+   application (a binder, an always-true guard, or a never-true guard). *)
+type diff_scenario = {
+  ds_arities : int list;  (* relation arities: r0, r1, ... *)
+  ds_inserts : (int * int list) list;  (* (table pick, raw column values) *)
+  ds_split : int;  (* batch boundary, taken mod (inserts + 1) *)
+  ds_atoms : (int * [ `V of int | `C of int ] list) list;
+  ds_prim : int;  (* 0 = none, 1 = binder, 2 = true guard, 3 = false guard *)
+  ds_ranges : int list;  (* per-atom stamp-window picks (delta mode) *)
+}
+
+let gen_scenario =
+  QCheck2.Gen.(
+    let arg = oneof [ map (fun i -> `V i) (int_bound 3); map (fun c -> `C c) (int_bound 3) ] in
+    map
+      (fun ((arities, inserts), (split, atoms), (prim, ranges)) ->
+        {
+          ds_arities = arities;
+          ds_inserts = inserts;
+          ds_split = split;
+          ds_atoms = atoms;
+          ds_prim = prim;
+          ds_ranges = ranges;
+        })
+      (triple
+         (pair
+            (list_size (int_range 1 2) (int_range 1 3))
+            (list_size (int_range 0 16) (pair (int_bound 2) (list_repeat 3 (int_bound 3)))))
+         (pair (int_bound 16) (list_size (int_range 1 3) (pair (int_bound 2) (list_repeat 4 arg))))
+         (pair (int_bound 3) (list_repeat 3 (int_bound 5)))))
+
+(* Populate an engine for the scenario. Returns the database and the three
+   stamp boundaries (start, between batches, end); batch 1 rows carry
+   stamps in [t0, t1) and batch 2 rows in [t1, t2). *)
+let build_scenario ds =
+  let n_rels = List.length ds.ds_arities in
+  let eng = E.Engine.create () in
+  let decls = Buffer.create 64 in
+  List.iteri
+    (fun i a ->
+      Buffer.add_string decls
+        (Printf.sprintf "(relation r%d (%s))\n" i
+           (String.concat " " (List.init a (fun _ -> "i64")))))
+    ds.ds_arities;
+  Buffer.add_string decls "(function f (i64) i64)\n";
+  ignore (E.run_string eng (Buffer.contents decls));
+  let db = E.Engine.database eng in
+  let insert (pick, raw) =
+    let pick = pick mod (n_rels + 1) in
+    if pick < n_rels then begin
+      let a = List.nth ds.ds_arities pick in
+      let key = List.filteri (fun i _ -> i < a) raw |> List.map (fun v -> E.Value.VInt v) in
+      E.Engine.set_fact eng (Printf.sprintf "r%d" pick) key E.Value.VUnit
+    end
+    else begin
+      (* value depends only on the key, so re-insertion never conflicts *)
+      let k = List.hd raw in
+      E.Engine.set_fact eng "f" [ E.Value.VInt k ] (E.Value.VInt (k mod 3))
+    end
+  in
+  let n = List.length ds.ds_inserts in
+  let split = if n = 0 then 0 else ds.ds_split mod (n + 1) in
+  let t0 = E.Database.timestamp db in
+  List.iteri (fun i ins -> if i < split then insert ins) ds.ds_inserts;
+  E.Database.bump_timestamp db;
+  let t1 = E.Database.timestamp db in
+  List.iteri (fun i ins -> if i >= split then insert ins) ds.ds_inserts;
+  E.Database.bump_timestamp db;
+  let t2 = E.Database.timestamp db in
+  (db, [| t0; t1; t2 |])
+
+(* The scenario's query as surface facts, compiled against [db]. *)
+let scenario_query ds db =
+  let n_rels = List.length ds.ds_arities in
+  let var i = E.Ast.Var (Printf.sprintf "x%d" i) in
+  let expr_of = function `V i -> var i | `C c -> E.Ast.Lit (E.Value.VInt c) in
+  let used = ref [] in
+  let use s =
+    List.iter (function `V i -> used := i :: !used | `C _ -> ()) s;
+    s
+  in
+  let facts =
+    List.map
+      (fun (pick, specs) ->
+        let pick = pick mod (n_rels + 1) in
+        if pick < n_rels then begin
+          let a = List.nth ds.ds_arities pick in
+          let args = use (List.filteri (fun i _ -> i < a) specs) in
+          E.Ast.Holds (E.Ast.Call (Printf.sprintf "r%d" pick, List.map expr_of args))
+        end
+        else
+          match specs with
+          | arg :: out :: _ ->
+            let args = use [ arg; out ] in
+            E.Ast.Eq
+              (E.Ast.Call ("f", [ expr_of (List.nth args 0) ]), expr_of (List.nth args 1))
+          | _ -> assert false)
+      ds.ds_atoms
+  in
+  let prims =
+    match (ds.ds_prim, List.rev !used) with
+    | 0, _ | _, [] -> []
+    | 1, v :: _ ->
+      (* binder: s is computed from a join variable *)
+      [ E.Ast.Eq (E.Ast.Call ("+", [ var v; E.Ast.Lit (E.Value.VInt 1) ]), E.Ast.Var "s") ]
+    | 2, v :: _ ->
+      (* always-true guard *)
+      [ E.Ast.Eq (E.Ast.Call ("+", [ var v; E.Ast.Lit (E.Value.VInt 0) ]), var v) ]
+    | _, v :: _ ->
+      (* never-true guard: x + 1 = x *)
+      [ E.Ast.Eq (E.Ast.Call ("+", [ var v; E.Ast.Lit (E.Value.VInt 1) ]), var v) ]
+  in
+  E.Compile.compile_query (compile_env db) (facts @ prims)
+
+(* One differential case: reference output vs the production join under
+   every configuration we ship — cached and uncached, fast paths on and
+   off, the cost-model replan, and every variable ordering. *)
+let check_diff ds ~delta =
+  let db, stamps = build_scenario ds in
+  match scenario_query ds db with
+  | exception E.Compile.Unsat -> true
+  | exception E.Compile.Error _ -> true
+  | q ->
+    let n_atoms = Array.length q.E.Compile.atoms in
+    if n_atoms = 0 then true
+    else begin
+      let ranges =
+        if not delta then Array.make n_atoms E.Join.all_rows
+        else
+          Array.init n_atoms (fun i ->
+              match List.nth ds.ds_ranges (i mod List.length ds.ds_ranges) with
+              | 3 -> { E.Join.lo = stamps.(1); hi = max_int }
+              | 4 -> { E.Join.lo = stamps.(0); hi = stamps.(1) }
+              | 5 -> { E.Join.lo = stamps.(1); hi = stamps.(2) }
+              | _ -> E.Join.all_rows)
+      in
+      let expected = Ref_join.matches_multiset db q ~ranges in
+      let agree ?cache ?fast_paths q' = join_multiset db ?cache ?fast_paths q' ~ranges = expected in
+      let cache = E.Join.new_cache () in
+      let ok = ref (agree ~cache q) in
+      (* a second pass answers from the cached structures *)
+      ok := !ok && agree ~cache q;
+      ok := !ok && agree ~fast_paths:false q;
+      let cards =
+        Array.map
+          (fun (a : E.Compile.atom) ->
+            match E.Database.find_func db a.E.Compile.a_func.E.Schema.name with
+            | Some t ->
+              let rows, distinct = E.Database.table_stats db t in
+              { E.Compile.ac_rows = rows; ac_distinct = distinct }
+            | None -> assert false)
+          q.E.Compile.atoms
+      in
+      ok := !ok && agree ~cache (E.Compile.replan q ~cards);
+      List.iter
+        (fun perm ->
+          let q' = E.Compile.reorder q ~order:(Array.of_list perm) in
+          ok := !ok && agree q' && agree ~fast_paths:false q')
+        (permutations (Array.to_list q.E.Compile.order));
+      !ok
+    end
+
+let prop_diff_full_ranges =
+  QCheck2.Test.make ~name:"differential: planner == reference (full ranges, all orderings)"
+    ~count:260 gen_scenario (fun ds -> check_diff ds ~delta:false)
+
+let prop_diff_delta_ranges =
+  QCheck2.Test.make ~name:"differential: planner == reference (delta stamp windows)" ~count:260
+    gen_scenario (fun ds -> check_diff ds ~delta:true)
+
+(* Regression for the cache-key representation: two distinct table
+   incarnations (original and a pre-mutation snapshot) can reach the same
+   version counter with different contents. A key that identified tables by
+   name+version — as the old concatenated-string key did — would serve the
+   first incarnation's index for the second and return stale rows; the
+   structured key carries Table.uid, so each incarnation gets its own
+   entry. *)
+let test_cache_key_incarnations () =
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng "(relation r (i64 i64)) (relation s (i64 i64))");
+  let db = E.Engine.database eng in
+  let set tbl a b = E.Engine.set_fact eng tbl [ E.Value.VInt a; E.Value.VInt b ] E.Value.VUnit in
+  set "r" 1 2;
+  set "s" 2 3;
+  let q =
+    E.Compile.compile_query (compile_env db)
+      [
+        E.Ast.Holds (E.Ast.Call ("r", [ E.Ast.Var "x"; E.Ast.Var "y" ]));
+        E.Ast.Holds (E.Ast.Call ("s", [ E.Ast.Var "y"; E.Ast.Var "z" ]));
+      ]
+  in
+  let ranges = [| E.Join.all_rows; E.Join.all_rows |] in
+  let snapshot = E.Database.copy db in
+  (* incarnation 1: s advances to version 2 with rows {(2,3),(2,4)} and the
+     shared cache builds its structures against it *)
+  set "s" 2 4;
+  let cache = E.Join.new_cache () in
+  let expect1 = Ref_join.matches_multiset db q ~ranges in
+  Alcotest.(check int) "incarnation 1 has two matches" 2 (List.length expect1);
+  Alcotest.(check (list string))
+    "incarnation 1, fast path" expect1 (join_multiset db ~cache q ~ranges);
+  Alcotest.(check (list string))
+    "incarnation 1, trie join" expect1 (join_multiset db ~cache ~fast_paths:false q ~ranges);
+  (* incarnation 2: the snapshot's s also reaches version 2, but with rows
+     {(2,3),(2,5)} — the same cache must not resurrect incarnation 1 *)
+  let s_snap =
+    match E.Database.find_func snapshot (E.Symbol.intern "s") with
+    | Some t -> t
+    | None -> Alcotest.fail "no table s in snapshot"
+  in
+  E.Database.set snapshot s_snap [| E.Value.VInt 2; E.Value.VInt 5 |] E.Value.VUnit;
+  let expect2 = Ref_join.matches_multiset snapshot q ~ranges in
+  Alcotest.(check int) "incarnation 2 has two matches" 2 (List.length expect2);
+  Alcotest.(check bool) "incarnations differ" true (expect1 <> expect2);
+  Alcotest.(check (list string))
+    "incarnation 2, fast path" expect2 (join_multiset snapshot ~cache q ~ranges);
+  Alcotest.(check (list string))
+    "incarnation 2, trie join" expect2
+    (join_multiset snapshot ~cache ~fast_paths:false q ~ranges)
+
+(* Companion regression: constants containing the old key format's
+   delimiter characters must still produce distinct cache entries for
+   distinct atoms sharing one cache. *)
+let test_cache_key_structured_consts () =
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng "(relation g (String i64)) (relation h (i64))");
+  let db = E.Engine.database eng in
+  ignore
+    (E.run_string eng
+       {| (g "a;1=b" 1) (g "a" 2) (h 1) (h 2) |});
+  let query const =
+    E.Compile.compile_query (compile_env db)
+      [
+        E.Ast.Holds
+          (E.Ast.Call ("g", [ E.Ast.Lit (E.Value.VStr (E.Symbol.intern const)); E.Ast.Var "x" ]));
+        E.Ast.Holds (E.Ast.Call ("h", [ E.Ast.Var "x" ]));
+      ]
+  in
+  let ranges = [| E.Join.all_rows; E.Join.all_rows |] in
+  let cache = E.Join.new_cache () in
+  Alcotest.(check (list string)) "quoted const" [ "1" ] (join_multiset db ~cache (query "a;1=b") ~ranges);
+  Alcotest.(check (list string)) "plain const" [ "2" ] (join_multiset db ~cache (query "a") ~ranges);
+  (* answered from the now-warm cache *)
+  Alcotest.(check (list string)) "quoted const again" [ "1" ]
+    (join_multiset db ~cache (query "a;1=b") ~ranges)
+
 let () =
   Alcotest.run "engine-props"
     [
@@ -226,7 +498,13 @@ let () =
           Alcotest.test_case "cartesian product" `Quick test_planner_handles_cartesian;
           Alcotest.test_case "triangle query" `Quick test_planner_shared_var_chain;
           Alcotest.test_case "nonlinear self join" `Quick test_self_join_nonlinear;
+          Alcotest.test_case "cache key distinguishes incarnations" `Quick
+            test_cache_key_incarnations;
+          Alcotest.test_case "cache key structured constants" `Quick
+            test_cache_key_structured_consts;
         ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest [ prop_diff_full_ranges; prop_diff_delta_ranges ] );
       ( "scheduling",
         [ Alcotest.test_case "backoff unbans" `Quick test_backoff_unbans ] );
       ( "primitives",

@@ -1,0 +1,96 @@
+(* Golden tests for the --explain-plans dump (Engine.explain_plans): the
+   format is deterministic by design — atoms in declaration order, cost
+   estimates recomputed from current table statistics, one delta-variant
+   order line per atom — so any planner change that shifts an ordering or
+   estimate must update these fixtures consciously. *)
+
+module E = Egglog
+
+let check_plans name program expected =
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng program);
+  Alcotest.(check string) name expected (E.Engine.explain_plans eng)
+
+let test_transitive_closure () =
+  check_plans "path program plans"
+    {|
+      (relation edge (i64 i64))
+      (relation path (i64 i64))
+      (rule ((edge x y)) ((path x y)))
+      (rule ((path x y) (edge y z)) ((path x z)))
+      (edge 1 2) (edge 2 3) (edge 3 4)
+      (run 10)
+    |}
+    "rule rule_1 (ruleset default)\n\
+    \  atoms:\n\
+    \    [0] (edge x y) -> ()  rows=3\n\
+    \  order: x(est=3) y(est=1)\n\
+    \  delta[0] (0 rows) order: x y\n\
+     rule rule_2 (ruleset default)\n\
+    \  atoms:\n\
+    \    [0] (path x y) -> ()  rows=6\n\
+    \    [1] (edge y z) -> ()  rows=3\n\
+    \  order: y(est=3) z(est=1) x(est=2)\n\
+    \  delta[0] (0 rows) order: y z x\n\
+    \  delta[1] (0 rows) order: y z x\n"
+
+let test_rewrite_rule () =
+  (* a rewrite compiles to a single atom whose output is an internal
+     variable; the planner binds the (most selective) output column first *)
+  check_plans "commutativity rewrite plan"
+    {|
+      (datatype M (Num i64) (Add M M))
+      (rewrite (Add a b) (Add b a))
+      (define e (Add (Num 1) (Num 2)))
+      (run 2)
+    |}
+    "rule rule_1 (ruleset default)\n\
+    \  atoms:\n\
+    \    [0] (Add a b) -> $3  rows=2\n\
+    \  order: $3(est=1) a(est=2) b(est=1)\n\
+    \  delta[0] (0 rows) order: a b $3\n"
+
+let test_triangle_with_guard () =
+  (* three-way cyclic join plus a primitive guard scheduled once its input
+     is bound *)
+  check_plans "triangle query plan"
+    {|
+      (relation e (i64 i64))
+      (relation tri (i64 i64 i64))
+      (rule ((e x y) (e y z) (e z x) (< x 10)) ((tri x y z)))
+      (e 1 2) (e 2 3) (e 3 1) (e 4 5) (e 5 4)
+      (run)
+    |}
+    "rule rule_1 (ruleset default)\n\
+    \  atoms:\n\
+    \    [0] (e x y) -> ()  rows=5\n\
+    \    [1] (e y z) -> ()  rows=5\n\
+    \    [2] (e z x) -> ()  rows=5\n\
+    \  order: z(est=5) x(est=1) y(est=1)\n\
+    \    prim@2 (< x 10) -> $6\n\
+    \  delta[0] (0 rows) order: x z y\n\
+    \  delta[1] (0 rows) order: z x y\n\
+    \  delta[2] (0 rows) order: z x y\n"
+
+let test_atomless_rule () =
+  check_plans "rule with no atoms"
+    {|
+      (relation seed (i64))
+      (rule () ((seed 1)))
+    |}
+    "rule rule_1 (ruleset default)\n  (no atoms)\n"
+
+let test_no_rules () = check_plans "no rules, empty dump" "(relation r (i64))" ""
+
+let () =
+  Alcotest.run "plans"
+    [
+      ( "explain-plans goldens",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "rewrite rule" `Quick test_rewrite_rule;
+          Alcotest.test_case "triangle with guard" `Quick test_triangle_with_guard;
+          Alcotest.test_case "atomless rule" `Quick test_atomless_rule;
+          Alcotest.test_case "no rules" `Quick test_no_rules;
+        ] );
+    ]

@@ -300,6 +300,122 @@ let test_snapshot_json () =
    | _ -> Alcotest.fail "report_to_json not an object");
   fresh ()
 
+(* ---- join cache: stamp windows, patching, and accounting ---- *)
+
+(* Empty deltas are the common case at a fixpoint: the log must report zero
+   entries past the newest stamp and the suffix iterator must visit
+   nothing. *)
+let test_empty_delta_iteration () =
+  fresh ();
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng "(relation r (i64)) (r 1) (r 2)");
+  let db = E.Engine.database eng in
+  let t =
+    match E.Database.find_func db (E.Symbol.intern "r") with
+    | Some t -> t
+    | None -> Alcotest.fail "no table r"
+  in
+  let now = E.Database.timestamp db in
+  Alcotest.(check int) "no entries past the newest stamp" 0 (E.Table.entries_since t (now + 1));
+  Alcotest.(check bool) "all entries from stamp zero" true (E.Table.entries_since t 0 >= 2);
+  let visited = ref 0 in
+  E.Table.iter_log_suffix t ~from:(E.Table.log_length t) (fun _ _ -> incr visited);
+  Alcotest.(check int) "suffix from the log end is empty" 0 !visited;
+  visited := 0;
+  E.Table.iter_log_suffix t ~from:0 (fun _ _ -> incr visited);
+  Alcotest.(check int) "suffix from zero visits every surviving row" 2 !visited;
+  (* a copy is a distinct incarnation even though version is preserved *)
+  let t' =
+    match E.Database.find_func (E.Database.copy db) (E.Symbol.intern "r") with
+    | Some t' -> t'
+    | None -> Alcotest.fail "no table r in copy"
+  in
+  Alcotest.(check int) "copy preserves version" (E.Table.version t) (E.Table.version t');
+  Alcotest.(check bool) "copy gets a fresh uid" true (E.Table.uid t <> E.Table.uid t');
+  fresh ()
+
+(* Every cached structure request resolves to exactly one hit or one miss,
+   including runs past saturation where all deltas are empty. *)
+let test_cache_accounting () =
+  fresh ();
+  T.enable ();
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng path_program);
+  ignore (E.Engine.run_iterations eng 3);
+  T.disable ();
+  let snap = T.snapshot () in
+  let v = counter_value snap in
+  Alcotest.(check int) "hits + misses = lookups" (v "join.cache_lookups")
+    (v "join.cache_hits" + v "join.cache_misses");
+  Alcotest.(check bool) "lookups happened" true (v "join.cache_lookups" > 0);
+  Alcotest.(check bool) "patches are hits" true (v "join.index_patched" <= v "join.cache_hits");
+  Alcotest.(check bool) "plans were built" true (v "join.plans_built" > 0);
+  fresh ()
+
+(* Append-only growth between runs patches the cached full-table structures
+   forward instead of rebuilding them. *)
+let test_index_patching () =
+  fresh ();
+  T.enable ();
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       {|
+  (relation e (i64 i64))
+  (relation out (i64 i64))
+  (rule ((e x y) (e y z)) ((out x z)))
+|});
+  for i = 1 to 6 do
+    E.Engine.set_fact eng "e" [ E.Value.VInt i; E.Value.VInt (i + 1) ] E.Value.VUnit
+  done;
+  ignore (E.Engine.run_iterations eng 3);
+  let before = counter_value (T.snapshot ()) "join.index_patched" in
+  for i = 10 to 14 do
+    E.Engine.set_fact eng "e" [ E.Value.VInt i; E.Value.VInt (i + 1) ] E.Value.VUnit
+  done;
+  ignore (E.Engine.run_iterations eng 3);
+  T.disable ();
+  let snap = T.snapshot () in
+  let v = counter_value snap in
+  Alcotest.(check bool) "second run patched cached structures" true
+    (v "join.index_patched" > before);
+  Alcotest.(check int) "hits + misses = lookups" (v "join.cache_lookups")
+    (v "join.cache_hits" + v "join.cache_misses");
+  (* patched structures answer correctly: both chains contribute their
+     two-step pairs and nothing else *)
+  Alcotest.(check int) "two-step pairs" 9 (E.Engine.table_size eng "out")
+
+(* Pop replaces the database object: cached structures for the popped
+   incarnation must never serve the restored one. *)
+let test_popped_scope_invalidation () =
+  fresh ();
+  T.enable ();
+  let eng = E.Engine.create () in
+  ignore
+    (E.run_string eng
+       {|
+  (relation e (i64 i64))
+  (relation out (i64 i64))
+  (rule ((e x y) (e y z)) ((out x z)))
+  (e 1 2) (e 2 3)
+  (run 2)
+|});
+  Alcotest.(check int) "base join" 1 (E.Engine.table_size eng "out");
+  ignore (E.run_string eng "(push) (e 3 4) (run 2)");
+  Alcotest.(check int) "scoped join" 2 (E.Engine.table_size eng "out");
+  ignore (E.run_string eng "(pop)");
+  Alcotest.(check int) "pop restores" 1 (E.Engine.table_size eng "out");
+  (* rerunning against the restored incarnation must rebuild, not resurrect
+     the scoped (3 4) edge *)
+  ignore (E.run_string eng "(e 5 6) (run 2)");
+  Alcotest.(check int) "post-pop join unchanged" 1 (E.Engine.table_size eng "out");
+  T.disable ();
+  let snap = T.snapshot () in
+  let v = counter_value snap in
+  Alcotest.(check int) "hits + misses = lookups across push/pop" (v "join.cache_lookups")
+    (v "join.cache_hits" + v "join.cache_misses");
+  fresh ()
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -322,6 +438,13 @@ let () =
           Alcotest.test_case "trace JSONL round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "parser accepts/rejects" `Quick test_json_parser;
           Alcotest.test_case "snapshot schema" `Quick test_snapshot_json;
+        ] );
+      ( "join cache",
+        [
+          Alcotest.test_case "empty delta iteration" `Quick test_empty_delta_iteration;
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_accounting;
+          Alcotest.test_case "append-only patching" `Quick test_index_patching;
+          Alcotest.test_case "popped-scope invalidation" `Quick test_popped_scope_invalidation;
         ] );
       ( "disabled",
         [
