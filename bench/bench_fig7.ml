@@ -23,8 +23,8 @@ let run_egg ~iters () =
 let math_tables =
   [ "Num"; "Var"; "Add"; "Sub"; "Mul"; "Div"; "Pow"; "Ln"; "Sqrt"; "Diff"; "Integral" ]
 
-let run_egglog ~seminaive ~iters () =
-  let eng = Egglog.Engine.create ~seminaive ~scheduler:Egglog.Engine.backoff_default () in
+let run_egglog ~seminaive ~jobs ~iters () =
+  let eng = Egglog.Engine.create ~seminaive ~scheduler:Egglog.Engine.backoff_default ~jobs () in
   ignore (Egglog.run_string eng (Math_suite.egglog_program ()));
   let report = Egglog.Engine.run_iterations eng iters in
   (* report sizes as math tuples so they are comparable with egg e-nodes *)
@@ -68,17 +68,22 @@ let time_to_size (s : series) size =
   in
   go 0
 
-let run ?(iters = 40) ?(reps = 3) () =
+let run ?(iters = 40) ?(reps = 3) ?(jobs = 1) () =
   Printf.printf "=== Fig. 7: egglog vs egglogNI vs egg (math suite, BackOff) ===\n";
-  Printf.printf "iterations=%d repetitions=%d (median per-iteration times)\n%!" iters reps;
+  Printf.printf "iterations=%d repetitions=%d jobs=%d (median per-iteration times)\n%!" iters
+    reps jobs;
   (* Collect engine counters over the whole measured region; the snapshot
      lands in BENCH_fig7.json so a regression in e.g. tuples scanned is
      visible without rerunning under --trace. *)
   Egglog.Telemetry.reset ();
   Egglog.Telemetry.enable ();
   let egg = collect "egg" ~reps (fun ~iters () -> run_egg ~iters ()) ~iters in
-  let ni = collect "egglogNI" ~reps (fun ~iters () -> run_egglog ~seminaive:false ~iters ()) ~iters in
-  let sn = collect "egglog" ~reps (fun ~iters () -> run_egglog ~seminaive:true ~iters ()) ~iters in
+  let ni =
+    collect "egglogNI" ~reps (fun ~iters () -> run_egglog ~seminaive:false ~jobs ~iters ()) ~iters
+  in
+  let sn =
+    collect "egglog" ~reps (fun ~iters () -> run_egglog ~seminaive:true ~jobs ~iters ()) ~iters
+  in
   Egglog.Telemetry.disable ();
   let telemetry = Egglog.Telemetry.snapshot_to_json (Egglog.Telemetry.snapshot ()) in
   Printf.printf "%6s  %22s  %22s  %22s\n" "iter" "egg (nodes, cum s)" "egglogNI (tuples, s)"
@@ -125,7 +130,7 @@ let run ?(iters = 40) ?(reps = 3) () =
     | Some _ | None -> J.Null
   in
   Bench_report.write ~telemetry ~bench:"fig7"
-    ~params:(J.Obj [ ("iters", J.Int iters); ("reps", J.Int reps) ])
+    ~params:(J.Obj [ ("iters", J.Int iters); ("reps", J.Int reps); ("jobs", J.Int jobs) ])
     ~data:
       (J.Obj
          [

@@ -23,9 +23,9 @@ let checksum sites =
     (fun acc l -> List.fold_left (fun acc s -> (acc * 31) lxor (s + 1) land 0xFFFFFF) (acc * 7) l)
     17 sites
 
-let run_egglog ~seminaive p =
+let run_egglog ~seminaive ~jobs p =
   let t0 = Egglog.Telemetry.now () in
-  let eng, _report = P.Egglog_enc.analyze ~seminaive p in
+  let eng, _report = P.Egglog_enc.analyze ~seminaive ~jobs p in
   let dt = Egglog.Telemetry.now () -. t0 in
   if dt > timeout_s then (Timeout_cell, None)
   else (Time dt, Some (checksum (P.Egglog_enc.var_sites p eng)))
@@ -51,8 +51,9 @@ let cell_json (c, sum) =
       ("checksum", match sum with Some s -> J.Int s | None -> J.Null);
     ]
 
-let run ?sizes ?ni_sizes ~full () =
-  Printf.printf "\n=== Fig. 8: Steensgaard points-to (timeout %.0fs) ===\n%!" timeout_s;
+let run ?sizes ?ni_sizes ?(jobs = 1) ~full () =
+  Printf.printf "\n=== Fig. 8: Steensgaard points-to (timeout %.0fs, jobs %d) ===\n%!" timeout_s
+    jobs;
   let sizes =
     match sizes with
     | Some s -> s
@@ -68,8 +69,8 @@ let run ?sizes ?ni_sizes ~full () =
       (fun size ->
         let p = P.Progen.generate ~size ~seed:1 () in
         let ref_sum = checksum (P.Reference.var_sites p (P.Reference.analyze p)) in
-        let sn = run_egglog ~seminaive:true p in
-        let ni = run_egglog ~seminaive:false p in
+        let sn = run_egglog ~seminaive:true ~jobs p in
+        let ni = run_egglog ~seminaive:false ~jobs p in
         let eq = run_datalog P.Datalog_enc.Eqrel p in
         let cc = run_datalog P.Datalog_enc.Cclyzer p in
         let pa = run_datalog P.Datalog_enc.Patched p in
@@ -134,7 +135,7 @@ let run ?sizes ?ni_sizes ~full () =
     List.filter_map
       (fun size ->
         let p = P.Progen.generate ~size ~seed:1 () in
-        match (run_egglog ~seminaive:true p, run_egglog ~seminaive:false p) with
+        match (run_egglog ~seminaive:true ~jobs p, run_egglog ~seminaive:false ~jobs p) with
         | (Time a, _), (Time b, _) ->
           Printf.printf "%6d %7d  egglog %.3fs vs egglogNI %.3fs\n" size
             (Array.length p.P.Ir.insts) a b;
@@ -165,6 +166,7 @@ let run ?sizes ?ni_sizes ~full () =
          [
            ("timeout_seconds", J.Float timeout_s);
            ("full", J.Bool full);
+           ("jobs", J.Int jobs);
            ("sizes", J.List (List.map (fun s -> J.Int s) sizes));
          ])
     ~data:
@@ -184,4 +186,4 @@ let run ?sizes ?ni_sizes ~full () =
 
 (* CI smoke: two tiny sizes plus one NI comparison point; exercises every
    reporting path (table, soundness verdicts, JSON) in well under a second. *)
-let run_smoke () = run ~sizes:[ 4; 8 ] ~ni_sizes:[ 200 ] ~full:false ()
+let run_smoke ?jobs () = run ~sizes:[ 4; 8 ] ~ni_sizes:[ 200 ] ?jobs ~full:false ()

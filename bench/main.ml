@@ -7,24 +7,48 @@
      dune exec bench/main.exe -- fig7    -- just one figure
      dune exec bench/main.exe -- smoke   -- tiny parameters for CI
      dune exec bench/main.exe -- full    -- paper-scale parameters (slow)
-*)
+
+   [--jobs N] (or --jobs=N) fans the engine benches' search phases across
+   N domains (0 = one per core); results are bit-identical to --jobs 1, so
+   the jobs-matrix CI job compares envelopes across values. *)
+
+let usage_error msg =
+  Printf.eprintf "bench: %s\n" msg;
+  exit 2
+
+(* Strip --jobs from the argument list so figure selection ([want] below)
+   still sees only figure names. *)
+let rec split_jobs acc = function
+  | [] -> (List.rev acc, 1)
+  | "--jobs" :: v :: rest ->
+    (match int_of_string_opt v with
+     | Some j when j >= 0 -> (List.rev_append acc rest, j)
+     | _ -> usage_error (Printf.sprintf "--jobs wants a non-negative integer, got %S" v))
+  | [ "--jobs" ] -> usage_error "--jobs wants a value (0 = one domain per core)"
+  | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+    let v = String.sub a 7 (String.length a - 7) in
+    (match int_of_string_opt v with
+     | Some j when j >= 0 -> (List.rev_append acc rest, j)
+     | _ -> usage_error (Printf.sprintf "--jobs wants a non-negative integer, got %S" v))
+  | a :: rest -> split_jobs (a :: acc) rest
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args, jobs = split_jobs [] (Array.to_list Sys.argv |> List.tl) in
   let smoke = List.mem "smoke" args in
   let full = List.mem "full" args in
   if smoke then begin
     (* CI gate: exercise every reporting path in seconds, not minutes. *)
     Bench_micro.run ~quota:0.05 ();
-    Bench_fig7.run ~iters:5 ~reps:1 ();
-    Bench_fig8.run_smoke ()
+    Bench_fig7.run ~iters:5 ~reps:1 ~jobs ();
+    Bench_fig8.run_smoke ~jobs ()
   end
   else begin
     let want name = args = [] || List.mem name args || full in
     if want "micro" then Bench_micro.run ();
     if want "fig7" then
-      if full then Bench_fig7.run ~iters:60 ~reps:5 () else Bench_fig7.run ~iters:35 ~reps:3 ();
-    if want "fig8" then Bench_fig8.run ~full ();
+      if full then Bench_fig7.run ~iters:60 ~reps:5 ~jobs ()
+      else Bench_fig7.run ~iters:35 ~reps:3 ~jobs ();
+    if want "fig8" then Bench_fig8.run ~jobs ~full ();
     if want "fig11" || want "fig12" then Bench_herbie.run ~full ();
     if want "ablation" then Bench_ablation.run ~full ()
   end;

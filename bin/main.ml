@@ -3,9 +3,9 @@
    journal with periodic checkpoints (--journal / --checkpoint-every) and
    crash recovery (--recover). *)
 
-let make_engine ~seminaive ~backoff ~node_limit ~time_limit =
+let make_engine ~seminaive ~backoff ~node_limit ~time_limit ~jobs =
   let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
-  Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ()
+  Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ~jobs ()
 
 (* Every mode funnels through one exception ladder so each failure class
    has one message shape and one exit code. A simulated crash (fault
@@ -104,10 +104,10 @@ let print_report (r : Egglog.Durable.recovery_report) =
     r.rc_replayed
     (if r.rc_torn then "; dropped a torn trailing record" else "")
 
-let run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
-    ~dump ~trace ~stats ~explain_plans path =
+let run_file ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal ~checkpoint_every
+    ~load ~dump ~trace ~stats ~explain_plans path =
   with_errors ~where:path (fun () ->
-      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit in
+      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit ~jobs in
       let src = In_channel.with_open_text path In_channel.input_all in
       let cmds = Egglog.Frontend.parse_program src in
       let outputs =
@@ -171,12 +171,12 @@ let repl ?durable eng =
   in
   loop ""
 
-let repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~recover
-    ~dump ~trace ~stats () =
+let repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal ~checkpoint_every
+    ~recover ~dump ~trace ~stats () =
   with_errors
     ~where:(match journal with Some j -> j | None -> "<repl>")
     (fun () ->
-      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit in
+      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit ~jobs in
       let session f =
         let code = with_telemetry ~trace ~stats f in
         if stats then print_stats ();
@@ -252,6 +252,13 @@ let () =
          & info [ "time-limit" ] ~docv:"SECONDS"
              ~doc:"Stop any run after SECONDS of wall-clock time (per-command :time-limit overrides)")
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Fan the search phase of every run across N domains (0 = one per core; \
+                   per-command :jobs overrides). Results are bit-identical to --jobs 1 for \
+                   any N; only wall-clock time changes")
+  in
   let journal =
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"JOURNAL"
            ~doc:"Record every committed command to this write-ahead journal (fsync'd per command); recover after a crash with $(b,--recover)")
@@ -289,15 +296,18 @@ let () =
     Arg.(value & flag & info [ "explain-plans" ]
            ~doc:"After the program finishes, print each rule's cost-based join plan against the final table statistics: atoms with row counts, the chosen variable order with cost estimates, the primitive schedule, and each semi-naive delta variant's order")
   in
-  let main file no_seminaive backoff node_limit time_limit journal checkpoint_every recover
-      fault load dump trace stats explain_plans =
+  let main file no_seminaive backoff node_limit time_limit jobs journal checkpoint_every
+      recover fault load dump trace stats explain_plans =
     let seminaive = not no_seminaive in
     let usage_error msg =
       Printf.eprintf "egglog: %s\n" msg;
       2
     in
     (match fault with Some (point, n) -> Egglog.Fault.arm_nth point n | None -> ());
-    if journal = None && checkpoint_every <> None then
+    if jobs < 0 then
+      usage_error
+        (Printf.sprintf "--jobs must be non-negative (0 = one domain per core), got %d" jobs)
+    else if journal = None && checkpoint_every <> None then
       usage_error "--checkpoint-every requires --journal"
     else if journal = None && recover then usage_error "--recover requires --journal"
     else if journal <> None && load <> None then
@@ -313,17 +323,17 @@ let () =
     else
       match file with
       | Some path ->
-        run_file ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every ~load
-          ~dump ~trace ~stats ~explain_plans path
+        run_file ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal ~checkpoint_every
+          ~load ~dump ~trace ~stats ~explain_plans path
       | None ->
         if explain_plans then usage_error "--explain-plans requires FILE"
         else
-          repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~journal ~checkpoint_every
-            ~recover ~dump ~trace ~stats ()
+          repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal
+            ~checkpoint_every ~recover ~dump ~trace ~stats ()
   in
   let term =
     Term.(
-      const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ journal
+      const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ jobs $ journal
       $ checkpoint_every $ recover $ fault $ load $ dump $ trace $ stats $ explain_plans)
   in
   let info =

@@ -49,10 +49,11 @@ type run_spec = {
   run_node_limit : int option;  (* stop once total tuples exceed this *)
   run_time_limit : float option;  (* stop after this many wall-clock seconds *)
   run_until : fact list;  (* stop as soon as all facts hold; [] = never *)
+  run_jobs : int option;  (* search-phase domains; 0 = one per core; None: session default *)
 }
 
 let plain_run limit =
-  { run_limit = limit; run_node_limit = None; run_time_limit = None; run_until = [] }
+  { run_limit = limit; run_node_limit = None; run_time_limit = None; run_until = []; run_jobs = None }
 
 (* Run schedules: compose rulesets into saturation strategies. *)
 type schedule =

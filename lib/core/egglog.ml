@@ -27,6 +27,7 @@ module Database = Database
 module Primitives = Primitives
 module Compile = Compile
 module Join = Join
+module Pool = Pool
 module Extract = Extract
 module Engine = Engine
 module Frontend = Frontend
@@ -45,8 +46,9 @@ let run_string (eng : Engine.t) (src : string) : string list =
 
 (** Convenience: fresh engine, run a program, return outputs. *)
 let run_program_string ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit
-    (src : string) : string list =
+    ?jobs (src : string) : string list =
   let eng =
-    Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit ()
+    Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit ?jobs
+      ()
   in
   run_string eng src

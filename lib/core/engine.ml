@@ -11,6 +11,7 @@ let c_matches = Telemetry.counter "engine.matches_applied"
 let c_new = Telemetry.counter "engine.tuples_inserted"
 let c_dup = Telemetry.counter "engine.matches_deduplicated"
 let c_bans = Telemetry.counter "scheduler.bans"
+let c_domains = Telemetry.counter "search.domains_used"
 
 type scheduler = Simple | Backoff of { match_limit : int; ban_length : int }
 
@@ -50,6 +51,7 @@ type t = {
   run_cap : int;  (* iteration bound for (run) without a limit *)
   mutable default_node_limit : int option;  (* session-wide budget (CLI --node-limit) *)
   mutable default_time_limit : float option;  (* session-wide budget (CLI --time-limit) *)
+  mutable default_jobs : int;  (* search-phase domains (CLI --jobs); 0 = one per core *)
   join_cache : Join.cache;
   mutable current_reason : Proof_forest.reason;  (* justification for unions *)
   mutable rulesets : string list;  (* declared named rulesets *)
@@ -211,7 +213,8 @@ let exec_action eng (slots : Value.t array) (a : Compile.caction) =
     Database.remove eng.db (table_of eng f) vals
 
 let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
-    ?(index_caching = true) ?node_limit ?time_limit () =
+    ?(index_caching = true) ?node_limit ?time_limit ?(jobs = 1) () =
+  if jobs < 0 then error "jobs must be non-negative (0 = one per core), got %d" jobs;
   let eng =
     {
       db = Database.create ();
@@ -228,6 +231,7 @@ let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
       run_cap = 1000;
       default_node_limit = node_limit;
       default_time_limit = time_limit;
+      default_jobs = jobs;
       join_cache = Join.new_cache ();
       current_reason = Proof_forest.Asserted;
       rulesets = [];
@@ -511,38 +515,54 @@ type run_report = {
   stop_reason : stop_reason;
   rule_stats : rule_stat list;
   total_seconds : float;
+  jobs : int;  (* resolved search-phase domain count (>= 1) the run used *)
 }
 
 (* Raised cooperatively inside the run loop when a budget trips. Never
    escapes run_iterations. *)
 exception Stop_run of stop_reason
 
-let search_matches eng ?cache (r : rt_rule) : Value.t array list =
-  let cache = if eng.index_caching then cache else None in
-  let fast_paths = eng.fast_paths in
-  let plans = plans_for eng r in
+(* The search units of one rule: (plan slot, per-atom stamp ranges) pairs,
+   in ascending variant order. One full-range unit when semi-naïve doesn't
+   apply; otherwise the m delta variants — atom j sees rows new since the
+   rule last ran, the others see everything. A match whose rows are new in
+   k atoms is found k times; egglog actions are idempotent (set/union), so
+   the duplicates are harmless, and the scheme lets every variant reuse
+   the same cached full-table tries (only the tiny delta trie differs). *)
+let rule_variants eng (r : rt_rule) : (int * Join.stamp_range array) list =
   let n_atoms = Array.length r.rr_rule.Compile.cr_query.Compile.atoms in
+  let low = r.rr_last_stamp in
+  if (not eng.seminaive) || low = 0 || n_atoms = 0 then
+    [ (n_atoms, Array.make n_atoms Join.all_rows) ]
+  else
+    List.init n_atoms (fun j ->
+        ( j,
+          Array.init n_atoms (fun i ->
+              if i = j then { Join.lo = low; hi = max_int } else Join.all_rows) ))
+
+(* Search one variant; matches come back in reversed discovery order (the
+   natural cons order). Read-only over the database and the frozen cache,
+   so variants can run on worker domains. *)
+let search_variant eng ?cache (plans : Compile.cquery array) ((j, ranges) : int * Join.stamp_range array) :
+    Value.t array list =
   let acc = ref [] in
   let emit b = acc := Array.copy b :: !acc in
-  let low = r.rr_last_stamp in
-  if (not eng.seminaive) || low = 0 || n_atoms = 0 then begin
-    let ranges = Array.make n_atoms Join.all_rows in
-    Join.search eng.db ?cache ~fast_paths plans.(n_atoms) ~ranges emit
-  end
-  else
-    (* Semi-naïve: m delta variants — atom j sees rows new since the rule
-       last ran, the others see everything. A match whose rows are new in k
-       atoms is found k times; egglog actions are idempotent (set/union), so
-       the duplicates are harmless, and the scheme lets every variant reuse
-       the same cached full-table tries (only the tiny delta trie differs). *)
-    for j = 0 to n_atoms - 1 do
-      let ranges =
-        Array.init n_atoms (fun i ->
-            if i = j then { Join.lo = low; hi = max_int } else Join.all_rows)
-      in
-      Join.search eng.db ?cache ~fast_paths plans.(j) ~ranges emit
-    done;
+  Join.search eng.db ?cache ~fast_paths:eng.fast_paths plans.(j) ~ranges emit;
   !acc
+
+(* Merge per-variant results (ascending variant order, each in reversed
+   discovery order) into one rule's match list. [vm @ acc] over ascending
+   variants reproduces exactly the order the old single-accumulator serial
+   loop produced — rev(last variant) ++ ... ++ rev(first variant) — which
+   is what keeps parallel runs bit-identical to serial ones. *)
+let merge_variant_matches per_variant =
+  List.fold_left (fun acc vm -> vm @ acc) [] per_variant
+
+let search_matches eng ?cache (r : rt_rule) : Value.t array list =
+  let cache = if eng.index_caching then cache else None in
+  let plans = plans_for eng r in
+  merge_variant_matches
+    (List.map (fun v -> search_variant eng ?cache plans v) (rule_variants eng r))
 
 let apply_match eng (r : rt_rule) (binding : Value.t array) =
   eng.current_reason <- Proof_forest.Rule r.rr_name;
@@ -597,8 +617,61 @@ let with_rule_context (r : rt_rule) f =
 
 let no_budget_check ~within_iteration:_ = ()
 
+(* Fan one iteration's rule×variant search tasks across [jobs] domains.
+   Serial pre-phase: plan selection ([plans_for] mutates the per-rule plan
+   cache and reads Database.table_stats, which memoizes), then
+   [Join.prebuild] warms every full-range cache entry the tasks will want.
+   The cache is then frozen and the database is read-only for the whole
+   fan-out, so tasks are pure; per-variant buffers are merged back in
+   (rule, ascending variant) order, making the result — including match
+   order — bit-identical to the serial path regardless of scheduling.
+   [budget_check] fires once per rule, like the serial loop. *)
+let parallel_search eng ~jobs ~budget_check (eligible : rt_rule list) :
+    (rt_rule * Value.t array list) list =
+  let cache = if eng.index_caching then Some eng.join_cache else None in
+  let rules_variants =
+    List.map (fun r -> (r, plans_for eng r, rule_variants eng r)) eligible
+  in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (r, plans, vs) -> List.map (fun v -> (r, plans, v)) vs)
+         rules_variants)
+  in
+  Array.iter
+    (fun (_, plans, (j, ranges)) ->
+      Join.prebuild eng.db ?cache ~fast_paths:eng.fast_paths plans.(j) ~ranges)
+    tasks;
+  let pool = Pool.global ~workers:(jobs - 1) in
+  Telemetry.record_max c_domains (min jobs (1 + Pool.size pool));
+  Option.iter (fun c -> Join.set_frozen c true) cache;
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Option.iter (fun c -> Join.set_frozen c false) cache)
+      (fun () ->
+        Pool.run ~participants:(jobs - 1) pool
+          (fun (r, plans, v) -> with_rule_context r (fun () -> search_variant eng ?cache plans v))
+          tasks)
+  in
+  let idx = ref 0 in
+  List.map
+    (fun (r, _, vs) ->
+      let per_variant =
+        List.map
+          (fun _ ->
+            let vm = results.(!idx) in
+            incr idx;
+            vm)
+          vs
+      in
+      let matches = merge_variant_matches per_variant in
+      budget_check ~within_iteration:true;
+      (r, matches))
+    rules_variants
+
 let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
-    ?(rule_accs : (string, rule_acc) Hashtbl.t option) eng (ph : phase_times) : bool =
+    ?(rule_accs : (string, rule_acc) Hashtbl.t option) ?(jobs = 1) eng (ph : phase_times) :
+    bool =
   let in_scope r =
     match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
   in
@@ -616,15 +689,21 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
   Join.clear_scratch cache;
   let dt_search, searched =
     Telemetry.timed_span "engine.search" (fun () ->
-        List.filter_map
-          (fun r ->
-            if (not (in_scope r)) || r.rr_banned_until > eng.iteration then None
-            else begin
+        let eligible =
+          List.filter
+            (fun r -> in_scope r && r.rr_banned_until <= eng.iteration)
+            eng.rules
+        in
+        if jobs <= 1 then begin
+          Telemetry.record_max c_domains 1;
+          List.map
+            (fun r ->
               let matches = with_rule_context r (fun () -> search_matches eng ~cache r) in
               budget_check ~within_iteration:true;
-              Some (r, matches)
-            end)
-          eng.rules)
+              (r, matches))
+            eligible
+        end
+        else parallel_search eng ~jobs ~budget_check eligible)
   in
   ph.ph_search <- ph.ph_search +. dt_search;
   let to_apply =
@@ -691,7 +770,17 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
   ph.ph_delta <- ph.ph_delta + (Database.total_log_entries db - log0);
   Database.change_counter db > changes0
 
-let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
+(* Resolve a requested jobs count: [None] falls back to the session
+   default, [0] means one domain per core, and the result is clamped to
+   the telemetry shard space (64). *)
+let effective_jobs eng jobs =
+  let j = Option.value jobs ~default:eng.default_jobs in
+  if j < 0 then error "jobs must be non-negative (0 = one per core), got %d" j;
+  let j = if j = 0 then Domain.recommended_domain_count () else j in
+  max 1 (min j 64)
+
+let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
+  let jobs = effective_jobs eng jobs in
   let start_all = Telemetry.now () in
   let stats = ref [] in
   let total = ref 0.0 in
@@ -736,7 +825,7 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
        let dt, outcome =
          Telemetry.timed_span "engine.iteration" (fun () ->
              let outcome =
-               try Ok (run_one_iteration ?ruleset ~budget_check ~rule_accs eng ph)
+               try Ok (run_one_iteration ?ruleset ~budget_check ~rule_accs ~jobs eng ph)
                with Stop_run r -> Error r
              in
              (* A budget can trip mid-iteration; restore the canonical
@@ -819,7 +908,7 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
               ("bans", Telemetry.Json.Int rs.rs_bans);
             ])
       rule_stats;
-  { iterations = List.rev !stats; stop_reason = !stop; rule_stats; total_seconds = !total }
+  { iterations = List.rev !stats; stop_reason = !stop; rule_stats; total_seconds = !total; jobs }
 
 (* Human-readable report: one summary line, a phase split, and — only when
    at least one rule was searched — a per-rule table. A run over an empty
@@ -827,10 +916,11 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) eng n =
 let pp_run_report fmt (r : run_report) =
   let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 r.iterations in
   let sum_i f = List.fold_left (fun acc s -> acc + f s) 0 r.iterations in
-  Format.fprintf fmt "%d iteration(s) in %.6fs (%s); %d match(es) applied@\n"
+  Format.fprintf fmt "%d iteration(s) in %.6fs (%s); %d match(es) applied%s@\n"
     (List.length r.iterations) r.total_seconds
     (describe_stop_reason r.stop_reason)
-    (sum_i (fun s -> s.it_matches));
+    (sum_i (fun s -> s.it_matches))
+    (if r.jobs > 1 then Printf.sprintf "; %d jobs" r.jobs else "");
   if r.iterations <> [] then begin
     let search = sum (fun s -> s.it_search_seconds) in
     let apply = sum (fun s -> s.it_apply_seconds) in
@@ -997,7 +1087,8 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
     let node_limit = first_some spec.Ast.run_node_limit eng.default_node_limit in
     let time_limit = first_some spec.Ast.run_time_limit eng.default_time_limit in
     let report =
-      run_iterations ~ruleset:"" ?node_limit ?time_limit ~until:spec.Ast.run_until eng n
+      run_iterations ~ruleset:"" ?node_limit ?time_limit ~until:spec.Ast.run_until
+        ?jobs:spec.Ast.run_jobs eng n
     in
     let stop_note =
       match report.stop_reason with

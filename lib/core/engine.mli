@@ -25,6 +25,7 @@ val create :
   ?index_caching:bool ->
   ?node_limit:int ->
   ?time_limit:float ->
+  ?jobs:int ->
   unit ->
   t
 (** [seminaive:false] gives the paper's egglogNI baseline; [fast_paths] and
@@ -32,7 +33,11 @@ val create :
     [time_limit] install session-wide budgets applied to every [(run ...)]
     and [(run-schedule ...)] command (the CLI's [--node-limit] /
     [--time-limit]); per-command [:node-limit] / [:time-limit] override
-    them. *)
+    them. [jobs] (default 1) is the session default for the number of
+    domains the search phase fans out across ([0] = one per core; the
+    CLI's [--jobs]); a per-command [:jobs] overrides it. Results are
+    bit-identical to [jobs:1] for any value. @raise Egglog_error on a
+    negative [jobs]. *)
 
 val database : t -> Database.t
 
@@ -115,6 +120,9 @@ type run_report = {
   stop_reason : stop_reason;
   rule_stats : rule_stat list;  (** in declaration order, searched rules only *)
   total_seconds : float;
+  jobs : int;
+      (** resolved search-phase domain count the run used ([>= 1]; the [0]
+          = one-per-core request resolves before it lands here) *)
 }
 
 val pp_run_report : Format.formatter -> run_report -> unit
@@ -127,13 +135,20 @@ val run_iterations :
   ?node_limit:int ->
   ?time_limit:float ->
   ?until:Ast.fact list ->
+  ?jobs:int ->
   t ->
   int ->
   run_report
 (** Run up to [n] iterations, restricted to one named ruleset when given.
     [node_limit] stops once total tuples exceed it; [time_limit] stops after
     that many wall-clock seconds; [until] stops as soon as all its facts are
-    derivable (checked before the first iteration and after each one). *)
+    derivable (checked before the first iteration and after each one).
+    [jobs] fans the search phase across that many domains ([0] = one per
+    core; default: the engine's session setting). The database is frozen
+    during search and per-variant match buffers are merged in a fixed
+    (rule, variant, discovery) order, so the resulting state and report
+    counts are bit-identical to [jobs:1] regardless of scheduling; only
+    the timings differ. @raise Egglog_error on a negative [jobs]. *)
 
 (** {1 Commands (the textual language)} *)
 

@@ -152,7 +152,7 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
       List.iter
         (fun (kw, _) ->
           match kw with
-          | ":until" | ":node-limit" | ":time-limit" -> ()
+          | ":until" | ":node-limit" | ":time-limit" | ":jobs" -> ()
           | other -> error "unknown run option %s" other)
         kws;
       let node_limit =
@@ -179,8 +179,16 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
         | Some v -> error "malformed :until %s (want a fact or a list of facts)" (Sexpr.to_string v)
         | None -> []
       in
+      let jobs =
+        match List.assoc_opt ":jobs" kws with
+        | Some (Sexpr.Int j) when j >= 0 -> Some j
+        | Some v ->
+          error "malformed :jobs %s (want a non-negative integer; 0 = one per core)"
+            (Sexpr.to_string v)
+        | None -> None
+      in
       [ Ast.Run { Ast.run_limit = limit; run_node_limit = node_limit;
-                  run_time_limit = time_limit; run_until = until } ]
+                  run_time_limit = time_limit; run_until = until; run_jobs = jobs } ]
     | "run-schedule", scheds ->
       let rec sched_of_sexp (s : Sexpr.t) : Ast.schedule =
         match s with
@@ -337,7 +345,7 @@ let sexp_of_command (cmd : Ast.command) : Sexpr.t =
     Sexpr.List (Sexpr.Atom "rewrite" :: sexp_of_expr lhs :: sexp_of_expr rhs :: kws)
   | Ast.Define (x, e) -> Sexpr.List [ Sexpr.Atom "define"; Sexpr.Atom x; sexp_of_expr e ]
   | Ast.Top_action a -> sexp_of_action a
-  | Ast.Run { run_limit; run_node_limit; run_time_limit; run_until } ->
+  | Ast.Run { run_limit; run_node_limit; run_time_limit; run_until; run_jobs } ->
     let limit = match run_limit with None -> [] | Some n -> [ Sexpr.Int n ] in
     let kws =
       (match run_node_limit with
@@ -346,6 +354,9 @@ let sexp_of_command (cmd : Ast.command) : Sexpr.t =
       @ (match run_time_limit with
          | None -> []
          | Some s -> [ Sexpr.Atom ":time-limit"; sexp_of_seconds s ])
+      @ (match run_jobs with
+         | None -> []
+         | Some j -> [ Sexpr.Atom ":jobs"; Sexpr.Int j ])
       @
       match run_until with
       | [] -> []

@@ -193,9 +193,20 @@ type pentry = {
   mutable pe_value_updates : int;
 }
 
-type cache = { persistent : pentry KTbl.t; scratch : built KTbl.t }
+(* [frozen] puts the cache in read-only mode for the parallel search
+   phase: lookups still serve valid hits (concurrent hashtable reads with
+   no writer are safe), but misses and stale entries build privately and
+   are NOT stored or patched — storing would race other domains, and
+   [patch_trie]/[patch_index] mutate the shared structure in place. The
+   engine pre-builds the full-range entries serially before fanning out,
+   so frozen misses are normally just the small per-variant delta
+   structures. *)
+type cache = { persistent : pentry KTbl.t; scratch : built KTbl.t; mutable frozen : bool }
 
-let new_cache () : cache = { persistent = KTbl.create 64; scratch = KTbl.create 64 }
+let new_cache () : cache =
+  { persistent = KTbl.create 64; scratch = KTbl.create 64; frozen = false }
+
+let set_frozen cache frozen = cache.frozen <- frozen
 let clear_scratch cache = KTbl.reset cache.scratch
 
 let clear_all cache =
@@ -292,6 +303,26 @@ let patch_trie (plan : atom_plan) (trie : trie) ~from : trie =
 let cached_trie cache plan range =
   match cache with
   | None -> build_trie plan range
+  | Some c when c.frozen ->
+    Telemetry.bump c_cache_lookups 1;
+    let key = mk_key 0 plan range ~proj:[||] ~rest:[||] in
+    let hit =
+      if is_full range then
+        match KTbl.find_opt c.persistent key with
+        | Some { pe_built = B_trie trie; pe_version; _ }
+          when pe_version = Table.version plan.ap_table ->
+          Some trie
+        | _ -> None
+      else
+        match KTbl.find_opt c.scratch key with Some (B_trie trie) -> Some trie | _ -> None
+    in
+    (match hit with
+    | Some trie ->
+      Telemetry.bump c_cache_hits 1;
+      trie
+    | None ->
+      Telemetry.bump c_cache_misses 1;
+      build_trie plan range)
   | Some c ->
     Telemetry.bump c_cache_lookups 1;
     let table = plan.ap_table in
@@ -378,6 +409,26 @@ let patch_index (plan : atom_plan) index ~from ~(proj : int array) ~(rest : int 
 let cached_index cache plan range ~proj ~rest =
   match cache with
   | None -> build_index plan range ~proj ~rest
+  | Some c when c.frozen ->
+    Telemetry.bump c_cache_lookups 1;
+    let key = mk_key 1 plan range ~proj ~rest in
+    let hit =
+      if is_full range then
+        match KTbl.find_opt c.persistent key with
+        | Some { pe_built = B_index idx; pe_version; _ }
+          when pe_version = Table.version plan.ap_table ->
+          Some idx
+        | _ -> None
+      else
+        match KTbl.find_opt c.scratch key with Some (B_index idx) -> Some idx | _ -> None
+    in
+    (match hit with
+    | Some idx ->
+      Telemetry.bump c_cache_hits 1;
+      idx
+    | None ->
+      Telemetry.bump c_cache_misses 1;
+      build_index plan range ~proj ~rest)
   | Some c ->
     Telemetry.bump c_cache_lookups 1;
     let table = plan.ap_table in
@@ -510,12 +561,11 @@ let run_static_prims (env : Value.t array) prim_plan =
         end)
     prim_plan
 
-(* Fast path for two-atom queries: scan a driver atom (prefer the delta
-   side), probe a hash index on the other atom keyed by the shared
-   variables. Cheaper constants than the generic trie join, and the index
-   is shared across rules/variants via the cache. *)
-let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
-    (ranges : stamp_range array) callback =
+(* Driver choice and index layout for the two-atom fast path, factored
+   out so [prebuild] computes exactly the layout [search_two_atoms] will
+   ask for. Depends only on the plans, ranges and table lengths — all
+   stable while the database is frozen. *)
+let two_atom_layout (q : Compile.cquery) (plans : atom_plan array) (ranges : stamp_range array) =
   let driver =
     if ranges.(0).lo > ranges.(1).lo then 0
     else if ranges.(1).lo > ranges.(0).lo then 1
@@ -539,6 +589,16 @@ let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
   let by_src (_, s1) (_, s2) = Int.compare s1 s2 in
   let shared = Array.of_list (List.sort by_src !shared)
   and rest = Array.of_list (List.sort by_src !rest) in
+  (driver, other, shared, rest)
+
+(* Fast path for two-atom queries: scan a driver atom (prefer the delta
+   side), probe a hash index on the other atom keyed by the shared
+   variables. Cheaper constants than the generic trie join, and the index
+   is shared across rules/variants via the cache. *)
+let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
+    (ranges : stamp_range array) callback =
+  let driver, other, shared, rest = two_atom_layout q plans ranges in
+  let dplan = plans.(driver) and oplan = plans.(other) in
   let proj = Array.map snd shared and rest_pos = Array.map snd rest in
   let index = cached_index cache oplan ranges.(other) ~proj ~rest:rest_pos in
   let prim_plan = static_prim_plan q [ dplan.ap_vars; oplan.ap_vars ] in
@@ -716,6 +776,38 @@ let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_
     solve 0
   end
   end
+
+(* Serially warm the cache entries a subsequent [search] with the same
+   query/ranges would want, so that a frozen (parallel) search finds them
+   as read-only hits. Only full-range entries are warmed: they go to the
+   persistent tier and are the expensive ones; windowed/delta structures
+   are cheap and built privately by each task. Mirrors the dispatch in
+   [search] exactly. *)
+let prebuild db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_range array) =
+  match cache with
+  | None -> ()
+  | Some c when c.frozen -> ()
+  | Some _ ->
+    let n_atoms = Array.length q.atoms in
+    if Array.length ranges <> n_atoms then invalid_arg "Join.prebuild: ranges arity mismatch";
+    let plans = Array.map (plan_atom db q) q.atoms in
+    if fast_paths && n_atoms = 1 && Array.length plans.(0).ap_sources > 0 then ()
+    else if
+      fast_paths
+      && n_atoms = 2
+      && Array.length plans.(0).ap_sources > 0
+      && Array.length plans.(1).ap_sources > 0
+    then begin
+      let _driver, other, shared, rest = two_atom_layout q plans ranges in
+      if is_full ranges.(other) then
+        ignore
+          (cached_index cache plans.(other) ranges.(other) ~proj:(Array.map snd shared)
+             ~rest:(Array.map snd rest))
+    end
+    else
+      Array.iteri
+        (fun i plan -> if is_full ranges.(i) then ignore (cached_trie cache plan ranges.(i)))
+        plans
 
 let exists db (q : Compile.cquery) =
   let ranges = Array.make (Array.length q.atoms) all_rows in

@@ -37,6 +37,20 @@ val clear_all : cache -> unit
     can never hit again (keys carry {!Table.uid}), so this is memory
     hygiene, not a correctness requirement. *)
 
+val set_frozen : cache -> bool -> unit
+(** Put the cache in read-only mode for the parallel search phase: valid
+    entries still hit (concurrent hashtable reads are safe with no
+    writer), but misses build private structures without storing, and
+    stale persistent entries are rebuilt privately instead of patched in
+    place. Freeze after {!prebuild}, unfreeze before the apply phase. *)
+
+val prebuild :
+  Database.t -> ?cache:cache -> ?fast_paths:bool -> Compile.cquery -> ranges:stamp_range array -> unit
+(** Serially warm the full-range cache entries that a {!search} with the
+    same arguments would use, so a subsequent frozen parallel search
+    services them as hits. No-op without a cache or while frozen.
+    Windowed/delta entries are left to the tasks (cheap, private). *)
+
 val search :
   Database.t ->
   ?cache:cache ->

@@ -260,20 +260,59 @@ let sink : (string -> unit) option ref = ref None
 let origin = ref 0.0
 let depth = ref 0
 
-type counter = { c_name : string; mutable c_value : int }
+(* Counters are sharded per domain so that pool workers can bump them
+   without locks: each counter holds [n_shards] slots, padded to a cache
+   line ([stride] words) to avoid false sharing, and a domain writes only
+   the slot registered for it via [set_shard] (0 = the main domain).
+   Reads (snapshot/value) sum over all shards and only ever run on the
+   main domain while no parallel phase is in flight. *)
+let n_shards = 64
+let stride = 8
 
+let shard_key = Domain.DLS.new_key (fun () -> ref 0)
+let set_shard i = Domain.DLS.get shard_key := max 0 (min (n_shards - 1) i)
+let current_shard () = !(Domain.DLS.get shard_key)
+
+type counter = { c_name : string; c_slots : int array }
+
+(* The registry itself is cold (a handful of lookups per process, at
+   module-init or report time); a mutex keeps stray worker-side [add]
+   calls from racing table resizes. *)
+let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.replace counters name c;
-    c
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; c_slots = Array.make (n_shards * stride) 0 } in
+      Hashtbl.replace counters name c;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
 
-let bump c n = if !enabled then c.c_value <- c.c_value + n
-let add name n = if !enabled then (counter name).c_value <- (counter name).c_value + n
+let bump c n =
+  if !enabled then begin
+    let s = current_shard () * stride in
+    c.c_slots.(s) <- c.c_slots.(s) + n
+  end
+
+let add name n = if !enabled then bump (counter name) n
+
+(* Max-gauge for counters like [search.domains_used]: only ever written
+   from the main domain, so it owns slot 0 outright. *)
+let record_max c n =
+  if !enabled then c.c_slots.(0) <- max c.c_slots.(0) n
+
+let counter_value c =
+  let total = ref 0 in
+  for i = 0 to n_shards - 1 do
+    total := !total + c.c_slots.(i * stride)
+  done;
+  !total
 
 type timing_acc = {
   mutable a_count : int;
@@ -284,25 +323,51 @@ type timing_acc = {
 
 let timings : (string, timing_acc) Hashtbl.t = Hashtbl.create 64
 
+(* Worker-domain observations can't touch the [timings] hashtable (it
+   resizes); they buffer under a lock — observe is off the per-tuple hot
+   path — and drain into the table on the main domain at snapshot time.
+   The aggregate (count/total/min/max) is order-independent, so deferred
+   merging is invisible. *)
+let pending_lock = Mutex.create ()
+let pending_observes : (string * float) list ref = ref []
+
+let observe_main name dt =
+  let acc =
+    match Hashtbl.find_opt timings name with
+    | Some acc -> acc
+    | None ->
+      let acc = { a_count = 0; a_total = 0.0; a_min = infinity; a_max = neg_infinity } in
+      Hashtbl.replace timings name acc;
+      acc
+  in
+  acc.a_count <- acc.a_count + 1;
+  acc.a_total <- acc.a_total +. dt;
+  if dt < acc.a_min then acc.a_min <- dt;
+  if dt > acc.a_max then acc.a_max <- dt
+
 let observe name dt =
   if !enabled then begin
-    let acc =
-      match Hashtbl.find_opt timings name with
-      | Some acc -> acc
-      | None ->
-        let acc = { a_count = 0; a_total = 0.0; a_min = infinity; a_max = neg_infinity } in
-        Hashtbl.replace timings name acc;
-        acc
-    in
-    acc.a_count <- acc.a_count + 1;
-    acc.a_total <- acc.a_total +. dt;
-    if dt < acc.a_min then acc.a_min <- dt;
-    if dt > acc.a_max then acc.a_max <- dt
+    if current_shard () = 0 then observe_main name dt
+    else begin
+      Mutex.lock pending_lock;
+      pending_observes := (name, dt) :: !pending_observes;
+      Mutex.unlock pending_lock
+    end
   end
 
+let drain_pending_observes () =
+  Mutex.lock pending_lock;
+  let pending = !pending_observes in
+  pending_observes := [];
+  Mutex.unlock pending_lock;
+  List.iter (fun (name, dt) -> observe_main name dt) (List.rev pending)
+
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ c -> Array.fill c.c_slots 0 (Array.length c.c_slots) 0) counters;
   Hashtbl.reset timings;
+  Mutex.lock pending_lock;
+  pending_observes := [];
+  Mutex.unlock pending_lock;
   depth := 0
 
 let enable ?sink:s () =
@@ -318,13 +383,27 @@ let disable () =
 (* Events                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let emit line = match !sink with Some f -> f line | None -> ()
+let emit_lock = Mutex.create ()
+
+let emit line =
+  match !sink with
+  | Some f ->
+    Mutex.lock emit_lock;
+    (try f line with e -> Mutex.unlock emit_lock; raise e);
+    Mutex.unlock emit_lock
+  | None -> ()
+
 let rel t = t -. !origin
 
 let emit_event t kind name fields =
   match !sink with
   | None -> ()
   | Some _ ->
+    (* Events from pool workers carry their domain shard so traces stay
+       attributable; main-domain events keep the historical schema. *)
+    let fields =
+      match current_shard () with 0 -> fields | d -> fields @ [ ("dom", Json.Int d) ]
+    in
     emit
       (Json.to_string
          (Json.Obj
@@ -390,8 +469,12 @@ type snapshot = {
 }
 
 let snapshot () =
+  drain_pending_observes ();
   let cs =
-    Hashtbl.fold (fun name c acc -> if c.c_value = 0 then acc else (name, c.c_value) :: acc)
+    Hashtbl.fold
+      (fun name c acc ->
+        let v = counter_value c in
+        if v = 0 then acc else (name, v) :: acc)
       counters []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in

@@ -95,6 +95,21 @@ val bump : counter -> int -> unit
 val add : string -> int -> unit
 (** Convenience for cold paths: [bump (counter name) n]. *)
 
+val record_max : counter -> int -> unit
+(** Max-gauge update: the counter's reported value becomes the largest
+    [n] ever recorded (e.g. [search.domains_used]). Main domain only. *)
+
+val set_shard : int -> unit
+(** Register the calling domain's counter shard. Counters are sharded per
+    domain so pool workers can {!bump} without locks; shard [0] is the
+    main domain (the default for every domain that never calls this), and
+    {!Pool} workers register shard [index + 1] once at domain start.
+    {!snapshot} sums the shards; it must only run on the main domain while
+    no parallel phase is in flight. Worker-side {!observe} calls are
+    buffered and merged at the next {!snapshot}; {!span}/{!instant} and
+    the trace sink remain main-domain constructs except that worker
+    events, if any, are tagged with a ["dom"] field. *)
+
 val observe : string -> float -> unit
 (** Record one observation into the named timing/histogram aggregate
     (count, total, min, max). Spans observe their duration automatically

@@ -1,0 +1,257 @@
+(* The parallel search phase: pool mechanics, the determinism contract
+   (dumps and reports byte-identical across jobs values), and domain-safe
+   telemetry.
+
+   The determinism stress runs a fig7-style workload — the math suite
+   under the BackOff scheduler — because it exercises everything at once:
+   many rules, semi-naïve delta variants, primitives, bans, and rebuilds
+   between iterations. *)
+
+module E = Egglog
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_empty () =
+  let pool = E.Pool.create ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> E.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check (array int)) "empty batch" [||] (E.Pool.run pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "single task" [| 42 |] (E.Pool.run pool (fun x -> x * 2) [| 21 |]))
+
+let test_pool_input_order () =
+  let pool = E.Pool.create ~workers:3 in
+  Fun.protect
+    ~finally:(fun () -> E.Pool.shutdown pool)
+    (fun () ->
+      let tasks = Array.init 257 (fun i -> i) in
+      let expect = Array.map (fun i -> i * i) tasks in
+      for _ = 1 to 5 do
+        Alcotest.(check (array int)) "results land at their task index" expect
+          (E.Pool.run pool (fun i -> i * i) tasks)
+      done)
+
+let test_pool_exception_propagates () =
+  let pool = E.Pool.create ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> E.Pool.shutdown pool)
+    (fun () ->
+      let f i = if i = 3 || i = 7 then failwith (Printf.sprintf "task %d" i) else i in
+      (* lowest failing index wins, matching a serial loop's failure order *)
+      (match E.Pool.run pool f (Array.init 10 (fun i -> i)) with
+       | _ -> Alcotest.fail "expected the batch to raise"
+       | exception Failure msg -> Alcotest.(check string) "lowest index's error" "task 3" msg);
+      (* the pool survives a failed batch *)
+      Alcotest.(check (array int)) "pool usable after failure" [| 0; 2; 4 |]
+        (E.Pool.run pool (fun i -> 2 * i) [| 0; 1; 2 |]))
+
+let test_pool_nested_rejected () =
+  let pool = E.Pool.create ~workers:1 in
+  Fun.protect
+    ~finally:(fun () -> E.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "not in a task outside" false (E.Pool.in_task ());
+      let results =
+        E.Pool.run pool
+          (fun _ ->
+            if not (E.Pool.in_task ()) then `No_task_flag
+            else
+              match E.Pool.run pool (fun x -> x) [| 1 |] with
+              | _ -> `Nested_ran
+              | exception Invalid_argument _ -> `Rejected)
+          [| 0; 1; 2 |]
+      in
+      Array.iter
+        (fun r ->
+          Alcotest.(check bool) "nested run raises Invalid_argument inside a task" true
+            (r = `Rejected))
+        results)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism stress: fig7-style workload across jobs values          *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in a run_report except wall-clock noise. *)
+let report_fingerprint (r : E.Engine.run_report) =
+  ( List.map
+      (fun (s : E.Engine.iteration_stat) ->
+        (s.it_index, s.it_rows, s.it_classes, s.it_changed, s.it_matches, s.it_delta_rows))
+      r.iterations,
+    r.stop_reason,
+    r.rule_stats )
+
+let math_run ~jobs ~iters =
+  let eng = E.Engine.create ~scheduler:E.Engine.backoff_default ~jobs () in
+  ignore (E.run_string eng (Math_suite.egglog_program ()));
+  let report = E.Engine.run_iterations eng iters in
+  (E.Serialize.dump_string eng, report)
+
+let test_determinism_stress () =
+  let iters = 5 in
+  let serial_dump, serial_report = math_run ~jobs:1 ~iters in
+  Alcotest.(check int) "serial report records jobs=1" 1 serial_report.E.Engine.jobs;
+  Alcotest.(check bool) "workload is non-trivial" true (String.length serial_dump > 1000);
+  let serial_fp = report_fingerprint serial_report in
+  for rep = 1 to 10 do
+    List.iter
+      (fun jobs ->
+        let dump, report = math_run ~jobs ~iters in
+        let label what = Printf.sprintf "rep %d jobs %d: %s == serial" rep jobs what in
+        Alcotest.(check bool) (label "dump bytes") true (dump = serial_dump);
+        Alcotest.(check bool)
+          (label "per-iteration and per-rule match counts")
+          true
+          (report_fingerprint report = serial_fp);
+        Alcotest.(check int) "report records resolved jobs" jobs report.E.Engine.jobs)
+      [ 2; 4; 8 ]
+  done
+
+let test_jobs_zero_resolves () =
+  (* jobs 0 = one domain per core; still deterministic, report shows the
+     resolved count *)
+  let serial_dump, _ = math_run ~jobs:1 ~iters:3 in
+  let dump, report = math_run ~jobs:0 ~iters:3 in
+  Alcotest.(check bool) "jobs 0 dump == serial" true (dump = serial_dump);
+  Alcotest.(check bool) "jobs 0 resolves to >= 1" true (report.E.Engine.jobs >= 1)
+
+let test_negative_jobs_rejected () =
+  (match E.Engine.create ~jobs:(-1) () with
+   | _ -> Alcotest.fail "create ~jobs:(-1) should raise"
+   | exception E.Egglog_error _ -> ());
+  let eng = E.Engine.create () in
+  ignore (E.run_string eng "(relation r (i64)) (r 1)");
+  match E.Engine.run_iterations ~jobs:(-3) eng 1 with
+  | _ -> Alcotest.fail "run_iterations ~jobs:(-3) should raise"
+  | exception E.Egglog_error _ -> ()
+
+let test_jobs_keyword_roundtrip () =
+  (* (run ... :jobs N) parses, runs, and survives the printer round-trip *)
+  let eng = E.Engine.create () in
+  let out =
+    E.run_string eng
+      {|
+      (relation edge (i64 i64))
+      (relation path (i64 i64))
+      (rule ((edge x y)) ((path x y)))
+      (rule ((path x y) (edge y z)) ((path x z)))
+      (edge 1 2) (edge 2 3) (edge 3 4)
+      (run 10 :jobs 4)
+      (check (path 1 4))
+    |}
+  in
+  ignore out;
+  Alcotest.(check int) "transitive closure complete" 6 (E.Engine.table_size eng "path");
+  (* rejected at parse time, like a malformed :node-limit *)
+  (match E.run_string (E.Engine.create ()) "(run 1 :jobs -2)" with
+   | _ -> Alcotest.fail "negative :jobs should be rejected"
+   | exception E.Frontend.Syntax_error _ -> ());
+  let printed =
+    String.concat " " (List.map E.Frontend.command_to_string (E.Frontend.parse_program "(run 3 :jobs 2)"))
+  in
+  Alcotest.(check string) ":jobs survives the printer round-trip" printed
+    (String.concat " " (List.map E.Frontend.command_to_string (E.Frontend.parse_program printed)))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: sharded counters                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharded_counter_sum () =
+  let pool = E.Pool.create ~workers:3 in
+  Fun.protect
+    ~finally:(fun () ->
+      E.Telemetry.disable ();
+      E.Telemetry.reset ();
+      E.Pool.shutdown pool)
+    (fun () ->
+      E.Telemetry.reset ();
+      E.Telemetry.enable ();
+      let c = E.Telemetry.counter "test.sharded" in
+      let n_tasks = 100 in
+      (* every task bumps from whichever domain runs it; the snapshot must
+         see the exact total regardless of how chunks were distributed *)
+      ignore (E.Pool.run pool (fun i -> E.Telemetry.bump c (i + 1)) (Array.init n_tasks Fun.id));
+      E.Telemetry.disable ();
+      let snap = E.Telemetry.snapshot () in
+      let value name = Option.value ~default:0 (List.assoc_opt name snap.E.Telemetry.sn_counters) in
+      Alcotest.(check int) "shards sum to the serial total" (n_tasks * (n_tasks + 1) / 2)
+        (value "test.sharded");
+      Alcotest.(check int) "pool.tasks counted every task" n_tasks (value "pool.tasks"))
+
+(* Counters whose totals are scheduling-independent: the engine does the
+   same logical work at any jobs value, so these must match serial runs
+   exactly. (Cache hit/miss/build counters legitimately differ — parallel
+   variants build window structures privately instead of reusing a shared
+   scratch entry.) *)
+let stable_counters =
+  [ "engine.iterations"; "engine.matches_applied"; "engine.tuples_inserted";
+    "join.matches_yielded"; "db.unions"; "rebuild.rounds" ]
+
+let test_engine_counters_match_serial () =
+  let measure ~jobs =
+    E.Telemetry.reset ();
+    E.Telemetry.enable ();
+    ignore (math_run ~jobs ~iters:4);
+    E.Telemetry.disable ();
+    let snap = E.Telemetry.snapshot () in
+    List.map
+      (fun name -> (name, Option.value ~default:0 (List.assoc_opt name snap.E.Telemetry.sn_counters)))
+      stable_counters
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      E.Telemetry.disable ();
+      E.Telemetry.reset ())
+    (fun () ->
+      let serial = measure ~jobs:1 in
+      let parallel = measure ~jobs:4 in
+      List.iter2
+        (fun (name, a) (_, b) ->
+          Alcotest.(check int) (Printf.sprintf "%s equal at jobs 1 and 4" name) a b;
+          Alcotest.(check bool) (Printf.sprintf "%s is non-zero" name) true (a > 0))
+        serial parallel)
+
+let test_domains_used_gauge () =
+  Fun.protect
+    ~finally:(fun () ->
+      E.Telemetry.disable ();
+      E.Telemetry.reset ())
+    (fun () ->
+      E.Telemetry.reset ();
+      E.Telemetry.enable ();
+      ignore (math_run ~jobs:4 ~iters:2);
+      E.Telemetry.disable ();
+      let snap = E.Telemetry.snapshot () in
+      match List.assoc_opt "search.domains_used" snap.E.Telemetry.sn_counters with
+      | Some n -> Alcotest.(check int) "gauge records the resolved jobs" 4 n
+      | None -> Alcotest.fail "search.domains_used missing from snapshot")
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty and single batches" `Quick test_pool_empty;
+          Alcotest.test_case "results in input order" `Quick test_pool_input_order;
+          Alcotest.test_case "exception propagates, pool survives" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "nested run rejected" `Quick test_pool_nested_rejected;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig7-style stress: jobs 2/4/8 == serial (10 reps)" `Slow
+            test_determinism_stress;
+          Alcotest.test_case "jobs 0 resolves to core count" `Quick test_jobs_zero_resolves;
+          Alcotest.test_case "negative jobs rejected" `Quick test_negative_jobs_rejected;
+          Alcotest.test_case ":jobs keyword parses, runs, round-trips" `Quick
+            test_jobs_keyword_roundtrip;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "sharded counters sum exactly" `Quick test_sharded_counter_sum;
+          Alcotest.test_case "scheduling-independent counters match serial" `Quick
+            test_engine_counters_match_serial;
+          Alcotest.test_case "search.domains_used gauge" `Quick test_domains_used_gauge;
+        ] );
+    ]
