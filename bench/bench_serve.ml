@@ -1,0 +1,156 @@
+(* Daemon throughput and latency: a real Serve loop on its own domain, a
+   real Unix socket, a warm session, and a stream of small run requests —
+   measured per-request so the envelope reports requests/sec and p50/p99
+   latency at --jobs 1 and 4 (the per-request search parallelism cap the
+   client asks for). A final overload phase floods a small admission queue
+   and asserts the shed is immediate: bounded queue, bounded tail.
+
+   Writes BENCH_serve.json:
+   { "runs": [ {"jobs", "requests", "rps", "p50_ms", "p99_ms"}, ... ],
+     "overload": {"burst", "queue_limit", "executed", "sheds", "elapsed_ms"} } *)
+
+module E = Egglog
+module S = Egglog_server
+module J = E.Telemetry.Json
+
+let fresh_dir () =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "egglog_bench_serve_%d_%d" (Unix.getpid ()) (int_of_float (Unix.gettimeofday () *. 1000.) mod 100000))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let rpc c fields =
+  output_string c.oc (J.to_string (J.Obj fields));
+  output_char c.oc '\n';
+  flush c.oc;
+  J.parse (input_line c.ic)
+
+let is_ok r = J.member "ok" r = Some (J.Bool true)
+
+let run_req ~id ~session ~jobs program =
+  [
+    ("id", J.Int id);
+    ("op", J.Str "run");
+    ("session", J.Str session);
+    ("program", J.Str program);
+    ("jobs", J.Int jobs);
+  ]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let warm_prog =
+  "(relation edge (i64 i64)) (relation path (i64 i64))\n\
+   (rule ((edge x y)) ((path x y)))\n\
+   (rule ((path x y) (edge y z)) ((path x z)))\n\
+   (edge 0 1) (edge 1 2) (edge 2 3) (edge 3 4) (run 8)"
+
+(* one small request on the warm session: one (mostly deduplicated) fact
+   plus a short run — steady-state work, bounded growth *)
+let step_prog i = Printf.sprintf "(edge %d %d) (run 1)" (i mod 16) ((i + 1) mod 16)
+
+let with_server ~tune f =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let cfg = tune { S.Serve.default_config with socket_path = Some sock } in
+  let srv = S.Serve.create cfg in
+  let dom = Domain.spawn (fun () -> S.Serve.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      S.Serve.request_drain srv;
+      Domain.join dom;
+      (try Sys.remove sock with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f sock)
+
+let measure_stream ~jobs ~n sock =
+  let c = connect sock in
+  let session = Printf.sprintf "bench-j%d" jobs in
+  let r = rpc c (run_req ~id:0 ~session ~jobs warm_prog) in
+  if not (is_ok r) then failwith "bench_serve: warmup request failed";
+  let lat = Array.make n 0.0 in
+  let t_start = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let t0 = Unix.gettimeofday () in
+    let r = rpc c (run_req ~id:(i + 1) ~session ~jobs (step_prog i)) in
+    if not (is_ok r) then failwith "bench_serve: stream request failed";
+    lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  close_client c;
+  Array.sort compare lat;
+  let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+  let rps = float_of_int n /. elapsed in
+  Printf.printf "  jobs %d: %d requests, %8.0f req/s, p50 %6.3f ms, p99 %6.3f ms\n%!"
+    jobs n rps p50 p99;
+  J.Obj
+    [
+      ("jobs", J.Int jobs);
+      ("requests", J.Int n);
+      ("rps", J.Float rps);
+      ("p50_ms", J.Float p50);
+      ("p99_ms", J.Float p99);
+    ]
+
+let measure_overload ~burst ~queue_limit sock =
+  let c = connect sock in
+  ignore (rpc c (run_req ~id:0 ~session:"flood" ~jobs:1 warm_prog));
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to burst do
+    output_string c.oc
+      (J.to_string
+         (J.Obj [ ("id", J.Int i); ("op", J.Str "stats"); ("session", J.Str "flood") ]));
+    output_char c.oc '\n'
+  done;
+  flush c.oc;
+  let executed = ref 0 and sheds = ref 0 in
+  for _ = 1 to burst do
+    let r = J.parse (input_line c.ic) in
+    if is_ok r then incr executed else incr sheds
+  done;
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  close_client c;
+  if !sheds = 0 then failwith "bench_serve: overload burst was never shed";
+  if elapsed_ms > 5000.0 then failwith "bench_serve: shed was not immediate";
+  Printf.printf "  overload: burst %d over queue %d -> %d executed, %d shed in %.1f ms\n%!"
+    burst queue_limit !executed !sheds elapsed_ms;
+  J.Obj
+    [
+      ("burst", J.Int burst);
+      ("queue_limit", J.Int queue_limit);
+      ("executed", J.Int !executed);
+      ("sheds", J.Int !sheds);
+      ("elapsed_ms", J.Float elapsed_ms);
+    ]
+
+let run ?(n = 400) () =
+  Printf.printf "\n== serve: daemon request stream ==\n%!";
+  E.Telemetry.reset ();
+  E.Telemetry.enable ();
+  let queue_limit = 4 in
+  let runs, overload =
+    with_server ~tune:(fun c -> { c with S.Serve.queue_limit }) (fun sock ->
+        let runs = List.map (fun jobs -> measure_stream ~jobs ~n sock) [ 1; 4 ] in
+        let overload = measure_overload ~burst:64 ~queue_limit sock in
+        (runs, overload))
+  in
+  E.Telemetry.disable ();
+  Bench_report.write ~bench:"serve"
+    ~params:(J.Obj [ ("n", J.Int n); ("queue_limit", J.Int queue_limit) ])
+    ~data:(J.Obj [ ("runs", J.List runs); ("overload", overload) ])
+    ()
+
+let run_smoke () = run ~n:60 ()

@@ -40,7 +40,8 @@ let () =
     (* CI gate: exercise every reporting path in seconds, not minutes. *)
     Bench_micro.run ~quota:0.05 ();
     Bench_fig7.run ~iters:5 ~reps:1 ~jobs ();
-    Bench_fig8.run_smoke ~jobs ()
+    Bench_fig8.run_smoke ~jobs ();
+    Bench_serve.run_smoke ()
   end
   else begin
     let want name = args = [] || List.mem name args || full in
@@ -50,6 +51,7 @@ let () =
       else Bench_fig7.run ~iters:35 ~reps:3 ~jobs ();
     if want "fig8" then Bench_fig8.run ~jobs ~full ();
     if want "fig11" || want "fig12" then Bench_herbie.run ~full ();
-    if want "ablation" then Bench_ablation.run ~full ()
+    if want "ablation" then Bench_ablation.run ~full ();
+    if want "serve" then Bench_serve.run ()
   end;
   print_endline "\nAll requested benchmarks finished."

@@ -200,6 +200,39 @@ let repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal ~checkp
               0
             end))
 
+(* `egglog serve`: the multi-session daemon. Telemetry is always on (the
+   `metrics` op reports it); --trace additionally streams the event log.
+   SIGTERM/SIGINT request a graceful drain: the in-flight request finishes
+   (or rolls back), queued requests are shed with shutting-down replies,
+   durable sessions are checkpointed and closed, the socket file is
+   removed, and the process exits 0. A simulated crash (--fault) exits 70
+   like every other mode. *)
+let serve_daemon ~cfg ~fault ~trace =
+  with_errors ~where:"serve" (fun () ->
+      (match fault with Some (point, n) -> Egglog.Fault.arm_nth point n | None -> ());
+      let oc = Option.map open_out trace in
+      let sink =
+        Option.map (fun oc line -> output_string oc line; output_char oc '\n') oc
+      in
+      Egglog.Telemetry.enable ?sink ();
+      Fun.protect
+        ~finally:(fun () ->
+          Egglog.Telemetry.flush_counters ();
+          Egglog.Telemetry.disable ();
+          Option.iter close_out oc)
+        (fun () ->
+          let srv = Egglog_server.Serve.create cfg in
+          List.iter
+            (fun l -> Printf.eprintf "%s\n%!" l)
+            (Egglog_server.Serve.recovery_log srv);
+          let stop _ = Egglog_server.Serve.request_drain srv in
+          ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
+          ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+          (* a peer that hangs up mid-write must surface as EPIPE, not kill us *)
+          ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+          Egglog_server.Serve.run srv;
+          0))
+
 let () =
   let open Cmdliner in
   let positive_int ~what =
@@ -336,7 +369,115 @@ let () =
       const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ jobs $ journal
       $ checkpoint_every $ recover $ fault $ load $ dump $ trace $ stats $ explain_plans)
   in
+  let serve_cmd =
+    let socket =
+      Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at PATH (an existing file there is replaced)")
+    in
+    let stdio =
+      Arg.(value & flag & info [ "stdio" ]
+             ~doc:"Also serve the protocol on stdin/stdout; with no $(b,--socket), EOF on stdin drains the daemon")
+    in
+    let data_dir =
+      Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Enable durable sessions: journals live in DIR (created if missing) and are recovered at startup")
+    in
+    let max_sessions =
+      Arg.(value & opt (positive_int ~what:"--max-sessions") 64
+           & info [ "max-sessions" ] ~docv:"N" ~doc:"Refuse to open more than N live sessions")
+    in
+    let queue_limit =
+      Arg.(value & opt (positive_int ~what:"--queue-limit") 64
+           & info [ "queue-limit" ] ~docv:"N"
+               ~doc:"Admission queue bound; requests beyond it are shed with an overload reply")
+    in
+    let retry_after =
+      Arg.(value & opt (positive_int ~what:"--retry-after") 50
+           & info [ "retry-after" ] ~docv:"MS" ~doc:"retry_after_ms hint carried by overload sheds")
+    in
+    let max_input =
+      Arg.(value & opt (positive_int ~what:"--max-input-bytes") (4 * 1024 * 1024)
+           & info [ "max-input-bytes" ] ~docv:"BYTES"
+               ~doc:"Per-frame and per-program size cap; larger input gets a too-large reply")
+    in
+    let node_cap =
+      Arg.(value & opt (positive_int ~what:"--node-limit") 1_000_000
+           & info [ "node-limit" ] ~docv:"N"
+               ~doc:"Hard per-request tuple budget (and the default); client limits are clamped to it")
+    in
+    let time_cap =
+      Arg.(value & opt (positive_float ~what:"--time-limit") 10.0
+           & info [ "time-limit" ] ~docv:"SECONDS"
+               ~doc:"Hard per-request wall-clock budget (and the default); client limits are clamped to it")
+    in
+    let max_jobs =
+      Arg.(value & opt (positive_int ~what:"--max-jobs") 4
+           & info [ "max-jobs" ] ~docv:"N" ~doc:"Cap on per-request search parallelism")
+    in
+    let session_quota =
+      Arg.(value & opt (some (positive_int ~what:"--session-quota")) None
+           & info [ "session-quota" ] ~docv:"N"
+               ~doc:"Roll back any request that would leave its session holding more than N tuples")
+    in
+    let idle_timeout =
+      Arg.(value & opt (some (positive_float ~what:"--idle-timeout")) None
+           & info [ "idle-timeout" ] ~docv:"SECONDS"
+               ~doc:"Evict sessions idle longer than SECONDS (durable sessions are checkpointed and remain recoverable)")
+    in
+    let serve_checkpoint_every =
+      Arg.(value & opt (some (positive_int ~what:"--checkpoint-every")) (Some 64)
+           & info [ "checkpoint-every" ] ~docv:"N"
+               ~doc:"Checkpoint a durable session's journal after every N committed commands")
+    in
+    let serve_fault =
+      Arg.(value & opt (some fault_point) None & info [ "fault" ] ~docv:"POINT:N"
+             ~doc:"Deterministic fault injection: crash (exit 70) at the N-th hit of the named point, e.g. server.request.executed:3")
+    in
+    let serve_trace =
+      Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
+             ~doc:"Stream the server's telemetry event log to FILE as JSON Lines")
+    in
+    let serve_main socket stdio data_dir max_sessions queue_limit retry_after max_input
+        node_cap time_cap max_jobs session_quota idle_timeout checkpoint_every fault trace =
+      if socket = None && not stdio then begin
+        Printf.eprintf "egglog serve: need --socket PATH and/or --stdio\n";
+        2
+      end
+      else
+        let cfg =
+          {
+            Egglog_server.Serve.default_config with
+            socket_path = socket;
+            use_stdio = stdio;
+            data_dir;
+            max_sessions;
+            queue_limit;
+            retry_after_ms = retry_after;
+            max_input_bytes = max_input;
+            node_limit_cap = node_cap;
+            time_limit_cap_ms = int_of_float (time_cap *. 1000.);
+            max_jobs;
+            session_node_quota = session_quota;
+            idle_timeout_s = idle_timeout;
+            checkpoint_every;
+          }
+        in
+        serve_daemon ~cfg ~fault ~trace
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Run the multi-session daemon (JSONL protocol over a Unix socket and/or stdio)")
+      Term.(
+        const serve_main $ socket $ stdio $ data_dir $ max_sessions $ queue_limit
+        $ retry_after $ max_input $ node_cap $ time_cap $ max_jobs $ session_quota
+        $ idle_timeout $ serve_checkpoint_every $ serve_fault $ serve_trace)
+  in
   let info =
     Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"
   in
-  exit (Cmd.eval' (Cmd.v info term))
+  (* Cmd.group would parse any first positional — i.e. the program FILE —
+     as a sub-command name, so dispatch on "serve" by hand and keep the
+     batch CLI's `egglog FILE.egg` shape intact. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
+    exit (Cmd.eval' (Cmd.group info [ serve_cmd ]))
+  else exit (Cmd.eval' (Cmd.v info term))

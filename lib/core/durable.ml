@@ -73,6 +73,18 @@ let run_command t (cmd : Ast.command) : string list =
 
 let run_program t cmds = List.concat_map (run_command t) cmds
 
+(* The server's request path: the request body already executed (inside one
+   whole-request transaction) and committed; journal its commands after the
+   fact. Must only be called with commands that actually committed on
+   [engine t] — journaling anything else would make replay diverge. *)
+let append_committed t (cmd : Ast.command) =
+  if journal_worthy cmd then begin
+    Journal.append t.journal (Frontend.command_to_string cmd);
+    t.committed <- t.committed + 1;
+    t.since_ckpt <- t.since_ckpt + 1;
+    maybe_checkpoint t
+  end
+
 let attach engine ~journal_path ~checkpoint_every =
   if Sys.file_exists journal_path then
     error

@@ -60,6 +60,14 @@ val run_command : t -> Ast.command -> string list
 
 val run_program : t -> Ast.command list -> string list
 
+val append_committed : t -> Ast.command -> unit
+(** Journal a command the caller has {e already executed and committed} on
+    [engine t] — the server's request path, where atomicity spans a whole
+    request: every command of a request is journaled only once the request
+    as a unit commits, so a rolled-back request leaves no journal trace.
+    Read-only commands are skipped as in {!run_command}; may trigger a
+    checkpoint. *)
+
 val checkpoint : t -> unit
 (** Force a checkpoint now. @raise Journal.Journal_error inside an open
     [(push)] scope. *)

@@ -17,6 +17,42 @@ type scheduler = Simple | Backoff of { match_limit : int; ban_length : int }
 
 let backoff_default = Backoff { match_limit = 1000; ban_length = 5 }
 
+type iteration_stat = {
+  it_index : int;
+  it_seconds : float;
+  it_rows : int;
+  it_classes : int;
+  it_changed : bool;
+  it_search_seconds : float;
+  it_apply_seconds : float;
+  it_rebuild_seconds : float;
+  it_matches : int;
+  it_delta_rows : int;  (* tuples (re)stamped this iteration: the next semi-naïve frontier *)
+}
+
+type stop_reason =
+  | Saturated  (* an iteration changed nothing and no rule was banned *)
+  | Iteration_limit  (* ran the requested number of iterations *)
+  | Node_limit of int  (* total tuples when the budget tripped *)
+  | Time_limit of float  (* elapsed seconds when the budget tripped *)
+  | Until_satisfied  (* the :until facts became derivable *)
+
+type rule_stat = {
+  rs_rule : string;
+  rs_matches : int;  (* matches applied during this run *)
+  rs_inserted : int;  (* tuples inserted / unions performed by its actions *)
+  rs_deduplicated : int;  (* matches whose actions changed nothing *)
+  rs_bans : int;  (* times the scheduler banned the rule during this run *)
+}
+
+type run_report = {
+  iterations : iteration_stat list;
+  stop_reason : stop_reason;
+  rule_stats : rule_stat list;
+  total_seconds : float;
+  jobs : int;  (* resolved search-phase domain count (>= 1) the run used *)
+}
+
 type rt_rule = {
   rr_name : string;
   rr_ruleset : string;  (* "" = the default ruleset *)
@@ -56,6 +92,9 @@ type t = {
   mutable current_reason : Proof_forest.reason;  (* justification for unions *)
   mutable rulesets : string list;  (* declared named rulesets *)
   mutable decl_log : Ast.command list;  (* reversed; see [decl_commands] *)
+  mutable report_sink : run_report list ref option;
+      (* when set, every run_iterations pushes its report (see
+         [collect_reports] — the server's budget-stop detector) *)
 }
 
 let database eng = eng.db
@@ -236,6 +275,7 @@ let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
       current_reason = Proof_forest.Asserted;
       rulesets = [];
       decl_log = [];
+      report_sink = None;
     }
   in
   Database.set_merge_hook eng.db (fun func old_v new_v ->
@@ -475,48 +515,12 @@ let explain_plans eng : string =
 (* The run loop                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type iteration_stat = {
-  it_index : int;
-  it_seconds : float;
-  it_rows : int;
-  it_classes : int;
-  it_changed : bool;
-  it_search_seconds : float;
-  it_apply_seconds : float;
-  it_rebuild_seconds : float;
-  it_matches : int;
-  it_delta_rows : int;  (* tuples (re)stamped this iteration: the next semi-naïve frontier *)
-}
-
-type stop_reason =
-  | Saturated  (* an iteration changed nothing and no rule was banned *)
-  | Iteration_limit  (* ran the requested number of iterations *)
-  | Node_limit of int  (* total tuples when the budget tripped *)
-  | Time_limit of float  (* elapsed seconds when the budget tripped *)
-  | Until_satisfied  (* the :until facts became derivable *)
-
 let describe_stop_reason = function
   | Saturated -> "saturated"
   | Iteration_limit -> "iteration limit"
   | Node_limit n -> Printf.sprintf "node limit, %d tuples" n
   | Time_limit s -> Printf.sprintf "time limit after %.2fs" s
   | Until_satisfied -> "until condition satisfied"
-
-type rule_stat = {
-  rs_rule : string;
-  rs_matches : int;  (* matches applied during this run *)
-  rs_inserted : int;  (* tuples inserted / unions performed by its actions *)
-  rs_deduplicated : int;  (* matches whose actions changed nothing *)
-  rs_bans : int;  (* times the scheduler banned the rule during this run *)
-}
-
-type run_report = {
-  iterations : iteration_stat list;
-  stop_reason : stop_reason;
-  rule_stats : rule_stat list;
-  total_seconds : float;
-  jobs : int;  (* resolved search-phase domain count (>= 1) the run used *)
-}
 
 (* Raised cooperatively inside the run loop when a budget trips. Never
    escapes run_iterations. *)
@@ -558,11 +562,45 @@ let search_variant eng ?cache (plans : Compile.cquery array) ((j, ranges) : int 
 let merge_variant_matches per_variant =
   List.fold_left (fun acc vm -> vm @ acc) [] per_variant
 
+(* Fresh symbols interned by primitives during the (frozen-database) search
+   phase carry provisional ids (see {!Symbol.begin_speculative}); rewrite
+   them to real ids in a canonical order — ascending variant, then row
+   discovery order, then within a row the primitive schedule order (the
+   order a serial evaluation first computes each value) — so id assignment
+   is identical at any jobs count. Buffers are freshly allocated per
+   variant, so in-place mutation is safe. *)
+let resolve_variant_matches (plan : Compile.cquery) (rows : Value.t array list) :
+    Value.t array list =
+  if not (Symbol.speculating ()) then rows
+  else begin
+    let prim_slots =
+      List.concat_map
+        (List.filter_map (fun (p : Compile.prim_app) ->
+             match p.Compile.p_out with
+             | Compile.A_var i -> Some i
+             | Compile.A_const _ -> None))
+        (Array.to_list plan.Compile.schedule)
+    in
+    let resolve_row row =
+      List.iter
+        (fun i ->
+          if i < Array.length row then row.(i) <- Value.map_symbols Symbol.resolve row.(i))
+        prim_slots;
+      Array.iteri (fun i v -> row.(i) <- Value.map_symbols Symbol.resolve v) row
+    in
+    (* buffers hold reversed discovery order; resolve in discovery order *)
+    List.iter resolve_row (List.rev rows);
+    rows
+  end
+
 let search_matches eng ?cache (r : rt_rule) : Value.t array list =
   let cache = if eng.index_caching then cache else None in
   let plans = plans_for eng r in
   merge_variant_matches
-    (List.map (fun v -> search_variant eng ?cache plans v) (rule_variants eng r))
+    (List.map
+       (fun ((j, _) as v) ->
+         resolve_variant_matches plans.(j) (search_variant eng ?cache plans v))
+       (rule_variants eng r))
 
 let apply_match eng (r : rt_rule) (binding : Value.t array) =
   eng.current_reason <- Proof_forest.Rule r.rr_name;
@@ -655,13 +693,13 @@ let parallel_search eng ~jobs ~budget_check (eligible : rt_rule list) :
   in
   let idx = ref 0 in
   List.map
-    (fun (r, _, vs) ->
+    (fun (r, plans, vs) ->
       let per_variant =
         List.map
-          (fun _ ->
+          (fun (j, _) ->
             let vm = results.(!idx) in
             incr idx;
-            vm)
+            resolve_variant_matches plans.(j) vm)
           vs
       in
       let matches = merge_variant_matches per_variant in
@@ -694,16 +732,24 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
             (fun r -> in_scope r && r.rr_banned_until <= eng.iteration)
             eng.rules
         in
-        if jobs <= 1 then begin
-          Telemetry.record_max c_domains 1;
-          List.map
-            (fun r ->
-              let matches = with_rule_context r (fun () -> search_matches eng ~cache r) in
-              budget_check ~within_iteration:true;
-              (r, matches))
-            eligible
-        end
-        else parallel_search eng ~jobs ~budget_check eligible)
+        (* The database is read-only for the whole search; the one global
+           mutation primitives can perform — interning a fresh string — is
+           made speculative so both the serial and the parallel path assign
+           real ids in the same canonical merge order. Provisional ids
+           never survive the phase: buffers are resolved as they merge, and
+           the pending table is dropped even on an abort. *)
+        Symbol.begin_speculative ();
+        Fun.protect ~finally:Symbol.clear_speculative (fun () ->
+            if jobs <= 1 then begin
+              Telemetry.record_max c_domains 1;
+              List.map
+                (fun r ->
+                  let matches = with_rule_context r (fun () -> search_matches eng ~cache r) in
+                  budget_check ~within_iteration:true;
+                  (r, matches))
+                eligible
+            end
+            else parallel_search eng ~jobs ~budget_check eligible))
   in
   ph.ph_search <- ph.ph_search +. dt_search;
   let to_apply =
@@ -908,7 +954,11 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
               ("bans", Telemetry.Json.Int rs.rs_bans);
             ])
       rule_stats;
-  { iterations = List.rev !stats; stop_reason = !stop; rule_stats; total_seconds = !total; jobs }
+  let report =
+    { iterations = List.rev !stats; stop_reason = !stop; rule_stats; total_seconds = !total; jobs }
+  in
+  (match eng.report_sink with Some sink -> sink := report :: !sink | None -> ());
+  report
 
 (* Human-readable report: one summary line, a phase split, and — only when
    at least one rule was searched — a per-rule table. A run over an empty
@@ -1222,7 +1272,11 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
         wrap_compile (fun () ->
             let ce, _ = Compile.compile_closed_expr (compile_env eng) e in
             let v = eval_expr eng [||] ce in
-            ignore (run_iterations eng n);
+            (* the session budgets bound the exploration too — a simplify
+               must not be a way around --node-limit / --time-limit *)
+            ignore
+              (run_iterations ?node_limit:eng.default_node_limit
+                 ?time_limit:eng.default_time_limit eng n);
             match extract_value eng v with
             | Some { Extract.term; cost } ->
               [ Printf.sprintf "%s : cost %d" (Sexpr.to_string (Extract.term_to_sexp term)) cost ]
@@ -1348,3 +1402,39 @@ let run_command eng cmd =
           Printexc.raise_with_backtrace (user_error e) bt)
 
 let run_program eng cmds = List.concat_map (run_command eng) cmds
+
+(* ------------------------------------------------------------------ *)
+(* Server-side request machinery                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A whole-request transaction: unlike [run_command]'s lazy snapshot
+   (whose Database.set_txn_hook slot cannot nest — each inner command
+   installs and clears its own), the database copy is taken eagerly, so
+   any number of commands can run and fail inside [f] and the rollback
+   still restores the exact entry state: database, rules, scheduler
+   state, rulesets, push/pop stack (deep-copied) and declaration log. *)
+let with_transaction eng f =
+  let tx = capture_txn ~deep_stack:true eng in
+  tx.tx_db_saved := Some (Database.copy eng.db);
+  try f ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    rollback_txn eng tx;
+    Printexc.raise_with_backtrace (user_error e) bt
+
+let collect_reports eng f =
+  let sink = ref [] in
+  let previous = eng.report_sink in
+  eng.report_sink <- Some sink;
+  let result =
+    Fun.protect ~finally:(fun () -> eng.report_sink <- previous) f
+  in
+  (result, List.rev !sink)
+
+let set_session_limits ?node_limit ?time_limit ?jobs eng () =
+  (match jobs with
+   | Some j when j < 0 -> error "jobs must be non-negative (0 = one per core), got %d" j
+   | _ -> ());
+  eng.default_node_limit <- node_limit;
+  eng.default_time_limit <- time_limit;
+  Option.iter (fun j -> eng.default_jobs <- j) jobs

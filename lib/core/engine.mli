@@ -166,6 +166,29 @@ val run_command : t -> Ast.command -> string list
 
 val run_program : t -> Ast.command list -> string list
 
+(** {1 Request machinery (the server)} *)
+
+val with_transaction : t -> (unit -> 'a) -> 'a
+(** Run [f] — typically several {!run_command}s plus checks between them —
+    as one atomic unit: if it raises, the engine is restored to its exact
+    entry state (database, rules, scheduler state, rulesets, push/pop
+    stack, declaration log) and the exception is re-raised (normalized to
+    {!Egglog_error} where applicable). Unlike the per-command transaction
+    the database snapshot is taken eagerly, so even a request that fails
+    after several committed inner commands rolls all of them back. *)
+
+val collect_reports : t -> (unit -> 'a) -> 'a * run_report list
+(** Run [f] and also return every {!run_report} produced by [run] /
+    [run-schedule] / [simplify] commands during it, in execution order —
+    how the server detects that a request tripped its node or time budget
+    (and must be rolled back) without parsing output strings. Nests. *)
+
+val set_session_limits : ?node_limit:int -> ?time_limit:float -> ?jobs:int -> t -> unit -> unit
+(** Overwrite the session-wide budget and jobs defaults ({!create}'s
+    [node_limit]/[time_limit]/[jobs]) — the server resets these to the
+    request's (clamped) limits before executing it. Omitted budgets are
+    {e cleared}, not preserved. @raise Egglog_error on negative [jobs]. *)
+
 (** {1 Introspection} *)
 
 val decl_commands : t -> Ast.command list

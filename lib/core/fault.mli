@@ -16,7 +16,17 @@
     - ["checkpoint.renamed"] — checkpoint durable, journal not yet reset
     - ["checkpoint.before-reset"] — alias window before the journal reset
     - ["engine.iteration"] — between rule-application iterations of a run
-    - ["engine.top-action"] — before a top-level action executes *)
+    - ["engine.top-action"] — before a top-level action executes
+
+    Server-side points (the daemon, see [Egglog_server.Serve]):
+    - ["server.request.executed"] — request committed, journal not yet
+      appended (a crash here loses the request on recovery)
+    - ["server.request.journaled"] — journal fsync'd, reply not yet sent
+      (a crash here recovers the request; the client just never heard)
+    - ["server.reply.drop"] — non-fatal via {!would_crash}: half a reply is
+      written, then the connection drops; the daemon must survive
+    - ["server.reply.slow"] — non-fatal via {!would_crash}: the reply
+      dribbles out one byte per loop tick (a pathologically slow client) *)
 
 exception Crash of string
 (** Simulated process death at the named point. Must never be caught and

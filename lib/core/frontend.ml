@@ -228,7 +228,14 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
     | _ -> [ Ast.Top_action (Ast.Do (expr_of_sexp s)) ])
   | _ -> error "expected a command, got %s" (Sexpr.to_string s)
 
-let parse_program src = List.concat_map command_of_sexp (Sexpr.parse_string src)
+exception Input_too_large of { bytes : int; limit : int }
+
+let parse_program ?max_bytes src =
+  (match max_bytes with
+   | Some limit when String.length src > limit ->
+     raise (Input_too_large { bytes = String.length src; limit })
+   | Some _ | None -> ());
+  List.concat_map command_of_sexp (Sexpr.parse_string src)
 
 (* ---- printing commands back to concrete syntax ----
 

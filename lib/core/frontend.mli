@@ -11,8 +11,13 @@ val command_of_sexp : Sexpr.t -> Ast.command list
 (** A single s-expression can desugar to several commands
     (e.g. [birewrite]). *)
 
-val parse_program : string -> Ast.command list
-(** @raise Syntax_error or {!Sexpr.Parse_error} on malformed programs. *)
+exception Input_too_large of { bytes : int; limit : int }
+(** Raised (before any parsing work) when a program exceeds the caller's
+    size budget — the daemon's defence against multi-megabyte frames. *)
+
+val parse_program : ?max_bytes:int -> string -> Ast.command list
+(** @raise Syntax_error or {!Sexpr.Parse_error} on malformed programs;
+    {!Input_too_large} when [max_bytes] is given and the source is longer. *)
 
 (** {1 Printing}
 

@@ -20,6 +20,11 @@ val hash : t -> int
 val mk_set : t list -> t
 (** Sort and deduplicate. *)
 
+val map_symbols : (Symbol.t -> Symbol.t) -> t -> t
+(** Rewrite every {!VStr} through [f], re-canonicalizing any [VSet] whose
+    elements changed (the mapping may reorder ids). Returns the argument
+    physically unchanged when nothing maps. *)
+
 val set_elements : t -> t list
 (** @raise Invalid_argument when not a [VSet]. *)
 

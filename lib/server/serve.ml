@@ -1,0 +1,598 @@
+module E = Egglog
+module Json = Protocol.Json
+
+type config = {
+  socket_path : string option;
+  use_stdio : bool;
+  data_dir : string option;
+  max_sessions : int;
+  queue_limit : int;
+  retry_after_ms : int;
+  max_input_bytes : int;
+  max_output_bytes : int;
+  node_limit_cap : int;
+  time_limit_cap_ms : int;
+  max_jobs : int;
+  session_node_quota : int option;
+  idle_timeout_s : float option;
+  checkpoint_every : int option;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    use_stdio = false;
+    data_dir = None;
+    max_sessions = 64;
+    queue_limit = 64;
+    retry_after_ms = 50;
+    max_input_bytes = 4 * 1024 * 1024;
+    max_output_bytes = 16 * 1024 * 1024;
+    node_limit_cap = 1_000_000;
+    time_limit_cap_ms = 10_000;
+    max_jobs = 4;
+    session_node_quota = None;
+    idle_timeout_s = None;
+    checkpoint_every = Some 64;
+  }
+
+type conn = {
+  c_id : int;
+  c_in : Unix.file_descr;
+  c_out : Unix.file_descr;
+  c_keep_fds : bool;  (* stdio: the fds belong to the process, never close *)
+  c_rbuf : Buffer.t;  (* read, not yet framed *)
+  c_wbuf : Buffer.t;  (* replies not yet written *)
+  mutable c_woff : int;  (* prefix of c_wbuf already on the wire *)
+  mutable c_skip : bool;  (* discarding an oversized frame up to its newline *)
+  mutable c_eof : bool;
+  mutable c_dribble : bool;  (* fault "server.reply.slow": one byte per tick *)
+  mutable c_gone : bool;
+}
+
+type t = {
+  cfg : config;
+  sessions : Session.t;
+  queue : (int * Protocol.request) Admission.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn_id : int;
+  listener : Unix.file_descr option;
+  drain_flag : bool Atomic.t;
+  mutable recovery : string list;
+  mutable last_sweep : float;
+}
+
+let c_conns = E.Telemetry.counter "server.conns_opened"
+let c_requests = E.Telemetry.counter "server.requests"
+let c_replies = E.Telemetry.counter "server.replies"
+let c_errors = E.Telemetry.counter "server.error_replies"
+let c_sheds = E.Telemetry.counter "server.sheds"
+let c_slow_drops = E.Telemetry.counter "server.slow_client_drops"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ---- lifecycle ---- *)
+
+let create cfg =
+  if cfg.socket_path = None && not cfg.use_stdio then
+    failwith "serve: no transport (need a socket path or stdio)";
+  Option.iter mkdir_p cfg.data_dir;
+  let sessions =
+    Session.create ~data_dir:cfg.data_dir ~max_sessions:cfg.max_sessions
+      ~checkpoint_every:cfg.checkpoint_every
+      ~make_engine:(fun () -> E.Engine.create ())
+  in
+  let recovery =
+    List.map
+      (fun (name, outcome) ->
+        match outcome with
+        | Ok (r : E.Durable.recovery_report) ->
+          Printf.sprintf "recovered session %s (%d replayed%s)" name r.E.Durable.rc_replayed
+            (if r.E.Durable.rc_torn then ", torn tail dropped" else "")
+        | Error msg -> Printf.sprintf "quarantined session %s: %s" name msg)
+      (Session.recover_existing sessions)
+  in
+  let listener =
+    Option.map
+      (fun path ->
+        if Sys.file_exists path then
+          (try Sys.remove path
+           with Sys_error msg -> failwith (Printf.sprintf "serve: cannot replace %s: %s" path msg));
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.bind fd (Unix.ADDR_UNIX path)
+         with Unix.Unix_error (e, _, _) ->
+           Unix.close fd;
+           failwith (Printf.sprintf "serve: cannot bind %s: %s" path (Unix.error_message e)));
+        Unix.listen fd 16;
+        Unix.set_nonblock fd;
+        fd)
+      cfg.socket_path
+  in
+  let t =
+    {
+      cfg;
+      sessions;
+      queue = Admission.create ~limit:cfg.queue_limit;
+      conns = Hashtbl.create 16;
+      next_conn_id = 0;
+      listener;
+      drain_flag = Atomic.make false;
+      recovery;
+      last_sweep = E.Telemetry.now ();
+    }
+  in
+  if cfg.use_stdio then begin
+    Unix.set_nonblock Unix.stdin;
+    let conn =
+      {
+        c_id = t.next_conn_id;
+        c_in = Unix.stdin;
+        c_out = Unix.stdout;
+        c_keep_fds = true;
+        c_rbuf = Buffer.create 256;
+        c_wbuf = Buffer.create 256;
+        c_woff = 0;
+        c_skip = false;
+        c_eof = false;
+        c_dribble = false;
+        c_gone = false;
+      }
+    in
+    t.next_conn_id <- t.next_conn_id + 1;
+    Hashtbl.replace t.conns conn.c_id conn
+  end;
+  t
+
+let recovery_log t = t.recovery
+let request_drain t = Atomic.set t.drain_flag true
+let draining t = Atomic.get t.drain_flag
+
+(* ---- connection plumbing ---- *)
+
+let close_conn t conn =
+  if not conn.c_gone then begin
+    conn.c_gone <- true;
+    Hashtbl.remove t.conns conn.c_id;
+    if not conn.c_keep_fds then begin
+      (try Unix.close conn.c_in with Unix.Unix_error _ -> ());
+      if conn.c_out <> conn.c_in then
+        try Unix.close conn.c_out with Unix.Unix_error _ -> ()
+    end
+  end
+
+let pending conn = Buffer.length conn.c_wbuf - conn.c_woff
+
+let try_flush t conn =
+  if not conn.c_gone then begin
+    (try
+       while pending conn > 0 do
+         let len = if conn.c_dribble then 1 else min 65536 (pending conn) in
+         let chunk = Buffer.sub conn.c_wbuf conn.c_woff len in
+         let n = Unix.write_substring conn.c_out chunk 0 len in
+         conn.c_woff <- conn.c_woff + n;
+         if conn.c_dribble then raise_notrace Exit
+       done
+     with
+    | Exit -> ()
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | Unix.Unix_error _ -> close_conn t conn);
+    if (not conn.c_gone) && pending conn = 0 then begin
+      Buffer.clear conn.c_wbuf;
+      conn.c_woff <- 0
+    end
+  end
+
+let enqueue_reply t conn line =
+  if not conn.c_gone then begin
+    E.Telemetry.bump c_replies 1;
+    if E.Fault.would_crash "server.reply.drop" then begin
+      (* the injected failure: half a reply, then a vanished peer — the
+         daemon must shrug, not die on EPIPE *)
+      let half = String.sub line 0 (String.length line / 2) in
+      (try ignore (Unix.write_substring conn.c_out half 0 (String.length half))
+       with Unix.Unix_error _ -> ());
+      close_conn t conn
+    end
+    else begin
+      if E.Fault.would_crash "server.reply.slow" then conn.c_dribble <- true;
+      Buffer.add_string conn.c_wbuf line;
+      Buffer.add_char conn.c_wbuf '\n';
+      if pending conn > t.cfg.max_output_bytes then begin
+        (* client stopped reading; cut it loose rather than buffer forever *)
+        E.Telemetry.bump c_slow_drops 1;
+        close_conn t conn
+      end
+      else try_flush t conn
+    end
+  end
+
+let enqueue_error t conn ~id ~kind ?retry_after_ms message =
+  E.Telemetry.bump c_errors 1;
+  enqueue_reply t conn (Protocol.error_reply ~id ~kind ~message ?retry_after_ms ())
+
+(* ---- request execution ---- *)
+
+let now () = E.Telemetry.now ()
+
+let hello_reply t ~id =
+  let cfg = t.cfg in
+  Protocol.ok_reply ~id
+    [
+      ("server", Json.Str "egglog-serve");
+      ("protocol", Json.Int 1);
+      ( "limits",
+        Json.Obj
+          [
+            ("max_input_bytes", Json.Int cfg.max_input_bytes);
+            ("node_limit_cap", Json.Int cfg.node_limit_cap);
+            ("time_limit_cap_ms", Json.Int cfg.time_limit_cap_ms);
+            ("max_jobs", Json.Int cfg.max_jobs);
+            ("queue_limit", Json.Int cfg.queue_limit);
+            ( "session_node_quota",
+              match cfg.session_node_quota with Some q -> Json.Int q | None -> Json.Null );
+          ] );
+      ("sessions", Json.List (List.map (fun n -> Json.Str n) (Session.live_names t.sessions)));
+    ]
+
+let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms ~jobs =
+  let cfg = t.cfg in
+  let node_budget = min (Option.value node_limit ~default:cfg.node_limit_cap) cfg.node_limit_cap in
+  let time_ms = min (Option.value time_limit_ms ~default:cfg.time_limit_cap_ms) cfg.time_limit_cap_ms in
+  let total_s = float_of_int time_ms /. 1000. in
+  let jobs =
+    match jobs with None -> 1 | Some 0 -> cfg.max_jobs | Some j -> min j cfg.max_jobs
+  in
+  let cmds = E.Frontend.parse_program ~max_bytes:cfg.max_input_bytes program in
+  let eng = sess.Session.s_engine in
+  let deadline = now () +. total_s in
+  (* Clamp the limits a program asks for to the request budget — the budget
+     is the server's, programs only tighten it. *)
+  let clamp_spec (sp : E.Ast.run_spec) remaining =
+    {
+      sp with
+      E.Ast.run_node_limit =
+        Some (match sp.E.Ast.run_node_limit with Some n -> min n node_budget | None -> node_budget);
+      run_time_limit =
+        Some
+          (match sp.E.Ast.run_time_limit with
+           | Some s -> Float.min s remaining
+           | None -> remaining);
+      run_jobs =
+        (match sp.E.Ast.run_jobs with
+         | None -> Some jobs
+         | Some 0 -> Some jobs
+         | Some j -> Some (min j jobs));
+    }
+  in
+  let outputs, reports =
+    E.Engine.with_transaction eng (fun () ->
+      let result =
+        E.Engine.collect_reports eng (fun () ->
+          List.concat_map
+            (fun cmd ->
+              let remaining = deadline -. now () in
+              if remaining <= 0. then
+                Protocol.reject Protocol.Deadline
+                  "request exceeded its %d ms deadline; rolled back" time_ms;
+              E.Engine.set_session_limits ~node_limit:node_budget ~time_limit:remaining
+                ~jobs eng ();
+              let cmd =
+                match cmd with
+                | E.Ast.Run sp -> E.Ast.Run (clamp_spec sp remaining)
+                | c -> c
+              in
+              E.Engine.run_command eng cmd)
+            cmds)
+      in
+      (* a budgeted stop is partial work: roll the whole request back so the
+         session never holds a half-applied program *)
+      (match
+         List.find_opt
+           (fun (r : E.Engine.run_report) ->
+             match r.E.Engine.stop_reason with
+             | E.Engine.Node_limit _ | E.Engine.Time_limit _ -> true
+             | _ -> false)
+           (snd result)
+       with
+      | Some r ->
+        Protocol.reject Protocol.Budget "run stopped by %s; request rolled back"
+          (E.Engine.describe_stop_reason r.E.Engine.stop_reason)
+      | None -> ());
+      (match cfg.session_node_quota with
+      | Some q when E.Engine.total_rows eng > q ->
+        Protocol.reject Protocol.Quota
+          "session would hold %d tuples, quota is %d; request rolled back"
+          (E.Engine.total_rows eng) q
+      | _ -> ());
+      result)
+  in
+  (* committed — journal the request before acknowledging it *)
+  (match sess.Session.s_durable with
+  | Some d ->
+    E.Fault.hit "server.request.executed";
+    List.iter (E.Durable.append_committed d) cmds;
+    E.Fault.hit "server.request.journaled"
+  | None -> ());
+  sess.Session.s_requests <- sess.Session.s_requests + 1;
+  let iterations =
+    List.fold_left
+      (fun acc (r : E.Engine.run_report) -> acc + List.length r.E.Engine.iterations)
+      0 reports
+  in
+  Protocol.ok_reply ~id
+    [
+      ("outputs", Json.List (List.map (fun s -> Json.Str s) outputs));
+      ("rows", Json.Int (E.Engine.total_rows eng));
+      ("classes", Json.Int (E.Engine.n_classes eng));
+      ("iterations", Json.Int iterations);
+    ]
+
+let session_fields (sess : Session.session) =
+  [
+    ("session", Json.Str sess.Session.s_name);
+    ("durable", Json.Bool (sess.Session.s_durable <> None));
+    ("rows", Json.Int (E.Engine.total_rows sess.Session.s_engine));
+  ]
+
+let execute t (rq : Protocol.request) =
+  let id = rq.Protocol.rq_id in
+  E.Telemetry.bump c_requests 1;
+  E.Telemetry.span "server.request" (fun () ->
+    match
+      (match rq.Protocol.rq_op with
+      | Protocol.Ping -> Protocol.ok_reply ~id []
+      | Protocol.Hello -> hello_reply t ~id
+      | Protocol.Metrics ->
+        Protocol.ok_reply ~id
+          [ ("metrics", E.Telemetry.snapshot_to_json (E.Telemetry.snapshot ())) ]
+      | op ->
+        let name =
+          match rq.Protocol.rq_session with
+          | Some n -> n
+          | None -> Protocol.reject Protocol.Malformed_frame "this op needs a \"session\" field"
+        in
+        (match op with
+        | Protocol.Ping | Protocol.Hello | Protocol.Metrics -> assert false
+        | Protocol.Close_session ->
+          Protocol.ok_reply ~id
+            [ ("closed", Json.Bool (Session.close t.sessions ~name)) ]
+        | Protocol.Open_session { durable } ->
+          let sess = Session.lookup t.sessions ~name ~durable ~now:(now ()) in
+          Protocol.ok_reply ~id (session_fields sess)
+        | Protocol.Run { program; node_limit; time_limit_ms; jobs } ->
+          let sess = Session.lookup t.sessions ~name ~durable:false ~now:(now ()) in
+          exec_run t sess ~id ~program ~node_limit ~time_limit_ms ~jobs
+        | Protocol.Dump ->
+          let sess = Session.lookup t.sessions ~name ~durable:false ~now:(now ()) in
+          Protocol.ok_reply ~id
+            [ ("dump", Json.Str (E.Serialize.dump_string sess.Session.s_engine)) ]
+        | Protocol.Stats ->
+          let sess = Session.lookup t.sessions ~name ~durable:false ~now:(now ()) in
+          Protocol.ok_reply ~id
+            (session_fields sess
+            @ [
+                ("classes", Json.Int (E.Engine.n_classes sess.Session.s_engine));
+                ("requests", Json.Int sess.Session.s_requests);
+                ("scope_depth", Json.Int (E.Engine.scope_depth sess.Session.s_engine));
+              ])))
+    with
+    | reply -> reply
+    | exception (E.Fault.Crash _ as e) -> raise e  (* simulated crash: die loudly *)
+    | exception E.Engine.Egglog_error msg ->
+      E.Telemetry.bump c_errors 1;
+      Protocol.error_reply ~id ~kind:Protocol.Engine_error ~message:msg ()
+    | exception E.Frontend.Syntax_error msg ->
+      E.Telemetry.bump c_errors 1;
+      Protocol.error_reply ~id ~kind:Protocol.Parse_error ~message:msg ()
+    | exception Sexpr.Parse_error { line; col; message } ->
+      E.Telemetry.bump c_errors 1;
+      Protocol.error_reply ~id ~kind:Protocol.Parse_error
+        ~message:(Printf.sprintf "%d:%d: %s" line col message)
+        ()
+    | exception E.Frontend.Input_too_large { bytes; limit } ->
+      E.Telemetry.bump c_errors 1;
+      Protocol.error_reply ~id ~kind:Protocol.Too_large
+        ~message:(Printf.sprintf "program is %d bytes, limit is %d" bytes limit)
+        ()
+    | exception e ->
+      (* reject_reply renders Reject as its typed kind, anything else as
+         internal — either way the client gets a diagnosis, not a hangup *)
+      E.Telemetry.bump c_errors 1;
+      Protocol.reject_reply ~id e)
+
+(* ---- framing ---- *)
+
+let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+let handle_frame t conn line =
+  if not (is_blank line) then begin
+    if String.length line > t.cfg.max_input_bytes then begin
+      enqueue_error t conn ~id:(Protocol.frame_id line) ~kind:Protocol.Too_large
+        (Printf.sprintf "frame is %d bytes, limit is %d" (String.length line)
+           t.cfg.max_input_bytes)
+    end
+    else
+      match Protocol.parse_request line with
+      | exception Protocol.Reject { kind; message; retry_after_ms } ->
+        enqueue_error t conn ~id:(Protocol.frame_id line) ~kind ?retry_after_ms message
+      | rq ->
+        let id = rq.Protocol.rq_id in
+        if draining t then
+          enqueue_error t conn ~id ~kind:Protocol.Shutting_down "daemon is draining"
+        else if not (Protocol.needs_session rq.Protocol.rq_op) then
+          (* control-plane ops answer immediately, ahead of the queue *)
+          enqueue_reply t conn (execute t rq)
+        else if Admission.offer t.queue (conn.c_id, rq) then ()
+        else begin
+          E.Telemetry.bump c_sheds 1;
+          enqueue_error t conn ~id ~kind:Protocol.Overload
+            ~retry_after_ms:t.cfg.retry_after_ms
+            (Printf.sprintf "admission queue full (%d queued)" (Admission.limit t.queue))
+        end
+  end
+
+(* Split off completed lines; keep the incomplete tail buffered. An
+   oversized tail gets its too-large reply immediately and is discarded up
+   to the next newline, so a hostile client cannot balloon the buffer. *)
+let extract_frames t conn =
+  let data = Buffer.contents conn.c_rbuf in
+  Buffer.clear conn.c_rbuf;
+  let n = String.length data in
+  let frames = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match String.index_from_opt data !pos '\n' with
+    | Some nl ->
+      let line = String.sub data !pos (nl - !pos) in
+      pos := nl + 1;
+      if conn.c_skip then conn.c_skip <- false else frames := line :: !frames
+    | None ->
+      let rest = n - !pos in
+      if conn.c_skip then () (* still discarding the oversized frame *)
+      else if rest > t.cfg.max_input_bytes then begin
+        enqueue_error t conn ~id:Json.Null ~kind:Protocol.Too_large
+          (Printf.sprintf "frame exceeds %d bytes" t.cfg.max_input_bytes);
+        conn.c_skip <- true
+      end
+      else Buffer.add_substring conn.c_rbuf data !pos rest;
+      continue := false
+  done;
+  List.rev !frames
+
+let read_conn t conn =
+  let buf = Bytes.create 65536 in
+  (match Unix.read conn.c_in buf 0 (Bytes.length buf) with
+  | 0 -> conn.c_eof <- true
+  | n -> Buffer.add_subbytes conn.c_rbuf buf 0 n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> conn.c_eof <- true);
+  List.iter (handle_frame t conn) (extract_frames t conn)
+
+let accept_new t listener =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true listener with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let conn =
+        {
+          c_id = t.next_conn_id;
+          c_in = fd;
+          c_out = fd;
+          c_keep_fds = false;
+          c_rbuf = Buffer.create 256;
+          c_wbuf = Buffer.create 256;
+          c_woff = 0;
+          c_skip = false;
+          c_eof = false;
+          c_dribble = false;
+          c_gone = false;
+        }
+      in
+      t.next_conn_id <- t.next_conn_id + 1;
+      Hashtbl.replace t.conns conn.c_id conn;
+      E.Telemetry.bump c_conns 1
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* ---- the loop ---- *)
+
+let all_conns t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+
+let tick t =
+  let conns = all_conns t in
+  let reads =
+    (match t.listener with Some fd when not (draining t) -> [ fd ] | _ -> [])
+    @ List.filter_map (fun c -> if c.c_eof || c.c_gone then None else Some c.c_in) conns
+  in
+  let writes = List.filter_map (fun c -> if pending c > 0 then Some c.c_out else None) conns in
+  let timeout =
+    if not (Admission.is_empty t.queue) then 0.
+    else if List.exists (fun c -> c.c_dribble && pending c > 0) conns then 0.002
+    else 0.05
+  in
+  let r, w, _ =
+    try Unix.select reads writes [] timeout
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  (match t.listener with
+  | Some fd when List.memq fd r -> accept_new t fd
+  | _ -> ());
+  List.iter (fun c -> if (not c.c_gone) && List.memq c.c_in r then read_conn t c) conns;
+  (* execute exactly one queued request per tick: a pipelined burst hits
+     admission together and sheds deterministically, and the loop gets back
+     to the sockets between requests *)
+  (match Admission.take t.queue with
+  | Some (conn_id, rq) -> (
+    match Hashtbl.find_opt t.conns conn_id with
+    | Some conn -> enqueue_reply t conn (execute t rq)
+    | None -> () (* client is gone; its request dies with it *))
+  | None -> ());
+  List.iter
+    (fun c ->
+      if (not c.c_gone) && (List.memq c.c_out w || (c.c_dribble && pending c > 0)) then
+        try_flush t c)
+    conns;
+  (* reap connections that are done *)
+  List.iter
+    (fun c ->
+      if (not c.c_gone) && c.c_eof && pending c = 0 && Buffer.length c.c_rbuf = 0 then begin
+        (* stdin EOF in pipe mode means "that was the whole job": drain *)
+        if c.c_keep_fds && t.listener = None then request_drain t;
+        close_conn t c
+      end)
+    conns;
+  match t.cfg.idle_timeout_s with
+  | Some idle when now () -. t.last_sweep > 1.0 ->
+    t.last_sweep <- now ();
+    ignore (Session.evict_idle t.sessions ~now:(now ()) ~idle_timeout:idle)
+  | _ -> ()
+
+let drain_now t =
+  (* shed everything still queued, with an explicit reason *)
+  List.iter
+    (fun (conn_id, (rq : Protocol.request)) ->
+      match Hashtbl.find_opt t.conns conn_id with
+      | Some conn ->
+        enqueue_error t conn ~id:rq.Protocol.rq_id ~kind:Protocol.Shutting_down
+          "daemon is draining"
+      | None -> ())
+    (Admission.drain t.queue);
+  (* bounded flush: best effort, never a hang *)
+  let deadline = now () +. 2.0 in
+  let unflushed () = List.filter (fun c -> pending c > 0) (all_conns t) in
+  let rec flush_loop () =
+    match unflushed () with
+    | [] -> ()
+    | cs when now () < deadline ->
+      (match Unix.select [] (List.map (fun c -> c.c_out) cs) [] 0.05 with
+      | _, w, _ ->
+        List.iter (fun c -> if List.memq c.c_out w || c.c_dribble then try_flush t c) cs
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      flush_loop ()
+    | _ -> ()
+  in
+  flush_loop ();
+  Session.drain t.sessions;
+  List.iter (fun c -> close_conn t c) (all_conns t);
+  (match t.listener with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+  Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) t.cfg.socket_path
+
+let run t =
+  E.Telemetry.instant "server.start"
+    [
+      ("sessions", Json.Int (Session.live_count t.sessions));
+      ("recovery", Json.List (List.map (fun s -> Json.Str s) t.recovery));
+    ];
+  while not (draining t) do
+    tick t
+  done;
+  drain_now t;
+  E.Telemetry.instant "server.stop" []

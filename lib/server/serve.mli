@@ -1,0 +1,74 @@
+(** The daemon: a single-threaded [select] event loop speaking the JSONL
+    protocol over stdio and/or a Unix-domain socket.
+
+    Robustness is the architecture:
+
+    - {b Fault containment.} Every request executes inside
+      {!Egglog.Engine.with_transaction} under mandatory node/time budgets
+      (client limits are clamped to the server caps, never trusted): a
+      failed, malformed or over-budget request is rolled back and answered
+      with a typed error reply — it can neither corrupt its session nor
+      kill the connection, and other sessions never observe it.
+    - {b Admission control.} Framed requests pass a bounded queue; when it
+      is full they are shed immediately with an [overload] reply carrying
+      [retry_after_ms] — the daemon never stalls a connection to hide
+      overload, and queued work stays bounded so latency does too.
+    - {b Backpressure both ways.} Over-long frames get a [too-large] reply
+      (input is discarded to the next newline); a client that stops
+      reading until the reply buffer exceeds its cap is disconnected
+      rather than allowed to pin server memory.
+    - {b Graceful drain.} {!request_drain} (wired to SIGTERM by the CLI)
+      finishes the in-flight request, sheds the queue with
+      [shutting-down] replies, flushes, checkpoints + closes every
+      durable session, closes connections and removes the socket file;
+      {!run} then returns so the process can exit 0.
+    - {b Durability.} Sessions opened with [durable] journal each
+      committed request (after commit, fsync'd before the reply — a
+      crash loses at most unacknowledged work) and are recovered on the
+      next start. See {!Session}.
+
+    Server-side fault injection points (see {!Egglog.Fault}):
+    ["server.request.executed"] (crash after commit, before the journal
+    append), ["server.request.journaled"] (crash after the fsync, before
+    the reply), ["server.reply.drop"] (drop the connection halfway
+    through a reply; the daemon survives), ["server.reply.slow"] (dribble
+    the reply one byte per tick — a slow client in the other direction). *)
+
+type config = {
+  socket_path : string option;
+  use_stdio : bool;
+  data_dir : string option;  (** enables durable sessions *)
+  max_sessions : int;
+  queue_limit : int;  (** admission queue bound *)
+  retry_after_ms : int;  (** hint carried by overload sheds *)
+  max_input_bytes : int;  (** per-frame and per-program size cap *)
+  max_output_bytes : int;  (** per-connection pending-reply cap *)
+  node_limit_cap : int;  (** hard per-request node budget (and default) *)
+  time_limit_cap_ms : int;  (** hard per-request wall-clock budget (and default) *)
+  max_jobs : int;  (** cap on per-request search parallelism *)
+  session_node_quota : int option;  (** max tuples a session may retain *)
+  idle_timeout_s : float option;  (** evict sessions idle longer than this *)
+  checkpoint_every : int option;  (** journal checkpoint cadence *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+(** Validate the configuration, create the data directory, recover any
+    journaled sessions (failures quarantine the session, they do not
+    prevent startup), bind the socket. @raise Failure on an unusable
+    configuration (no transport, unbindable socket). *)
+
+val recovery_log : t -> string list
+(** Human-readable per-session recovery outcomes from {!create}. *)
+
+val run : t -> unit
+(** Serve until {!request_drain}. Returns after a complete drain. *)
+
+val request_drain : t -> unit
+(** Async-signal-safe: flip the drain flag. The loop notices at the next
+    iteration boundary (in-flight work finishes first). *)
+
+val draining : t -> bool

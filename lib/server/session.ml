@@ -1,0 +1,176 @@
+module E = Egglog
+
+type session = {
+  s_name : string;
+  s_engine : E.Engine.t;
+  mutable s_durable : E.Durable.t option;
+  mutable s_last_used : float;
+  mutable s_requests : int;
+}
+
+(* A name whose journal failed to recover is quarantined, not recreated:
+   handing out a fresh empty session under a name with (unreadable)
+   durable history would silently fork that history. *)
+type entry = Live of session | Quarantined of string
+
+type t = {
+  data_dir : string option;
+  max_sessions : int;
+  checkpoint_every : int option;
+  make_engine : unit -> E.Engine.t;
+  table : (string, entry) Hashtbl.t;
+}
+
+let c_opened = E.Telemetry.counter "server.sessions_opened"
+let c_recovered = E.Telemetry.counter "server.sessions_recovered"
+let c_evicted = E.Telemetry.counter "server.sessions_evicted"
+
+let create ~data_dir ~max_sessions ~checkpoint_every ~make_engine =
+  { data_dir; max_sessions; checkpoint_every; make_engine; table = Hashtbl.create 16 }
+
+let journal_path t name =
+  Option.map (fun dir -> Filename.concat dir (name ^ ".journal")) t.data_dir
+
+let live_count t =
+  Hashtbl.fold (fun _ e acc -> match e with Live _ -> acc + 1 | Quarantined _ -> acc) t.table 0
+
+let live_names t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun name e acc -> match e with Live _ -> name :: acc | Quarantined _ -> acc)
+       t.table [])
+
+let recover_one t name path now =
+  let engine = t.make_engine () in
+  match E.Durable.recover engine ~journal_path:path ~checkpoint_every:t.checkpoint_every with
+  | durable, report ->
+    let s =
+      {
+        s_name = name;
+        s_engine = engine;
+        s_durable = Some durable;
+        s_last_used = now;
+        s_requests = 0;
+      }
+    in
+    Hashtbl.replace t.table name (Live s);
+    E.Telemetry.bump c_recovered 1;
+    Ok report
+  | exception
+      (( E.Journal.Journal_error _ | E.Serialize.Load_error _ | E.Engine.Egglog_error _
+       | Sys_error _ | Failure _ ) as e) ->
+    let msg = Printexc.to_string e in
+    Hashtbl.replace t.table name (Quarantined msg);
+    Error msg
+
+let recover_existing t =
+  match t.data_dir with
+  | None -> []
+  | Some dir ->
+    let files = try Sys.readdir dir with Sys_error _ -> [||] in
+    let names =
+      Array.to_list files
+      |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".journal" f)
+      |> List.filter Protocol.valid_session_name
+      |> List.sort String.compare
+    in
+    let now = E.Telemetry.now () in
+    List.map
+      (fun name ->
+        (name, recover_one t name (Filename.concat dir (name ^ ".journal")) now))
+      names
+
+(* Attach a journal to a session that already holds state: the journal
+   starts a fresh generation, so a checkpoint must land immediately —
+   recovery loads the checkpoint, then replays the (empty) tail. *)
+let make_durable t s =
+  match journal_path t s.s_name with
+  | None ->
+    Protocol.reject Protocol.Unsupported
+      "durable sessions need the daemon started with --data-dir"
+  | Some path ->
+    let durable =
+      E.Durable.attach s.s_engine ~journal_path:path ~checkpoint_every:t.checkpoint_every
+    in
+    E.Durable.checkpoint durable;
+    s.s_durable <- Some durable
+
+let open_new t ~name ~durable ~now =
+  if live_count t >= t.max_sessions then
+    Protocol.reject Protocol.Session_limit "session table full (%d live sessions)"
+      t.max_sessions;
+  match journal_path t name with
+  | Some path when Sys.file_exists path -> (
+    (* a name with durable history always comes back durable *)
+    match recover_one t name path now with
+    | Ok _ -> (
+      match Hashtbl.find_opt t.table name with
+      | Some (Live s) -> s
+      | _ -> Protocol.reject Protocol.Internal "recovery of %s lost the session" name)
+    | Error msg -> Protocol.reject Protocol.Recovery_failed "session %s: %s" name msg)
+  | _ ->
+    let s =
+      {
+        s_name = name;
+        s_engine = t.make_engine ();
+        s_durable = None;
+        s_last_used = now;
+        s_requests = 0;
+      }
+    in
+    if durable then make_durable t s;
+    Hashtbl.replace t.table name (Live s);
+    E.Telemetry.bump c_opened 1;
+    s
+
+let lookup t ~name ~durable ~now =
+  match Hashtbl.find_opt t.table name with
+  | Some (Quarantined msg) ->
+    Protocol.reject Protocol.Recovery_failed "session %s: %s" name msg
+  | Some (Live s) ->
+    if durable && s.s_durable = None then make_durable t s;
+    s.s_last_used <- now;
+    s
+  | None -> open_new t ~name ~durable ~now
+
+(* Closing tries to fold the journal tail into a checkpoint first — purely
+   an optimization of the next recovery; the journal alone already holds
+   the full committed history, so a failed checkpoint (e.g. inside an open
+   push scope) downgrades to a plain close. *)
+let close_session s =
+  match s.s_durable with
+  | None -> ()
+  | Some d ->
+    (try if E.Engine.scope_depth s.s_engine = 0 then E.Durable.checkpoint d
+     with E.Journal.Journal_error _ -> ());
+    E.Durable.close d;
+    s.s_durable <- None
+
+let close t ~name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Live s) ->
+    close_session s;
+    Hashtbl.remove t.table name;
+    true
+  | Some (Quarantined _) | None -> false
+
+let evict_idle t ~now ~idle_timeout =
+  let victims =
+    Hashtbl.fold
+      (fun name e acc ->
+        match e with
+        | Live s when now -. s.s_last_used > idle_timeout -> (name, s) :: acc
+        | Live _ | Quarantined _ -> acc)
+      t.table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.map
+    (fun (name, s) ->
+      close_session s;
+      Hashtbl.remove t.table name;
+      E.Telemetry.bump c_evicted 1;
+      name)
+    victims
+
+let drain t =
+  List.iter (fun name -> ignore (close t ~name)) (live_names t)

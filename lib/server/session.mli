@@ -1,0 +1,67 @@
+(** The session registry: named, isolated engine instances.
+
+    Each session owns its {!Egglog.Engine.t} (and optionally a
+    {!Egglog.Durable.t} journal under the daemon's data directory), so no
+    request can observe or corrupt another session's state. Sessions are
+    created on first use; a session whose name has a journal file in the
+    data directory is {e always} recovered as durable, whatever the
+    request said — a name with durable history can never be silently
+    shadowed by an ephemeral session.
+
+    Lifecycle: open (attach or recover) → serve requests → idle eviction
+    (checkpoint + close the journal; the name stays recoverable) or
+    explicit close → drain at shutdown (checkpoint + close everything).
+    A journal that fails to recover quarantines the name: requests get a
+    [recovery-failed] reply rather than a fresh session silently forking
+    the durable history. *)
+
+module E = Egglog
+
+type session = {
+  s_name : string;
+  s_engine : E.Engine.t;
+  mutable s_durable : E.Durable.t option;
+  mutable s_last_used : float;  (** Telemetry.now of the last request *)
+  mutable s_requests : int;
+}
+
+type t
+
+val create :
+  data_dir:string option ->
+  max_sessions:int ->
+  checkpoint_every:int option ->
+  make_engine:(unit -> E.Engine.t) ->
+  t
+
+val recover_existing : t -> (string * (E.Durable.recovery_report, string) result) list
+(** Scan the data directory for [*.journal] files and recover each into a
+    live durable session; failures quarantine the name. Returns what
+    happened per name (sorted). Call once at startup. *)
+
+val lookup : t -> name:string -> durable:bool -> now:float -> session
+(** Get-or-open. Opening a new name beyond [max_sessions] live sessions,
+    an invalid configuration ([durable] without a data dir) or a
+    quarantined name raises {!Protocol.Reject}. [durable:true] on a live
+    ephemeral session upgrades it (journal attached, then an immediate
+    checkpoint captures the current state). *)
+
+val close : t -> name:string -> bool
+(** Checkpoint (when possible) and close the session's journal, drop the
+    session. False when the name is not live. A durable name remains
+    recoverable from its journal. *)
+
+val evict_idle : t -> now:float -> idle_timeout:float -> string list
+(** Close every live session idle longer than [idle_timeout] seconds;
+    returns the evicted names. *)
+
+val drain : t -> unit
+(** Shutdown path: checkpoint + close every live session. *)
+
+val live_count : t -> int
+
+val live_names : t -> string list
+(** Sorted. *)
+
+val journal_path : t -> string -> string option
+(** Where the name's journal lives (None without a data dir). *)

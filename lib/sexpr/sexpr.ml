@@ -100,16 +100,26 @@ let is_digit c = c >= '0' && c <= '9'
 
 (* A token is numeric when it looks like -?digits(/digits | .digits)?
    and nothing else; otherwise it is a symbol (so "-", "+", "1+" stay
-   symbols, matching egglog's lexing of operator names). *)
-let classify_atom tok =
+   symbols, matching egglog's lexing of operator names). A token that is
+   lexically numeric but has no value — an integer literal outside the
+   native int range, or a zero denominator — is a positioned parse error,
+   never an uncaught [Failure]/[Division_by_zero]. *)
+let classify_atom lx tok =
   let len = String.length tok in
   let start = if len > 0 && (tok.[0] = '-' || tok.[0] = '+') then 1 else 0 in
   if start >= len || not (is_digit tok.[start]) then Atom tok
   else begin
     let rec digits i = if i < len && is_digit tok.[i] then digits (i + 1) else i in
     let i = digits start in
-    if i = len then Int (int_of_string tok)
-    else if tok.[i] = '/' && i + 1 < len && digits (i + 1) = len then Rational (Rat.of_string tok)
+    if i = len then begin
+      match int_of_string_opt tok with
+      | Some n -> Int n
+      | None -> error lx (Printf.sprintf "integer literal out of range: %s" tok)
+    end
+    else if tok.[i] = '/' && i + 1 < len && digits (i + 1) = len then begin
+      try Rational (Rat.of_string tok)
+      with Division_by_zero -> error lx (Printf.sprintf "zero denominator in %s" tok)
+    end
     else if tok.[i] = '.' && i + 1 < len && digits (i + 1) = len then Rational (Rat.of_string tok)
     else Atom tok
   end
@@ -119,22 +129,31 @@ let read_atom lx =
   while not (is_delim (peek lx)) do
     advance lx
   done;
-  classify_atom (String.sub lx.src start (lx.pos - start))
+  classify_atom lx (String.sub lx.src start (lx.pos - start))
 
-let rec read_expr lx =
+(* Deep enough for any reasonable program, shallow enough that adversarial
+   input (the daemon's wire frames) cannot blow the OCaml stack: the parser
+   recurses a handful of frames per level. *)
+let max_depth = 2000
+
+let rec read_expr ~depth lx =
   skip_trivia lx;
+  if at_end lx then error lx "unexpected end of input";
   match peek lx with
-  | '\000' -> error lx "unexpected end of input"
+  | '\000' -> error lx "NUL byte in input"
   | '(' ->
+    if depth >= max_depth then
+      error lx (Printf.sprintf "nesting deeper than %d" max_depth);
     advance lx;
     let items = ref [] in
     let rec go () =
       skip_trivia lx;
+      if at_end lx then error lx "unclosed parenthesis";
       match peek lx with
       | ')' -> advance lx
-      | '\000' -> error lx "unclosed parenthesis"
+      | '\000' -> error lx "NUL byte in input"
       | _ ->
-        items := read_expr lx :: !items;
+        items := read_expr ~depth:(depth + 1) lx :: !items;
         go ()
     in
     go ();
@@ -142,6 +161,8 @@ let rec read_expr lx =
   | ')' -> error lx "unexpected ')'"
   | '"' -> String (read_string lx)
   | _ -> read_atom lx
+
+let read_expr lx = read_expr ~depth:0 lx
 
 let parse_string src =
   let lx = { src; pos = 0; line = 1; col = 1 } in

@@ -212,6 +212,47 @@ let test_engine_counters_match_serial () =
           Alcotest.(check bool) (Printf.sprintf "%s is non-zero" name) true (a > 0))
         serial parallel)
 
+(* ------------------------------------------------------------------ *)
+(* Fresh symbol interning during parallel search                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Rules whose primitives mint fresh strings (str-cat / to-string) while
+   the search phase runs — under parallel search those interns happen on
+   worker domains against thread-local speculative tables and get their
+   real ids assigned in canonical merge order, so dumps (including sets of
+   strings, which sort by symbol id) must be byte-identical at any jobs
+   value. This was the documented caveat of the first parallel-search PR;
+   it is now a hard guarantee. *)
+let fresh_symbol_prog =
+  {|
+  (relation seed (i64))
+  (function tag (i64) String)
+  (function bag (i64) (Set String) :merge (set-union old new))
+  (rule ((seed x))
+        ((set (tag x) (str-cat "n-" (to-string x)))))
+  (rule ((seed x) (seed y) (< x y))
+        ((set (bag (+ x y))
+              (set-insert (set-singleton (str-cat (to-string x) (to-string y)))
+                          (str-cat "p-" (to-string (* x y)))))))
+  (seed 1) (seed 2) (seed 3) (seed 4) (seed 5) (seed 6)
+  (seed 7) (seed 8) (seed 9) (seed 10) (seed 11) (seed 12)
+  (run 4)
+  |}
+
+let test_fresh_interning_deterministic () =
+  let dump ~jobs =
+    let eng = E.Engine.create ~jobs () in
+    ignore (E.Engine.run_program eng (E.Frontend.parse_program fresh_symbol_prog));
+    E.Serialize.dump_string eng
+  in
+  let serial = dump ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "fresh-symbol dump at jobs %d == serial" jobs)
+        serial (dump ~jobs))
+    [ 2; 4; 0 ]
+
 let test_domains_used_gauge () =
   Fun.protect
     ~finally:(fun () ->
@@ -246,6 +287,8 @@ let () =
           Alcotest.test_case "negative jobs rejected" `Quick test_negative_jobs_rejected;
           Alcotest.test_case ":jobs keyword parses, runs, round-trips" `Quick
             test_jobs_keyword_roundtrip;
+          Alcotest.test_case "fresh symbol interning deterministic across jobs" `Quick
+            test_fresh_interning_deterministic;
         ] );
       ( "telemetry",
         [

@@ -210,6 +210,68 @@ let test_crash_matrix seed () =
     all_points;
   if !tested = 0 then Alcotest.fail "no injection point fired at all"
 
+(* ---- two sessions, independent fates ----
+
+   The daemon keeps one journal per session in a shared data directory.
+   A crash mid-way through one session's work must not pollute any other:
+   each journal recovers on its own, and the survivor recovers to exactly
+   its own full history even though the other file ends in a torn tail. *)
+
+let test_two_sessions_independent seed () =
+  let rng = Random.State.make [| (seed * 97) + 13 |] in
+  let cmds_a = gen_program rng in
+  let cmds_b = gen_program rng in
+  let full_a = reference_dump cmds_a max_int in
+  let full_b = reference_dump cmds_b max_int in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      E.Fault.disarm ();
+      cleanup_dir dir)
+    (fun () ->
+      let ja = Filename.concat dir "a.journal" in
+      let jb = Filename.concat dir "b.journal" in
+      (* interleave: half of A, then B until it crashes, then the rest of A
+         — A's session stays healthy across B's death *)
+      let half = List.length cmds_a / 2 in
+      let a1 = List.filteri (fun i _ -> i < half) cmds_a in
+      let a2 = List.filteri (fun i _ -> i >= half) cmds_a in
+      let ea = E.Engine.create () in
+      let da = E.Durable.attach ea ~journal_path:ja ~checkpoint_every in
+      List.iter (fun c -> ignore (E.Durable.run_command da c)) a1;
+      let eb = E.Engine.create () in
+      let db = E.Durable.attach eb ~journal_path:jb ~checkpoint_every in
+      E.Fault.arm_nth "journal.append.torn" 2;
+      let crashed =
+        try
+          List.iter (fun c -> ignore (E.Durable.run_command db c)) cmds_b;
+          false
+        with E.Fault.Crash _ -> true
+      in
+      E.Fault.disarm ();
+      E.Durable.close db;
+      Alcotest.(check bool) "B crashed mid-journal" true crashed;
+      List.iter (fun c -> ignore (E.Durable.run_command da c)) a2;
+      E.Durable.close da;
+      (* recover each independently *)
+      let ea2 = E.Engine.create () in
+      let da2, report_a = E.Durable.recover ea2 ~journal_path:ja ~checkpoint_every in
+      Alcotest.(check bool) "A's journal is whole" false report_a.E.Durable.rc_torn;
+      Alcotest.(check string) "A recovers its full history, untouched by B's crash" full_a
+        (E.Serialize.dump_string ea2);
+      E.Durable.close da2;
+      let eb2 = E.Engine.create () in
+      let db2, report_b = E.Durable.recover eb2 ~journal_path:jb ~checkpoint_every in
+      Alcotest.(check string) "B recovers exactly its committed prefix"
+        (reference_dump cmds_b report_b.E.Durable.rc_committed)
+        (E.Serialize.dump_string eb2);
+      (* and B can finish its program from where it left off *)
+      let rest = remaining_after cmds_b report_b.E.Durable.rc_committed in
+      List.iter (fun c -> ignore (E.Durable.run_command db2 c)) rest;
+      Alcotest.(check string) "B finishes to the uninterrupted result" full_b
+        (E.Serialize.dump_string eb2);
+      E.Durable.close db2)
+
 (* ---- targeted scenarios ---- *)
 
 let test_torn_tail_truncated () =
@@ -406,6 +468,13 @@ let () =
           Alcotest.test_case "seed 1" `Quick (test_crash_matrix 1);
           Alcotest.test_case "seed 2" `Quick (test_crash_matrix 2);
           Alcotest.test_case "seed 3" `Quick (test_crash_matrix 3);
+        ] );
+      ( "two-sessions",
+        [
+          Alcotest.test_case "independent crash/recovery, seed 1" `Quick
+            (test_two_sessions_independent 1);
+          Alcotest.test_case "independent crash/recovery, seed 2" `Quick
+            (test_two_sessions_independent 2);
         ] );
       ( "scenarios",
         [

@@ -1,0 +1,541 @@
+(* The daemon, in-process: a real Serve loop on its own domain, spoken to
+   over a real Unix socket. The properties under test are the robustness
+   contract of docs/SERVER.md: every failure is a typed reply (never a dead
+   connection), failed/over-budget requests roll back to byte-identical
+   session state, sessions are isolated from each other's abuse, overload
+   sheds with a retry hint instead of stalling, drain is graceful, and
+   durable sessions survive restarts and crashes at the server's fault
+   points with exactly the journaled prefix. *)
+
+module E = Egglog
+module S = Egglog_server
+module Json = S.Protocol.Json
+
+(* ---- scratch dirs ---- *)
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "egglog_server_%d_%d" (Unix.getpid ()) !ctr)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+let rec cleanup_dir d =
+  Array.iter
+    (fun f ->
+      let p = Filename.concat d f in
+      if Sys.is_directory p then cleanup_dir p else try Sys.remove p with Sys_error _ -> ())
+    (try Sys.readdir d with Sys_error _ -> [||]);
+  try Unix.rmdir d with Unix.Unix_error _ -> ()
+
+(* ---- server lifecycle ---- *)
+
+type server = {
+  srv : S.Serve.t;
+  dom : [ `Clean | `Crash of string ] Domain.t;
+  sock : string;
+}
+
+let start ?(tune = fun c -> c) dir =
+  let sock = Filename.concat dir "s.sock" in
+  let cfg =
+    tune
+      {
+        S.Serve.default_config with
+        socket_path = Some sock;
+        data_dir = Some (Filename.concat dir "data");
+      }
+  in
+  let srv = S.Serve.create cfg in
+  let dom =
+    Domain.spawn (fun () ->
+        match S.Serve.run srv with
+        | () -> `Clean
+        | exception E.Fault.Crash p -> `Crash p)
+  in
+  { srv; dom; sock }
+
+let stop sv =
+  S.Serve.request_drain sv.srv;
+  Domain.join sv.dom
+
+let with_server ?tune dir f =
+  let sv = start ?tune dir in
+  Fun.protect
+    ~finally:(fun () -> if not (S.Serve.draining sv.srv) then ignore (stop sv))
+    (fun () -> f sv)
+
+(* ---- client ---- *)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect sv =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sv.sock);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv c = Json.parse (input_line c.ic)
+let obj fields = Json.to_string (Json.Obj fields)
+let rpc c fields = send_line c (obj fields); recv c
+
+let run_req ?(id = 1) ~session program =
+  [
+    ("id", Json.Int id);
+    ("op", Json.Str "run");
+    ("session", Json.Str session);
+    ("program", Json.Str program);
+  ]
+
+let is_ok reply = Json.member "ok" reply = Some (Json.Bool true)
+
+let err_kind reply =
+  match Json.member "error" reply with
+  | Some err -> (
+    match Json.member "kind" err with Some (Json.Str s) -> s | _ -> "<no kind>")
+  | None -> "<no error>"
+
+let retry_after reply =
+  match Json.member "error" reply with
+  | Some err -> (
+    match Json.member "retry_after_ms" err with Some (Json.Int ms) -> Some ms | _ -> None)
+  | None -> None
+
+let check_ok what reply =
+  if not (is_ok reply) then
+    Alcotest.failf "%s: expected ok, got %s (%s)" what (err_kind reply) (Json.to_string reply)
+
+let check_err what kind reply =
+  if is_ok reply then Alcotest.failf "%s: expected %s error, got ok" what kind;
+  Alcotest.(check string) what kind (err_kind reply)
+
+let dump_of c session =
+  let reply =
+    rpc c [ ("id", Json.Int 99); ("op", Json.Str "dump"); ("session", Json.Str session) ]
+  in
+  check_ok "dump" reply;
+  match Json.member "dump" reply with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.fail "dump reply carries no dump"
+
+(* The serial single-session reference: the same program through a plain
+   engine. Server sessions must dump byte-identical to this. *)
+let reference_dump programs =
+  let eng = E.Engine.create () in
+  List.iter
+    (fun p -> ignore (E.Engine.run_program eng (E.Frontend.parse_program p)))
+    programs;
+  E.Serialize.dump_string eng
+
+let prog_base =
+  "(relation edge (i64 i64)) (relation path (i64 i64))\n\
+   (rule ((edge x y)) ((path x y)))\n\
+   (rule ((path x y) (edge y z)) ((path x z)))\n\
+   (edge 1 2) (edge 2 3) (edge 3 4) (run 5)"
+
+let prog_more = "(edge 4 5) (run 5)"
+
+(* ---- basic protocol ---- *)
+
+let test_basics () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      check_ok "ping" (rpc c [ ("id", Json.Int 1); ("op", Json.Str "ping") ]);
+      let hello = rpc c [ ("id", Json.Int 2); ("op", Json.Str "hello") ] in
+      check_ok "hello" hello;
+      (match Json.member "limits" hello with
+       | Some (Json.Obj _) -> ()
+       | _ -> Alcotest.fail "hello carries no limits object");
+      check_ok "open"
+        (rpc c
+           [ ("id", Json.Int 3); ("op", Json.Str "open-session"); ("session", Json.Str "a") ]);
+      check_ok "run" (rpc c (run_req ~id:4 ~session:"a" prog_base));
+      let stats =
+        rpc c [ ("id", Json.Int 5); ("op", Json.Str "stats"); ("session", Json.Str "a") ]
+      in
+      check_ok "stats" stats;
+      (match Json.member "rows" stats with
+       | Some (Json.Int n) when n > 0 -> ()
+       | j ->
+         Alcotest.failf "stats rows missing or zero: %s"
+           (match j with Some j -> Json.to_string j | None -> "absent"));
+      Alcotest.(check string) "dump matches the serial reference" (reference_dump [ prog_base ])
+        (dump_of c "a");
+      let metrics = rpc c [ ("id", Json.Int 6); ("op", Json.Str "metrics") ] in
+      check_ok "metrics" metrics;
+      check_ok "close"
+        (rpc c
+           [ ("id", Json.Int 7); ("op", Json.Str "close-session"); ("session", Json.Str "a") ]);
+      close_client c);
+  cleanup_dir dir
+
+let test_error_taxonomy () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      (* each failure is a typed reply, and the connection survives it *)
+      send_line c "this is not json";
+      check_err "junk frame" "malformed-frame" (recv c);
+      send_line c "[1,2,3]";
+      check_err "non-object frame" "malformed-frame" (recv c);
+      check_err "missing op" "malformed-frame" (rpc c [ ("id", Json.Int 1) ]);
+      check_err "unknown op" "unsupported"
+        (rpc c [ ("id", Json.Int 2); ("op", Json.Str "nope") ]);
+      check_err "missing session" "malformed-frame"
+        (rpc c [ ("id", Json.Int 3); ("op", Json.Str "dump") ]);
+      check_err "path-traversal session name" "bad-session"
+        (rpc c [ ("id", Json.Int 4); ("op", Json.Str "dump"); ("session", Json.Str "../evil") ]);
+      check_err "ill-typed field" "malformed-frame"
+        (rpc c [ ("id", Json.Int 5); ("op", Json.Str "dump"); ("session", Json.Int 7) ]);
+      check_err "parse error" "parse-error" (rpc c (run_req ~id:6 ~session:"a" "(unclosed"));
+      check_err "engine error" "engine-error"
+        (rpc c (run_req ~id:7 ~session:"a" "(undefined-thing 1)"));
+      (* the reply echoes the request id, including string ids *)
+      let r = rpc c [ ("id", Json.Str "xyz"); ("op", Json.Str "ping") ] in
+      (match Json.member "id" r with
+       | Some (Json.Str "xyz") -> ()
+       | _ -> Alcotest.failf "id not echoed: %s" (Json.to_string r));
+      check_ok "connection still works after the gauntlet"
+        (rpc c [ ("id", Json.Int 8); ("op", Json.Str "ping") ]);
+      close_client c);
+  cleanup_dir dir
+
+let test_too_large_frame () =
+  let dir = fresh_dir () in
+  with_server ~tune:(fun c -> { c with S.Serve.max_input_bytes = 256 }) dir (fun sv ->
+      let c = connect sv in
+      let big = String.make 1024 'x' in
+      send_line c (obj [ ("id", Json.Int 1); ("op", Json.Str "ping"); ("pad", Json.Str big) ]);
+      check_err "oversized frame" "too-large" (recv c);
+      check_ok "connection survives" (rpc c [ ("id", Json.Int 2); ("op", Json.Str "ping") ]);
+      (* an unterminated monster is refused without buffering it all *)
+      output_string c.oc (String.make 4096 'y');
+      flush c.oc;
+      check_err "unterminated oversized frame" "too-large" (recv c);
+      output_string c.oc (String.make 512 'z');
+      output_char c.oc '\n';
+      flush c.oc;
+      check_ok "skip-to-newline resynchronizes"
+        (rpc c [ ("id", Json.Int 3); ("op", Json.Str "ping") ]);
+      close_client c);
+  cleanup_dir dir
+
+(* ---- rollback and isolation ---- *)
+
+let test_failed_request_rolls_back () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      check_ok "seed" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+      let before = dump_of c "a" in
+      (* fails midway: first command runs, second errors — all rolled back *)
+      check_err "multi-command failure" "engine-error"
+        (rpc c (run_req ~id:2 ~session:"a" "(edge 7 8) (run 2) (boom)"));
+      Alcotest.(check string) "session unchanged after failed request" before (dump_of c "a");
+      Alcotest.(check string) "still the serial reference" (reference_dump [ prog_base ])
+        (dump_of c "a");
+      close_client c);
+  cleanup_dir dir
+
+let test_budget_rejection_rolls_back () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      check_ok "seed" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+      let before = dump_of c "a" in
+      let bomb =
+        "(datatype T (L) (N T T)) (rule ((= x (N a b))) ((N x x))) (N (L) (L)) (run 100000)"
+      in
+      let r =
+        rpc c (("node_limit", Json.Int 300) :: run_req ~id:2 ~session:"a" bomb)
+      in
+      check_err "node bomb" "budget" r;
+      Alcotest.(check string) "rolled back byte-identically" before (dump_of c "a");
+      close_client c);
+  cleanup_dir dir
+
+let test_quota_rejection () =
+  let dir = fresh_dir () in
+  with_server ~tune:(fun c -> { c with S.Serve.session_node_quota = Some 6 }) dir (fun sv ->
+      let c = connect sv in
+      check_ok "under quota"
+        (rpc c (run_req ~id:1 ~session:"a" "(relation r (i64)) (r 1) (r 2)"));
+      let before = dump_of c "a" in
+      check_err "over quota" "quota"
+        (rpc c (run_req ~id:2 ~session:"a" "(r 3) (r 4) (r 5) (r 6) (r 7)"));
+      Alcotest.(check string) "quota breach rolled back" before (dump_of c "a");
+      close_client c);
+  cleanup_dir dir
+
+let test_deadline () =
+  (* a fake clock that leaps 100s per reading: the first between-command
+     deadline check already sees the budget spent *)
+  let ticks = Atomic.make 0 in
+  E.Telemetry.set_clock (fun () -> float_of_int (Atomic.fetch_and_add ticks 1) *. 100.0);
+  Fun.protect ~finally:E.Telemetry.use_default_clock (fun () ->
+      let dir = fresh_dir () in
+      with_server dir (fun sv ->
+          let c = connect sv in
+          check_err "deadline between commands" "deadline"
+            (rpc c (run_req ~id:1 ~session:"a" "(relation r (i64)) (r 1)"));
+          check_ok "session empty but alive"
+            (rpc c [ ("id", Json.Int 2); ("op", Json.Str "stats"); ("session", Json.Str "a") ]);
+          close_client c);
+      cleanup_dir dir)
+
+let abusive_lines session =
+  [
+    "garbage that is not a frame";
+    obj [ ("id", Json.Int 90); ("op", Json.Str "bogus") ];
+    obj (run_req ~id:91 ~session "(((((");
+    obj (run_req ~id:92 ~session "(undefined 1 2 3)");
+    ("node_limit", Json.Int 200)
+    :: run_req ~id:93 ~session
+         "(datatype T (L) (N T T)) (rule ((= x (N a b))) ((N x x))) (N (L) (L)) (run 100000)"
+    |> obj;
+    obj [ ("id", Json.Int 94); ("op", Json.Str "dump"); ("session", Json.Str "../../etc") ];
+  ]
+
+let test_session_isolation () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let good = connect sv in
+      check_ok "good session" (rpc good (run_req ~id:1 ~session:"good" prog_base));
+      let before = dump_of good "good" in
+      (* a second connection hammers its own session with every class of
+         bad input; each gets a reply, none is ok *)
+      let evil = connect sv in
+      List.iter
+        (fun line ->
+          send_line evil line;
+          let r = recv evil in
+          if is_ok r then Alcotest.failf "abusive input accepted: %s" line)
+        (abusive_lines "evil");
+      close_client evil;
+      (* the survivor session is byte-for-byte unaffected *)
+      Alcotest.(check string) "good session byte-identical after abuse" before
+        (dump_of good "good");
+      Alcotest.(check string) "and still the serial reference"
+        (reference_dump [ prog_base ]) (dump_of good "good");
+      close_client good);
+  cleanup_dir dir
+
+let test_overload_sheds () =
+  let dir = fresh_dir () in
+  with_server ~tune:(fun c -> { c with S.Serve.queue_limit = 1; retry_after_ms = 25 }) dir
+    (fun sv ->
+      let c = connect sv in
+      let n = 6 in
+      (* one write, many frames: they hit admission together *)
+      for i = 1 to n do
+        output_string c.oc (obj (run_req ~id:i ~session:"a" "(relation q (i64)) (q 1)"));
+        output_char c.oc '\n'
+      done;
+      flush c.oc;
+      let replies = List.init n (fun _ -> recv c) in
+      let oks = List.filter is_ok replies in
+      let sheds = List.filter (fun r -> not (is_ok r)) replies in
+      Alcotest.(check int) "every request answered" n (List.length replies);
+      Alcotest.(check bool) "some executed" true (List.length oks >= 1);
+      Alcotest.(check bool) "some shed" true (List.length sheds >= 1);
+      List.iter
+        (fun r ->
+          Alcotest.(check string) "shed kind" "overload" (err_kind r);
+          Alcotest.(check (option int)) "retry hint" (Some 25) (retry_after r))
+        sheds;
+      close_client c);
+  cleanup_dir dir
+
+(* ---- drain and durability ---- *)
+
+let test_graceful_drain () =
+  let dir = fresh_dir () in
+  let sv = start dir in
+  let c = connect sv in
+  check_ok "durable session"
+    (rpc c
+       [
+         ("id", Json.Int 1);
+         ("op", Json.Str "open-session");
+         ("session", Json.Str "d");
+         ("durable", Json.Bool true);
+       ]);
+  check_ok "journaled work" (rpc c (run_req ~id:2 ~session:"d" prog_base));
+  (match stop sv with
+   | `Clean -> ()
+   | `Crash p -> Alcotest.failf "drain crashed at %s" p);
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists sv.sock);
+  close_client c;
+  (* the journaled session comes back byte-identical *)
+  with_server dir (fun sv2 ->
+      let c2 = connect sv2 in
+      Alcotest.(check string) "recovered == serial reference" (reference_dump [ prog_base ])
+        (dump_of c2 "d");
+      close_client c2);
+  cleanup_dir dir
+
+let test_durable_upgrade_and_restart () =
+  let dir = fresh_dir () in
+  let sv = start dir in
+  let c = connect sv in
+  (* ephemeral first, then upgraded mid-life: the attach checkpoint must
+     capture the pre-upgrade state *)
+  check_ok "ephemeral work" (rpc c (run_req ~id:1 ~session:"u" prog_base));
+  check_ok "upgrade"
+    (rpc c
+       [
+         ("id", Json.Int 2);
+         ("op", Json.Str "open-session");
+         ("session", Json.Str "u");
+         ("durable", Json.Bool true);
+       ]);
+  check_ok "post-upgrade work" (rpc c (run_req ~id:3 ~session:"u" prog_more));
+  ignore (stop sv);
+  close_client c;
+  with_server dir (fun sv2 ->
+      let c2 = connect sv2 in
+      Alcotest.(check string) "upgrade + tail recovered"
+        (reference_dump [ prog_base; prog_more ])
+        (dump_of c2 "u");
+      close_client c2);
+  cleanup_dir dir
+
+let crash_and_recover ~point ~expect_programs () =
+  let dir = fresh_dir () in
+  let sv = start dir in
+  let c = connect sv in
+  check_ok "durable session"
+    (rpc c
+       [
+         ("id", Json.Int 1);
+         ("op", Json.Str "open-session");
+         ("session", Json.Str "d");
+         ("durable", Json.Bool true);
+       ]);
+  check_ok "first request" (rpc c (run_req ~id:2 ~session:"d" prog_base));
+  (* armed only now: the next server-side hit is the second request's *)
+  E.Fault.arm_nth point 1;
+  send_line c (obj (run_req ~id:3 ~session:"d" prog_more));
+  (match Domain.join sv.dom with
+   | `Crash p -> Alcotest.(check string) "crashed at the armed point" point p
+   | `Clean -> Alcotest.failf "server did not crash at %s" point);
+  E.Fault.disarm ();
+  close_client c;
+  with_server dir (fun sv2 ->
+      let c2 = connect sv2 in
+      Alcotest.(check string)
+        (Printf.sprintf "recovery after crash at %s" point)
+        (reference_dump expect_programs) (dump_of c2 "d");
+      close_client c2);
+  cleanup_dir dir
+
+let test_crash_before_journal () =
+  (* committed in memory, never journaled: recovery has only request 1 *)
+  crash_and_recover ~point:"server.request.executed" ~expect_programs:[ prog_base ] ()
+
+let test_crash_after_journal () =
+  (* journaled before the reply: recovery has both requests, the client
+     just never heard the ack *)
+  crash_and_recover ~point:"server.request.journaled"
+    ~expect_programs:[ prog_base; prog_more ] ()
+
+(* ---- reply-path faults ---- *)
+
+let test_reply_drop_is_survivable () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c1 = connect sv in
+      check_ok "before" (rpc c1 [ ("id", Json.Int 1); ("op", Json.Str "ping") ]);
+      E.Fault.arm_nth "server.reply.drop" 1;
+      send_line c1 (obj [ ("id", Json.Int 2); ("op", Json.Str "ping") ]);
+      (* half a reply, then hangup: we read garbage or EOF, never a hang *)
+      (match input_line c1.ic with
+       | _ -> ()
+       | exception End_of_file -> ());
+      E.Fault.disarm ();
+      close_client c1;
+      let c2 = connect sv in
+      check_ok "daemon survived the drop" (rpc c2 [ ("id", Json.Int 3); ("op", Json.Str "ping") ]);
+      close_client c2);
+  cleanup_dir dir
+
+let test_reply_slow_still_delivers () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      E.Fault.arm_nth "server.reply.slow" 1;
+      let r = rpc c [ ("id", Json.Int 1); ("op", Json.Str "ping") ] in
+      E.Fault.disarm ();
+      check_ok "dribbled reply arrives whole" r;
+      check_ok "and the next is normal" (rpc c [ ("id", Json.Int 2); ("op", Json.Str "ping") ]);
+      close_client c);
+  cleanup_dir dir
+
+let test_idle_eviction () =
+  let dir = fresh_dir () in
+  with_server ~tune:(fun c -> { c with S.Serve.idle_timeout_s = Some 0.05 }) dir (fun sv ->
+      let c = connect sv in
+      check_ok "populate" (rpc c (run_req ~id:1 ~session:"tmp" "(relation r (i64)) (r 1)"));
+      Unix.sleepf 1.3;
+      (* the sweep evicted the ephemeral session; the name now opens fresh *)
+      let stats =
+        rpc c [ ("id", Json.Int 2); ("op", Json.Str "stats"); ("session", Json.Str "tmp") ]
+      in
+      check_ok "fresh session" stats;
+      (match Json.member "rows" stats with
+       | Some (Json.Int 0) -> ()
+       | j ->
+         Alcotest.failf "expected empty recreated session, rows=%s"
+           (match j with Some j -> Json.to_string j | None -> "absent"));
+      close_client c);
+  cleanup_dir dir
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "error taxonomy" `Quick test_error_taxonomy;
+          Alcotest.test_case "too-large frames" `Quick test_too_large_frame;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "failed request rolls back" `Quick test_failed_request_rolls_back;
+          Alcotest.test_case "budget rejection rolls back" `Quick
+            test_budget_rejection_rolls_back;
+          Alcotest.test_case "quota rejection" `Quick test_quota_rejection;
+          Alcotest.test_case "deadline rejection" `Quick test_deadline;
+          Alcotest.test_case "session isolation under abuse" `Quick test_session_isolation;
+          Alcotest.test_case "overload sheds with retry-after" `Quick test_overload_sheds;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "durable upgrade and restart" `Quick
+            test_durable_upgrade_and_restart;
+          Alcotest.test_case "crash before journal loses the request" `Quick
+            test_crash_before_journal;
+          Alcotest.test_case "crash after journal keeps the request" `Quick
+            test_crash_after_journal;
+        ] );
+      ( "reply-faults",
+        [
+          Alcotest.test_case "mid-reply drop is survivable" `Quick
+            test_reply_drop_is_survivable;
+          Alcotest.test_case "slow dribble still delivers" `Quick
+            test_reply_slow_still_delivers;
+          Alcotest.test_case "idle eviction" `Quick test_idle_eviction;
+        ] );
+    ]
