@@ -3,9 +3,9 @@
    journal with periodic checkpoints (--journal / --checkpoint-every) and
    crash recovery (--recover). *)
 
-let make_engine ~seminaive ~backoff ~node_limit ~time_limit ~jobs =
+let make_engine ~seminaive ~backoff ~node_limit ~time_limit ~memory_limit ~jobs =
   let scheduler = if backoff then Egglog.Engine.backoff_default else Egglog.Engine.Simple in
-  Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ~jobs ()
+  Egglog.Engine.create ~seminaive ~scheduler ?node_limit ?time_limit ?memory_limit ~jobs ()
 
 (* Every mode funnels through one exception ladder so each failure class
    has one message shape and one exit code. A simulated crash (fault
@@ -104,10 +104,10 @@ let print_report (r : Egglog.Durable.recovery_report) =
     r.rc_replayed
     (if r.rc_torn then "; dropped a torn trailing record" else "")
 
-let run_file ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal ~checkpoint_every
-    ~load ~dump ~trace ~stats ~explain_plans path =
+let run_file ~seminaive ~backoff ~node_limit ~time_limit ~memory_limit ~jobs ~journal
+    ~checkpoint_every ~load ~dump ~trace ~stats ~explain_plans path =
   with_errors ~where:path (fun () ->
-      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit ~jobs in
+      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit ~memory_limit ~jobs in
       let src = In_channel.with_open_text path In_channel.input_all in
       let cmds = Egglog.Frontend.parse_program src in
       let outputs =
@@ -171,12 +171,12 @@ let repl ?durable eng =
   in
   loop ""
 
-let repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal ~checkpoint_every
-    ~recover ~dump ~trace ~stats () =
+let repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~memory_limit ~jobs ~journal
+    ~checkpoint_every ~recover ~dump ~trace ~stats () =
   with_errors
     ~where:(match journal with Some j -> j | None -> "<repl>")
     (fun () ->
-      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit ~jobs in
+      let eng = make_engine ~seminaive ~backoff ~node_limit ~time_limit ~memory_limit ~jobs in
       let session f =
         let code = with_telemetry ~trace ~stats f in
         if stats then print_stats ();
@@ -285,6 +285,14 @@ let () =
          & info [ "time-limit" ] ~docv:"SECONDS"
              ~doc:"Stop any run after SECONDS of wall-clock time (per-command :time-limit overrides)")
   in
+  let memory_limit =
+    Arg.(value & opt (some (positive_int ~what:"--memory-limit")) None
+         & info [ "memory-limit" ] ~docv:"BYTES"
+             ~doc:"Stop any run once the modeled database footprint exceeds BYTES \
+                   (per-command :memory-limit overrides). Deterministic: enforced against \
+                   the engine's modeled byte count, not allocator state, so the same \
+                   program stops at the same iteration at any --jobs value")
+  in
   let jobs =
     Arg.(value & opt int 1
          & info [ "jobs" ] ~docv:"N"
@@ -329,8 +337,8 @@ let () =
     Arg.(value & flag & info [ "explain-plans" ]
            ~doc:"After the program finishes, print each rule's cost-based join plan against the final table statistics: atoms with row counts, the chosen variable order with cost estimates, the primitive schedule, and each semi-naive delta variant's order")
   in
-  let main file no_seminaive backoff node_limit time_limit jobs journal checkpoint_every
-      recover fault load dump trace stats explain_plans =
+  let main file no_seminaive backoff node_limit time_limit memory_limit jobs journal
+      checkpoint_every recover fault load dump trace stats explain_plans =
     let seminaive = not no_seminaive in
     let usage_error msg =
       Printf.eprintf "egglog: %s\n" msg;
@@ -356,18 +364,19 @@ let () =
     else
       match file with
       | Some path ->
-        run_file ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal ~checkpoint_every
-          ~load ~dump ~trace ~stats ~explain_plans path
+        run_file ~seminaive ~backoff ~node_limit ~time_limit ~memory_limit ~jobs ~journal
+          ~checkpoint_every ~load ~dump ~trace ~stats ~explain_plans path
       | None ->
         if explain_plans then usage_error "--explain-plans requires FILE"
         else
-          repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~jobs ~journal
+          repl_mode ~seminaive ~backoff ~node_limit ~time_limit ~memory_limit ~jobs ~journal
             ~checkpoint_every ~recover ~dump ~trace ~stats ()
   in
   let term =
     Term.(
-      const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ jobs $ journal
-      $ checkpoint_every $ recover $ fault $ load $ dump $ trace $ stats $ explain_plans)
+      const main $ file $ no_seminaive $ backoff $ node_limit $ time_limit $ memory_limit
+      $ jobs $ journal $ checkpoint_every $ recover $ fault $ load $ dump $ trace $ stats
+      $ explain_plans)
   in
   let serve_cmd =
     let socket =
@@ -419,6 +428,19 @@ let () =
            & info [ "session-quota" ] ~docv:"N"
                ~doc:"Roll back any request that would leave its session holding more than N tuples")
     in
+    let session_memory_quota =
+      Arg.(value & opt (some (positive_int ~what:"--session-memory-quota")) None
+           & info [ "session-memory-quota" ] ~docv:"BYTES"
+               ~doc:"Roll back any request that would leave its session holding more than \
+                     BYTES modeled bytes; also clamps per-request memory_limit fields")
+    in
+    let memory_headroom =
+      Arg.(value & opt (some (positive_int ~what:"--memory-headroom")) None
+           & info [ "memory-headroom" ] ~docv:"BYTES"
+               ~doc:"Global cap on the summed modeled bytes of all live sessions: beyond it, \
+                     the largest idle sessions are checkpointed and evicted, and requests \
+                     that still do not fit are shed with an overload reply")
+    in
     let idle_timeout =
       Arg.(value & opt (some (positive_float ~what:"--idle-timeout")) None
            & info [ "idle-timeout" ] ~docv:"SECONDS"
@@ -438,7 +460,8 @@ let () =
              ~doc:"Stream the server's telemetry event log to FILE as JSON Lines")
     in
     let serve_main socket stdio data_dir max_sessions queue_limit retry_after max_input
-        node_cap time_cap max_jobs session_quota idle_timeout checkpoint_every fault trace =
+        node_cap time_cap max_jobs session_quota session_memory_quota memory_headroom
+        idle_timeout checkpoint_every fault trace =
       if socket = None && not stdio then begin
         Printf.eprintf "egglog serve: need --socket PATH and/or --stdio\n";
         2
@@ -458,6 +481,8 @@ let () =
             time_limit_cap_ms = int_of_float (time_cap *. 1000.);
             max_jobs;
             session_node_quota = session_quota;
+            session_memory_quota;
+            memory_headroom;
             idle_timeout_s = idle_timeout;
             checkpoint_every;
           }
@@ -470,7 +495,8 @@ let () =
       Term.(
         const serve_main $ socket $ stdio $ data_dir $ max_sessions $ queue_limit
         $ retry_after $ max_input $ node_cap $ time_cap $ max_jobs $ session_quota
-        $ idle_timeout $ serve_checkpoint_every $ serve_fault $ serve_trace)
+        $ session_memory_quota $ memory_headroom $ idle_timeout $ serve_checkpoint_every
+        $ serve_fault $ serve_trace)
   in
   let info =
     Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"

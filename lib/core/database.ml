@@ -227,6 +227,20 @@ let total_log_entries db =
   iter_tables db (fun table -> n := !n + Table.log_length table);
   !n
 
+(* Modeled footprint: the incrementally-maintained table counters plus a
+   fixed cost per allocated id (union-find slot, sort slot, proof-forest
+   slot) and per proof edge. A pure function of the database contents, so
+   a byte budget trips at the same iteration at any jobs count. *)
+let id_cost = 40
+let proof_edge_cost = 24
+
+let modeled_bytes db =
+  let n =
+    ref ((Union_find.size db.uf * id_cost) + (Proof_forest.n_edges db.proofs * proof_edge_cost))
+  in
+  iter_tables db (fun table -> n := !n + Table.modeled_bytes table);
+  !n
+
 (* Cardinality statistics for the cost-based planner: current row count and
    per-column distinct counts (the latter cached inside the table). *)
 let table_stats (_db : t) table = (Table.length table, Table.column_distincts table)

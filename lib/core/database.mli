@@ -83,6 +83,13 @@ val total_log_entries : t -> int
 (** Sum of {!Table.log_length} over all tables; its growth over an
     iteration is the semi-naïve frontier ("delta") size. *)
 
+val modeled_bytes : t -> int
+(** Deterministic modeled footprint in bytes: {!Table.modeled_bytes} over
+    all tables plus fixed costs per allocated id and per proof-forest edge.
+    O(#tables) to query. This — never [Gc] statistics — is what memory
+    budgets are enforced against, so the same program hits the same budget
+    at the same iteration regardless of jobs count or allocator state. *)
+
 val table_stats : t -> Table.t -> int * int array
 (** [(rows, distinct-per-column)] for cost-based join planning; distinct
     counts cover argument columns then the output and are cached against

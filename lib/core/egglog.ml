@@ -46,9 +46,9 @@ let run_string (eng : Engine.t) (src : string) : string list =
 
 (** Convenience: fresh engine, run a program, return outputs. *)
 let run_program_string ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit
-    ?jobs (src : string) : string list =
+    ?memory_limit ?jobs (src : string) : string list =
   let eng =
-    Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit ?jobs
-      ()
+    Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit
+      ?memory_limit ?jobs ()
   in
   run_string eng src

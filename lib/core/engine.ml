@@ -12,6 +12,14 @@ let c_new = Telemetry.counter "engine.tuples_inserted"
 let c_dup = Telemetry.counter "engine.matches_deduplicated"
 let c_bans = Telemetry.counter "scheduler.bans"
 let c_domains = Telemetry.counter "search.domains_used"
+let c_pressure_bans = Telemetry.counter "scheduler.pressure_bans"
+
+(* Memory gauges (recorded as max-counters so the bench telemetry schema is
+   unchanged): the modeled footprint drives budgets; the real heap high-water
+   mark is telemetry-only — never a budget input, because it depends on
+   allocator and GC state and would make stops nondeterministic. *)
+let c_mem_modeled = Telemetry.counter "memory.modeled_bytes_peak"
+let c_mem_top_heap = Telemetry.counter "memory.top_heap_bytes"
 
 type scheduler = Simple | Backoff of { match_limit : int; ban_length : int }
 
@@ -35,6 +43,7 @@ type stop_reason =
   | Iteration_limit  (* ran the requested number of iterations *)
   | Node_limit of int  (* total tuples when the budget tripped *)
   | Time_limit of float  (* elapsed seconds when the budget tripped *)
+  | Memory_limit of int  (* modeled database bytes when the budget tripped *)
   | Until_satisfied  (* the :until facts became derivable *)
 
 type rule_stat = {
@@ -43,6 +52,7 @@ type rule_stat = {
   rs_inserted : int;  (* tuples inserted / unions performed by its actions *)
   rs_deduplicated : int;  (* matches whose actions changed nothing *)
   rs_bans : int;  (* times the scheduler banned the rule during this run *)
+  rs_bytes : int;  (* modeled byte growth attributable to the rule's actions *)
 }
 
 type run_report = {
@@ -51,6 +61,7 @@ type run_report = {
   rule_stats : rule_stat list;
   total_seconds : float;
   jobs : int;  (* resolved search-phase domain count (>= 1) the run used *)
+  peak_memory_bytes : int;  (* max modeled database bytes observed during the run *)
 }
 
 type rt_rule = {
@@ -87,6 +98,8 @@ type t = {
   run_cap : int;  (* iteration bound for (run) without a limit *)
   mutable default_node_limit : int option;  (* session-wide budget (CLI --node-limit) *)
   mutable default_time_limit : float option;  (* session-wide budget (CLI --time-limit) *)
+  mutable default_memory_limit : int option;  (* session-wide budget (CLI --memory-limit) *)
+  pressure_tiers : float * float;  (* fractions of the memory limit that trigger tier 1/2 *)
   mutable default_jobs : int;  (* search-phase domains (CLI --jobs); 0 = one per core *)
   join_cache : Join.cache;
   mutable current_reason : Proof_forest.reason;  (* justification for unions *)
@@ -252,8 +265,12 @@ let exec_action eng (slots : Value.t array) (a : Compile.caction) =
     Database.remove eng.db (table_of eng f) vals
 
 let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
-    ?(index_caching = true) ?node_limit ?time_limit ?(jobs = 1) () =
+    ?(index_caching = true) ?node_limit ?time_limit ?memory_limit
+    ?(pressure_tiers = (0.7, 0.85)) ?(jobs = 1) () =
   if jobs < 0 then error "jobs must be non-negative (0 = one per core), got %d" jobs;
+  (let t1, t2 = pressure_tiers in
+   if not (t1 > 0.0 && t1 <= t2 && t2 <= 1.0) then
+     error "pressure tiers must satisfy 0 < tier1 <= tier2 <= 1, got %.2f/%.2f" t1 t2);
   let eng =
     {
       db = Database.create ();
@@ -270,6 +287,8 @@ let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
       run_cap = 1000;
       default_node_limit = node_limit;
       default_time_limit = time_limit;
+      default_memory_limit = memory_limit;
+      pressure_tiers;
       default_jobs = jobs;
       join_cache = Join.new_cache ();
       current_reason = Proof_forest.Asserted;
@@ -520,6 +539,7 @@ let describe_stop_reason = function
   | Iteration_limit -> "iteration limit"
   | Node_limit n -> Printf.sprintf "node limit, %d tuples" n
   | Time_limit s -> Printf.sprintf "time limit after %.2fs" s
+  | Memory_limit b -> Printf.sprintf "memory limit, %d modeled bytes" b
   | Until_satisfied -> "until condition satisfied"
 
 (* Raised cooperatively inside the run loop when a budget trips. Never
@@ -632,13 +652,14 @@ type rule_acc = {
   mutable ra_matches : int;
   mutable ra_inserted : int;
   mutable ra_deduplicated : int;
+  mutable ra_bytes : int;  (* modeled byte growth from the rule's apply phases *)
 }
 
 let rule_acc_for tbl name =
   match Hashtbl.find_opt tbl name with
   | Some acc -> acc
   | None ->
-    let acc = { ra_matches = 0; ra_inserted = 0; ra_deduplicated = 0 } in
+    let acc = { ra_matches = 0; ra_inserted = 0; ra_deduplicated = 0; ra_bytes = 0 } in
     Hashtbl.replace tbl name acc;
     acc
 
@@ -708,8 +729,8 @@ let parallel_search eng ~jobs ~budget_check (eligible : rt_rule list) :
     rules_variants
 
 let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
-    ?(rule_accs : (string, rule_acc) Hashtbl.t option) ?(jobs = 1) eng (ph : phase_times) :
-    bool =
+    ?(rule_accs : (string, rule_acc) Hashtbl.t option) ?(jobs = 1) ?(pressure = 0) eng
+    (ph : phase_times) : bool =
   let in_scope r =
     match ruleset with None -> true | Some rs -> r.rr_ruleset = rs
   in
@@ -720,6 +741,41 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
   let db = eng.db in
   Database.rebuild db;
   eng.iteration <- eng.iteration + 1;
+  (* Tier-2 memory pressure: before searching, ban the not-yet-banned rule
+     whose apply phases have grown the modeled footprint the most this run,
+     shedding the biggest allocator before the hard stop. Deterministic:
+     byte deltas are modeled, ties break by declaration order. *)
+  (match rule_accs with
+   | Some tbl when pressure >= 2 ->
+     let best = ref None in
+     List.iter
+       (fun r ->
+         if in_scope r && r.rr_banned_until <= eng.iteration then
+           match Hashtbl.find_opt tbl r.rr_name with
+           | Some acc when acc.ra_bytes > 0 -> (
+             match !best with
+             | Some (_, b) when b >= acc.ra_bytes -> ()
+             | Some _ | None -> best := Some (r, acc.ra_bytes))
+           | Some _ | None -> ())
+       eng.rules;
+     (match !best with
+      | Some (r, bytes) ->
+        let ban_length =
+          match eng.scheduler with Backoff { ban_length; _ } -> ban_length | Simple -> 5
+        in
+        r.rr_banned_until <- eng.iteration + (ban_length lsl r.rr_times_banned);
+        r.rr_times_banned <- r.rr_times_banned + 1;
+        Telemetry.bump c_pressure_bans 1;
+        if Telemetry.is_enabled () then
+          Telemetry.instant "engine.memory.pressure"
+            [
+              ("rule", Telemetry.Json.Str r.rr_name);
+              ("reason", Telemetry.Json.Str "highest-byte-growth");
+              ("bytes", Telemetry.Json.Int bytes);
+              ("banned_until", Telemetry.Json.Int r.rr_banned_until);
+            ]
+      | None -> ())
+   | Some _ | None -> ());
   let t0 = Database.timestamp db in
   let changes0 = Database.change_counter db in
   let log0 = Database.total_log_entries db in
@@ -753,9 +809,24 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
   in
   ph.ph_search <- ph.ph_search +. dt_search;
   let to_apply =
+    (* Under memory pressure the backoff policy tightens — match limits
+       shrink 8x per tier — and applies even when the configured scheduler
+       is Simple, so runs degrade to slower-but-bounded before the hard
+       memory stop. Pressure is computed from modeled bytes, so the
+       tightening is identical at any jobs count. *)
+    let effective_scheduler =
+      if pressure <= 0 then eng.scheduler
+      else begin
+        let base = match eng.scheduler with Backoff _ as b -> b | Simple -> backoff_default in
+        match base with
+        | Backoff { match_limit; ban_length } ->
+          Backoff { match_limit = max 1 (match_limit lsr (3 * pressure)); ban_length }
+        | Simple -> Simple
+      end
+    in
     List.filter_map
       (fun (r, matches) ->
-        match eng.scheduler with
+        match effective_scheduler with
         | Simple -> Some (r, matches)
         | Backoff { match_limit; ban_length } ->
           let threshold = match_limit lsl r.rr_times_banned in
@@ -767,7 +838,9 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
               Telemetry.instant "scheduler.ban"
                 [
                   ("rule", Telemetry.Json.Str r.rr_name);
-                  ("reason", Telemetry.Json.Str "match-limit-exceeded");
+                  ( "reason",
+                    Telemetry.Json.Str
+                      (if pressure > 0 then "memory-pressure" else "match-limit-exceeded") );
                   ("matches", Telemetry.Json.Int (List.length matches));
                   ("threshold", Telemetry.Json.Int threshold);
                   ("banned_until", Telemetry.Json.Int r.rr_banned_until);
@@ -793,6 +866,9 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
                 Some acc
               | None -> None
             in
+            let bytes_before =
+              match acc with Some _ -> Database.modeled_bytes db | None -> 0
+            in
             List.iter
               (fun binding ->
                 let changes_before = Database.change_counter db in
@@ -806,6 +882,10 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
                  | None -> ());
                 budget_check ~within_iteration:true)
               matches;
+            (match acc with
+             | Some acc ->
+               acc.ra_bytes <- acc.ra_bytes + (Database.modeled_bytes db - bytes_before)
+             | None -> ());
             r.rr_last_stamp <- t0 + 1)
           to_apply)
   in
@@ -825,7 +905,7 @@ let effective_jobs eng jobs =
   let j = if j = 0 then Domain.recommended_domain_count () else j in
   max 1 (min j 64)
 
-let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
+let run_iterations ?ruleset ?node_limit ?time_limit ?memory_limit ?(until = []) ?jobs eng n =
   let jobs = effective_jobs eng jobs in
   let start_all = Telemetry.now () in
   let stats = ref [] in
@@ -836,7 +916,26 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
      within an iteration after every rule search and (throttled) after each
      applied match, so one explosive iteration cannot run away. Deadlines
      read the telemetry clock (monotonic), so a wall-clock jump can neither
-     fire a time budget early nor let a run outlive it. *)
+     fire a time budget early nor let a run outlive it. The memory budget
+     reads the modeled footprint — a pure function of database contents, so
+     it trips at the same tick at any jobs count. *)
+  let peak_bytes = ref 0 in
+  let note_bytes () =
+    let b = Database.modeled_bytes eng.db in
+    if b > !peak_bytes then peak_bytes := b;
+    b
+  in
+  (* Pressure level against the memory limit: 0 below tier 1, then 1, then
+     2 at tier 2. Recomputed between iterations (never mid-iteration, so
+     one iteration sees one consistent policy). *)
+  let pressure_of bytes =
+    match memory_limit with
+    | None -> 0
+    | Some m ->
+      let t1, t2 = eng.pressure_tiers in
+      let fb = float_of_int bytes and fm = float_of_int m in
+      if fb >= t2 *. fm then 2 else if fb >= t1 *. fm then 1 else 0
+  in
   let tick = ref 0 in
   let budget_check ~within_iteration =
     let due =
@@ -852,6 +951,11 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
          let rows = Database.total_rows eng.db in
          if rows > k then raise (Stop_run (Node_limit rows))
        | None -> ());
+      (match memory_limit with
+       | Some m ->
+         let b = note_bytes () in
+         if b > m then raise (Stop_run (Memory_limit b))
+       | None -> ());
       match time_limit with
       | Some s ->
         let dt = Telemetry.now () -. start_all in
@@ -861,6 +965,7 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
   in
   let until_holds () = until <> [] && check_facts eng until in
   let stop = ref Iteration_limit in
+  let pressure = ref (pressure_of (note_bytes ())) in
   (try
      if until_holds () then raise (Stop_run Until_satisfied);
      budget_check ~within_iteration:false;
@@ -871,7 +976,10 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
        let dt, outcome =
          Telemetry.timed_span "engine.iteration" (fun () ->
              let outcome =
-               try Ok (run_one_iteration ?ruleset ~budget_check ~rule_accs ~jobs eng ph)
+               try
+                 Ok
+                   (run_one_iteration ?ruleset ~budget_check ~rule_accs ~jobs
+                      ~pressure:!pressure eng ph)
                with Stop_run r -> Error r
              in
              (* A budget can trip mid-iteration; restore the canonical
@@ -885,6 +993,17 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
              outcome)
        in
        total := !total +. dt;
+       let bytes_now = note_bytes () in
+       let p = pressure_of bytes_now in
+       if p <> !pressure && Telemetry.is_enabled () then
+         Telemetry.instant "engine.memory.pressure"
+           [
+             ("level", Telemetry.Json.Int p);
+             ("bytes", Telemetry.Json.Int bytes_now);
+             ( "limit",
+               Telemetry.Json.Int (match memory_limit with Some m -> m | None -> 0) );
+           ];
+       pressure := p;
        let stat =
          {
            it_index = i;
@@ -928,7 +1047,7 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
         else begin
           let acc =
             Option.value (Hashtbl.find_opt rule_accs r.rr_name)
-              ~default:{ ra_matches = 0; ra_inserted = 0; ra_deduplicated = 0 }
+              ~default:{ ra_matches = 0; ra_inserted = 0; ra_deduplicated = 0; ra_bytes = 0 }
           in
           Some
             {
@@ -937,6 +1056,7 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
               rs_inserted = acc.ra_inserted;
               rs_deduplicated = acc.ra_deduplicated;
               rs_bans = r.rr_times_banned - bans_before;
+              rs_bytes = acc.ra_bytes;
             }
         end)
       bans0
@@ -954,8 +1074,18 @@ let run_iterations ?ruleset ?node_limit ?time_limit ?(until = []) ?jobs eng n =
               ("bans", Telemetry.Json.Int rs.rs_bans);
             ])
       rule_stats;
+  ignore (note_bytes ());
+  Telemetry.record_max c_mem_modeled !peak_bytes;
+  Telemetry.record_max c_mem_top_heap ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8));
   let report =
-    { iterations = List.rev !stats; stop_reason = !stop; rule_stats; total_seconds = !total; jobs }
+    {
+      iterations = List.rev !stats;
+      stop_reason = !stop;
+      rule_stats;
+      total_seconds = !total;
+      jobs;
+      peak_memory_bytes = !peak_bytes;
+    }
   in
   (match eng.report_sink with Some sink -> sink := report :: !sink | None -> ());
   report
@@ -1062,7 +1192,7 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
            saturate loops observe "no change" and terminate. *)
         let report =
           run_iterations ?ruleset:(resolve_rs rs) ?node_limit:eng.default_node_limit
-            ?time_limit:eng.default_time_limit eng n
+            ?time_limit:eng.default_time_limit ?memory_limit:eng.default_memory_limit eng n
         in
         total := !total + List.length report.iterations;
         List.exists (fun s -> s.it_changed) report.iterations
@@ -1136,15 +1266,16 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
     let first_some a b = match a with Some _ -> a | None -> b in
     let node_limit = first_some spec.Ast.run_node_limit eng.default_node_limit in
     let time_limit = first_some spec.Ast.run_time_limit eng.default_time_limit in
+    let memory_limit = first_some spec.Ast.run_memory_limit eng.default_memory_limit in
     let report =
-      run_iterations ~ruleset:"" ?node_limit ?time_limit ~until:spec.Ast.run_until
-        ?jobs:spec.Ast.run_jobs eng n
+      run_iterations ~ruleset:"" ?node_limit ?time_limit ?memory_limit
+        ~until:spec.Ast.run_until ?jobs:spec.Ast.run_jobs eng n
     in
     let stop_note =
       match report.stop_reason with
       | Saturated -> " (saturated)"
       | Iteration_limit -> ""
-      | (Node_limit _ | Time_limit _ | Until_satisfied) as r ->
+      | (Node_limit _ | Time_limit _ | Memory_limit _ | Until_satisfied) as r ->
         Printf.sprintf " (stopped: %s)" (describe_stop_reason r)
     in
     [ Printf.sprintf "ran %d iteration(s)%s; %d tuples, %d classes"
@@ -1197,11 +1328,19 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
             | Some { Extract.term; _ } -> Sexpr.to_string (Extract.term_to_sexp term)
             | None -> Value.to_string v
           in
+          (* Render each endpoint as its extracted term next to the raw id:
+             "#4 (Mul a b) = #9 (Shl a 1)  [rule mul-to-shift]". Ids whose
+             class yields no extractable term fall back to the bare id. *)
+          let endpoint id =
+            let raw = Printf.sprintf "#%d" id in
+            let d = describe (Value.VId id) in
+            if d = raw then raw else Printf.sprintf "%s %s" raw d
+          in
           let render steps =
             List.map
               (fun (s : Proof_forest.step) ->
-                Format.asprintf "#%d = #%d  [%a]" s.Proof_forest.from_id s.Proof_forest.to_id
-                  Proof_forest.pp_reason s.Proof_forest.why)
+                Format.asprintf "%s = %s  [%a]" (endpoint s.Proof_forest.from_id)
+                  (endpoint s.Proof_forest.to_id) Proof_forest.pp_reason s.Proof_forest.why)
               steps
           in
           match Database.explain eng.db v1 v2 with
@@ -1276,7 +1415,8 @@ let rec run_command_inner eng (cmd : Ast.command) : string list =
                must not be a way around --node-limit / --time-limit *)
             ignore
               (run_iterations ?node_limit:eng.default_node_limit
-                 ?time_limit:eng.default_time_limit eng n);
+                 ?time_limit:eng.default_time_limit ?memory_limit:eng.default_memory_limit
+                 eng n);
             match extract_value eng v with
             | Some { Extract.term; cost } ->
               [ Printf.sprintf "%s : cost %d" (Sexpr.to_string (Extract.term_to_sexp term)) cost ]
@@ -1431,10 +1571,13 @@ let collect_reports eng f =
   in
   (result, List.rev !sink)
 
-let set_session_limits ?node_limit ?time_limit ?jobs eng () =
+let set_session_limits ?node_limit ?time_limit ?memory_limit ?jobs eng () =
   (match jobs with
    | Some j when j < 0 -> error "jobs must be non-negative (0 = one per core), got %d" j
    | _ -> ());
   eng.default_node_limit <- node_limit;
   eng.default_time_limit <- time_limit;
+  eng.default_memory_limit <- memory_limit;
   Option.iter (fun j -> eng.default_jobs <- j) jobs
+
+let modeled_bytes eng = Database.modeled_bytes eng.db

@@ -25,19 +25,29 @@ val create :
   ?index_caching:bool ->
   ?node_limit:int ->
   ?time_limit:float ->
+  ?memory_limit:int ->
+  ?pressure_tiers:float * float ->
   ?jobs:int ->
   unit ->
   t
 (** [seminaive:false] gives the paper's egglogNI baseline; [fast_paths] and
     [index_caching] exist for the ablation benchmarks. [node_limit] /
-    [time_limit] install session-wide budgets applied to every [(run ...)]
-    and [(run-schedule ...)] command (the CLI's [--node-limit] /
-    [--time-limit]); per-command [:node-limit] / [:time-limit] override
-    them. [jobs] (default 1) is the session default for the number of
-    domains the search phase fans out across ([0] = one per core; the
-    CLI's [--jobs]); a per-command [:jobs] overrides it. Results are
-    bit-identical to [jobs:1] for any value. @raise Egglog_error on a
-    negative [jobs]. *)
+    [time_limit] / [memory_limit] install session-wide budgets applied to
+    every [(run ...)] and [(run-schedule ...)] command (the CLI's
+    [--node-limit] / [--time-limit] / [--memory-limit]); per-command
+    [:node-limit] / [:time-limit] / [:memory-limit] override them. The
+    memory budget is enforced against {!Database.modeled_bytes} — the
+    deterministic modeled footprint, never [Gc] statistics — so the same
+    program stops at the same iteration on every run. [pressure_tiers]
+    (default [(0.7, 0.85)]) are the fractions of the memory limit at which
+    the engine starts degrading before the hard stop: at tier 1 the backoff
+    scheduler tightens (match limits shrink, and the backoff policy applies
+    even under [Simple]); at tier 2 the rule with the highest modeled byte
+    growth is additionally banned each iteration. [jobs] (default 1) is the
+    session default for the number of domains the search phase fans out
+    across ([0] = one per core; the CLI's [--jobs]); a per-command [:jobs]
+    overrides it. Results are bit-identical to [jobs:1] for any value.
+    @raise Egglog_error on a negative [jobs] or malformed tiers. *)
 
 val database : t -> Database.t
 
@@ -97,6 +107,10 @@ type stop_reason =
   | Iteration_limit  (** ran the requested number of iterations *)
   | Node_limit of int  (** tuple budget tripped; payload = tuples at stop *)
   | Time_limit of float  (** wall-clock budget tripped; payload = elapsed seconds *)
+  | Memory_limit of int
+      (** modeled byte budget tripped; payload = {!Database.modeled_bytes} at
+          stop. Deterministic: the same program trips at the same iteration
+          at any jobs count, with byte-identical database state. *)
   | Until_satisfied  (** the [until] facts became derivable *)
 
 val describe_stop_reason : stop_reason -> string
@@ -111,6 +125,9 @@ type rule_stat = {
       (** matches whose actions changed nothing: semi-naïve duplicates and
           already-derived facts *)
   rs_bans : int;  (** times the scheduler banned the rule during this run *)
+  rs_bytes : int;
+      (** modeled byte growth of the database attributable to the rule's
+          apply phases — what the tier-2 pressure response ranks rules by *)
 }
 (** Per-rule accounting for one run — enough to diagnose which rule made a
     workload explode, and how much of its matching was wasted. *)
@@ -123,6 +140,9 @@ type run_report = {
   jobs : int;
       (** resolved search-phase domain count the run used ([>= 1]; the [0]
           = one-per-core request resolves before it lands here) *)
+  peak_memory_bytes : int;
+      (** maximum modeled database footprint observed during the run (at
+          iteration boundaries and throttled budget checks) *)
 }
 
 val pp_run_report : Format.formatter -> run_report -> unit
@@ -134,6 +154,7 @@ val run_iterations :
   ?ruleset:string ->
   ?node_limit:int ->
   ?time_limit:float ->
+  ?memory_limit:int ->
   ?until:Ast.fact list ->
   ?jobs:int ->
   t ->
@@ -141,8 +162,10 @@ val run_iterations :
   run_report
 (** Run up to [n] iterations, restricted to one named ruleset when given.
     [node_limit] stops once total tuples exceed it; [time_limit] stops after
-    that many wall-clock seconds; [until] stops as soon as all its facts are
-    derivable (checked before the first iteration and after each one).
+    that many wall-clock seconds; [memory_limit] stops once the modeled
+    database footprint ({!Database.modeled_bytes}) exceeds it, degrading
+    through the pressure tiers first; [until] stops as soon as all its facts
+    are derivable (checked before the first iteration and after each one).
     [jobs] fans the search phase across that many domains ([0] = one per
     core; default: the engine's session setting). The database is frozen
     during search and per-variant match buffers are merged in a fixed
@@ -183,11 +206,18 @@ val collect_reports : t -> (unit -> 'a) -> 'a * run_report list
     how the server detects that a request tripped its node or time budget
     (and must be rolled back) without parsing output strings. Nests. *)
 
-val set_session_limits : ?node_limit:int -> ?time_limit:float -> ?jobs:int -> t -> unit -> unit
+val set_session_limits :
+  ?node_limit:int -> ?time_limit:float -> ?memory_limit:int -> ?jobs:int -> t -> unit -> unit
 (** Overwrite the session-wide budget and jobs defaults ({!create}'s
-    [node_limit]/[time_limit]/[jobs]) — the server resets these to the
-    request's (clamped) limits before executing it. Omitted budgets are
-    {e cleared}, not preserved. @raise Egglog_error on negative [jobs]. *)
+    [node_limit]/[time_limit]/[memory_limit]/[jobs]) — the server resets
+    these to the request's (clamped) limits before executing it. Omitted
+    budgets are {e cleared}, not preserved. @raise Egglog_error on negative
+    [jobs]. *)
+
+val modeled_bytes : t -> int
+(** {!Database.modeled_bytes} of the engine's current database: the
+    deterministic modeled footprint the server's quotas are accounted
+    against. O(#tables). *)
 
 (** {1 Introspection} *)
 

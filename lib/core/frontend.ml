@@ -152,7 +152,7 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
       List.iter
         (fun (kw, _) ->
           match kw with
-          | ":until" | ":node-limit" | ":time-limit" | ":jobs" -> ()
+          | ":until" | ":node-limit" | ":time-limit" | ":jobs" | ":memory-limit" -> ()
           | other -> error "unknown run option %s" other)
         kws;
       let node_limit =
@@ -187,8 +187,16 @@ let command_of_sexp (s : Sexpr.t) : Ast.command list =
             (Sexpr.to_string v)
         | None -> None
       in
+      let memory_limit =
+        match List.assoc_opt ":memory-limit" kws with
+        | Some (Sexpr.Int b) when b >= 0 -> Some b
+        | Some v ->
+          error "malformed :memory-limit %s (want a non-negative byte count)" (Sexpr.to_string v)
+        | None -> None
+      in
       [ Ast.Run { Ast.run_limit = limit; run_node_limit = node_limit;
-                  run_time_limit = time_limit; run_until = until; run_jobs = jobs } ]
+                  run_time_limit = time_limit; run_until = until; run_jobs = jobs;
+                  run_memory_limit = memory_limit } ]
     | "run-schedule", scheds ->
       let rec sched_of_sexp (s : Sexpr.t) : Ast.schedule =
         match s with
@@ -352,7 +360,8 @@ let sexp_of_command (cmd : Ast.command) : Sexpr.t =
     Sexpr.List (Sexpr.Atom "rewrite" :: sexp_of_expr lhs :: sexp_of_expr rhs :: kws)
   | Ast.Define (x, e) -> Sexpr.List [ Sexpr.Atom "define"; Sexpr.Atom x; sexp_of_expr e ]
   | Ast.Top_action a -> sexp_of_action a
-  | Ast.Run { run_limit; run_node_limit; run_time_limit; run_until; run_jobs } ->
+  | Ast.Run { run_limit; run_node_limit; run_time_limit; run_until; run_jobs; run_memory_limit }
+    ->
     let limit = match run_limit with None -> [] | Some n -> [ Sexpr.Int n ] in
     let kws =
       (match run_node_limit with
@@ -364,6 +373,9 @@ let sexp_of_command (cmd : Ast.command) : Sexpr.t =
       @ (match run_jobs with
          | None -> []
          | Some j -> [ Sexpr.Atom ":jobs"; Sexpr.Int j ])
+      @ (match run_memory_limit with
+         | None -> []
+         | Some b -> [ Sexpr.Atom ":memory-limit"; Sexpr.Int b ])
       @
       match run_until with
       | [] -> []

@@ -4,11 +4,11 @@ type step = { from_id : int; to_id : int; why : reason }
 
 (* Each id has at most one labelled parent edge; [record] re-roots one
    side's tree so the new edge can be added (Nelson-Oppen style). *)
-type t = { mutable parent : (int * reason) array }
+type t = { mutable parent : (int * reason) array; mutable n_edges : int }
 
 let no_parent = (-1, Asserted)
 
-let create () = { parent = Array.make 64 no_parent }
+let create () = { parent = Array.make 64 no_parent; n_edges = 0 }
 
 let ensure t id =
   if id >= Array.length t.parent then begin
@@ -43,8 +43,13 @@ let record t a b why =
     ensure t a;
     ensure t b;
     reroot t a;
-    t.parent.(a) <- (b, why)
+    (* Rerooting flips edges without changing their count, and [a] is a
+       root afterwards, so this always adds exactly one edge. *)
+    t.parent.(a) <- (b, why);
+    t.n_edges <- t.n_edges + 1
   end
+
+let n_edges t = t.n_edges
 
 let path_to_root t id =
   let rec go acc id =
@@ -89,7 +94,7 @@ let edges_in_class t ~member ~find =
     t.parent;
   List.rev !acc
 
-let copy t = { parent = Array.copy t.parent }
+let copy t = { parent = Array.copy t.parent; n_edges = t.n_edges }
 
 let pp_reason fmt = function
   | Asserted -> Format.pp_print_string fmt "asserted"

@@ -24,6 +24,10 @@ val explain : t -> int -> int -> step list option
 (** A chain of recorded steps connecting the ids ([Some []] when they are
     identical); [None] when no recorded chain connects them. *)
 
+val n_edges : t -> int
+(** Number of recorded union edges (each {!record} of distinct ids adds
+    exactly one, rerooting included); feeds the modeled memory footprint. *)
+
 val edges_in_class : t -> member:int -> find:(int -> int) -> step list
 (** All recorded union events whose endpoints are in the given class —
     the construction trace of the e-class. *)

@@ -15,7 +15,19 @@ type t = {
   mutable removals : int;  (* rows ever removed; nonzero delta = not append-only *)
   mutable value_updates : int;  (* in-place output overwrites of existing rows *)
   mutable distinct_cache : (int * int array) option;  (* version, per-column distincts *)
+  mutable bytes : int;  (* modeled footprint, maintained incrementally *)
 }
+
+(* Modeled byte accounting. Each row costs a fixed overhead (hashtable
+   bucket, record, key array header) plus the modeled size of its key
+   elements and output; each timestamp-log entry costs a fixed slot. The
+   constants echo the runtime representation but what matters is that the
+   count is a deterministic function of the table contents. *)
+let row_overhead = 48
+let log_entry_cost = 16
+
+let key_bytes key = Array.fold_left (fun acc v -> acc + Value.modeled_bytes v) 16 key
+let row_bytes key value = row_overhead + key_bytes key + Value.modeled_bytes value
 
 let next_uid =
   let counter = ref 0 in
@@ -35,6 +47,7 @@ let create func =
     removals = 0;
     value_updates = 0;
     distinct_cache = None;
+    bytes = 0;
   }
 
 let func t = t.func
@@ -49,6 +62,7 @@ let value_updates t = t.value_updates
    semi-naïve round will scan, which makes it the right "delta size" to
    report in telemetry. *)
 let log_length t = t.log_len
+let modeled_bytes t = t.bytes
 let get t key = Value.Key_tbl.find_opt t.data key
 
 let log_append t key stamp =
@@ -62,12 +76,14 @@ let log_append t key stamp =
   end;
   t.log_keys.(t.log_len) <- key;
   t.log_stamps.(t.log_len) <- stamp;
-  t.log_len <- t.log_len + 1
+  t.log_len <- t.log_len + 1;
+  t.bytes <- t.bytes + log_entry_cost
 
 let set_raw t key value ~stamp =
   match Value.Key_tbl.find_opt t.data key with
   | None ->
     Value.Key_tbl.replace t.data key { value; stamp };
+    t.bytes <- t.bytes + row_bytes key value;
     log_append t key stamp;
     t.version <- t.version + 1;
     `Inserted
@@ -75,6 +91,7 @@ let set_raw t key value ~stamp =
     if Value.equal row.value value then `Unchanged
     else begin
       let restamped = row.stamp <> stamp in
+      t.bytes <- t.bytes + Value.modeled_bytes value - Value.modeled_bytes row.value;
       row.value <- value;
       row.stamp <- stamp;
       if restamped then log_append t key stamp;
@@ -84,11 +101,15 @@ let set_raw t key value ~stamp =
     end
 
 let remove t key =
-  if Value.Key_tbl.mem t.data key then begin
+  match Value.Key_tbl.find_opt t.data key with
+  | Some row ->
     Value.Key_tbl.remove t.data key;
+    (* The log entries the row left behind stay allocated, so only the row
+       itself is subtracted; log cost is reclaimed never, like the arrays. *)
+    t.bytes <- t.bytes - row_bytes key row.value;
     t.version <- t.version + 1;
     t.removals <- t.removals + 1
-  end
+  | None -> ()
 let iter f t = Value.Key_tbl.iter f t.data
 let fold f t init = Value.Key_tbl.fold f t.data init
 
@@ -183,4 +204,5 @@ let copy t =
     removals = t.removals;
     value_updates = t.value_updates;
     distinct_cache = None;
+    bytes = t.bytes;
   }

@@ -44,6 +44,13 @@ val log_length : t -> int
     growth over an iteration is the frontier semi-naïve evaluation scans
     next round — the "delta size" reported by telemetry. *)
 
+val modeled_bytes : t -> int
+(** Deterministic modeled footprint in bytes: per-row overhead plus
+    {!Value.modeled_bytes} of every key element and output, plus a fixed
+    cost per timestamp-log entry. Maintained incrementally (O(1) query),
+    a pure function of the mutation history — never of the allocator —
+    so memory budgets built on it trip reproducibly. *)
+
 val get : t -> Value.t array -> row option
 (** Keys must already be canonical. *)
 

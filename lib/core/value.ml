@@ -61,6 +61,18 @@ let rec map_symbols f v =
     let xs' = List.map (map_symbols f) xs in
     if List.for_all2 (fun a b -> a == b) xs xs' then v else VVec xs'
 
+(* Deterministic modeled size. The constants approximate the OCaml runtime
+   representation (words on 64-bit) but the only property that matters is
+   that the model is a pure function of the value — independent of the
+   allocator, sharing, or GC state — so byte budgets trip at the same
+   iteration on every run. *)
+let rec modeled_bytes = function
+  | VUnit | VBool _ | VInt _ | VId _ -> 8
+  | VRat _ -> 32
+  | VStr s -> 24 + String.length (Symbol.name s)
+  | VSet xs | VVec xs ->
+    List.fold_left (fun acc x -> acc + 16 + modeled_bytes x) 24 xs
+
 let set_elements = function
   | VSet xs -> xs
   | VUnit | VBool _ | VInt _ | VRat _ | VStr _ | VId _ | VVec _ ->

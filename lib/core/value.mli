@@ -28,6 +28,11 @@ val map_symbols : (Symbol.t -> Symbol.t) -> t -> t
 val set_elements : t -> t list
 (** @raise Invalid_argument when not a [VSet]. *)
 
+val modeled_bytes : t -> int
+(** Deterministic modeled size of the value in bytes. A pure function of the
+    value's structure (never of allocator or GC state), so byte budgets built
+    on it are reproducible run-to-run and across [--jobs] settings. *)
+
 val type_of : sort_of_id:(int -> Ty.t) -> t -> Ty.t
 (** Runtime type; id sorts are resolved through the database callback. *)
 

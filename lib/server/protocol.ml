@@ -8,6 +8,7 @@ type error_kind =
   | Budget
   | Deadline
   | Quota
+  | Memory
   | Overload
   | Session_limit
   | Bad_session
@@ -24,6 +25,7 @@ let kind_to_string = function
   | Budget -> "budget"
   | Deadline -> "deadline"
   | Quota -> "quota"
+  | Memory -> "memory"
   | Overload -> "overload"
   | Session_limit -> "session-limit"
   | Bad_session -> "bad-session"
@@ -45,6 +47,7 @@ type op =
       program : string;
       node_limit : int option;
       time_limit_ms : int option;
+      memory_limit : int option;
       jobs : int option;
     }
   | Dump
@@ -140,6 +143,7 @@ let parse_request line =
           program;
           node_limit = pos_field obj "node_limit";
           time_limit_ms = pos_field obj "time_limit_ms";
+          memory_limit = pos_field obj "memory_limit";
           jobs =
             (match int_field obj "jobs" with
              | Some j when j < 0 -> malformed "field \"jobs\" must be non-negative"

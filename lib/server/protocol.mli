@@ -27,8 +27,15 @@ type error_kind =
   | Engine_error  (** the engine rejected or failed the program *)
   | Budget  (** a run tripped its node or time budget; request rolled back *)
   | Deadline  (** the request exceeded its wall-clock deadline between commands *)
-  | Quota  (** the session's node quota would be exceeded; request rolled back *)
-  | Overload  (** admission queue full; retry after [retry_after_ms] *)
+  | Quota
+      (** the session's node or modeled-byte quota would be exceeded;
+          request rolled back *)
+  | Memory
+      (** the process ran out of memory (or overflowed the stack) executing
+          the request; the transaction was rolled back and the daemon lives *)
+  | Overload
+      (** admission queue full or global memory headroom exhausted; retry
+          after [retry_after_ms] *)
   | Session_limit  (** session table full *)
   | Bad_session  (** invalid session name *)
   | Shutting_down  (** daemon is draining *)
@@ -52,6 +59,7 @@ type op =
       program : string;
       node_limit : int option;
       time_limit_ms : int option;
+      memory_limit : int option;  (** modeled-byte budget for the request *)
       jobs : int option;
     }
   | Dump

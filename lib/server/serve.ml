@@ -14,6 +14,8 @@ type config = {
   time_limit_cap_ms : int;
   max_jobs : int;
   session_node_quota : int option;
+  session_memory_quota : int option;
+  memory_headroom : int option;
   idle_timeout_s : float option;
   checkpoint_every : int option;
 }
@@ -32,6 +34,8 @@ let default_config =
     time_limit_cap_ms = 10_000;
     max_jobs = 4;
     session_node_quota = None;
+    session_memory_quota = None;
+    memory_headroom = None;
     idle_timeout_s = None;
     checkpoint_every = Some 64;
   }
@@ -234,15 +238,29 @@ let hello_reply t ~id =
             ("queue_limit", Json.Int cfg.queue_limit);
             ( "session_node_quota",
               match cfg.session_node_quota with Some q -> Json.Int q | None -> Json.Null );
+            ( "session_memory_quota",
+              match cfg.session_memory_quota with Some q -> Json.Int q | None -> Json.Null );
+            ( "memory_headroom",
+              match cfg.memory_headroom with Some h -> Json.Int h | None -> Json.Null );
           ] );
       ("sessions", Json.List (List.map (fun n -> Json.Str n) (Session.live_names t.sessions)));
     ]
 
-let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms ~jobs =
+let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms ~memory_limit
+    ~jobs =
   let cfg = t.cfg in
   let node_budget = min (Option.value node_limit ~default:cfg.node_limit_cap) cfg.node_limit_cap in
   let time_ms = min (Option.value time_limit_ms ~default:cfg.time_limit_cap_ms) cfg.time_limit_cap_ms in
   let total_s = float_of_int time_ms /. 1000. in
+  (* The request's modeled-byte budget, clamped by the per-session quota:
+     like the node budget, the quota is the server's and requests only
+     tighten it. *)
+  let mem_budget =
+    match (memory_limit, cfg.session_memory_quota) with
+    | Some m, Some q -> Some (min m q)
+    | Some m, None -> Some m
+    | None, q -> q
+  in
   let jobs =
     match jobs with None -> 1 | Some 0 -> cfg.max_jobs | Some j -> min j cfg.max_jobs
   in
@@ -261,6 +279,11 @@ let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms 
           (match sp.E.Ast.run_time_limit with
            | Some s -> Float.min s remaining
            | None -> remaining);
+      run_memory_limit =
+        (match (sp.E.Ast.run_memory_limit, mem_budget) with
+         | Some m, Some b -> Some (min m b)
+         | Some m, None -> Some m
+         | None, b -> b);
       run_jobs =
         (match sp.E.Ast.run_jobs with
          | None -> Some jobs
@@ -270,6 +293,8 @@ let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms 
   in
   let outputs, reports =
     E.Engine.with_transaction eng (fun () ->
+      (* injected allocation failure: must roll back and reply, never die *)
+      if E.Fault.would_crash "server.oom" then raise Out_of_memory;
       let result =
         E.Engine.collect_reports eng (fun () ->
           List.concat_map
@@ -279,7 +304,7 @@ let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms 
                 Protocol.reject Protocol.Deadline
                   "request exceeded its %d ms deadline; rolled back" time_ms;
               E.Engine.set_session_limits ~node_limit:node_budget ~time_limit:remaining
-                ~jobs eng ();
+                ?memory_limit:mem_budget ~jobs eng ();
               let cmd =
                 match cmd with
                 | E.Ast.Run sp -> E.Ast.Run (clamp_spec sp remaining)
@@ -294,7 +319,8 @@ let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms 
          List.find_opt
            (fun (r : E.Engine.run_report) ->
              match r.E.Engine.stop_reason with
-             | E.Engine.Node_limit _ | E.Engine.Time_limit _ -> true
+             | E.Engine.Node_limit _ | E.Engine.Time_limit _ | E.Engine.Memory_limit _ ->
+               true
              | _ -> false)
            (snd result)
        with
@@ -307,6 +333,12 @@ let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms 
         Protocol.reject Protocol.Quota
           "session would hold %d tuples, quota is %d; request rolled back"
           (E.Engine.total_rows eng) q
+      | _ -> ());
+      (match cfg.session_memory_quota with
+      | Some q when E.Engine.modeled_bytes eng > q ->
+        Protocol.reject Protocol.Quota
+          "session would hold %d modeled bytes, quota is %d; request rolled back"
+          (E.Engine.modeled_bytes eng) q
       | _ -> ());
       result)
   in
@@ -331,6 +363,35 @@ let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms 
       ("iterations", Json.Int iterations);
     ]
 
+(* Global admission control: when the modeled footprint of all live sessions
+   exceeds the headroom cap, shed the largest idle sessions
+   (checkpoint-then-evict, deterministic victim order) and, if the footprint
+   is still over the cap, refuse the request with a retry hint rather than
+   letting the daemon grow without bound. The requester's own session is
+   never evicted from under its request. The fault "server.memory.pressure"
+   forces a zero cap so tests can exercise eviction and the overload reply
+   without allocating real memory. *)
+let enforce_headroom t ~keep =
+  let cap =
+    if E.Fault.would_crash "server.memory.pressure" then Some 0 else t.cfg.memory_headroom
+  in
+  match cap with
+  | None -> ()
+  | Some cap ->
+    if Session.total_bytes t.sessions > cap then begin
+      let evicted = Session.evict_largest t.sessions ~keep ~target_bytes:cap in
+      if evicted <> [] then
+        E.Telemetry.instant "server.memory.pressure"
+          [
+            ("evicted", Json.List (List.map (fun n -> Json.Str n) evicted));
+            ("headroom_bytes", Json.Int cap);
+          ];
+      let still = Session.total_bytes t.sessions in
+      if still > cap then
+        Protocol.reject Protocol.Overload ~retry_after_ms:t.cfg.retry_after_ms
+          "global memory headroom exhausted (%d modeled bytes, cap %d)" still cap
+    end
+
 let session_fields (sess : Session.session) =
   [
     ("session", Json.Str sess.Session.s_name);
@@ -347,8 +408,25 @@ let execute t (rq : Protocol.request) =
       | Protocol.Ping -> Protocol.ok_reply ~id []
       | Protocol.Hello -> hello_reply t ~id
       | Protocol.Metrics ->
+        (* modeled bytes are the governed quantity; Gc numbers ride along as
+           telemetry-only backstop (see docs/INTERNALS.md) *)
+        let gc = Gc.quick_stat () in
+        let word_bytes = Sys.word_size / 8 in
+        let opt_int = function Some v -> Json.Int v | None -> Json.Null in
         Protocol.ok_reply ~id
-          [ ("metrics", E.Telemetry.snapshot_to_json (E.Telemetry.snapshot ())) ]
+          [
+            ("metrics", E.Telemetry.snapshot_to_json (E.Telemetry.snapshot ()));
+            ( "memory",
+              Json.Obj
+                [
+                  ("modeled_bytes", Json.Int (Session.total_bytes t.sessions));
+                  ("live_sessions", Json.Int (Session.live_count t.sessions));
+                  ("session_memory_quota", opt_int t.cfg.session_memory_quota);
+                  ("memory_headroom", opt_int t.cfg.memory_headroom);
+                  ("top_heap_bytes", Json.Int (gc.Gc.top_heap_words * word_bytes));
+                  ("heap_bytes", Json.Int (gc.Gc.heap_words * word_bytes));
+                ] );
+          ]
       | op ->
         let name =
           match rq.Protocol.rq_session with
@@ -363,9 +441,10 @@ let execute t (rq : Protocol.request) =
         | Protocol.Open_session { durable } ->
           let sess = Session.lookup t.sessions ~name ~durable ~now:(now ()) in
           Protocol.ok_reply ~id (session_fields sess)
-        | Protocol.Run { program; node_limit; time_limit_ms; jobs } ->
+        | Protocol.Run { program; node_limit; time_limit_ms; memory_limit; jobs } ->
+          enforce_headroom t ~keep:name;
           let sess = Session.lookup t.sessions ~name ~durable:false ~now:(now ()) in
-          exec_run t sess ~id ~program ~node_limit ~time_limit_ms ~jobs
+          exec_run t sess ~id ~program ~node_limit ~time_limit_ms ~memory_limit ~jobs
         | Protocol.Dump ->
           let sess = Session.lookup t.sessions ~name ~durable:false ~now:(now ()) in
           Protocol.ok_reply ~id
@@ -382,6 +461,18 @@ let execute t (rq : Protocol.request) =
     with
     | reply -> reply
     | exception (E.Fault.Crash _ as e) -> raise e  (* simulated crash: die loudly *)
+    | exception ((Out_of_memory | Stack_overflow) as e) ->
+      (* the allocator (or the stack) gave out mid-request. with_transaction
+         already restored the session's pre-request state on the way up;
+         compact to actually return freed memory, then answer with a typed
+         error — the daemon and every other session live on. *)
+      (try Gc.compact () with Out_of_memory -> ());
+      E.Telemetry.bump c_errors 1;
+      Protocol.error_reply ~id ~kind:Protocol.Memory
+        ~message:
+          (Printf.sprintf "%s while executing the request; session rolled back"
+             (match e with Out_of_memory -> "out of memory" | _ -> "stack overflow"))
+        ()
     | exception E.Engine.Egglog_error msg ->
       E.Telemetry.bump c_errors 1;
       Protocol.error_reply ~id ~kind:Protocol.Engine_error ~message:msg ()

@@ -27,12 +27,28 @@
       crash loses at most unacknowledged work) and are recovered on the
       next start. See {!Session}.
 
+    - {b Memory governance.} Budgets are enforced against the engine's
+      deterministic modeled byte count ({!Egglog.Engine.modeled_bytes}),
+      never [Gc] statistics: per-request [memory_limit]s are clamped by the
+      per-session [session_memory_quota]; a session whose retained footprint
+      would exceed its quota gets a [quota] reject and a rollback; and when
+      the sum over all live sessions exceeds [memory_headroom], admission
+      first checkpoint-then-evicts the largest idle sessions and, if still
+      over, sheds the request with an [overload] reply. A real
+      [Out_of_memory] (or [Stack_overflow]) mid-request is caught, the
+      transaction rolled back, and the client gets a [memory] reply — the
+      daemon and every other session survive.
+
     Server-side fault injection points (see {!Egglog.Fault}):
     ["server.request.executed"] (crash after commit, before the journal
     append), ["server.request.journaled"] (crash after the fsync, before
     the reply), ["server.reply.drop"] (drop the connection halfway
     through a reply; the daemon survives), ["server.reply.slow"] (dribble
-    the reply one byte per tick — a slow client in the other direction). *)
+    the reply one byte per tick — a slow client in the other direction),
+    ["server.memory.pressure"] (treat the global headroom cap as zero for
+    one request: forces eviction + overload shedding), ["server.oom"]
+    (raise [Out_of_memory] inside the request transaction; the daemon
+    must roll back and reply, not die). *)
 
 type config = {
   socket_path : string option;
@@ -47,6 +63,12 @@ type config = {
   time_limit_cap_ms : int;  (** hard per-request wall-clock budget (and default) *)
   max_jobs : int;  (** cap on per-request search parallelism *)
   session_node_quota : int option;  (** max tuples a session may retain *)
+  session_memory_quota : int option;
+      (** max modeled bytes a session may retain; also clamps per-request
+          [memory_limit]s *)
+  memory_headroom : int option;
+      (** global cap on the summed modeled bytes of all live sessions;
+          beyond it, largest-first eviction then [overload] shedding *)
   idle_timeout_s : float option;  (** evict sessions idle longer than this *)
   checkpoint_every : int option;  (** journal checkpoint cadence *)
 }

@@ -154,6 +154,42 @@ let close t ~name =
     true
   | Some (Quarantined _) | None -> false
 
+let session_bytes (s : session) = E.Engine.modeled_bytes s.s_engine
+
+let total_bytes t =
+  Hashtbl.fold
+    (fun _ e acc -> match e with Live s -> acc + session_bytes s | Quarantined _ -> acc)
+    t.table 0
+
+(* Shed the biggest holders first under global memory pressure. Deterministic
+   victim order: modeled bytes descending, then name ascending — modeled
+   bytes are a pure function of session contents, so the same state sheds the
+   same sessions. The requester ([keep]) is never evicted out from under its
+   own request; durable victims checkpoint first (close_session), so their
+   state stays recoverable. *)
+let evict_largest t ~keep ~target_bytes =
+  let victims =
+    Hashtbl.fold
+      (fun name e acc ->
+        match e with
+        | Live s when name <> keep -> (name, s, session_bytes s) :: acc
+        | Live _ | Quarantined _ -> acc)
+      t.table []
+    |> List.sort (fun (na, _, ba) (nb, _, bb) ->
+           if ba <> bb then compare bb ba else String.compare na nb)
+  in
+  let evicted = ref [] in
+  List.iter
+    (fun (name, s, _) ->
+      if total_bytes t > target_bytes then begin
+        close_session s;
+        Hashtbl.remove t.table name;
+        E.Telemetry.bump c_evicted 1;
+        evicted := name :: !evicted
+      end)
+    victims;
+  List.rev !evicted
+
 let evict_idle t ~now ~idle_timeout =
   let victims =
     Hashtbl.fold

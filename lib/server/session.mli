@@ -55,6 +55,21 @@ val evict_idle : t -> now:float -> idle_timeout:float -> string list
 (** Close every live session idle longer than [idle_timeout] seconds;
     returns the evicted names. *)
 
+val session_bytes : session -> int
+(** Modeled footprint of the session's engine ({!E.Engine.modeled_bytes}). *)
+
+val total_bytes : t -> int
+(** Sum of {!session_bytes} over every live session — what the daemon's
+    global memory headroom is enforced against. Deterministic (modeled, not
+    measured). *)
+
+val evict_largest : t -> keep:string -> target_bytes:int -> string list
+(** Checkpoint-then-evict live sessions, largest modeled footprint first
+    (ties broken by name), until {!total_bytes} is within [target_bytes] or
+    no candidate remains. The session named [keep] is never evicted (it is
+    the one serving the current request). Returns the evicted names;
+    durable victims remain recoverable from their journals. *)
+
 val drain : t -> unit
 (** Shutdown path: checkpoint + close every live session. *)
 

@@ -11,6 +11,9 @@
    - a restart recovers every durable session byte-identically
    - --fault server.request.executed:N exits 70 and recovery drops
      exactly the un-journaled request
+   - under --session-memory-quota a session allocating without bound is
+     refused with typed budget/quota replies while concurrent sessions
+     stay (and recover) byte-identical
    - the server trace (--trace) has balanced span begin/end events
 
    Usage: server_harness MAIN_EXE [SCRATCH_DIR]
@@ -317,6 +320,68 @@ let phase_crash_fault main_exe dir =
   Unix.kill sv2.pid Sys.sigterm;
   ignore (wait_exit sv2)
 
+(* memory governance, end to end: a server started with a per-session
+   byte quota refuses a session that tries to grow without bound — every
+   attempt gets a typed budget/quota reply and a rollback — while a
+   concurrent durable session is untouched, stays byte-identical to the
+   serial reference, and still recovers byte-identically after a
+   restart. *)
+let phase_memory_governance main_exe dir =
+  let mdir = Filename.concat dir "mem" in
+  if not (Sys.file_exists mdir) then Unix.mkdir mdir 0o755;
+  let extra =
+    [ "--session-memory-quota"; "65536"; "--memory-headroom"; "1000000" ]
+  in
+  let sv = start_server ~extra main_exe mdir in
+  let c = connect_retry sv.sock in
+  ignore (open_durable c "steady");
+  let r = rpc c (run_req ~id:1 ~session:"steady" (good_prog 7)) in
+  if not (is_ok r) then fail "memory: steady seed request failed: %s" (err_kind r);
+  (* multi-rule explosion: a generator rule plus assoc/comm rewrites
+     overshoots the pressure tiers and must hit the hard byte budget *)
+  let mem_bomb =
+    "(datatype Math (Num i64) (Add Math Math))\n\
+     (birewrite (Add (Add a b) c) (Add a (Add b c)))\n\
+     (rewrite (Add a b) (Add b a))\n\
+     (rule ((= e (Num n))) ((Num (+ n 1)) (Num (* n 2))))\n\
+     (define seed (Add (Num 1) (Add (Num 2) (Num 3))))\n\
+     (run 100000)"
+  in
+  let hog = connect_retry sv.sock in
+  let kinds =
+    List.init 3 (fun i ->
+        let r = rpc hog (run_req ~id:(10 + i) ~session:"hog" mem_bomb) in
+        if is_ok r then "ok" else err_kind r)
+  in
+  let alive = is_ok (rpc hog [ ("id", Json.Int 20); ("op", Json.Str "ping") ]) in
+  close_client hog;
+  if List.mem "ok" kinds then
+    fail "memory: unbounded growth was not refused (replies: %s)" (String.concat "," kinds)
+  else if List.exists (fun k -> k <> "budget" && k <> "quota") kinds then
+    fail "memory: hog got untyped refusals (replies: %s)" (String.concat "," kinds)
+  else pass "memory: hog refused every time with typed replies (%s)" (String.concat "," kinds);
+  if not alive then fail "memory: daemon did not survive the hog";
+  (match dump_of c "steady" with
+   | Some d when d = reference_dump [ good_prog 7 ] ->
+     pass "memory: steady session byte-identical beside the hog"
+   | Some _ -> fail "memory: steady dump differs beside the hog"
+   | None -> fail "memory: steady has no dump");
+  close_client c;
+  Unix.kill sv.pid Sys.sigterm;
+  let code = wait_exit sv in
+  if code <> 0 then fail "memory: drain exited %d, want 0" code;
+  (* restart: the governed server's durable session recovers byte-identically *)
+  let sv2 = start_server ~extra main_exe mdir in
+  let c2 = connect_retry sv2.sock in
+  (match dump_of c2 "steady" with
+   | Some d when d = reference_dump [ good_prog 7 ] ->
+     pass "memory: steady recovered byte-identical after restart"
+   | Some _ -> fail "memory: steady recovered dump differs"
+   | None -> fail "memory: steady not recovered");
+  close_client c2;
+  Unix.kill sv2.pid Sys.sigterm;
+  ignore (wait_exit sv2)
+
 (* the server trace must have balanced span begin/end events per name *)
 let phase_trace_balance dir =
   let path = Filename.concat dir "server-trace.jsonl" in
@@ -366,6 +431,7 @@ let () =
   phase_sigterm_drain sv;
   phase_restart main_exe dir;
   phase_crash_fault main_exe dir;
+  phase_memory_governance main_exe dir;
   phase_trace_balance dir;
   if !failures > 0 then begin
     Printf.eprintf "%d failure(s)\n%!" !failures;

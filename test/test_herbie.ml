@@ -112,6 +112,37 @@ let test_unsound_detection () =
   Alcotest.(check bool) "result equivalent" true
     (E.equivalent_on spec (S.find "sqrt-square-neg").S.expr outcome.P.chosen)
 
+(* Soundness triage: plant one deliberately unsound rewrite (Herbie's
+   classic x/x -> 1 without its nonzero guard) among the sound base rules,
+   detect the bogus equality it derives with (check), then attribute it to
+   the offending rule by name via (explain) — the workflow for finding
+   which rule of a large ruleset poisoned an e-graph. *)
+let test_unsound_rule_triage () =
+  let eng = Egglog.Engine.create () in
+  ignore (Egglog.run_string eng R.datatype);
+  ignore (Egglog.run_string eng R.base_rules);
+  ignore
+    (Egglog.run_string eng
+       "(rule ((= e (RDiv x x))) ((union e (RNum 1/1))) :name \"div-cancel-unsound\")");
+  ignore
+    (Egglog.run_string eng
+       "(define bogus (RDiv (RNum 0/1) (RNum 0/1)))\n(run 4)\n(check (= bogus (RNum 1/1)))");
+  (* numeric validation refutes what the e-graph believes: 0/0 is nan *)
+  let zero = F.Num (Rat.of_int 0) in
+  let spec = E.default_spec [ ("x", -1.0, 1.0) ] in
+  Alcotest.(check bool) "sampling refutes 0/0 = 1" false
+    (E.equivalent_on spec (F.Div (zero, zero)) (F.Num (Rat.of_int 1)));
+  (* the proof of the bogus equality names the culprit *)
+  let joined = String.concat "\n" (Egglog.run_string eng "(explain bogus (RNum 1/1))") in
+  let has needle =
+    let nh = String.length joined and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub joined i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "attributed to the unsound rule" true (has "div-cancel-unsound");
+  (* endpoints are rendered as extracted terms, not just raw class ids *)
+  Alcotest.(check bool) "endpoints readable as terms" true (has "RNum")
+
 let test_sound_mode_always_equivalent () =
   (* sound candidates need no validation: check a sample of benches *)
   List.iter
@@ -156,6 +187,7 @@ let () =
           Alcotest.test_case "sqrt cancel" `Quick test_sqrt_cancel_improves;
           Alcotest.test_case "cbrt cancel (paper)" `Quick test_cbrt_cancel_improves;
           Alcotest.test_case "unsound detection" `Quick test_unsound_detection;
+          Alcotest.test_case "unsound rule triage via explain" `Quick test_unsound_rule_triage;
           Alcotest.test_case "sound equivalence" `Quick test_sound_mode_always_equivalent;
           Alcotest.test_case "no regressions" `Slow test_improvement_never_hurts;
         ] );

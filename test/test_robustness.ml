@@ -174,6 +174,8 @@ let test_run_option_errors () =
   syntax_error "(run 5 :nodes 100)";
   syntax_error "(run 5 :node-limit x)";
   syntax_error "(run 5 :time-limit \"soon\")";
+  syntax_error "(run 5 :memory-limit x)";
+  syntax_error "(run 5 :memory-limit -3)";
   syntax_error "(run 5 :until 3)"
 
 (* Session-wide budgets (CLI --node-limit) bound schedules too, and
@@ -187,6 +189,94 @@ let test_schedule_under_budget () =
     (match List.rev outputs with
      | last :: _ -> contains last "schedule ran"
      | [] -> false)
+
+(* ---- memory governance ---- *)
+
+let test_memory_limit () =
+  let eng = E.Engine.create () in
+  ignore (expect_ok eng "setup" explosive_header);
+  let report = E.Engine.run_iterations ~memory_limit:50_000 eng 1_000 in
+  (match report.E.Engine.stop_reason with
+   | E.Engine.Memory_limit bytes ->
+     Alcotest.(check bool) "reported bytes over limit" true (bytes > 50_000);
+     Alcotest.(check bool) "peak covers the stop" true
+       (report.E.Engine.peak_memory_bytes >= bytes)
+   | r -> Alcotest.failf "expected Memory_limit, got %s" (E.Engine.describe_stop_reason r));
+  (* cooperative, not exact — but one unchecked explosive iteration would
+     overshoot by orders of magnitude *)
+  Alcotest.(check bool) "stayed near the budget" true (E.Engine.modeled_bytes eng < 5_000_000);
+  ignore (expect_ok eng "still usable" "(check (= seed (Add (Num 1) (Add (Num 2) (Num 3)))))")
+
+(* The acceptance criterion for deterministic governance: the budget is
+   enforced against modeled bytes (a pure function of database contents),
+   so the same program trips at the same iteration with byte-identical
+   state at any jobs count — allocator and scheduling never leak in. *)
+let test_memory_limit_deterministic_across_jobs () =
+  let run jobs =
+    let eng = E.Engine.create () in
+    ignore (expect_ok eng "setup" explosive_header);
+    let report = E.Engine.run_iterations ~memory_limit:50_000 ~jobs eng 1_000 in
+    (report, E.Serialize.dump_string eng)
+  in
+  let r1, d1 = run 1 in
+  let r4, d4 = run 4 in
+  Alcotest.check stop_reason_testable "same stop (same byte payload)" r1.E.Engine.stop_reason
+    r4.E.Engine.stop_reason;
+  Alcotest.(check int) "same iteration count"
+    (List.length r1.E.Engine.iterations)
+    (List.length r4.E.Engine.iterations);
+  Alcotest.(check int) "same modeled peak" r1.E.Engine.peak_memory_bytes
+    r4.E.Engine.peak_memory_bytes;
+  Alcotest.(check string) "byte-identical dumps" d1 d4
+
+let test_memory_limit_syntax () =
+  let eng = E.Engine.create () in
+  ignore (expect_ok eng "setup" explosive_header);
+  let outputs = expect_ok eng "run" "(run 1000 :memory-limit 50000)" in
+  Alcotest.(check bool) "mentions memory limit" true
+    (match outputs with
+     | [ line ] -> contains line "(stopped: memory limit"
+     | _ -> false)
+
+let test_memory_limit_roundtrip () =
+  match E.Frontend.parse_program "(run 10 :node-limit 7 :memory-limit 4096)" with
+  | [ cmd ] ->
+    let printed = Sexpr.to_string (E.Frontend.sexp_of_command cmd) in
+    Alcotest.(check bool) "prints :memory-limit" true (contains printed ":memory-limit 4096");
+    Alcotest.(check bool) "round-trips" true
+      (E.Frontend.command_of_sexp (E.Frontend.sexp_of_command cmd) = [ cmd ])
+  | _ -> Alcotest.fail "expected one command"
+
+(* Pressure tiers fire before the hard stop: with tiers set low, the
+   scheduler starts banning the biggest byte-growers (visible as rs_bans
+   with per-rule rs_bytes attribution) while the run keeps going. *)
+let test_memory_pressure_degrades () =
+  let eng = E.Engine.create ~pressure_tiers:(0.05, 0.1) () in
+  ignore (expect_ok eng "setup" explosive_header);
+  let report = E.Engine.run_iterations ~memory_limit:500_000 eng 40 in
+  let bans = List.fold_left (fun acc s -> acc + s.E.Engine.rs_bans) 0 report.E.Engine.rule_stats in
+  let bytes = List.fold_left (fun acc s -> acc + s.E.Engine.rs_bytes) 0 report.E.Engine.rule_stats in
+  Alcotest.(check bool) "pressure banned at least one rule" true (bans > 0);
+  Alcotest.(check bool) "byte growth attributed to rules" true (bytes > 0);
+  Alcotest.(check bool) "peak tracked" true (report.E.Engine.peak_memory_bytes > 0)
+
+let test_modeled_bytes_exact_after_rollback () =
+  let eng = E.Engine.create () in
+  ignore
+    (expect_ok eng "setup"
+       {|
+         (relation p (i64)) (relation q (i64))
+         (rule ((p x)) ((q x) (panic "boom")))
+         (p 1) (p 2)
+       |});
+  let before = E.Engine.modeled_bytes eng in
+  Alcotest.(check bool) "nonzero footprint" true (before > 0);
+  ignore (expect_error eng "fails" "(run 1)");
+  (* the model is part of engine state: rollback restores it exactly, so
+     quota accounting never drifts across failed requests *)
+  Alcotest.(check int) "modeled bytes restored exactly" before (E.Engine.modeled_bytes eng);
+  ignore (expect_ok eng "grows on insert" "(p 3)");
+  Alcotest.(check bool) "insert grows the model" true (E.Engine.modeled_bytes eng > before)
 
 (* ---- transactional commands ---- *)
 
@@ -365,6 +455,20 @@ let () =
           Alcotest.test_case "until via textual syntax" `Quick test_until_textual;
           Alcotest.test_case "malformed run options are rejected" `Quick test_run_option_errors;
           Alcotest.test_case "schedules respect session budgets" `Quick test_schedule_under_budget;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "memory limit stops an explosive ruleset" `Quick test_memory_limit;
+          Alcotest.test_case "memory stop is deterministic across jobs" `Quick
+            test_memory_limit_deterministic_across_jobs;
+          Alcotest.test_case "memory limit via (run :memory-limit)" `Quick
+            test_memory_limit_syntax;
+          Alcotest.test_case ":memory-limit round-trips through the printer" `Quick
+            test_memory_limit_roundtrip;
+          Alcotest.test_case "pressure tiers degrade before the stop" `Quick
+            test_memory_pressure_degrades;
+          Alcotest.test_case "rollback restores the byte model exactly" `Quick
+            test_modeled_bytes_exact_after_rollback;
         ] );
       ( "transactions",
         [

@@ -278,6 +278,147 @@ let test_quota_rejection () =
       close_client c);
   cleanup_dir dir
 
+let test_memory_limit_budget_stop () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      check_ok "seed" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+      let before = dump_of c "a" in
+      (* multi-rule explosion: banning the biggest byte-grower (tier 2)
+         cannot freeze it, so the hard modeled-byte stop must trip *)
+      let bomb =
+        "(datatype Math (Num i64) (Add Math Math))\n\
+         (birewrite (Add (Add a b) c) (Add a (Add b c)))\n\
+         (rewrite (Add a b) (Add b a))\n\
+         (rule ((= e (Num n))) ((Num (+ n 1)) (Num (* n 2))))\n\
+         (define seed (Add (Num 1) (Add (Num 2) (Num 3))))\n\
+         (run 100000)"
+      in
+      let r = rpc c (("memory_limit", Json.Int 50_000) :: run_req ~id:2 ~session:"a" bomb) in
+      check_err "memory bomb stops as a budget reject" "budget" r;
+      Alcotest.(check string) "rolled back byte-identically" before (dump_of c "a");
+      close_client c);
+  cleanup_dir dir
+
+let test_memory_quota_rejection () =
+  let dir = fresh_dir () in
+  with_server ~tune:(fun c -> { c with S.Serve.session_memory_quota = Some 3_000 }) dir
+    (fun sv ->
+      let c = connect sv in
+      check_ok "under quota"
+        (rpc c (run_req ~id:1 ~session:"a" "(relation r (i64)) (r 1) (r 2)"));
+      let before = dump_of c "a" in
+      (* plain inserts, no (run): growth the run budget cannot catch — the
+         retained-footprint quota must *)
+      let flood =
+        String.concat " " (List.init 60 (fun i -> Printf.sprintf "(r %d)" (i + 10)))
+      in
+      check_err "over quota" "quota" (rpc c (run_req ~id:2 ~session:"a" flood));
+      Alcotest.(check string) "quota breach rolled back" before (dump_of c "a");
+      close_client c);
+  cleanup_dir dir
+
+(* Satellite: a real allocation failure mid-request must be a typed reply
+   and a rollback, never a dead daemon. Injected via the server.oom fault
+   point (raises Out_of_memory inside the request transaction). *)
+let test_oom_is_survivable () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      check_ok "seed" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+      let before = dump_of c "a" in
+      E.Fault.arm_nth "server.oom" 1;
+      let r = rpc c (run_req ~id:2 ~session:"a" "(edge 7 8) (run 2)") in
+      E.Fault.disarm ();
+      check_err "oom is a typed reply" "memory" r;
+      Alcotest.(check string) "session rolled back byte-identically" before (dump_of c "a");
+      check_ok "daemon alive" (rpc c [ ("id", Json.Int 3); ("op", Json.Str "ping") ]);
+      check_ok "and the session still serves" (rpc c (run_req ~id:4 ~session:"a" prog_more));
+      close_client c);
+  cleanup_dir dir
+
+let test_headroom_evicts_then_sheds () =
+  let dir = fresh_dir () in
+  with_server ~tune:(fun c -> { c with S.Serve.memory_headroom = Some 500; retry_after_ms = 25 })
+    dir (fun sv ->
+      let c = connect sv in
+      (* a durable session holding real state: the eviction path must
+         checkpoint it, not lose it *)
+      check_ok "durable victim"
+        (rpc c
+           [
+             ("id", Json.Int 1);
+             ("op", Json.Str "open-session");
+             ("session", Json.Str "victim");
+             ("durable", Json.Bool true);
+           ]);
+      check_ok "victim holds state" (rpc c (run_req ~id:2 ~session:"victim" prog_base));
+      (* a request for a fresh session: over headroom, the largest-idle
+         session (victim) is checkpointed and evicted to make room *)
+      check_ok "fresh request admitted after eviction"
+        (rpc c (run_req ~id:3 ~session:"fresh" "(relation tiny (i64)) (tiny 1)"));
+      (* the victim recovers from its checkpoint byte-identically *)
+      Alcotest.(check string) "evicted session checkpointed, not lost"
+        (reference_dump [ prog_base ]) (dump_of c "victim");
+      (* now make one session itself exceed the cap: with no other victim to
+         shed, admission refuses with a retry hint instead of growing *)
+      ignore
+        (rpc c
+           [ ("id", Json.Int 4); ("op", Json.Str "close-session"); ("session", Json.Str "victim") ]);
+      let flood =
+        "(relation big (i64)) "
+        ^ String.concat " " (List.init 60 (fun i -> Printf.sprintf "(big %d)" i))
+      in
+      check_ok "fill the requester itself" (rpc c (run_req ~id:5 ~session:"fresh" flood));
+      let r = rpc c (run_req ~id:6 ~session:"fresh" "(tiny 2)") in
+      check_err "no victim left: overload" "overload" r;
+      Alcotest.(check (option int)) "retry hint" (Some 25) (retry_after r);
+      close_client c);
+  cleanup_dir dir
+
+let test_memory_pressure_fault () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      check_ok "seed" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+      (* the fault forces a zero headroom cap for one request: the requester
+         is its own footprint, so admission sheds it *)
+      E.Fault.arm_nth "server.memory.pressure" 1;
+      let r = rpc c (run_req ~id:2 ~session:"a" "(edge 9 10)") in
+      E.Fault.disarm ();
+      check_err "forced pressure sheds" "overload" r;
+      check_ok "back to normal afterwards" (rpc c (run_req ~id:3 ~session:"a" "(edge 9 10)"));
+      close_client c);
+  cleanup_dir dir
+
+let test_metrics_memory_gauges () =
+  let dir = fresh_dir () in
+  with_server ~tune:(fun c -> { c with S.Serve.session_memory_quota = Some 1_000_000 }) dir
+    (fun sv ->
+      let c = connect sv in
+      check_ok "populate" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+      let m = rpc c [ ("id", Json.Int 2); ("op", Json.Str "metrics") ] in
+      check_ok "metrics" m;
+      let mem =
+        match Json.member "memory" m with
+        | Some (Json.Obj _ as o) -> o
+        | _ -> Alcotest.fail "metrics reply carries no memory object"
+      in
+      let int_field what name =
+        match Json.member name mem with
+        | Some (Json.Int n) -> n
+        | _ -> Alcotest.failf "memory.%s missing (%s)" name what
+      in
+      Alcotest.(check bool) "modeled bytes reflect the live session" true
+        (int_field "modeled" "modeled_bytes" > 0);
+      Alcotest.(check int) "one live session" 1 (int_field "live" "live_sessions");
+      Alcotest.(check int) "quota echoed" 1_000_000
+        (int_field "quota" "session_memory_quota");
+      Alcotest.(check bool) "gc backstop present" true
+        (int_field "gc" "top_heap_bytes" > 0);
+      close_client c);
+  cleanup_dir dir
+
 let test_deadline () =
   (* a fake clock that leaps 100s per reading: the first between-command
      deadline check already sees the budget spent *)
@@ -517,6 +658,14 @@ let () =
             test_budget_rejection_rolls_back;
           Alcotest.test_case "quota rejection" `Quick test_quota_rejection;
           Alcotest.test_case "deadline rejection" `Quick test_deadline;
+          Alcotest.test_case "memory limit stops as a budget reject" `Quick
+            test_memory_limit_budget_stop;
+          Alcotest.test_case "memory quota rejection" `Quick test_memory_quota_rejection;
+          Alcotest.test_case "mid-request oom is survivable" `Quick test_oom_is_survivable;
+          Alcotest.test_case "headroom evicts largest, then sheds" `Quick
+            test_headroom_evicts_then_sheds;
+          Alcotest.test_case "forced memory pressure fault" `Quick test_memory_pressure_fault;
+          Alcotest.test_case "metrics report memory gauges" `Quick test_metrics_memory_gauges;
           Alcotest.test_case "session isolation under abuse" `Quick test_session_isolation;
           Alcotest.test_case "overload sheds with retry-after" `Quick test_overload_sheds;
         ] );
