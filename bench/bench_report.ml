@@ -3,18 +3,20 @@
    never scrape stdout. The envelope is schema-stable:
 
    {v
-   { "schema": "egglog-bench", "version": 1,
+   { "schema": "egglog-bench", "version": 2,
      "bench": "<name>", "params": {...}, "data": ...,
-     "telemetry": { "counters": {...}, "timings": {...} } }
+     "telemetry": { "counters": {...}, "timings": {...}, "hists": {...} } }
    v}
 
    [data]'s shape is per-bench, but the envelope keys, their types and the
    telemetry snapshot layout are a contract: bump [schema_version] when any
-   of them change. *)
+   of them change. v2 added the "hists" key (log-bucketed histograms with
+   bucket-derived p50/p90/p99) to the telemetry snapshot; v1 consumers
+   keying on {"counters","timings"} must allow it. *)
 
 module J = Egglog.Telemetry.Json
 
-let schema_version = 1
+let schema_version = 2
 
 let envelope ~bench ~params ~data ~telemetry =
   J.Obj

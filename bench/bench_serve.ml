@@ -5,7 +5,8 @@
    client asks for). A final overload phase floods a small admission queue
    and asserts the shed is immediate: bounded queue, bounded tail.
 
-   Writes BENCH_serve.json:
+   Writes BENCH_serve.json (p50/p99 are log-bucket upper bounds from the
+   telemetry histogram, not sorted raw samples):
    { "runs": [ {"jobs", "requests", "rps", "p50_ms", "p99_ms"}, ... ],
      "overload": {"burst", "queue_limit", "executed", "sheds", "elapsed_ms"} } *)
 
@@ -48,9 +49,14 @@ let run_req ~id ~session ~jobs program =
     ("jobs", J.Int jobs);
   ]
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+(* Latency quantiles come from a private log-bucketed histogram (the same
+   machinery the daemon reports), not from sorting raw samples: the bucket
+   upper bound is deterministic for a given set of samples, and the JSON
+   is byte-stable across runs that land in the same buckets. *)
+let hist_quantiles h =
+  let snap = E.Telemetry.hist_snap_of h in
+  let q p = E.Telemetry.hist_snap_quantile snap p *. 1000.0 in
+  (q 0.50, q 0.99)
 
 let warm_prog =
   "(relation edge (i64 i64)) (relation path (i64 i64))\n\
@@ -81,18 +87,17 @@ let measure_stream ~jobs ~n sock =
   let session = Printf.sprintf "bench-j%d" jobs in
   let r = rpc c (run_req ~id:0 ~session ~jobs warm_prog) in
   if not (is_ok r) then failwith "bench_serve: warmup request failed";
-  let lat = Array.make n 0.0 in
+  let h = E.Telemetry.hist_create () in
   let t_start = Unix.gettimeofday () in
   for i = 0 to n - 1 do
     let t0 = Unix.gettimeofday () in
     let r = rpc c (run_req ~id:(i + 1) ~session ~jobs (step_prog i)) in
     if not (is_ok r) then failwith "bench_serve: stream request failed";
-    lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0
+    E.Telemetry.hist_record h (Unix.gettimeofday () -. t0)
   done;
   let elapsed = Unix.gettimeofday () -. t_start in
   close_client c;
-  Array.sort compare lat;
-  let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+  let p50, p99 = hist_quantiles h in
   let rps = float_of_int n /. elapsed in
   Printf.printf "  jobs %d: %d requests, %8.0f req/s, p50 %6.3f ms, p99 %6.3f ms\n%!"
     jobs n rps p50 p99;

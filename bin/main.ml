@@ -16,6 +16,15 @@ let with_errors ~where f =
   | code -> code
   | exception Egglog.Fault.Crash point ->
     Printf.eprintf "simulated crash at %s\n" point;
+    (* leave a post-mortem artifact when the flight recorder saw anything
+       (i.e. telemetry was on); the daemon clears the ring after its own
+       dump, so this is the batch/REPL fallback, not a duplicate *)
+    (let path =
+       Printf.sprintf "flightrec-%d.jsonl" (int_of_float (Unix.gettimeofday () *. 1000.))
+     in
+     match Egglog.Telemetry.flightrec_dump ~path with
+     | 0 -> ()
+     | n -> Printf.eprintf "flight recorder: %d event(s) dumped to %s\n" n path);
     70
   | exception Egglog.Egglog_error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -459,9 +468,16 @@ let () =
       Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
              ~doc:"Stream the server's telemetry event log to FILE as JSON Lines")
     in
+    let slow_log =
+      Arg.(value & opt (some (positive_int ~what:"--slow-log-ms")) None
+           & info [ "slow-log-ms" ] ~docv:"MS"
+               ~doc:"Append a JSONL entry (program, budgets, phase breakdown, flight-recorder \
+                     tail) for every request taking MS milliseconds or more to \
+                     $(i,DIR)/slowlog.jsonl under --data-dir, or stderr without one")
+    in
     let serve_main socket stdio data_dir max_sessions queue_limit retry_after max_input
         node_cap time_cap max_jobs session_quota session_memory_quota memory_headroom
-        idle_timeout checkpoint_every fault trace =
+        idle_timeout checkpoint_every fault trace slow_log =
       if socket = None && not stdio then begin
         Printf.eprintf "egglog serve: need --socket PATH and/or --stdio\n";
         2
@@ -485,6 +501,7 @@ let () =
             memory_headroom;
             idle_timeout_s = idle_timeout;
             checkpoint_every;
+            slow_log_ms = slow_log;
           }
         in
         serve_daemon ~cfg ~fault ~trace
@@ -496,7 +513,80 @@ let () =
         const serve_main $ socket $ stdio $ data_dir $ max_sessions $ queue_limit
         $ retry_after $ max_input $ node_cap $ time_cap $ max_jobs $ session_quota
         $ session_memory_quota $ memory_headroom $ idle_timeout $ serve_checkpoint_every
-        $ serve_fault $ serve_trace)
+        $ serve_fault $ serve_trace $ slow_log)
+  in
+  let metrics_cmd =
+    let socket =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
+             ~doc:"Unix-domain socket of a running $(b,egglog serve) daemon")
+    in
+    let format =
+      Arg.(value & opt string "prometheus" & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,prometheus) (text exposition) or $(b,json) (raw metrics reply)")
+    in
+    let metrics_main socket format =
+      if format <> "prometheus" && format <> "json" then begin
+        Printf.eprintf "egglog metrics: --format must be prometheus or json\n";
+        2
+      end
+      else
+        with_errors ~where:"metrics" @@ fun () ->
+        let module J = Egglog.Telemetry.Json in
+        let die fmt =
+          Format.kasprintf (fun m -> raise (Egglog.Egglog_error m)) fmt
+        in
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            (try Unix.connect fd (Unix.ADDR_UNIX socket)
+             with Unix.Unix_error (e, _, _) ->
+               die "cannot connect to %s: %s" socket (Unix.error_message e));
+            let req =
+              Printf.sprintf "{\"id\":0,\"op\":\"metrics\",\"format\":%S}\n" format
+            in
+            let rec write_all off =
+              if off < String.length req then
+                write_all (off + Unix.write_substring fd req off (String.length req - off))
+            in
+            write_all 0;
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 65536 in
+            let rec read_reply () =
+              if String.contains (Buffer.contents buf) '\n' then ()
+              else
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> ()
+                | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  read_reply ()
+            in
+            read_reply ();
+            let line =
+              let all = Buffer.contents buf in
+              match String.index_opt all '\n' with
+              | Some i -> String.sub all 0 i
+              | None -> all
+            in
+            if line = "" then die "empty reply from daemon at %s" socket;
+            let reply =
+              try J.parse line with J.Parse_error _ -> die "unparseable reply: %s" line
+            in
+            (match J.member "ok" reply with
+             | Some (J.Bool true) -> ()
+             | _ -> die "daemon refused the metrics request: %s" line);
+            (match format with
+             | "prometheus" -> (
+               match J.member "prometheus" reply with
+               | Some (J.Str text) -> print_string text
+               | _ -> die "reply carries no prometheus text: %s" line)
+             | _ -> print_endline line);
+            0)
+    in
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:"Scrape a running daemon's metrics over its Unix socket")
+      Term.(const metrics_main $ socket $ format)
   in
   let info =
     Cmd.info "egglog" ~doc:"A fixpoint reasoning system unifying Datalog and equality saturation"
@@ -504,6 +594,6 @@ let () =
   (* Cmd.group would parse any first positional — i.e. the program FILE —
      as a sub-command name, so dispatch on "serve" by hand and keep the
      batch CLI's `egglog FILE.egg` shape intact. *)
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
-    exit (Cmd.eval' (Cmd.group info [ serve_cmd ]))
+  if Array.length Sys.argv > 1 && (Sys.argv.(1) = "serve" || Sys.argv.(1) = "metrics")
+  then exit (Cmd.eval' (Cmd.group info [ serve_cmd; metrics_cmd ]))
   else exit (Cmd.eval' (Cmd.v info term))

@@ -21,6 +21,17 @@ let c_pressure_bans = Telemetry.counter "scheduler.pressure_bans"
 let c_mem_modeled = Telemetry.counter "memory.modeled_bytes_peak"
 let c_mem_top_heap = Telemetry.counter "memory.top_heap_bytes"
 
+(* Distribution sketches for the evaluation's where-does-time-go story:
+   per-iteration phase durations and per-rule apply behaviour land in
+   log-bucketed histograms (see Telemetry), giving deterministic
+   quantiles in bench envelopes. [engine.rule_matches] is value-based
+   (match-list lengths), so its buckets are byte-identical at any
+   --jobs count. *)
+let h_search = Telemetry.histogram "engine.search_s"
+let h_apply = Telemetry.histogram "engine.apply_s"
+let h_rebuild = Telemetry.histogram "engine.rebuild_s"
+let h_rule_matches = Telemetry.histogram "engine.rule_matches"
+
 type scheduler = Simple | Backoff of { match_limit : int; ban_length : int }
 
 let backoff_default = Backoff { match_limit = 1000; ban_length = 5 }
@@ -808,6 +819,7 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
             else parallel_search eng ~jobs ~budget_check eligible))
   in
   ph.ph_search <- ph.ph_search +. dt_search;
+  Telemetry.hist_record h_search dt_search;
   let to_apply =
     (* Under memory pressure the backoff policy tightens — match limits
        shrink 8x per tier — and applies even when the configured scheduler
@@ -856,6 +868,7 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
     Telemetry.timed_span "engine.apply" (fun () ->
         List.iter
           (fun (r, matches) ->
+            let rule_t0 = if Telemetry.is_enabled () then Telemetry.now () else 0.0 in
             ph.ph_matches <- ph.ph_matches + List.length matches;
             Telemetry.bump c_matches (List.length matches);
             let acc =
@@ -886,13 +899,21 @@ let run_one_iteration ?ruleset ?(budget_check = no_budget_check)
              | Some acc ->
                acc.ra_bytes <- acc.ra_bytes + (Database.modeled_bytes db - bytes_before)
              | None -> ());
-            r.rr_last_stamp <- t0 + 1)
+            r.rr_last_stamp <- t0 + 1;
+            if Telemetry.is_enabled () then begin
+              Telemetry.hist_record h_rule_matches (float_of_int (List.length matches));
+              Telemetry.hist_record
+                (Telemetry.histogram ("rule.apply_s." ^ r.rr_name))
+                (Telemetry.now () -. rule_t0)
+            end)
           to_apply)
   in
   eng.current_reason <- Proof_forest.Asserted;
   ph.ph_apply <- ph.ph_apply +. dt_apply;
+  Telemetry.hist_record h_apply dt_apply;
   let dt_rebuild, () = Telemetry.timed_span "engine.rebuild" (fun () -> Database.rebuild db) in
   ph.ph_rebuild <- ph.ph_rebuild +. dt_rebuild;
+  Telemetry.hist_record h_rebuild dt_rebuild;
   ph.ph_delta <- ph.ph_delta + (Database.total_log_entries db - log0);
   Database.change_counter db > changes0
 

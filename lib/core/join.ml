@@ -5,6 +5,11 @@ let internal ?in_func fmt =
 
 let c_scanned = Telemetry.counter "join.tuples_scanned"
 let c_trie_builds = Telemetry.counter "join.trie_builds"
+
+(* Value-based histogram (depths, not durations): buckets are
+   byte-identical at any --jobs count because the set of tries built is
+   scheduling-independent. *)
+let h_trie_depth = Telemetry.histogram "join.trie_depth"
 let c_index_builds = Telemetry.counter "join.index_builds"
 let c_cache_hits = Telemetry.counter "join.cache_hits"
 let c_cache_misses = Telemetry.counter "join.cache_misses"
@@ -99,6 +104,7 @@ let build_trie (plan : atom_plan) (range : stamp_range) : trie =
   let depth = Array.length plan.ap_sources in
   Telemetry.bump c_trie_builds 1;
   Telemetry.observe "join.trie_depth" (float_of_int depth);
+  Telemetry.hist_record h_trie_depth (float_of_int depth);
   let scanned = ref 0 in
   let result =
   if depth = 0 then begin

@@ -6,6 +6,7 @@
 
 let c_tasks = Telemetry.counter "pool.tasks"
 let c_steals = Telemetry.counter "pool.steals"
+let h_batch = Telemetry.histogram "pool.batch_s"
 
 (* Max workers: telemetry shards are 64 and the caller owns shard 0. *)
 let max_workers = 63
@@ -117,6 +118,7 @@ let run ?participants pool f tasks =
       | Some p -> max 0 (min p pool.n_workers)
     in
     Telemetry.bump c_tasks n;
+    let t_batch0 = if Telemetry.is_enabled () then Telemetry.now () else 0.0 in
     let results : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
     let b_run i =
       (* Each participating domain reads its own DLS cell. *)
@@ -142,6 +144,8 @@ let run ?participants pool f tasks =
     done;
     pool.batch <- None;
     Mutex.unlock pool.mutex;
+    if Telemetry.is_enabled () then
+      Telemetry.hist_record h_batch (Telemetry.now () -. t_batch0);
     (* Fail exactly like a serial loop would: on the lowest-index error. *)
     Array.iter
       (function

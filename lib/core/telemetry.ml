@@ -362,8 +362,147 @@ let drain_pending_observes () =
   Mutex.unlock pending_lock;
   List.iter (fun (name, dt) -> observe_main name dt) (List.rev pending)
 
+(* ------------------------------------------------------------------ *)
+(* Log-bucketed histograms                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Power-of-two buckets: bucket [b] (1..127) holds values in
+   (2^(b-65), 2^(b-64)]; bucket 0 holds everything <= 0. Bucket counts
+   are integers, so merging shards is a plain array sum — associative
+   and commutative — and quantiles are pure functions of the merged
+   buckets: the same observations give byte-identical quantiles no
+   matter how they were split across domains. *)
+let n_buckets = 128
+let bucket_origin = 64
+
+let hist_bucket_of v =
+  if v <= 0.0 then 0 (* includes -inf; NaN is dropped before we get here *)
+  else if v = infinity then n_buckets - 1
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1); an exact power of two (m = 0.5)
+       belongs to the bucket whose upper bound it is *)
+    let b = if m = 0.5 then e + bucket_origin - 1 else e + bucket_origin in
+    if b < 1 then 1 else if b > n_buckets - 1 then n_buckets - 1 else b
+  end
+
+let hist_bucket_le b = if b <= 0 then 0.0 else Float.ldexp 1.0 (b - bucket_origin)
+
+type histogram = {
+  (* one row of bucket counts per domain shard, allocated on first record
+     from that shard (each domain writes only its own slot) *)
+  h_rows : int array option array;
+  (* running sum of recorded values, stride-padded like counter slots *)
+  h_sums : float array;
+}
+
+let hist_create () =
+  { h_rows = Array.make n_shards None; h_sums = Array.make (n_shards * stride) 0.0 }
+
+let hists : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  Mutex.lock registry_lock;
+  let h =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+      let h = hist_create () in
+      Hashtbl.replace hists name h;
+      h
+  in
+  Mutex.unlock registry_lock;
+  h
+
+let hist_record h v =
+  (* NaN observations are dropped at the recording boundary so no
+     downstream aggregate or JSON field can ever go non-finite. *)
+  if !enabled && not (Float.is_nan v) then begin
+    let s = current_shard () in
+    let row =
+      match h.h_rows.(s) with
+      | Some r -> r
+      | None ->
+        let r = Array.make n_buckets 0 in
+        h.h_rows.(s) <- Some r;
+        r
+    in
+    let b = hist_bucket_of v in
+    row.(b) <- row.(b) + 1;
+    if Float.is_finite v then h.h_sums.(s * stride) <- h.h_sums.(s * stride) +. v
+  end
+
+type hist_snap = { hs_count : int; hs_sum : float; hs_buckets : (int * int) list }
+
+(* Merge = sum each bucket over the shards (integer adds, so shard
+   partitioning is invisible) then keep the non-empty buckets. Sums run
+   in fixed shard order; reads only happen on the main domain while no
+   parallel phase is in flight, like counter reads. *)
+let hist_snap_of h =
+  let merged = Array.make n_buckets 0 in
+  let sum = ref 0.0 in
+  for s = 0 to n_shards - 1 do
+    (match h.h_rows.(s) with
+    | None -> ()
+    | Some row ->
+      for b = 0 to n_buckets - 1 do
+        merged.(b) <- merged.(b) + row.(b)
+      done);
+    sum := !sum +. h.h_sums.(s * stride)
+  done;
+  let count = ref 0 in
+  let buckets = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    if merged.(b) > 0 then begin
+      count := !count + merged.(b);
+      buckets := (b, merged.(b)) :: !buckets
+    end
+  done;
+  let sum = if Float.is_finite !sum then !sum else 0.0 in
+  { hs_count = !count; hs_sum = sum; hs_buckets = !buckets }
+
+let hist_snap_quantile hs p =
+  if hs.hs_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p *. float_of_int hs.hs_count)) in
+      if r < 1 then 1 else if r > hs.hs_count then hs.hs_count else r
+    in
+    let rec go seen = function
+      | [] -> hist_bucket_le (n_buckets - 1)
+      | (b, n) :: rest -> if seen + n >= rank then hist_bucket_le b else go (seen + n) rest
+    in
+    go 0 hs.hs_buckets
+  end
+
+let hist_quantile h p = hist_snap_quantile (hist_snap_of h) p
+
+let hist_clear h =
+  Array.fill h.h_rows 0 (Array.length h.h_rows) None;
+  Array.fill h.h_sums 0 (Array.length h.h_sums) 0.0
+
+let hist_snap_to_json hs =
+  let quantile name p acc = (name, Json.Float (hist_snap_quantile hs p)) :: acc in
+  Json.Obj
+    (("count", Json.Int hs.hs_count)
+    :: ("sum", Json.Float hs.hs_sum)
+    ::
+    (if hs.hs_count = 0 then []
+     else
+       quantile "p50" 0.5
+         (quantile "p90" 0.9
+            (quantile "p99" 0.99
+               [
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (b, n) -> Json.List [ Json.Float (hist_bucket_le b); Json.Int n ])
+                        hs.hs_buckets) );
+               ]))))
+
 let reset () =
   Hashtbl.iter (fun _ c -> Array.fill c.c_slots 0 (Array.length c.c_slots) 0) counters;
+  Hashtbl.iter (fun _ h -> hist_clear h) hists;
   Hashtbl.reset timings;
   Mutex.lock pending_lock;
   pending_observes := [];
@@ -380,35 +519,116 @@ let disable () =
   sink := None
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder and trace context                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Ring of the most recent rendered trace lines, captured whenever
+   telemetry is enabled — with or without a sink — so a crash always has
+   recent history to dump. The ring array is allocated once per capacity
+   change and its slots are overwritten in place; pushes share
+   [emit_lock] with the sink so dump ordering matches sink ordering. *)
+let fr_default_capacity = 512
+let fr_slots = ref (Array.make fr_default_capacity "")
+let fr_pos = ref 0
+let fr_len = ref 0
+
+(* Ambient per-request trace id, set by the daemon around each request.
+   A plain atomic is enough: the daemon executes one request at a time,
+   and pool workers read the same global. *)
+let trace_ctx : string option Atomic.t = Atomic.make None
+
+let current_trace_id () = Atomic.get trace_ctx
+
+let with_trace_id tid f =
+  let prev = Atomic.get trace_ctx in
+  Atomic.set trace_ctx (Some tid);
+  Fun.protect ~finally:(fun () -> Atomic.set trace_ctx prev) f
+
+(* ------------------------------------------------------------------ *)
 (* Events                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let emit_lock = Mutex.create ()
 
-let emit line =
-  match !sink with
-  | Some f ->
-    Mutex.lock emit_lock;
-    (try f line with e -> Mutex.unlock emit_lock; raise e);
-    Mutex.unlock emit_lock
-  | None -> ()
+let fr_push_locked line =
+  let cap = Array.length !fr_slots in
+  if cap > 0 then begin
+    !fr_slots.(!fr_pos) <- line;
+    fr_pos := (!fr_pos + 1) mod cap;
+    if !fr_len < cap then incr fr_len
+  end
+
+let flightrec_configure ~capacity =
+  let capacity = max 0 capacity in
+  Mutex.lock emit_lock;
+  fr_slots := Array.make capacity "";
+  fr_pos := 0;
+  fr_len := 0;
+  Mutex.unlock emit_lock
+
+let flightrec_clear () =
+  Mutex.lock emit_lock;
+  Array.fill !fr_slots 0 (Array.length !fr_slots) "";
+  fr_pos := 0;
+  fr_len := 0;
+  Mutex.unlock emit_lock
+
+let flightrec_events () =
+  Mutex.lock emit_lock;
+  let cap = Array.length !fr_slots in
+  let out = ref [] in
+  (* oldest first: walk [fr_len] slots ending just before [fr_pos] *)
+  for i = !fr_len - 1 downto 0 do
+    out := !fr_slots.((!fr_pos - 1 - i + (2 * cap)) mod cap) :: !out
+  done;
+  Mutex.unlock emit_lock;
+  List.rev !out
+
+let flightrec_dump ~path =
+  let events = flightrec_events () in
+  let n = List.length events in
+  if n > 0 then
+    Out_channel.with_open_text path (fun oc ->
+        List.iter
+          (fun line ->
+            Out_channel.output_string oc line;
+            Out_channel.output_char oc '\n')
+          events);
+  n
 
 let rel t = t -. !origin
 
 let emit_event t kind name fields =
-  match !sink with
-  | None -> ()
-  | Some _ ->
+  (* Render whenever anything will observe the line: the sink, or the
+     always-on flight recorder (capacity 0 turns the recorder off). When
+     telemetry is disabled we never get here at all, so the fully
+     disabled path stays one branch at each span/instant call site. *)
+  let want_sink = !sink <> None in
+  if want_sink || Array.length !fr_slots > 0 then begin
     (* Events from pool workers carry their domain shard so traces stay
-       attributable; main-domain events keep the historical schema. *)
+       attributable; main-domain events keep the historical schema. The
+       ambient trace id, when set, tags every event for its request. *)
+    let fields =
+      match current_trace_id () with
+      | None -> fields
+      | Some tid -> fields @ [ ("tid", Json.Str tid) ]
+    in
     let fields =
       match current_shard () with 0 -> fields | d -> fields @ [ ("dom", Json.Int d) ]
     in
-    emit
-      (Json.to_string
-         (Json.Obj
-            (("t", Json.Float (rel t)) :: ("ev", Json.Str kind) :: ("name", Json.Str name)
-            :: fields)))
+    let line =
+      Json.to_string
+        (Json.Obj
+           (("t", Json.Float (rel t)) :: ("ev", Json.Str kind) :: ("name", Json.Str name)
+           :: fields))
+    in
+    Mutex.lock emit_lock;
+    fr_push_locked line;
+    (match !sink with
+    | Some f -> ( try f line with e -> Mutex.unlock emit_lock; raise e)
+    | None -> ());
+    Mutex.unlock emit_lock
+  end
 
 let span name f =
   if not !enabled then f ()
@@ -466,6 +686,7 @@ type timing = { t_count : int; t_total : float; t_min : float; t_max : float }
 type snapshot = {
   sn_counters : (string * int) list;
   sn_timings : (string * timing) list;
+  sn_hists : (string * hist_snap) list;
 }
 
 let snapshot () =
@@ -486,7 +707,15 @@ let snapshot () =
       timings []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  { sn_counters = cs; sn_timings = ts }
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        let s = hist_snap_of h in
+        if s.hs_count = 0 then acc else (name, s) :: acc)
+      hists []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { sn_counters = cs; sn_timings = ts; sn_hists = hs }
 
 let flush_counters () =
   match !sink with
@@ -508,6 +737,12 @@ let flush_counters () =
           ])
       snap.sn_timings
 
+(* Timing aggregates are created on the first observation, so count >= 1
+   and min/max are finite — but clamp anyway so no emitter can ever print
+   a JSON [null] where a number is expected (downstream consumers parse
+   these fields as floats). *)
+let json_finite x = Json.Float (if Float.is_finite x then x else 0.0)
+
 let snapshot_to_json snap =
   Json.Obj
     [
@@ -520,14 +755,68 @@ let snapshot_to_json snap =
                  Json.Obj
                    [
                      ("count", Json.Int t.t_count);
-                     ("total_s", Json.Float t.t_total);
-                     ("min_s", Json.Float t.t_min);
-                     ("max_s", Json.Float t.t_max);
+                     ("total_s", json_finite t.t_total);
+                     ("min_s", json_finite t.t_min);
+                     ("max_s", json_finite t.t_max);
                    ] ))
              snap.sn_timings) );
+      ("hists", Json.Obj (List.map (fun (name, h) -> (name, hist_snap_to_json h)) snap.sn_hists));
     ]
 
 let report_to_json snap = Json.to_string (snapshot_to_json snap)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prom_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "egglog_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else Printf.sprintf "%.12g" x
+
+let prometheus_of_snapshot snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = prom_name name in
+      line "# TYPE %s_total counter" m;
+      line "%s_total %d" m v)
+    snap.sn_counters;
+  List.iter
+    (fun (name, t) ->
+      let m = prom_name name ^ "_seconds" in
+      line "# TYPE %s summary" m;
+      line "%s_count %d" m t.t_count;
+      line "%s_sum %s" m (prom_float (if Float.is_finite t.t_total then t.t_total else 0.0)))
+    snap.sn_timings;
+  List.iter
+    (fun (name, h) ->
+      let m = prom_name name in
+      line "# TYPE %s histogram" m;
+      let cum = ref 0 in
+      List.iter
+        (fun (b, n) ->
+          cum := !cum + n;
+          line "%s_bucket{le=\"%s\"} %d" m (prom_float (hist_bucket_le b)) !cum)
+        h.hs_buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" m h.hs_count;
+      line "%s_sum %s" m (prom_float h.hs_sum);
+      line "%s_count %d" m h.hs_count)
+    snap.sn_hists;
+  Buffer.contents buf
 
 let pp_table fmt snap =
   let name_width =

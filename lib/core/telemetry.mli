@@ -115,6 +115,92 @@ val observe : string -> float -> unit
     (count, total, min, max). Spans observe their duration automatically
     under their own name. *)
 
+(** {1 Log-bucketed histograms}
+
+    Deterministic distribution sketches: values land in power-of-two
+    buckets (bucket [b] covers [(2^(b-65), 2^(b-64)]]; everything [<= 0]
+    lands in bucket 0, [+inf] in the top bucket, NaN is dropped). Bucket
+    counts are plain integers sharded per domain exactly like counters,
+    so merging shards is an integer array sum — associative and
+    commutative — and every quantile is a pure function of the merged
+    buckets: the same observations yield byte-identical buckets and
+    quantiles no matter how work was split across [--jobs N] domains. *)
+
+type histogram
+(** A sharded histogram handle. Like {!counter} handles, registered ones
+    are interned by name; {!hist_create} makes a private, unregistered
+    instance (per-session daemon latency, bench loops). *)
+
+val histogram : string -> histogram
+(** Intern a named histogram in the global registry; it appears in
+    {!snapshot} under that name once it has at least one observation. *)
+
+val hist_create : unit -> histogram
+(** A fresh histogram outside the registry: never in {!snapshot}, never
+    cleared by {!reset}; the caller owns its lifetime. *)
+
+val hist_record : histogram -> float -> unit
+(** Record one value. No-op while disabled (one branch); NaN dropped. *)
+
+type hist_snap = {
+  hs_count : int;  (** total observations *)
+  hs_sum : float;  (** sum of finite observations (display only) *)
+  hs_buckets : (int * int) list;
+      (** non-empty buckets, ascending [(bucket, count)] *)
+}
+
+val hist_snap_of : histogram -> hist_snap
+(** Merge the shards. Main domain only, no parallel phase in flight —
+    same contract as {!snapshot}. *)
+
+val hist_snap_quantile : hist_snap -> float -> float
+(** [hist_snap_quantile hs p] is the upper bound of the bucket holding
+    the [ceil (p * count)]-th smallest observation — a power of two, so
+    it prints exactly. [0.0] on an empty histogram. *)
+
+val hist_quantile : histogram -> float -> float
+
+val hist_clear : histogram -> unit
+(** Zero all shards of one histogram (for unregistered instances;
+    registered ones are cleared by {!reset}). *)
+
+val hist_bucket_le : int -> float
+(** Upper bound of a bucket index: [2^(b-64)], or [0.0] for bucket 0. *)
+
+val hist_snap_to_json : hist_snap -> Json.t
+(** [{"count": n, "sum": s, "p50": ..., "p90": ..., "p99": ...,
+    "buckets": [[le, count], ...]}]; quantile and bucket fields are
+    omitted when the histogram is empty. All fields are finite. *)
+
+(** {1 Flight recorder and trace context}
+
+    A fixed-size ring of the most recent rendered trace events, captured
+    whenever telemetry is enabled — even with no [--trace] sink — so a
+    fault always has recent history to dump. While telemetry is disabled
+    the recorder costs the same single branch as every other entry
+    point. *)
+
+val flightrec_configure : capacity:int -> unit
+(** Resize (and clear) the ring. Capacity 0 disables capture. The
+    default capacity is 512 events. *)
+
+val flightrec_events : unit -> string list
+(** The recorded JSONL lines, oldest first. *)
+
+val flightrec_clear : unit -> unit
+
+val flightrec_dump : path:string -> int
+(** Write the ring to [path] as JSONL, oldest first, and return the
+    event count. Writes nothing (and creates no file) when empty. *)
+
+val with_trace_id : string -> (unit -> 'a) -> 'a
+(** Run the thunk with an ambient trace id: every event emitted inside —
+    including from pool worker domains — carries a ["tid"] field. The
+    daemon wraps each request in one. Restores the previous id on exit
+    (exceptions included). *)
+
+val current_trace_id : unit -> string option
+
 (** {1 Spans and events} *)
 
 val span : string -> (unit -> 'a) -> 'a
@@ -145,15 +231,25 @@ type timing = { t_count : int; t_total : float; t_min : float; t_max : float }
 type snapshot = {
   sn_counters : (string * int) list;  (** sorted by name; zero entries omitted *)
   sn_timings : (string * timing) list;  (** sorted by name *)
+  sn_hists : (string * hist_snap) list;  (** sorted by name; empty ones omitted *)
 }
 
 val snapshot : unit -> snapshot
 
 val snapshot_to_json : snapshot -> Json.t
 (** Stable schema: [{"counters": {...}, "timings": {name: {"count": ...,
-    "total_s": ..., "min_s": ..., "max_s": ...}}}]. *)
+    "total_s": ..., "min_s": ..., "max_s": ...}}, "hists": {name:
+    {...}}}]. Every numeric field is finite: non-finite aggregates are
+    clamped (and NaN observations were already dropped at the recording
+    boundary), so no emitter downstream ever sees a JSON [null]. *)
 
 val report_to_json : snapshot -> string
+
+val prometheus_of_snapshot : snapshot -> string
+(** Prometheus text exposition: counters as [egglog_<name>_total],
+    timings as [egglog_<name>_seconds] summaries (count/sum), histograms
+    as cumulative [egglog_<name>_bucket{le="..."}] series with [+Inf],
+    [_sum] and [_count]. Dots in names become underscores. *)
 
 val pp_table : Format.formatter -> snapshot -> unit
 (** Human-readable end-of-run table: timings then counters; prints

@@ -53,7 +53,8 @@ type op =
   | Dump
   | Stats
   | Close_session
-  | Metrics
+  | Metrics of { prometheus : bool }
+  | Dump_flightrec
 
 type request = { rq_id : Json.t; rq_session : string option; rq_op : op }
 
@@ -152,16 +153,31 @@ let parse_request line =
     | Some "dump" -> Dump
     | Some "stats" -> Stats
     | Some "close-session" -> Close_session
-    | Some "metrics" -> Metrics
+    | Some "metrics" -> (
+      match str_field obj "format" with
+      | None | Some "json" -> Metrics { prometheus = false }
+      | Some "prometheus" -> Metrics { prometheus = true }
+      | Some f -> malformed "unknown metrics format %S (want \"json\" or \"prometheus\")" f)
+    | Some "dump-flightrec" -> Dump_flightrec
     | Some op -> reject Unsupported "unknown op %S" op
   in
   { rq_id; rq_session; rq_op }
 
 let needs_session = function
-  | Ping | Hello | Metrics -> false
+  | Ping | Hello | Metrics _ | Dump_flightrec -> false
   | Open_session _ | Run _ | Dump | Stats | Close_session -> true
 
-let ok_reply ~id fields = Json.to_string (Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields))
+(* Replies carry the ambient trace id the daemon assigned to the request
+   being answered (absent outside the daemon's execute wrapper), so a
+   client can quote the id that tags the request's span in traces,
+   flight-recorder dumps and the slow-request log. *)
+let trace_field () =
+  match Egglog.Telemetry.current_trace_id () with
+  | None -> []
+  | Some tid -> [ ("trace_id", Json.Str tid) ]
+
+let ok_reply ~id fields =
+  Json.to_string (Json.Obj (("id", id) :: ("ok", Json.Bool true) :: (trace_field () @ fields)))
 
 let error_reply ~id ~kind ~message ?retry_after_ms () =
   let err =
@@ -169,7 +185,8 @@ let error_reply ~id ~kind ~message ?retry_after_ms () =
     @ match retry_after_ms with Some ms -> [ ("retry_after_ms", Json.Int ms) ] | None -> []
   in
   Json.to_string
-    (Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.Obj err) ])
+    (Json.Obj
+       (("id", id) :: ("ok", Json.Bool false) :: (trace_field () @ [ ("error", Json.Obj err) ])))
 
 let reject_reply ~id e =
   match e with

@@ -65,7 +65,9 @@ type op =
   | Dump
   | Stats
   | Close_session
-  | Metrics
+  | Metrics of { prometheus : bool }
+      (** [format] field: ["json"] (default) or ["prometheus"] *)
+  | Dump_flightrec  (** snapshot the flight-recorder ring on demand *)
 
 type request = { rq_id : Json.t; rq_session : string option; rq_op : op }
 
@@ -87,7 +89,10 @@ val valid_session_name : string -> bool
     so nothing resembling a path ever gets through. *)
 
 val ok_reply : id:Json.t -> (string * Json.t) list -> string
-(** One reply line (no trailing newline). *)
+(** One reply line (no trailing newline). When called under
+    [Telemetry.with_trace_id] — i.e. from the daemon's request executor —
+    the reply carries a ["trace_id"] field matching the tag on every
+    trace event the request emitted. Same for {!error_reply}. *)
 
 val error_reply : id:Json.t -> kind:error_kind -> message:string -> ?retry_after_ms:int -> unit -> string
 

@@ -18,6 +18,7 @@ type config = {
   memory_headroom : int option;
   idle_timeout_s : float option;
   checkpoint_every : int option;
+  slow_log_ms : int option;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     memory_headroom = None;
     idle_timeout_s = None;
     checkpoint_every = Some 64;
+    slow_log_ms = None;
   }
 
 type conn = {
@@ -64,6 +66,9 @@ type t = {
   drain_flag : bool Atomic.t;
   mutable recovery : string list;
   mutable last_sweep : float;
+  mutable next_trace : int;  (* monotonically increasing trace-id suffix *)
+  (* phase breakdown of the last run this tick, for the slow-request log *)
+  mutable last_phases : (float * float * float) option;
 }
 
 let c_conns = E.Telemetry.counter "server.conns_opened"
@@ -72,6 +77,35 @@ let c_replies = E.Telemetry.counter "server.replies"
 let c_errors = E.Telemetry.counter "server.error_replies"
 let c_sheds = E.Telemetry.counter "server.sheds"
 let c_slow_drops = E.Telemetry.counter "server.slow_client_drops"
+let c_slow_requests = E.Telemetry.counter "server.slow_requests"
+let c_flightrec_dumps = E.Telemetry.counter "server.flightrec_dumps"
+let h_request = E.Telemetry.histogram "server.request_s"
+
+(* ---- flight recorder dumps ----
+
+   The ring (see Telemetry) is always capturing while the daemon runs;
+   these helpers persist it at the moments that need a post-mortem:
+   fatal faults, Out_of_memory, recovery quarantine, SIGTERM drain, and
+   the on-demand dump-flightrec op. *)
+
+let flightrec_path ~dir =
+  let ts = int_of_float (Unix.gettimeofday () *. 1000.) in
+  let rec fresh ts =
+    let path = Filename.concat dir (Printf.sprintf "flightrec-%d.jsonl" ts) in
+    if Sys.file_exists path then fresh (ts + 1) else path
+  in
+  fresh ts
+
+let dump_flightrec ~data_dir ~reason =
+  let dir = Option.value data_dir ~default:"." in
+  let path = flightrec_path ~dir in
+  match E.Telemetry.flightrec_dump ~path with
+  | 0 -> None
+  | n ->
+    E.Telemetry.bump c_flightrec_dumps 1;
+    E.Telemetry.instant "server.flightrec.dump"
+      [ ("reason", Json.Str reason); ("path", Json.Str path); ("events", Json.Int n) ];
+    Some (path, n)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -127,8 +161,14 @@ let create cfg =
       drain_flag = Atomic.make false;
       recovery;
       last_sweep = E.Telemetry.now ();
+      next_trace = 0;
+      last_phases = None;
     }
   in
+  (* a quarantined journal is exactly the post-mortem case the recorder
+     exists for: persist whatever recovery left in the ring *)
+  if List.exists (fun line -> String.length line >= 11 && String.sub line 0 11 = "quarantined") recovery
+  then ignore (dump_flightrec ~data_dir:cfg.data_dir ~reason:"quarantine");
   if cfg.use_stdio then begin
     Unix.set_nonblock Unix.stdin;
     let conn =
@@ -350,6 +390,17 @@ let exec_run t (sess : Session.session) ~id ~program ~node_limit ~time_limit_ms 
     E.Fault.hit "server.request.journaled"
   | None -> ());
   sess.Session.s_requests <- sess.Session.s_requests + 1;
+  t.last_phases <-
+    Some
+      (List.fold_left
+         (fun acc (r : E.Engine.run_report) ->
+           List.fold_left
+             (fun (s, a, rb) (it : E.Engine.iteration_stat) ->
+               ( s +. it.E.Engine.it_search_seconds,
+                 a +. it.E.Engine.it_apply_seconds,
+                 rb +. it.E.Engine.it_rebuild_seconds ))
+             acc r.E.Engine.iterations)
+         (0., 0., 0.) reports);
   let iterations =
     List.fold_left
       (fun acc (r : E.Engine.run_report) -> acc + List.length r.E.Engine.iterations)
@@ -399,34 +450,214 @@ let session_fields (sess : Session.session) =
     ("rows", Json.Int (E.Engine.total_rows sess.Session.s_engine));
   ]
 
+(* ---- metrics rendering ---- *)
+
+let memory_json t =
+  (* modeled bytes are the governed quantity; Gc numbers ride along as
+     telemetry-only backstop (see docs/INTERNALS.md) *)
+  let gc = Gc.quick_stat () in
+  let word_bytes = Sys.word_size / 8 in
+  let opt_int = function Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("modeled_bytes", Json.Int (Session.total_bytes t.sessions));
+      ("live_sessions", Json.Int (Session.live_count t.sessions));
+      ("session_memory_quota", opt_int t.cfg.session_memory_quota);
+      ("memory_headroom", opt_int t.cfg.memory_headroom);
+      ("top_heap_bytes", Json.Int (gc.Gc.top_heap_words * word_bytes));
+      ("heap_bytes", Json.Int (gc.Gc.heap_words * word_bytes));
+    ]
+
+(* Each session reported from its own state (request count, private
+   latency histogram, modeled bytes, eviction churn) — never from the
+   global telemetry registry, so sessions cannot pollute each other. *)
+let sessions_json t =
+  Json.Obj
+    (List.map
+       (fun (name, (st : Session.session_stat)) ->
+         ( name,
+           Json.Obj
+             [
+               ("requests", Json.Int st.Session.st_requests);
+               ("modeled_bytes", Json.Int st.Session.st_bytes);
+               ("durable", Json.Bool st.Session.st_durable);
+               ("evictions", Json.Int st.Session.st_evictions);
+               ("latency", E.Telemetry.hist_snap_to_json st.Session.st_latency);
+             ] ))
+       (Session.per_session_stats t.sessions))
+
+let prometheus_text t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (E.Telemetry.prometheus_of_snapshot (E.Telemetry.snapshot ()));
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let gc = Gc.quick_stat () in
+  let word_bytes = Sys.word_size / 8 in
+  line "# TYPE egglog_server_modeled_bytes gauge";
+  line "egglog_server_modeled_bytes %d" (Session.total_bytes t.sessions);
+  line "# TYPE egglog_server_live_sessions gauge";
+  line "egglog_server_live_sessions %d" (Session.live_count t.sessions);
+  line "# TYPE egglog_server_heap_bytes gauge";
+  line "egglog_server_heap_bytes %d" (gc.Gc.heap_words * word_bytes);
+  line "# TYPE egglog_server_top_heap_bytes gauge";
+  line "egglog_server_top_heap_bytes %d" (gc.Gc.top_heap_words * word_bytes);
+  (* per-session series; session names are [A-Za-z0-9_-] so the label
+     value never needs escaping *)
+  let stats = Session.per_session_stats t.sessions in
+  line "# TYPE egglog_session_requests_total counter";
+  List.iter
+    (fun (name, (st : Session.session_stat)) ->
+      line "egglog_session_requests_total{session=%S} %d" name st.Session.st_requests)
+    stats;
+  line "# TYPE egglog_session_modeled_bytes gauge";
+  List.iter
+    (fun (name, (st : Session.session_stat)) ->
+      line "egglog_session_modeled_bytes{session=%S} %d" name st.Session.st_bytes)
+    stats;
+  line "# TYPE egglog_session_evictions_total counter";
+  List.iter
+    (fun (name, (st : Session.session_stat)) ->
+      line "egglog_session_evictions_total{session=%S} %d" name st.Session.st_evictions)
+    stats;
+  line "# TYPE egglog_session_request_seconds summary";
+  List.iter
+    (fun (name, (st : Session.session_stat)) ->
+      let hs = st.Session.st_latency in
+      if hs.E.Telemetry.hs_count > 0 then begin
+        line "egglog_session_request_seconds{session=%S,quantile=\"0.5\"} %.12g" name
+          (E.Telemetry.hist_snap_quantile hs 0.5);
+        line "egglog_session_request_seconds{session=%S,quantile=\"0.99\"} %.12g" name
+          (E.Telemetry.hist_snap_quantile hs 0.99)
+      end;
+      line "egglog_session_request_seconds_count{session=%S} %d" name hs.E.Telemetry.hs_count;
+      line "egglog_session_request_seconds_sum{session=%S} %.12g" name hs.E.Telemetry.hs_sum)
+    stats;
+  Buffer.contents buf
+
+let op_name = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Hello -> "hello"
+  | Protocol.Open_session _ -> "open-session"
+  | Protocol.Run _ -> "run"
+  | Protocol.Dump -> "dump"
+  | Protocol.Stats -> "stats"
+  | Protocol.Close_session -> "close-session"
+  | Protocol.Metrics _ -> "metrics"
+  | Protocol.Dump_flightrec -> "dump-flightrec"
+
+(* One JSONL entry per offending request: everything needed to replay or
+   diagnose it — program, budgets, phase breakdown, recent trace tail. *)
+let slow_log_write t (rq : Protocol.request) ~tid ~dur_s =
+  E.Telemetry.bump c_slow_requests 1;
+  let tail =
+    let events = E.Telemetry.flightrec_events () in
+    let skip = max 0 (List.length events - 16) in
+    List.filteri (fun i _ -> i >= skip) events
+    |> List.filter_map (fun l -> try Some (Json.parse l) with Json.Parse_error _ -> None)
+  in
+  let budgets_and_program =
+    match rq.Protocol.rq_op with
+    | Protocol.Run { program; node_limit; time_limit_ms; memory_limit; jobs } ->
+      let opt = function Some v -> Json.Int v | None -> Json.Null in
+      [
+        ("program", Json.Str program);
+        ( "budgets",
+          Json.Obj
+            [
+              ("node_limit", opt node_limit);
+              ("time_limit_ms", opt time_limit_ms);
+              ("memory_limit", opt memory_limit);
+              ("jobs", opt jobs);
+            ] );
+      ]
+    | _ -> []
+  in
+  let phases =
+    match t.last_phases with
+    | Some (s, a, r) ->
+      [
+        ( "phases",
+          Json.Obj
+            [
+              ("search_s", Json.Float s);
+              ("apply_s", Json.Float a);
+              ("rebuild_s", Json.Float r);
+            ] );
+      ]
+    | None -> []
+  in
+  let entry =
+    Json.Obj
+      ([
+         ("ts", Json.Float (Unix.gettimeofday ()));
+         ("trace_id", Json.Str tid);
+         ("id", rq.Protocol.rq_id);
+         ( "session",
+           match rq.Protocol.rq_session with Some s -> Json.Str s | None -> Json.Null );
+         ("op", Json.Str (op_name rq.Protocol.rq_op));
+         ("dur_ms", Json.Float (dur_s *. 1000.));
+       ]
+      @ budgets_and_program @ phases
+      @ [ ("flightrec_tail", Json.List tail) ])
+  in
+  let line = Json.to_string entry in
+  match t.cfg.data_dir with
+  | Some dir -> (
+    let path = Filename.concat dir "slowlog.jsonl" in
+    try
+      Out_channel.with_open_gen
+        [ Open_append; Open_creat; Open_wronly ]
+        0o644 path
+        (fun oc ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+    with Sys_error _ -> ())
+  | None -> prerr_endline ("slow-request: " ^ line)
+
+let next_trace_id t =
+  let n = t.next_trace in
+  t.next_trace <- n + 1;
+  Printf.sprintf "t-%06d" n
+
 let execute t (rq : Protocol.request) =
   let id = rq.Protocol.rq_id in
   E.Telemetry.bump c_requests 1;
+  t.last_phases <- None;
+  let tid = next_trace_id t in
+  E.Telemetry.with_trace_id tid @@ fun () ->
+  let t_start = now () in
+  let reply =
   E.Telemetry.span "server.request" (fun () ->
     match
       (match rq.Protocol.rq_op with
       | Protocol.Ping -> Protocol.ok_reply ~id []
       | Protocol.Hello -> hello_reply t ~id
-      | Protocol.Metrics ->
-        (* modeled bytes are the governed quantity; Gc numbers ride along as
-           telemetry-only backstop (see docs/INTERNALS.md) *)
-        let gc = Gc.quick_stat () in
-        let word_bytes = Sys.word_size / 8 in
-        let opt_int = function Some v -> Json.Int v | None -> Json.Null in
-        Protocol.ok_reply ~id
-          [
-            ("metrics", E.Telemetry.snapshot_to_json (E.Telemetry.snapshot ()));
-            ( "memory",
-              Json.Obj
-                [
-                  ("modeled_bytes", Json.Int (Session.total_bytes t.sessions));
-                  ("live_sessions", Json.Int (Session.live_count t.sessions));
-                  ("session_memory_quota", opt_int t.cfg.session_memory_quota);
-                  ("memory_headroom", opt_int t.cfg.memory_headroom);
-                  ("top_heap_bytes", Json.Int (gc.Gc.top_heap_words * word_bytes));
-                  ("heap_bytes", Json.Int (gc.Gc.heap_words * word_bytes));
-                ] );
-          ]
+      | Protocol.Metrics { prometheus } ->
+        if prometheus then Protocol.ok_reply ~id [ ("prometheus", Json.Str (prometheus_text t)) ]
+        else
+          Protocol.ok_reply ~id
+            [
+              ("metrics", E.Telemetry.snapshot_to_json (E.Telemetry.snapshot ()));
+              ("sessions", sessions_json t);
+              ( "quarantined",
+                Json.List
+                  (List.map (fun n -> Json.Str n) (Session.quarantined_names t.sessions)) );
+              ("memory", memory_json t);
+            ]
+      | Protocol.Dump_flightrec ->
+        let parsed =
+          List.filter_map
+            (fun l -> try Some (Json.parse l) with Json.Parse_error _ -> None)
+            (E.Telemetry.flightrec_events ())
+        in
+        let path =
+          match t.cfg.data_dir with
+          | None -> Json.Null
+          | Some _ -> (
+            match dump_flightrec ~data_dir:t.cfg.data_dir ~reason:"on-demand" with
+            | Some (p, _) -> Json.Str p
+            | None -> Json.Null)
+        in
+        Protocol.ok_reply ~id [ ("events", Json.List parsed); ("path", path) ]
       | op ->
         let name =
           match rq.Protocol.rq_session with
@@ -434,7 +665,8 @@ let execute t (rq : Protocol.request) =
           | None -> Protocol.reject Protocol.Malformed_frame "this op needs a \"session\" field"
         in
         (match op with
-        | Protocol.Ping | Protocol.Hello | Protocol.Metrics -> assert false
+        | Protocol.Ping | Protocol.Hello | Protocol.Metrics _ | Protocol.Dump_flightrec ->
+          assert false
         | Protocol.Close_session ->
           Protocol.ok_reply ~id
             [ ("closed", Json.Bool (Session.close t.sessions ~name)) ]
@@ -467,6 +699,7 @@ let execute t (rq : Protocol.request) =
          compact to actually return freed memory, then answer with a typed
          error — the daemon and every other session live on. *)
       (try Gc.compact () with Out_of_memory -> ());
+      ignore (dump_flightrec ~data_dir:t.cfg.data_dir ~reason:"out-of-memory");
       E.Telemetry.bump c_errors 1;
       Protocol.error_reply ~id ~kind:Protocol.Memory
         ~message:
@@ -494,6 +727,16 @@ let execute t (rq : Protocol.request) =
          internal — either way the client gets a diagnosis, not a hangup *)
       E.Telemetry.bump c_errors 1;
       Protocol.reject_reply ~id e)
+  in
+  let dur_s = now () -. t_start in
+  E.Telemetry.hist_record h_request dur_s;
+  (match rq.Protocol.rq_session with
+  | Some name -> Session.note_latency t.sessions ~name dur_s
+  | None -> ());
+  (match t.cfg.slow_log_ms with
+  | Some thr when dur_s *. 1000. >= float_of_int thr -> slow_log_write t rq ~tid ~dur_s
+  | _ -> ());
+  reply
 
 (* ---- framing ---- *)
 
@@ -682,8 +925,25 @@ let run t =
       ("sessions", Json.Int (Session.live_count t.sessions));
       ("recovery", Json.List (List.map (fun s -> Json.Str s) t.recovery));
     ];
-  while not (draining t) do
-    tick t
-  done;
+  (try
+     while not (draining t) do
+       tick t
+     done
+   with e ->
+     (* fatal: persist the recorder before dying so the crash leaves a
+        post-mortem artifact (the ring tail carries the crashing
+        request's trace id). The exception still propagates — exit codes
+        and fault semantics are unchanged. *)
+     ignore (dump_flightrec ~data_dir:t.cfg.data_dir ~reason:"crash");
+     (* the CLI's error ladder also dumps the ring on Fault.Crash as a
+        batch-mode fallback, and telemetry teardown still flushes counters
+        into the ring on the way out; capture is done — turn the recorder
+        off so the daemon path writes exactly one artifact *)
+     E.Telemetry.flightrec_configure ~capacity:0;
+     raise e);
   drain_now t;
-  E.Telemetry.instant "server.stop" []
+  E.Telemetry.instant "server.stop" [];
+  (* drain is a deliberate stopping point too: keep the tail around for
+     whoever asks "what was it doing just before the SIGTERM?" *)
+  if t.cfg.data_dir <> None then
+    ignore (dump_flightrec ~data_dir:t.cfg.data_dir ~reason:"drain")

@@ -48,7 +48,16 @@
     ["server.memory.pressure"] (treat the global headroom cap as zero for
     one request: forces eviction + overload shedding), ["server.oom"]
     (raise [Out_of_memory] inside the request transaction; the daemon
-    must roll back and reply, not die). *)
+    must roll back and reply, not die).
+
+    {b Observability.} Every request gets a [trace_id] (echoed in its
+    reply and stamped on every trace event it emits); request latency
+    lands in a deterministic log-bucketed histogram globally and per
+    session; [metrics] reports per-session breakdowns and, with
+    [{"format":"prometheus"}], text exposition; the always-on flight
+    recorder (see {!Egglog.Telemetry}) is dumped to
+    [<data-dir>/flightrec-<ts>.jsonl] on crashes, [Out_of_memory],
+    recovery quarantine and drain, and on demand via [dump-flightrec]. *)
 
 type config = {
   socket_path : string option;
@@ -71,6 +80,10 @@ type config = {
           beyond it, largest-first eviction then [overload] shedding *)
   idle_timeout_s : float option;  (** evict sessions idle longer than this *)
   checkpoint_every : int option;  (** journal checkpoint cadence *)
+  slow_log_ms : int option;
+      (** requests at or above this duration append a JSONL entry (program,
+          budgets, phase breakdown, flight-recorder tail) to
+          [<data-dir>/slowlog.jsonl] — stderr without a data dir *)
 }
 
 val default_config : config

@@ -6,6 +6,9 @@ type session = {
   mutable s_durable : E.Durable.t option;
   mutable s_last_used : float;
   mutable s_requests : int;
+  (* private (unregistered) histogram: this session's request latency,
+     never mixed into the global registry snapshot *)
+  s_hist : E.Telemetry.histogram;
 }
 
 (* A name whose journal failed to recover is quarantined, not recreated:
@@ -19,14 +22,31 @@ type t = {
   checkpoint_every : int option;
   make_engine : unit -> E.Engine.t;
   table : (string, entry) Hashtbl.t;
+  (* eviction counts keyed by session name; kept across re-opens so the
+     metrics reply can attribute churn to the name, not the incarnation *)
+  evictions : (string, int) Hashtbl.t;
 }
 
 let c_opened = E.Telemetry.counter "server.sessions_opened"
 let c_recovered = E.Telemetry.counter "server.sessions_recovered"
 let c_evicted = E.Telemetry.counter "server.sessions_evicted"
 
+let note_eviction t name =
+  E.Telemetry.bump c_evicted 1;
+  Hashtbl.replace t.evictions name
+    (1 + Option.value (Hashtbl.find_opt t.evictions name) ~default:0)
+
+let evictions_of t name = Option.value (Hashtbl.find_opt t.evictions name) ~default:0
+
 let create ~data_dir ~max_sessions ~checkpoint_every ~make_engine =
-  { data_dir; max_sessions; checkpoint_every; make_engine; table = Hashtbl.create 16 }
+  {
+    data_dir;
+    max_sessions;
+    checkpoint_every;
+    make_engine;
+    table = Hashtbl.create 16;
+    evictions = Hashtbl.create 16;
+  }
 
 let journal_path t name =
   Option.map (fun dir -> Filename.concat dir (name ^ ".journal")) t.data_dir
@@ -51,6 +71,7 @@ let recover_one t name path now =
         s_durable = Some durable;
         s_last_used = now;
         s_requests = 0;
+        s_hist = E.Telemetry.hist_create ();
       }
     in
     Hashtbl.replace t.table name (Live s);
@@ -116,6 +137,7 @@ let open_new t ~name ~durable ~now =
         s_durable = None;
         s_last_used = now;
         s_requests = 0;
+        s_hist = E.Telemetry.hist_create ();
       }
     in
     if durable then make_durable t s;
@@ -184,7 +206,7 @@ let evict_largest t ~keep ~target_bytes =
       if total_bytes t > target_bytes then begin
         close_session s;
         Hashtbl.remove t.table name;
-        E.Telemetry.bump c_evicted 1;
+        note_eviction t name;
         evicted := name :: !evicted
       end)
     victims;
@@ -204,9 +226,49 @@ let evict_idle t ~now ~idle_timeout =
     (fun (name, s) ->
       close_session s;
       Hashtbl.remove t.table name;
-      E.Telemetry.bump c_evicted 1;
+      note_eviction t name;
       name)
     victims
 
 let drain t =
   List.iter (fun name -> ignore (close t ~name)) (live_names t)
+
+
+(* ---- per-session attribution for the metrics reply ---- *)
+
+type session_stat = {
+  st_requests : int;
+  st_bytes : int;
+  st_durable : bool;
+  st_evictions : int;
+  st_latency : E.Telemetry.hist_snap;
+}
+
+let note_latency t ~name dt =
+  match Hashtbl.find_opt t.table name with
+  | Some (Live s) -> E.Telemetry.hist_record s.s_hist dt
+  | Some (Quarantined _) | None -> ()
+
+let per_session_stats t =
+  Hashtbl.fold
+    (fun name e acc ->
+      match e with
+      | Quarantined _ -> acc
+      | Live s ->
+        ( name,
+          {
+            st_requests = s.s_requests;
+            st_bytes = session_bytes s;
+            st_durable = s.s_durable <> None;
+            st_evictions = evictions_of t name;
+            st_latency = E.Telemetry.hist_snap_of s.s_hist;
+          } )
+        :: acc)
+    t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let quarantined_names t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun name e acc -> match e with Quarantined _ -> name :: acc | Live _ -> acc)
+       t.table [])

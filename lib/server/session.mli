@@ -23,6 +23,8 @@ type session = {
   mutable s_durable : E.Durable.t option;
   mutable s_last_used : float;  (** Telemetry.now of the last request *)
   mutable s_requests : int;
+  s_hist : E.Telemetry.histogram;
+      (** request latency, private to this session (unregistered) *)
 }
 
 type t
@@ -77,6 +79,33 @@ val live_count : t -> int
 
 val live_names : t -> string list
 (** Sorted. *)
+
+val quarantined_names : t -> string list
+(** Sorted names whose journals failed to recover. *)
+
+(** {2 Per-session attribution}
+
+    The daemon's [metrics] reply reports each session from its own state —
+    request count, private latency histogram, modeled bytes, eviction
+    churn — never from the global telemetry registry, so one session's
+    activity cannot pollute another's numbers. *)
+
+type session_stat = {
+  st_requests : int;
+  st_bytes : int;  (** modeled bytes, {!session_bytes} *)
+  st_durable : bool;
+  st_evictions : int;  (** times this {e name} has been evicted *)
+  st_latency : E.Telemetry.hist_snap;
+}
+
+val note_latency : t -> name:string -> float -> unit
+(** Record one request duration into the named session's private
+    histogram; no-op when the name is not live. *)
+
+val per_session_stats : t -> (string * session_stat) list
+(** Sorted by name; live sessions only. *)
+
+val evictions_of : t -> string -> int
 
 val journal_path : t -> string -> string option
 (** Where the name's journal lives (None without a data dir). *)

@@ -294,13 +294,31 @@ let phase_restart main_exe dir =
   if code <> 0 then fail "restart server exited %d on SIGTERM" code
 
 (* --fault: a simulated crash between commit and journal append must exit
-   70 and recovery must drop exactly the un-journaled request *)
+   70, leave a parseable flight-recorder artifact whose spans balance and
+   whose tail names the crashing request, and recovery must drop exactly
+   the un-journaled request *)
 let phase_crash_fault main_exe dir =
+  let data = Filename.concat dir "data" in
+  let flightrecs () =
+    Array.to_list (try Sys.readdir data with Sys_error _ -> [||])
+    |> List.filter (String.starts_with ~prefix:"flightrec-")
+  in
+  let before = flightrecs () in
   let sv = start_server ~extra:[ "--fault"; "server.request.executed:2" ] main_exe dir in
   let c = connect_retry sv.sock in
   ignore (open_durable c "crashy");
   let r1 = rpc c (run_req ~id:1 ~session:"crashy" (good_prog 50)) in
   if not (is_ok r1) then fail "crashy seed request failed: %s" (err_kind r1);
+  (* trace ids are sequential: the crashing request gets the successor of
+     the last acknowledged one *)
+  let crash_tid =
+    match Json.member "trace_id" r1 with
+    | Some (Json.Str t) ->
+      Some (Printf.sprintf "t-%06d" (1 + int_of_string (String.sub t 2 (String.length t - 2))))
+    | _ ->
+      fail "crashy reply carries no trace_id";
+      None
+  in
   (* hit 2 of server.request.executed: this one commits, never journals *)
   send c (obj (run_req ~id:2 ~session:"crashy" "(edge 90 91) (run 3)"));
   let got_reply = match input_line c.ic with _ -> true | exception End_of_file -> false in
@@ -309,6 +327,28 @@ let phase_crash_fault main_exe dir =
   if got_reply then fail "crash fault: request was acknowledged across the crash";
   if code <> 70 then fail "crash fault: exit %d, want 70" code
   else pass "simulated crash exits 70, request unacknowledged";
+  (match List.filter (fun f -> not (List.mem f before)) (flightrecs ()) with
+   | [] -> fail "crash fault: no flight-recorder artifact in %s" data
+   | artifact :: _ ->
+     let events =
+       In_channel.with_open_text (Filename.concat data artifact) In_channel.input_lines
+       |> List.filter_map (fun l ->
+              match Json.parse l with
+              | j -> Some j
+              | exception Json.Parse_error _ ->
+                fail "flightrec line is not JSON: %s" l;
+                None)
+     in
+     if events = [] then fail "crash fault: flightrec artifact is empty";
+     let begins = List.length (List.filter (fun e -> Json.member "ev" e = Some (Json.Str "b")) events) in
+     let ends = List.length (List.filter (fun e -> Json.member "ev" e = Some (Json.Str "e")) events) in
+     if begins <> ends then
+       fail "crash fault: flightrec spans imbalanced (%d begins, %d ends)" begins ends;
+     (match crash_tid with
+      | Some tid when List.exists (fun e -> Json.member "tid" e = Some (Json.Str tid)) events ->
+        pass "crash left a balanced flightrec artifact naming request %s" tid
+      | Some tid -> fail "crash fault: flightrec tail lacks the crashing trace id %s" tid
+      | None -> ()));
   let sv2 = start_server main_exe dir in
   let c2 = connect_retry sv2.sock in
   (match dump_of c2 "crashy" with
@@ -382,6 +422,80 @@ let phase_memory_governance main_exe dir =
   Unix.kill sv2.pid Sys.sigterm;
   ignore (wait_exit sv2)
 
+(* observability, from outside: replies carry trace ids, the prometheus
+   exposition parses, and dump-flightrec returns the recent trace tail *)
+let phase_observability sv =
+  let c = connect_retry sv.sock in
+  let r = rpc c (run_req ~id:1 ~session:"obs" (good_prog 30)) in
+  if not (is_ok r) then fail "observability seed request failed: %s" (err_kind r);
+  (match Json.member "trace_id" r with
+   | Some (Json.Str _) -> pass "replies carry trace ids"
+   | _ -> fail "reply lacks a trace_id");
+  (* prometheus exposition: every non-comment line is name{labels} value *)
+  let m =
+    rpc c
+      [ ("id", Json.Int 2); ("op", Json.Str "metrics"); ("format", Json.Str "prometheus") ]
+  in
+  (match Json.member "prometheus" m with
+   | Some (Json.Str text) ->
+     let bad = ref 0 in
+     List.iter
+       (fun line ->
+         if line <> "" && not (String.starts_with ~prefix:"# " line) then begin
+           match String.rindex_opt line ' ' with
+           | None ->
+             incr bad;
+             fail "prometheus line lacks a value: %S" line
+           | Some i ->
+             let name = String.sub line 0 i in
+             let value = String.sub line (i + 1) (String.length line - i - 1) in
+             if float_of_string_opt value = None then begin
+               incr bad;
+               fail "prometheus sample value unparseable: %S" line
+             end;
+             let base =
+               match String.index_opt name '{' with
+               | Some j -> String.sub name 0 j
+               | None -> name
+             in
+             if
+               base = ""
+               || not
+                    (String.for_all
+                       (fun ch ->
+                         (ch >= 'a' && ch <= 'z')
+                         || (ch >= 'A' && ch <= 'Z')
+                         || ch = '_' || ch = ':'
+                         || (ch >= '0' && ch <= '9'))
+                       base)
+             then begin
+               incr bad;
+               fail "bad prometheus metric name: %S" base
+             end
+         end)
+       (String.split_on_char '\n' text);
+     let has sub =
+       let n = String.length text and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+       go 0
+     in
+     if not (has "egglog_server_live_sessions") then
+       fail "prometheus output lacks egglog_server_live_sessions";
+     if not (has "egglog_session_requests_total{session=\"obs\"}") then
+       fail "prometheus output lacks the per-session request counter";
+     if !bad = 0 then pass "prometheus exposition parses (%d bytes)" (String.length text)
+   | _ -> fail "metrics format=prometheus carries no text");
+  (* on-demand flight recorder dump *)
+  let d = rpc c [ ("id", Json.Int 3); ("op", Json.Str "dump-flightrec") ] in
+  (match (Json.member "events" d, Json.member "path" d) with
+   | Some (Json.List (_ :: _ as events)), Some (Json.Str path) ->
+     if Sys.file_exists path then
+       pass "dump-flightrec: %d events, artifact at %s" (List.length events)
+         (Filename.basename path)
+     else fail "dump-flightrec artifact %s missing" path
+   | _ -> fail "dump-flightrec reply incomplete: %s" (Json.to_string d));
+  close_client c
+
 (* the server trace must have balanced span begin/end events per name *)
 let phase_trace_balance dir =
   let path = Filename.concat dir "server-trace.jsonl" in
@@ -428,6 +542,7 @@ let () =
   let sv = start_server main_exe dir in
   phase_concurrent sv;
   phase_overload sv;
+  phase_observability sv;
   phase_sigterm_drain sv;
   phase_restart main_exe dir;
   phase_crash_fault main_exe dir;

@@ -642,6 +642,295 @@ let test_idle_eviction () =
       close_client c);
   cleanup_dir dir
 
+(* ---- observability ---- *)
+
+(* The flight recorder and the private session histograms only capture
+   while telemetry is enabled; scope that state per test. *)
+let with_telemetry f =
+  E.Telemetry.reset ();
+  (* configure (not just clear): the daemon's crash path turns the
+     recorder off, and a prior test may have crashed *)
+  E.Telemetry.flightrec_configure ~capacity:512;
+  E.Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      E.Telemetry.disable ();
+      E.Telemetry.reset ();
+      E.Telemetry.flightrec_configure ~capacity:512)
+    f
+
+let trace_id_of reply =
+  match Json.member "trace_id" reply with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "reply carries no trace_id: %s" (Json.to_string reply)
+
+let test_trace_ids_in_replies () =
+  let dir = fresh_dir () in
+  with_server dir (fun sv ->
+      let c = connect sv in
+      let r1 = rpc c [ ("id", Json.Int 1); ("op", Json.Str "ping") ] in
+      let r2 = rpc c (run_req ~id:2 ~session:"a" "(relation r (i64)) (r 1)") in
+      check_ok "ping" r1;
+      check_ok "run" r2;
+      Alcotest.(check bool) "distinct trace ids" true (trace_id_of r1 <> trace_id_of r2);
+      (* error replies are tagged too *)
+      let r3 = rpc c (run_req ~id:3 ~session:"a" "(oops") in
+      Alcotest.(check bool) "error reply tagged" true (not (is_ok r3));
+      Alcotest.(check bool) "error trace id set" true (String.length (trace_id_of r3) > 0);
+      close_client c);
+  cleanup_dir dir
+
+let session_entry m name =
+  match Json.member "sessions" m with
+  | Some sessions -> (
+    match Json.member name sessions with
+    | Some entry -> entry
+    | None -> Alcotest.failf "metrics reply lacks session %s" name)
+  | None -> Alcotest.fail "metrics reply lacks sessions"
+
+let session_int m name field =
+  match Json.member field (session_entry m name) with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "sessions.%s.%s missing" name field
+
+let latency_count m name =
+  match Json.member "latency" (session_entry m name) with
+  | Some lat -> (
+    match Json.member "count" lat with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "sessions.%s.latency.count missing" name)
+  | None -> Alcotest.failf "sessions.%s.latency missing" name
+
+(* Regression: the metrics reply used to report only the global telemetry
+   registry, so one session's activity polluted every session's numbers.
+   Per-session stats must come from session-local state only. *)
+let test_metrics_per_session_isolation () =
+  let dir = fresh_dir () in
+  with_telemetry (fun () ->
+      with_server dir (fun sv ->
+          let c = connect sv in
+          check_ok "a runs once" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+          let m1 = rpc c [ ("id", Json.Int 2); ("op", Json.Str "metrics") ] in
+          check_ok "metrics" m1;
+          Alcotest.(check int) "a requests" 1 (session_int m1 "a" "requests");
+          Alcotest.(check int) "a latency count" 1 (latency_count m1 "a");
+          (* b works hard; a's numbers must not move at all *)
+          check_ok "b run 1" (rpc c (run_req ~id:3 ~session:"b" prog_base));
+          check_ok "b run 2" (rpc c (run_req ~id:4 ~session:"b" prog_more));
+          let m2 = rpc c [ ("id", Json.Int 5); ("op", Json.Str "metrics") ] in
+          check_ok "metrics again" m2;
+          Alcotest.(check int) "b requests" 2 (session_int m2 "b" "requests");
+          Alcotest.(check int) "b latency count" 2 (latency_count m2 "b");
+          Alcotest.(check string) "a's entry is byte-identical"
+            (Json.to_string (session_entry m1 "a"))
+            (Json.to_string (session_entry m2 "a"));
+          close_client c));
+  cleanup_dir dir
+
+(* Minimal text-exposition validation: every non-comment line is
+   name{labels} value with a well-formed metric name and parseable value. *)
+let validate_prometheus text =
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "# ") then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "prometheus line lacks a value: %S" line
+        | Some i ->
+          let name = String.sub line 0 i in
+          let value = String.sub line (i + 1) (String.length line - i - 1) in
+          (match float_of_string_opt value with
+           | Some _ -> ()
+           | None -> Alcotest.failf "unparseable sample value in %S" line);
+          (match String.index_opt name '{' with
+           | Some _ when name.[String.length name - 1] <> '}' ->
+             Alcotest.failf "unbalanced label braces in %S" line
+           | _ -> ());
+          let base =
+            match String.index_opt name '{' with
+            | Some j -> String.sub name 0 j
+            | None -> name
+          in
+          if base = "" then Alcotest.failf "empty metric name in %S" line;
+          String.iteri
+            (fun k ch ->
+              let ok =
+                (ch >= 'a' && ch <= 'z')
+                || (ch >= 'A' && ch <= 'Z')
+                || ch = '_' || ch = ':'
+                || (k > 0 && ch >= '0' && ch <= '9')
+              in
+              if not ok then Alcotest.failf "bad metric name %S" base)
+            base
+      end)
+    (String.split_on_char '\n' text)
+
+let test_metrics_prometheus () =
+  let dir = fresh_dir () in
+  with_telemetry (fun () ->
+      with_server dir (fun sv ->
+          let c = connect sv in
+          check_ok "populate" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+          let m =
+            rpc c
+              [
+                ("id", Json.Int 2);
+                ("op", Json.Str "metrics");
+                ("format", Json.Str "prometheus");
+              ]
+          in
+          check_ok "metrics" m;
+          let text =
+            match Json.member "prometheus" m with
+            | Some (Json.Str s) -> s
+            | _ -> Alcotest.fail "reply carries no prometheus text"
+          in
+          validate_prometheus text;
+          let contains sub =
+            let n = String.length text and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "server gauges present" true
+            (contains "egglog_server_live_sessions 1");
+          Alcotest.(check bool) "per-session counter present" true
+            (contains "egglog_session_requests_total{session=\"a\"} 1");
+          Alcotest.(check bool) "request histogram present" true
+            (contains "egglog_server_request_s_bucket");
+          (* unknown format is a typed error, not a dead connection *)
+          check_err "bad format" "malformed-frame"
+            (rpc c
+               [
+                 ("id", Json.Int 3);
+                 ("op", Json.Str "metrics");
+                 ("format", Json.Str "xml");
+               ]);
+          close_client c));
+  cleanup_dir dir
+
+let test_dump_flightrec_op () =
+  let dir = fresh_dir () in
+  with_telemetry (fun () ->
+      with_server dir (fun sv ->
+          let c = connect sv in
+          let r = rpc c (run_req ~id:1 ~session:"a" prog_base) in
+          check_ok "run" r;
+          let tid = trace_id_of r in
+          let d = rpc c [ ("id", Json.Int 2); ("op", Json.Str "dump-flightrec") ] in
+          check_ok "dump-flightrec" d;
+          let events =
+            match Json.member "events" d with
+            | Some (Json.List l) -> l
+            | _ -> Alcotest.fail "reply carries no events"
+          in
+          Alcotest.(check bool) "recorder captured the run" true (List.length events > 0);
+          Alcotest.(check bool) "tail carries the run's trace id" true
+            (List.exists (fun e -> Json.member "tid" e = Some (Json.Str tid)) events);
+          (match Json.member "path" d with
+           | Some (Json.Str p) ->
+             Alcotest.(check bool) "artifact written under the data dir" true
+               (Sys.file_exists p)
+           | _ -> Alcotest.fail "no artifact path despite a data dir");
+          close_client c));
+  cleanup_dir dir
+
+let test_slow_log () =
+  let dir = fresh_dir () in
+  with_telemetry (fun () ->
+      with_server ~tune:(fun c -> { c with S.Serve.slow_log_ms = Some 0 }) dir (fun sv ->
+          let c = connect sv in
+          check_ok "run" (rpc c (run_req ~id:1 ~session:"a" prog_base));
+          check_ok "ping" (rpc c [ ("id", Json.Int 2); ("op", Json.Str "ping") ]);
+          close_client c);
+      let path = Filename.concat (Filename.concat dir "data") "slowlog.jsonl" in
+      Alcotest.(check bool) "slowlog written" true (Sys.file_exists path);
+      let entries =
+        List.map Json.parse (In_channel.with_open_text path In_channel.input_lines)
+      in
+      Alcotest.(check bool) "threshold 0 logs every request" true
+        (List.length entries >= 2);
+      let first = List.hd entries in
+      (match Json.member "op" first with
+       | Some (Json.Str "run") -> ()
+       | j ->
+         Alcotest.failf "first entry is not the run: %s"
+           (match j with Some j -> Json.to_string j | None -> "<absent>"));
+      (match Json.member "program" first with
+       | Some (Json.Str p) -> Alcotest.(check string) "program captured" prog_base p
+       | _ -> Alcotest.fail "run entry lacks the program");
+      (match Json.member "phases" first with
+       | Some (Json.Obj _) -> ()
+       | _ -> Alcotest.fail "run entry lacks the phase breakdown");
+      (match Json.member "trace_id" first with
+       | Some (Json.Str _) -> ()
+       | _ -> Alcotest.fail "entry lacks a trace id");
+      (match Json.member "flightrec_tail" first with
+       | Some (Json.List (_ :: _)) -> ()
+       | _ -> Alcotest.fail "entry lacks the flight-recorder tail"));
+  cleanup_dir dir
+
+(* A --fault crash must leave a parseable flight-recorder artifact whose
+   spans balance and whose tail carries the crashing request's trace id. *)
+let test_crash_leaves_flightrec_artifact () =
+  let dir = fresh_dir () in
+  with_telemetry (fun () ->
+      let sv = start dir in
+      let c = connect sv in
+      check_ok "durable session"
+        (rpc c
+           [
+             ("id", Json.Int 1);
+             ("op", Json.Str "open-session");
+             ("session", Json.Str "d");
+             ("durable", Json.Bool true);
+           ]);
+      let r = rpc c (run_req ~id:2 ~session:"d" prog_base) in
+      check_ok "first request" r;
+      (* trace ids are sequential, so the crashing request's id is the
+         successor of the last acknowledged one *)
+      let crash_tid =
+        let last = trace_id_of r in
+        Printf.sprintf "t-%06d"
+          (1 + int_of_string (String.sub last 2 (String.length last - 2)))
+      in
+      E.Fault.arm_nth "server.request.executed" 1;
+      send_line c (obj (run_req ~id:3 ~session:"d" prog_more));
+      (match Domain.join sv.dom with
+       | `Crash p -> Alcotest.(check string) "crashed at the armed point"
+                       "server.request.executed" p
+       | `Clean -> Alcotest.fail "server did not crash");
+      E.Fault.disarm ();
+      close_client c;
+      let data = Filename.concat dir "data" in
+      let artifacts =
+        Array.to_list (Sys.readdir data)
+        |> List.filter (String.starts_with ~prefix:"flightrec-")
+      in
+      (match artifacts with
+       | [ artifact ] ->
+         let events =
+           List.map Json.parse
+             (In_channel.with_open_text (Filename.concat data artifact)
+                In_channel.input_lines)
+         in
+         Alcotest.(check bool) "artifact is non-empty" true (events <> []);
+         let begins = ref 0 and ends = ref 0 in
+         List.iter
+           (fun e ->
+             match Json.member "ev" e with
+             | Some (Json.Str "b") -> incr begins
+             | Some (Json.Str "e") -> incr ends
+             | _ -> ())
+           events;
+         Alcotest.(check int) "spans balance" !begins !ends;
+         Alcotest.(check bool) "tail carries the crashing trace id" true
+           (List.exists
+              (fun e -> Json.member "tid" e = Some (Json.Str crash_tid))
+              events)
+       | _ ->
+         Alcotest.failf "expected exactly one flightrec artifact, found %d"
+           (List.length artifacts)));
+  cleanup_dir dir
+
 let () =
   Alcotest.run "server"
     [
@@ -686,5 +975,16 @@ let () =
           Alcotest.test_case "slow dribble still delivers" `Quick
             test_reply_slow_still_delivers;
           Alcotest.test_case "idle eviction" `Quick test_idle_eviction;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "replies carry trace ids" `Quick test_trace_ids_in_replies;
+          Alcotest.test_case "per-session metrics are isolated" `Quick
+            test_metrics_per_session_isolation;
+          Alcotest.test_case "prometheus exposition" `Quick test_metrics_prometheus;
+          Alcotest.test_case "dump-flightrec on demand" `Quick test_dump_flightrec_op;
+          Alcotest.test_case "slow-request log" `Quick test_slow_log;
+          Alcotest.test_case "crash leaves a flightrec artifact" `Quick
+            test_crash_leaves_flightrec_artifact;
         ] );
     ]

@@ -257,10 +257,12 @@ let test_disabled_records_nothing () =
   Alcotest.(check bool) "sink saw the flush" true (while_enabled > 0);
   T.disable ();
   T.reset ();
+  T.flightrec_clear ();
   let c = T.counter "test.disabled" in
   T.bump c 5;
   T.add "test.disabled2" 7;
   T.observe "test.timing" 1.0;
+  T.hist_record (T.histogram "test.hist") 1.0;
   T.instant "test.instant" [ ("x", J.Int 1) ];
   T.span "test.span" (fun () -> ());
   ignore (T.timed_span "test.timed" (fun () -> ()));
@@ -269,6 +271,10 @@ let test_disabled_records_nothing () =
   let snap = T.snapshot () in
   Alcotest.(check int) "no counters" 0 (List.length snap.T.sn_counters);
   Alcotest.(check int) "no timings" 0 (List.length snap.T.sn_timings);
+  Alcotest.(check bool) "no hist observations" true
+    (List.for_all (fun (_, h) -> h.T.hs_count = 0) snap.T.sn_hists);
+  Alcotest.(check int) "flight recorder stays empty" 0
+    (List.length (T.flightrec_events ()));
   Alcotest.(check bool) "reports disabled" false (T.is_enabled ());
   (* pp_table prints nothing at all for an empty snapshot *)
   Alcotest.(check string) "empty table" "" (Format.asprintf "%a" T.pp_table snap);
@@ -416,6 +422,185 @@ let test_popped_scope_invalidation () =
     (v "join.cache_hits" + v "join.cache_misses");
   fresh ()
 
+(* ---- log-bucketed histograms ---- *)
+
+let test_hist_buckets () =
+  fresh ();
+  T.enable ();
+  let h = T.hist_create () in
+  (* one value per interesting class *)
+  List.iter (T.hist_record h) [ 0.5; 1.0; 3.0; 0.0; -2.0; infinity; neg_infinity; nan ];
+  let s = T.hist_snap_of h in
+  (* nan dropped; everything else counted *)
+  Alcotest.(check int) "count drops nan only" 7 s.T.hs_count;
+  (* sum adds only the finite values: 0.5 + 1 + 3 + 0 - 2 *)
+  Alcotest.(check (float 1e-9)) "finite sum" 2.5 s.T.hs_sum;
+  (* bucket upper bounds are exact powers of two; quantiles walk the merged
+     buckets: rank 4 of 7 lands on the (0.25, 0.5] bucket *)
+  Alcotest.(check (float 0.0)) "p50 is a bucket bound" 0.5 (T.hist_snap_quantile s 0.5);
+  Alcotest.(check (float 0.0)) "p99 reaches the +inf bucket" (Float.ldexp 1.0 63)
+    (T.hist_snap_quantile s 0.99);
+  Alcotest.(check (float 0.0)) "1.0 bucket le" 1.0 (T.hist_bucket_le 64);
+  Alcotest.(check (float 0.0)) "(2,4] bucket le" 4.0 (T.hist_bucket_le 66);
+  (* empty snapshot: quantile 0, json has only count/sum *)
+  let empty = T.hist_snap_of (T.hist_create ()) in
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (T.hist_snap_quantile empty 0.99);
+  (match T.hist_snap_to_json empty with
+   | J.Obj [ ("count", J.Int 0); ("sum", J.Float 0.0) ] -> ()
+   | j -> Alcotest.failf "empty hist json: %s" (J.to_string j));
+  (* non-empty json carries quantiles and buckets *)
+  (match J.member "p99" (T.hist_snap_to_json s) with
+   | Some (J.Float _) -> ()
+   | _ -> Alcotest.fail "p99 missing");
+  fresh ()
+
+(* Shard invariance: the same multiset of observations gives byte-identical
+   snapshot JSON however the observations are split across domain shards.
+   Observations are integer-valued so the shard-order float sum is exact. *)
+let prop_hist_shard_invariance =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 0 200)
+        (oneof
+           [
+             map float_of_int (int_range (-1000) 1000);
+             map (fun e -> Float.ldexp 1.0 e) (int_range 0 20);
+             oneofl [ nan; infinity; neg_infinity; 0.0 ];
+           ]))
+  in
+  QCheck2.Test.make ~name:"histogram merge is shard-partition invariant" ~count:100 gen
+    (fun values ->
+      fresh ();
+      T.enable ();
+      let h_one = T.hist_create () and h_split = T.hist_create () in
+      List.iter (T.hist_record h_one) values;
+      List.iteri
+        (fun i v ->
+          T.set_shard (i mod 4);
+          T.hist_record h_split v)
+        values;
+      T.set_shard 0;
+      let j h = J.to_string (T.hist_snap_to_json (T.hist_snap_of h)) in
+      let same = String.equal (j h_one) (j h_split) in
+      if not same then
+        QCheck2.Test.fail_reportf "one-shard %s@.split %s" (j h_one) (j h_split);
+      T.disable ();
+      same)
+
+(* The per-rule/per-phase histograms are value-based for rule matches, so
+   the snapshot is byte-identical whatever --jobs the engine ran with. *)
+let test_hist_cross_jobs () =
+  let snap_at jobs =
+    fresh ();
+    T.enable ();
+    let eng = E.Engine.create ~jobs () in
+    ignore (E.run_string eng path_program);
+    let j =
+      J.to_string (T.hist_snap_to_json (T.hist_snap_of (T.histogram "engine.rule_matches")))
+    in
+    T.disable ();
+    j
+  in
+  let j1 = snap_at 1 and j2 = snap_at 2 and j4 = snap_at 4 in
+  Alcotest.(check string) "jobs 2 = jobs 1" j1 j2;
+  Alcotest.(check string) "jobs 4 = jobs 1" j1 j4;
+  Alcotest.(check bool) "hist is populated" true (contains j1 "buckets");
+  fresh ()
+
+(* ---- flight recorder ---- *)
+
+let test_flightrec_ring () =
+  fresh ();
+  T.flightrec_configure ~capacity:8;
+  T.enable ();
+  for i = 1 to 20 do
+    T.instant (Printf.sprintf "ev%d" i) []
+  done;
+  T.disable ();
+  let events = T.flightrec_events () in
+  Alcotest.(check int) "ring holds capacity" 8 (List.length events);
+  let names = List.map (fun l -> str_field "name" (J.parse l)) events in
+  Alcotest.(check (list string)) "oldest-first window of the tail"
+    [ "ev13"; "ev14"; "ev15"; "ev16"; "ev17"; "ev18"; "ev19"; "ev20" ]
+    names;
+  T.flightrec_clear ();
+  Alcotest.(check int) "clear empties the ring" 0 (List.length (T.flightrec_events ()));
+  (* capacity 0 disables capture entirely *)
+  T.flightrec_configure ~capacity:0;
+  T.enable ();
+  T.instant "dropped" [];
+  T.disable ();
+  Alcotest.(check int) "capacity 0 records nothing" 0 (List.length (T.flightrec_events ()));
+  T.flightrec_configure ~capacity:512;
+  fresh ()
+
+let test_flightrec_dump () =
+  fresh ();
+  T.flightrec_configure ~capacity:64;
+  install_ticker ();
+  T.enable ();
+  T.with_trace_id "t-000042" (fun () ->
+      T.span "req" (fun () -> T.span "inner" (fun () -> ())));
+  T.disable ();
+  let path = Filename.temp_file "egglog_flightrec" ".jsonl" in
+  let n = T.flightrec_dump ~path in
+  Alcotest.(check int) "dumped every ring event" 4 n;
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  Sys.remove path;
+  Alcotest.(check int) "file has one line per event" n (List.length lines);
+  let events = List.map J.parse lines in
+  (* spans balance: every begin has its end, depth never goes negative *)
+  let depth = ref 0 in
+  List.iter
+    (fun e ->
+      (match str_field "ev" e with
+       | "b" -> incr depth
+       | "e" -> decr depth
+       | _ -> ());
+      if !depth < 0 then Alcotest.fail "unbalanced spans in dump")
+    events;
+  Alcotest.(check int) "spans balance" 0 !depth;
+  (* every event carries the ambient trace id *)
+  List.iter
+    (fun e -> Alcotest.(check string) "tid tag" "t-000042" (str_field "tid" e))
+    events;
+  (* dumping an empty ring writes no file *)
+  T.flightrec_clear ();
+  let path2 = Filename.concat (Filename.get_temp_dir_name ()) "egglog_flightrec_empty.jsonl" in
+  Alcotest.(check int) "empty ring dumps nothing" 0 (T.flightrec_dump ~path:path2);
+  Alcotest.(check bool) "no file created" false (Sys.file_exists path2);
+  T.flightrec_configure ~capacity:512;
+  fresh ()
+
+let test_trace_id_scoping () =
+  fresh ();
+  Alcotest.(check (option string)) "no ambient id" None (T.current_trace_id ());
+  T.with_trace_id "outer" (fun () ->
+      Alcotest.(check (option string)) "set" (Some "outer") (T.current_trace_id ());
+      T.with_trace_id "inner" (fun () ->
+          Alcotest.(check (option string)) "nested" (Some "inner") (T.current_trace_id ()));
+      Alcotest.(check (option string)) "restored" (Some "outer") (T.current_trace_id ()));
+  (try T.with_trace_id "boom" (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check (option string)) "restored on exception" None (T.current_trace_id ());
+  fresh ()
+
+(* ---- non-finite floats never reach the JSON ---- *)
+
+let test_nonfinite_json () =
+  fresh ();
+  T.enable ();
+  T.observe "bad.timing" infinity;
+  T.observe "bad.timing" nan;
+  T.observe "good.timing" 1.0;
+  let h = T.histogram "bad.hist" in
+  T.hist_record h infinity;
+  T.hist_record h nan;
+  T.disable ();
+  let s = J.to_string (T.snapshot_to_json (T.snapshot ())) in
+  Alcotest.(check bool) "snapshot JSON has no null" false (contains s "null");
+  (match J.parse s with J.Obj _ -> () | _ -> Alcotest.fail "snapshot unparseable");
+  fresh ()
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -445,6 +630,20 @@ let () =
           Alcotest.test_case "hit/miss accounting" `Quick test_cache_accounting;
           Alcotest.test_case "append-only patching" `Quick test_index_patching;
           Alcotest.test_case "popped-scope invalidation" `Quick test_popped_scope_invalidation;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "buckets and quantiles" `Quick test_hist_buckets;
+          QCheck_alcotest.to_alcotest prop_hist_shard_invariance;
+          Alcotest.test_case "byte-identical across --jobs" `Quick test_hist_cross_jobs;
+          Alcotest.test_case "non-finite floats never reach JSON" `Quick test_nonfinite_json;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "ring wraps and clears" `Quick test_flightrec_ring;
+          Alcotest.test_case "dump balances spans and tags trace ids" `Quick
+            test_flightrec_dump;
+          Alcotest.test_case "trace id scoping" `Quick test_trace_id_scoping;
         ] );
       ( "disabled",
         [
