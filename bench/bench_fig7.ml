@@ -51,6 +51,39 @@ let collect label ~reps runner ~iters =
   done;
   { label; sizes; cum_seconds }
 
+(* Per-phase profile: the seminaive workload run in its own telemetry
+   region, reporting wall seconds spent in each engine phase. Emitted for
+   jobs 1 and a parallel jobs value side by side so the envelope carries
+   the serial-vs-parallel split (and CI can gate on the parallel apply +
+   rebuild tail without rerunning anything). *)
+let phase_names = [ "engine.search"; "engine.apply"; "engine.rebuild" ]
+
+let phase_profile ~jobs ~iters =
+  Egglog.Telemetry.reset ();
+  Egglog.Telemetry.enable ();
+  ignore (run_egglog ~seminaive:true ~jobs ~iters ());
+  Egglog.Telemetry.disable ();
+  let snap = Egglog.Telemetry.snapshot () in
+  List.map
+    (fun name ->
+      ( name,
+        match List.assoc_opt name snap.Egglog.Telemetry.sn_timings with
+        | Some t -> t.Egglog.Telemetry.t_total
+        | None -> 0.0 ))
+    phase_names
+
+let phases_json phases =
+  Egglog.Telemetry.Json.Obj
+    (List.map (fun (name, s) -> (name, Egglog.Telemetry.Json.Float s)) phases)
+
+let print_phase_split ~parallel_jobs serial parallel =
+  Printf.printf "\nper-phase seconds, serial vs jobs=%d:\n" parallel_jobs;
+  List.iter2
+    (fun (name, s) (_, p) ->
+      Printf.printf "  %-16s %8.4fs -> %8.4fs (%.2fx)\n" name s p
+        (if p > 0.0 then s /. p else nan))
+    serial parallel
+
 (* Time a system needs to first reach [size], linearly interpolated. *)
 let time_to_size (s : series) size =
   let n = Array.length s.sizes in
@@ -86,6 +119,12 @@ let run ?(iters = 40) ?(reps = 3) ?(jobs = 1) () =
   in
   Egglog.Telemetry.disable ();
   let telemetry = Egglog.Telemetry.snapshot_to_json (Egglog.Telemetry.snapshot ()) in
+  (* Serial-vs-parallel phase split, in its own telemetry regions (the main
+     snapshot above is already taken). *)
+  let parallel_jobs = if jobs > 1 then jobs else 4 in
+  let serial_phases = phase_profile ~jobs:1 ~iters in
+  let parallel_phases = phase_profile ~jobs:parallel_jobs ~iters in
+  Egglog.Telemetry.reset ();
   Printf.printf "%6s  %22s  %22s  %22s\n" "iter" "egg (nodes, cum s)" "egglogNI (tuples, s)"
     "egglog (tuples, s)";
   let len = min (Array.length egg.sizes) (min (Array.length ni.sizes) (Array.length sn.sizes)) in
@@ -116,6 +155,7 @@ let run ?(iters = 40) ?(reps = 3) ?(jobs = 1) () =
   Printf.printf
     "egglog final e-graph: %d tuples (vs egg %d): larger space explored, as in the paper\n%!"
     sn_final egg_final_size;
+  print_phase_split ~parallel_jobs serial_phases parallel_phases;
   let module J = Egglog.Telemetry.Json in
   let series_json s =
     J.Obj
@@ -139,5 +179,12 @@ let run ?(iters = 40) ?(reps = 3) ?(jobs = 1) () =
            ("egg_seconds_to_target", J.Float egg_time);
            ("speedup_egglogNI_over_egg", speedup ni_time);
            ("speedup_egglog_over_egg", speedup sn_time);
+           ( "phase_profile",
+             J.Obj
+               [
+                 ("parallel_jobs", J.Int parallel_jobs);
+                 ("serial", phases_json serial_phases);
+                 ("parallel", phases_json parallel_phases);
+               ] );
          ])
     ()

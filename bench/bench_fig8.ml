@@ -156,6 +156,35 @@ let run ?sizes ?ni_sizes ?(jobs = 1) ~full () =
     (geo_mean ni_speedups);
   Egglog.Telemetry.disable ();
   let telemetry = Egglog.Telemetry.snapshot_to_json (Egglog.Telemetry.snapshot ()) in
+  (* Serial-vs-parallel phase split on the largest egglog-only input, each
+     run in its own telemetry region (the main snapshot is already taken). *)
+  let parallel_jobs = if jobs > 1 then jobs else 4 in
+  let profile_size = List.fold_left max 0 ni_sizes in
+  let profile_prog = P.Progen.generate ~size:profile_size ~seed:1 () in
+  let phase_profile ~jobs =
+    Egglog.Telemetry.reset ();
+    Egglog.Telemetry.enable ();
+    ignore (P.Egglog_enc.analyze ~seminaive:true ~jobs profile_prog);
+    Egglog.Telemetry.disable ();
+    let snap = Egglog.Telemetry.snapshot () in
+    List.map
+      (fun name ->
+        ( name,
+          match List.assoc_opt name snap.Egglog.Telemetry.sn_timings with
+          | Some t -> t.Egglog.Telemetry.t_total
+          | None -> 0.0 ))
+      [ "engine.search"; "engine.apply"; "engine.rebuild" ]
+  in
+  let serial_phases = phase_profile ~jobs:1 in
+  let parallel_phases = phase_profile ~jobs:parallel_jobs in
+  Egglog.Telemetry.reset ();
+  Printf.printf "per-phase seconds at size %d, serial vs jobs=%d:\n" profile_size parallel_jobs;
+  List.iter2
+    (fun (name, s) (_, p) ->
+      Printf.printf "  %-16s %8.4fs -> %8.4fs (%.2fx)\n" name s p
+        (if p > 0.0 then s /. p else nan))
+    serial_phases parallel_phases;
+  let phases_json phases = J.Obj (List.map (fun (name, s) -> (name, J.Float s)) phases) in
   let geo label = function
     | [] -> (label, J.Null)
     | rs -> (label, J.Float (geo_mean rs))
@@ -180,6 +209,14 @@ let run ?sizes ?ni_sizes ?(jobs = 1) ~full () =
                  geo "egglog_over_patched" !speedups_patched;
                  geo "egglog_over_cclyzer" !speedups_cc;
                  geo "egglog_over_egglogNI" ni_speedups;
+               ] );
+           ( "phase_profile",
+             J.Obj
+               [
+                 ("size", J.Int profile_size);
+                 ("parallel_jobs", J.Int parallel_jobs);
+                 ("serial", phases_json serial_phases);
+                 ("parallel", phases_json parallel_phases);
                ] );
          ])
     ()

@@ -305,9 +305,9 @@ let () =
   let jobs =
     Arg.(value & opt int 1
          & info [ "jobs" ] ~docv:"N"
-             ~doc:"Fan the search phase of every run across N domains (0 = one per core; \
-                   per-command :jobs overrides). Results are bit-identical to --jobs 1 for \
-                   any N; only wall-clock time changes")
+             ~doc:"Fan the search, apply and rebuild phases of every run across N domains \
+                   (0 = one per core; per-command :jobs overrides). Results are \
+                   byte-identical to --jobs 1 for any N; only wall-clock time changes")
   in
   let journal =
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"JOURNAL"
@@ -430,7 +430,8 @@ let () =
     in
     let max_jobs =
       Arg.(value & opt (positive_int ~what:"--max-jobs") 4
-           & info [ "max-jobs" ] ~docv:"N" ~doc:"Cap on per-request search parallelism")
+           & info [ "max-jobs" ] ~docv:"N"
+             ~doc:"Cap on per-request parallelism (search, apply and rebuild phases)")
     in
     let session_quota =
       Arg.(value & opt (some (positive_int ~what:"--session-quota")) None

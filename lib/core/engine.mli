@@ -44,9 +44,10 @@ val create :
     scheduler tightens (match limits shrink, and the backoff policy applies
     even under [Simple]); at tier 2 the rule with the highest modeled byte
     growth is additionally banned each iteration. [jobs] (default 1) is the
-    session default for the number of domains the search phase fans out
-    across ([0] = one per core; the CLI's [--jobs]); a per-command [:jobs]
-    overrides it. Results are bit-identical to [jobs:1] for any value.
+    session default for the number of domains the search, apply and
+    rebuild phases fan out across ([0] = one per core; the CLI's
+    [--jobs]); a per-command [:jobs] overrides it. Results are
+    bit-identical to [jobs:1] for any value.
     @raise Egglog_error on a negative [jobs] or malformed tiers. *)
 
 val database : t -> Database.t
@@ -138,8 +139,9 @@ type run_report = {
   rule_stats : rule_stat list;  (** in declaration order, searched rules only *)
   total_seconds : float;
   jobs : int;
-      (** resolved search-phase domain count the run used ([>= 1]; the [0]
-          = one-per-core request resolves before it lands here) *)
+      (** resolved domain count the run's search/apply/rebuild phases used
+          ([>= 1]; the [0] = one-per-core request resolves before it lands
+          here) *)
   peak_memory_bytes : int;
       (** maximum modeled database footprint observed during the run (at
           iteration boundaries and throttled budget checks) *)
@@ -166,12 +168,16 @@ val run_iterations :
     database footprint ({!Database.modeled_bytes}) exceeds it, degrading
     through the pressure tiers first; [until] stops as soon as all its facts
     are derivable (checked before the first iteration and after each one).
-    [jobs] fans the search phase across that many domains ([0] = one per
-    core; default: the engine's session setting). The database is frozen
-    during search and per-variant match buffers are merged in a fixed
-    (rule, variant, discovery) order, so the resulting state and report
-    counts are bit-identical to [jobs:1] regardless of scheduling; only
-    the timings differ. @raise Egglog_error on a negative [jobs]. *)
+    [jobs] fans the search, apply and rebuild phases across that many
+    domains ([0] = one per core; default: the engine's session setting).
+    The database is frozen during each fan-out: search merges per-variant
+    match buffers in a fixed (rule, variant, discovery) order; apply
+    stages per-match effect traces off-thread and replays them (validated,
+    with serial fallback) in discovery order; rebuild shards each repair
+    round's stale-row scan and repairs serially. The resulting state and
+    report counts are byte-identical to [jobs:1] regardless of
+    scheduling; only the timings differ. @raise Egglog_error on a
+    negative [jobs]. *)
 
 (** {1 Commands (the textual language)} *)
 

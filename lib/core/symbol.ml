@@ -87,6 +87,16 @@ let resolve i =
     r
   end
 
+(* Stop assigning provisional ids but keep the pending names so [resolve]
+   still works: the apply phase stages on worker domains under speculation,
+   then replays on the caller, where any serial re-evaluation (a fallback)
+   must intern for real while committed traces still resolve their
+   provisional symbols. *)
+let pause_speculative () =
+  Mutex.lock lock;
+  spec_on := false;
+  Mutex.unlock lock
+
 let clear_speculative () =
   Mutex.lock lock;
   spec_on := false;

@@ -16,8 +16,10 @@
      stay (and recover) byte-identical
    - the server trace (--trace) has balanced span begin/end events
 
-   Usage: server_harness MAIN_EXE [SCRATCH_DIR]
-   Exit 0 on success, 1 on any failure (diagnoses on stderr). *)
+   Usage: server_harness MAIN_EXE [SCRATCH_DIR] [JOBS]
+   JOBS > 1 sends every well-formed run request with that per-request
+   fan-out; all byte-identity checks still compare against serial
+   references. Exit 0 on success, 1 on any failure (diagnoses on stderr). *)
 
 module E = Egglog
 module Json = E.Telemetry.Json
@@ -71,6 +73,13 @@ let err_kind r =
   | Some e -> (match Json.member "kind" e with Some (Json.Str s) -> s | _ -> "?")
   | None -> "?"
 
+(* Per-request parallelism (the jobs-matrix CI job sets this to 4 via the
+   optional JOBS argv): every well-formed run request asks the daemon for
+   this fan-out, and every byte-identity check below still compares against
+   serial in-process reference runs — the determinism contract end to end
+   through the server. *)
+let req_jobs = ref 1
+
 let run_req ?(id = 1) ~session program =
   [
     ("id", Json.Int id);
@@ -78,6 +87,7 @@ let run_req ?(id = 1) ~session program =
     ("session", Json.Str session);
     ("program", Json.Str program);
   ]
+  @ (if !req_jobs > 1 then [ ("jobs", Json.Int !req_jobs) ] else [])
 
 let open_durable c session =
   rpc c
@@ -527,7 +537,7 @@ let phase_trace_balance dir =
 let () =
   let main_exe =
     if Array.length Sys.argv < 2 then (
-      prerr_endline "usage: server_harness MAIN_EXE [SCRATCH_DIR]";
+      prerr_endline "usage: server_harness MAIN_EXE [SCRATCH_DIR] [JOBS]";
       exit 2)
     else Sys.argv.(1)
   in
@@ -537,6 +547,13 @@ let () =
       Filename.concat (Filename.get_temp_dir_name ())
         (Printf.sprintf "egglog_harness_%d" (Unix.getpid ()))
   in
+  if Array.length Sys.argv > 3 then begin
+    match int_of_string_opt Sys.argv.(3) with
+    | Some j when j >= 1 -> req_jobs := j
+    | _ ->
+      prerr_endline "JOBS must be a positive integer";
+      exit 2
+  end;
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let sv = start_server main_exe dir in

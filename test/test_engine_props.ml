@@ -442,13 +442,25 @@ let prop_diff_delta_ranges =
   QCheck2.Test.make ~name:"differential: planner == reference (delta stamp windows)" ~count:260
     gen_scenario (fun ds -> check_diff ds ~delta:true)
 
-(* Engine-level differential for the parallel search phase: the scenario's
-   query becomes a rule writing its bindings into [out], then the whole
-   engine runs at jobs 1, 2 and 4 and the canonical dump must come out
-   byte-identical — the tentpole's determinism contract, exercised over
-   random schemas and primitives. Facts land in two batches with a run
-   between, so the semi-naïve delta variants fan out across domains too. *)
-let run_scenario_at_jobs ds ~jobs =
+(* Engine-level differential for the parallel phases: the scenario's
+   query becomes a rule writing its bindings into [out] — and, with two
+   or more variables, unioning sort members through [g2], so the staged
+   apply path sees fresh-id defaults, unions and merge conflicts — then
+   the whole engine runs at jobs 1, 2 and 4 and both the canonical dump
+   and the run-report fingerprint (per-iteration row/class/match counts,
+   stop reason, per-rule stats) must come out byte-identical — the
+   tentpole's determinism contract, exercised over random schemas and
+   primitives. Facts land in two batches with a run between, so the
+   semi-naïve delta variants fan out across domains too. *)
+let report_fingerprint (r : E.Engine.run_report) =
+  ( List.map
+      (fun (s : E.Engine.iteration_stat) ->
+        (s.it_index, s.it_rows, s.it_classes, s.it_changed, s.it_matches, s.it_delta_rows))
+      r.iterations,
+    r.stop_reason,
+    r.rule_stats )
+
+let run_scenario_at_jobs ?node_limit ?memory_limit ds ~jobs =
   let n_rels = List.length ds.ds_arities in
   let facts, vars = scenario_facts ds in
   let eng = E.Engine.create () in
@@ -460,15 +472,24 @@ let run_scenario_at_jobs ds ~jobs =
            (String.concat " " (List.init a (fun _ -> "i64")))))
     ds.ds_arities;
   Buffer.add_string decls "(function f (i64) i64)\n";
+  Buffer.add_string decls "(sort M)\n(function g2 (i64) M)\n";
   Buffer.add_string decls
     (Printf.sprintf "(relation out (%s))\n"
        (String.concat " " (List.init (1 + List.length vars) (fun _ -> "i64"))));
   ignore (E.run_string eng (Buffer.contents decls));
+  let union_actions =
+    (* exercise parallel apply's union staging: merge the classes keyed by
+       the first two bound variables (fresh g2 members on first touch) *)
+    match vars with
+    | v1 :: v2 :: _ -> [ E.Ast.Union (E.Ast.Call ("g2", [ v1 ]), E.Ast.Call ("g2", [ v2 ])) ]
+    | _ -> []
+  in
   E.Engine.add_rule eng
     {
       E.Ast.rule_name = Some "scenario";
       query = facts;
-      actions = [ E.Ast.Do (E.Ast.Call ("out", E.Ast.Lit (E.Value.VInt 0) :: vars)) ];
+      actions =
+        E.Ast.Do (E.Ast.Call ("out", E.Ast.Lit (E.Value.VInt 0) :: vars)) :: union_actions;
       ruleset = None;
     };
   let insert (pick, raw) =
@@ -486,17 +507,35 @@ let run_scenario_at_jobs ds ~jobs =
   let n = List.length ds.ds_inserts in
   let split = if n = 0 then 0 else ds.ds_split mod (n + 1) in
   List.iteri (fun i ins -> if i < split then insert ins) ds.ds_inserts;
-  ignore (E.Engine.run_iterations ~jobs eng 2);
+  let rep1 = E.Engine.run_iterations ?node_limit ?memory_limit ~jobs eng 2 in
   List.iteri (fun i ins -> if i >= split then insert ins) ds.ds_inserts;
-  ignore (E.Engine.run_iterations ~jobs eng 3);
-  E.Serialize.dump_string eng
+  let rep2 = E.Engine.run_iterations ?node_limit ?memory_limit ~jobs eng 3 in
+  (E.Serialize.dump_string eng, report_fingerprint rep1, report_fingerprint rep2)
 
 let prop_jobs_differential =
-  QCheck2.Test.make ~name:"differential: parallel search (jobs 2, 4) dumps == serial" ~count:60
-    gen_scenario (fun ds ->
+  QCheck2.Test.make
+    ~name:"differential: parallel search+apply+rebuild (jobs 2, 4) dumps+reports == serial"
+    ~count:60 gen_scenario (fun ds ->
       match run_scenario_at_jobs ds ~jobs:1 with
       | exception E.Engine.Egglog_error _ -> true
       | serial -> List.for_all (fun jobs -> run_scenario_at_jobs ds ~jobs = serial) [ 2; 4 ])
+
+(* Same contract when a budget stops the run mid-way: node and memory
+   limits are modeled deterministically, so the stop reason, the stopped
+   iteration and the dump must be byte-identical at any jobs count. *)
+let prop_jobs_differential_limits =
+  QCheck2.Test.make
+    ~name:"differential: budget stops (node/memory limit) identical at jobs 2, 4" ~count:30
+    gen_scenario (fun ds ->
+      List.for_all
+        (fun (node_limit, memory_limit) ->
+          match run_scenario_at_jobs ?node_limit ?memory_limit ds ~jobs:1 with
+          | exception E.Engine.Egglog_error _ -> true
+          | serial ->
+            List.for_all
+              (fun jobs -> run_scenario_at_jobs ?node_limit ?memory_limit ds ~jobs = serial)
+              [ 2; 4 ])
+        [ (Some 40, None); (None, Some 30_000) ])
 
 (* Regression for the cache-key representation: two distinct table
    incarnations (original and a pre-mutation snapshot) can reach the same
@@ -591,7 +630,12 @@ let () =
         ] );
       ( "differential",
         List.map to_alcotest
-          [ prop_diff_full_ranges; prop_diff_delta_ranges; prop_jobs_differential ] );
+          [
+            prop_diff_full_ranges;
+            prop_diff_delta_ranges;
+            prop_jobs_differential;
+            prop_jobs_differential_limits;
+          ] );
       ( "scheduling",
         [ Alcotest.test_case "backoff unbans" `Quick test_backoff_unbans ] );
       ( "primitives",

@@ -253,6 +253,189 @@ let test_fresh_interning_deterministic () =
         serial (dump ~jobs))
     [ 2; 4; 0 ]
 
+(* ------------------------------------------------------------------ *)
+(* Merge storm: parallel rebuild vs serial vs a naive reference closure *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic 48-bit LCG (drawing from the high bits — the low bits
+   of a power-of-two LCG carry parity structure that would split the link
+   graph into disjoint components) so the "random" graph is identical on
+   every run and platform. *)
+let make_lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 25214903917) + 11) land 0xFFFF_FFFF_FFFF;
+    (!state lsr 16) mod bound
+
+let storm_nodes = 700
+let storm_links =
+  let rand = make_lcg 0x5EED in
+  List.init 900 (fun _ ->
+      let a = rand storm_nodes in
+      let b = rand storm_nodes in
+      (a, b))
+
+(* One constructor per linked node and a rule that unions across every
+   link: the Mk table ends up with several hundred rows (enough to engage
+   the sharded rebuild scan) and the union storm forces multi-round
+   congruence repair. *)
+let storm_prog =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "(datatype N (Mk i64))\n\
+     (relation link (i64 i64))\n\
+     (rule ((link x y)) ((union (Mk x) (Mk y))))\n";
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "(link %d %d)\n" a b))
+    storm_links;
+  Buffer.contents buf
+
+(* Run the storm and capture everything the differential needs: final
+   bytes, the report fingerprint, and the scheduling-independent rebuild
+   round count (plus the gauges, for the jobs-4 assertions). *)
+let storm_run ~jobs =
+  E.Telemetry.reset ();
+  E.Telemetry.enable ();
+  let eng = E.Engine.create ~jobs () in
+  ignore (E.run_string eng storm_prog);
+  let report = E.Engine.run_iterations eng 3 in
+  E.Telemetry.disable ();
+  let snap = E.Telemetry.snapshot () in
+  let counter name = List.assoc_opt name snap.E.Telemetry.sn_counters in
+  (eng, E.Serialize.dump_string eng, report_fingerprint report, counter)
+
+let test_merge_storm_rebuild () =
+  Fun.protect
+    ~finally:(fun () ->
+      E.Telemetry.disable ();
+      E.Telemetry.reset ())
+    (fun () ->
+      let _, serial_dump, serial_fp, serial_counter = storm_run ~jobs:1 in
+      let serial_rounds = Option.value ~default:0 (serial_counter "rebuild.rounds") in
+      Alcotest.(check bool) "storm forces congruence repair" true (serial_rounds > 0);
+      let eng4 =
+        List.fold_left
+          (fun _ jobs ->
+            let eng, dump, fp, counter = storm_run ~jobs in
+            let label what = Printf.sprintf "jobs %d: %s == serial" jobs what in
+            Alcotest.(check bool) (label "dump bytes") true (dump = serial_dump);
+            Alcotest.(check bool) (label "report fingerprint") true (fp = serial_fp);
+            Alcotest.(check int) (label "rebuild round count") serial_rounds
+              (Option.value ~default:0 (counter "rebuild.rounds"));
+            eng)
+          (E.Engine.create ())
+          [ 2; 4 ]
+      in
+      (* Naive reference closure: a textbook union-find over the raw i64
+         labels, fed the same link list. Every equality it derives must
+         hold in the engine, and every inequality must fail to check. *)
+      let parent = Array.init storm_nodes Fun.id in
+      let rec find i = if parent.(i) = i then i else begin
+        let r = find parent.(i) in
+        parent.(i) <- r;
+        r
+      end in
+      let touched = Array.make storm_nodes false in
+      List.iter
+        (fun (a, b) ->
+          touched.(a) <- true;
+          touched.(b) <- true;
+          let ra = find a and rb = find b in
+          if ra <> rb then parent.(ra) <- rb)
+        storm_links;
+      let rand = make_lcg 0xCAFE in
+      let eq_probes = ref 0 and neq_probes = ref 0 in
+      for _ = 1 to 300 do
+        let a = rand storm_nodes in
+        let b = rand storm_nodes in
+        if touched.(a) && touched.(b) && a <> b then
+          if find a = find b then begin
+            incr eq_probes;
+            ignore (E.run_string eng4 (Printf.sprintf "(check (= (Mk %d) (Mk %d)))" a b))
+          end
+          else begin
+            incr neq_probes;
+            ignore (E.run_string eng4 (Printf.sprintf "(fail (check (= (Mk %d) (Mk %d))))" a b))
+          end
+      done;
+      Alcotest.(check bool) "probed equalities" true (!eq_probes > 10);
+      Alcotest.(check bool) "probed inequalities" true (!neq_probes > 10))
+
+let test_apply_rebuild_domains_gauge () =
+  Fun.protect
+    ~finally:(fun () ->
+      E.Telemetry.disable ();
+      E.Telemetry.reset ())
+    (fun () ->
+      let _, _, _, counter = storm_run ~jobs:4 in
+      let get name =
+        match counter name with
+        | Some n -> n
+        | None -> Alcotest.failf "%s missing from snapshot" name
+      in
+      Alcotest.(check int) "apply.domains_used records resolved jobs" 4 (get "apply.domains_used");
+      Alcotest.(check int) "rebuild.domains_used records resolved jobs" 4
+        (get "rebuild.domains_used");
+      Alcotest.(check bool) "staged traces actually committed" true
+        (get "apply.staged_commits" > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection on the staged path: transaction rollback             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two rules that both match in the first iteration, with enough total
+   matches to engage the staged parallel path. Crashing at the second
+   occurrence of engine.apply.staged dies with rule 1's traces already
+   committed and rule 2's still pending — exactly the mid-apply window the
+   transaction must erase. *)
+let staged_fault_prog =
+  {|
+  (datatype N (Mk i64))
+  (relation edge (i64 i64))
+  (relation back (i64 i64))
+  (rule ((edge x y)) ((union (Mk x) (Mk y))))
+  (rule ((back x y)) ((back y x) (union (Mk x) (Mk y))))
+  (edge 1 2) (edge 2 3) (edge 3 4) (edge 4 5) (edge 5 6) (edge 6 7)
+  (back 10 11) (back 12 13) (back 14 15) (back 16 17)
+  |}
+
+let test_staged_fault_rollback () =
+  Fun.protect
+    ~finally:(fun () -> E.Fault.disarm ())
+    (fun () ->
+      let eng = E.Engine.create ~jobs:4 () in
+      ignore (E.run_string eng staged_fault_prog);
+      let before = E.Serialize.dump_string eng in
+      (* Sanity: the point fires on this workload at all. *)
+      E.Fault.arm_counting ();
+      ignore (E.Engine.with_transaction eng (fun () -> E.Engine.run_iterations eng 2));
+      let hits =
+        Option.value ~default:0 (List.assoc_opt "engine.apply.staged" (E.Fault.hit_counts ()))
+      in
+      Alcotest.(check bool) "staged fault point fires at jobs 4" true (hits >= 2);
+      E.Fault.disarm ();
+      let after_clean = E.Serialize.dump_string eng in
+      Alcotest.(check bool) "counting run committed (not a no-op workload)" true
+        (after_clean <> before);
+      (* Fresh engine, same program: crash mid-apply inside a transaction. *)
+      let eng = E.Engine.create ~jobs:4 () in
+      ignore (E.run_string eng staged_fault_prog);
+      let before = E.Serialize.dump_string eng in
+      E.Fault.arm_nth "engine.apply.staged" 2;
+      (match
+         E.Engine.with_transaction eng (fun () -> E.Engine.run_iterations eng 2)
+       with
+       | _ -> Alcotest.fail "expected the injected crash to propagate"
+       | exception E.Fault.Crash _ -> ());
+      E.Fault.disarm ();
+      Alcotest.(check bool) "rollback restores the pre-command bytes" true
+        (E.Serialize.dump_string eng = before);
+      (* The engine is still usable and converges to the same state a
+         crash-free run reaches. *)
+      ignore (E.Engine.run_iterations eng 2);
+      Alcotest.(check bool) "post-rollback rerun matches the crash-free run" true
+        (E.Serialize.dump_string eng = after_clean))
+
 let test_domains_used_gauge () =
   Fun.protect
     ~finally:(fun () ->
@@ -289,6 +472,10 @@ let () =
             test_jobs_keyword_roundtrip;
           Alcotest.test_case "fresh symbol interning deterministic across jobs" `Quick
             test_fresh_interning_deterministic;
+          Alcotest.test_case "merge storm: parallel rebuild == serial == naive closure" `Slow
+            test_merge_storm_rebuild;
+          Alcotest.test_case "staged-apply fault rolls back byte-identically" `Quick
+            test_staged_fault_rollback;
         ] );
       ( "telemetry",
         [
@@ -296,5 +483,7 @@ let () =
           Alcotest.test_case "scheduling-independent counters match serial" `Quick
             test_engine_counters_match_serial;
           Alcotest.test_case "search.domains_used gauge" `Quick test_domains_used_gauge;
+          Alcotest.test_case "apply/rebuild domains_used gauges + staged commits" `Quick
+            test_apply_rebuild_domains_gauge;
         ] );
     ]
