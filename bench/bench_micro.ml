@@ -64,6 +64,49 @@ let backtracking_ematch_bench () =
   let pat = Egraph.pattern_of_string "(* ?a (+ ?b ?c))" in
   Staged.stage (fun () -> ignore (Egraph.ematch eg pat))
 
+(* The join kernel in isolation: one 3-atom triangle join over a fixed
+   edge relation, run through the compiled closures and through the plan
+   interpreter on a warm structure cache — so the pair measures the
+   per-tuple binding loop, not trie construction. *)
+let triangle_query () =
+  let eng = Egglog.Engine.create () in
+  ignore (Egglog.run_string eng "(relation e (i64 i64))");
+  let n = 150 in
+  for i = 0 to n - 1 do
+    Egglog.Engine.set_fact eng "e"
+      [ Egglog.Value.VInt i; Egglog.Value.VInt ((i + 1) mod n) ]
+      Egglog.Value.VUnit;
+    Egglog.Engine.set_fact eng "e"
+      [ Egglog.Value.VInt i; Egglog.Value.VInt (i * 7 mod n) ]
+      Egglog.Value.VUnit
+  done;
+  let db = Egglog.Engine.database eng in
+  let env =
+    {
+      Egglog.Compile.find_func =
+        (fun name ->
+          Option.map Egglog.Table.func (Egglog.Database.find_func db (Egglog.Symbol.intern name)));
+    }
+  in
+  let v s = Egglog.Ast.Var s in
+  let atom a b = Egglog.Ast.Holds (Egglog.Ast.Call ("e", [ v a; v b ])) in
+  let q = Egglog.Compile.compile_query env [ atom "x" "y"; atom "y" "z"; atom "z" "x" ] in
+  (db, q)
+
+let join_triangle_bench ~compiled () =
+  let db, q = triangle_query () in
+  let ranges = Array.make 3 Egglog.Join.all_rows in
+  let cache = Egglog.Join.new_cache () in
+  if compiled then begin
+    let cp = Egglog.Join.compile_plan q in
+    Egglog.Join.search_compiled db ~cache cp ~ranges (fun _ -> ());
+    Staged.stage (fun () -> Egglog.Join.search_compiled db ~cache cp ~ranges (fun _ -> ()))
+  end
+  else begin
+    Egglog.Join.search db ~cache q ~ranges (fun _ -> ());
+    Staged.stage (fun () -> Egglog.Join.search db ~cache q ~ranges (fun _ -> ()))
+  end
+
 let bigint_bench () =
   let a = Bigint.of_string "123456789123456789123456789123456789" in
   let b = Bigint.of_string "987654321987654321987654321" in
@@ -82,6 +125,8 @@ let tests () =
       Test.make ~name:"congruence-rebuild-128" (rebuild_bench ());
       Test.make ~name:"ematch-relational" (relational_ematch_bench ());
       Test.make ~name:"ematch-backtracking" (backtracking_ematch_bench ());
+      Test.make ~name:"join-triangle-compiled" (join_triangle_bench ~compiled:true ());
+      Test.make ~name:"join-triangle-interpreted" (join_triangle_bench ~compiled:false ());
       Test.make ~name:"bigint-mul-divmod" (bigint_bench ());
       Test.make ~name:"rat-arith" (rat_bench ());
     ]

@@ -358,7 +358,7 @@ let reorder (q : cquery) ~(order : int array) : cquery =
 (* Plan dumps                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let pp_plan ?cards fmt (q : cquery) =
+let pp_plan ?cards ?lowering fmt (q : cquery) =
   let arg_str = function A_var v -> q.var_names.(v) | A_const c -> Value.to_string c in
   Format.fprintf fmt "@[<v>";
   if Array.length q.atoms = 0 then Format.fprintf fmt "atoms: (none)"
@@ -409,6 +409,9 @@ let pp_plan ?cards fmt (q : cquery) =
             (arg_str p.p_out))
         prims)
     q.schedule;
+  (match lowering with
+  | Some l -> Format.fprintf fmt "@,lowering: %s" l
+  | None -> ());
   Format.fprintf fmt "@]"
 
 (* ------------------------------------------------------------------ *)

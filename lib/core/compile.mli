@@ -83,9 +83,11 @@ val reorder : cquery -> order:int array -> cquery
     of the query's join variables). Used by differential tests to check
     that every ordering produces the same matches. *)
 
-val pp_plan : ?cards:atom_card array -> Format.formatter -> cquery -> unit
+val pp_plan : ?cards:atom_card array -> ?lowering:string -> Format.formatter -> cquery -> unit
 (** Deterministic textual plan dump: atoms, variable order (with cost
-    estimates when [cards] is given) and the primitive schedule. *)
+    estimates when [cards] is given), the primitive schedule, and — when
+    [lowering] is given — whether the plan compiled to closures or fell
+    back to the interpreter (see {!Join.describe_lowering}). *)
 
 val compile_rule : env -> name:string -> Ast.rule -> crule
 

@@ -26,6 +26,7 @@ module Proof_forest = Proof_forest
 module Database = Database
 module Primitives = Primitives
 module Compile = Compile
+module Plan_compile = Plan_compile
 module Join = Join
 module Pool = Pool
 module Extract = Extract
@@ -45,10 +46,10 @@ let run_string (eng : Engine.t) (src : string) : string list =
   Engine.run_program eng (Frontend.parse_program src)
 
 (** Convenience: fresh engine, run a program, return outputs. *)
-let run_program_string ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit
-    ?memory_limit ?jobs (src : string) : string list =
+let run_program_string ?seminaive ?scheduler ?fast_paths ?index_caching ?compiled_plans
+    ?node_limit ?time_limit ?memory_limit ?jobs (src : string) : string list =
   let eng =
-    Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching ?node_limit ?time_limit
-      ?memory_limit ?jobs ()
+    Engine.create ?seminaive ?scheduler ?fast_paths ?index_caching ?compiled_plans ?node_limit
+      ?time_limit ?memory_limit ?jobs ()
   in
   run_string eng src

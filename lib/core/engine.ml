@@ -93,6 +93,9 @@ type rt_rule = {
   mutable rr_banned_until : int;
   mutable rr_plan_sig : string;  (* size-bucket signature the cached plans were built for *)
   mutable rr_plans : Compile.cquery array;  (* n_atoms delta variants + the full plan *)
+  mutable rr_compiled : Join.compiled array;
+      (* closure-compiled twin of rr_plans, rebuilt with it; [||] when the
+         engine runs with compiled plans disabled *)
 }
 
 type snapshot = {
@@ -112,6 +115,7 @@ type t = {
   seminaive : bool;
   fast_paths : bool;
   index_caching : bool;
+  compiled_plans : bool;  (* lower plans to closures (--no-compiled-plans disables) *)
   scheduler : scheduler;
   mutable iteration : int;
   mutable rule_counter : int;
@@ -200,11 +204,25 @@ let plan_signature eng (q : Compile.cquery) ~low =
 (* Cached cost-based plans for one rule: slot [j < n_atoms] is the
    semi-naïve variant whose atom [j] is the delta, slot [n_atoms] the
    full-range plan. Rebuilt only when the size-bucket signature shifts. *)
+(* Lower freshly (re)planned queries to closures. Runs only in the serial
+   pre-phase (plans_for), so the compiled-plans counters are bumped
+   identically at any jobs count. Slots may share one compiled object —
+   compiled evaluators keep all mutable state per search, so concurrent
+   variants are safe. *)
+let compile_plans eng (plans : Compile.cquery array) : Join.compiled array =
+  if not eng.compiled_plans then [||]
+  else Array.map (Join.compile_plan ~fast_paths:eng.fast_paths) plans
+
 let plans_for eng (r : rt_rule) : Compile.cquery array =
   let q = r.rr_rule.Compile.cr_query in
   let n_atoms = Array.length q.Compile.atoms in
   if n_atoms = 0 || Array.length q.Compile.order <= 1 then begin
-    if Array.length r.rr_plans = 0 then r.rr_plans <- Array.make (n_atoms + 1) q;
+    if Array.length r.rr_plans = 0 then begin
+      r.rr_plans <- Array.make (n_atoms + 1) q;
+      if eng.compiled_plans then
+        r.rr_compiled <-
+          Array.make (n_atoms + 1) (Join.compile_plan ~fast_paths:eng.fast_paths q)
+    end;
     r.rr_plans
   end
   else begin
@@ -231,6 +249,7 @@ let plans_for eng (r : rt_rule) : Compile.cquery array =
       in
       Telemetry.bump c_plans_built (n_atoms + 1);
       r.rr_plans <- plans;
+      r.rr_compiled <- compile_plans eng plans;
       r.rr_plan_sig <- signature
     end;
     r.rr_plans
@@ -285,7 +304,7 @@ let exec_action eng (slots : Value.t array) (a : Compile.caction) =
     Database.remove eng.db (table_of eng f) vals
 
 let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
-    ?(index_caching = true) ?node_limit ?time_limit ?memory_limit
+    ?(index_caching = true) ?(compiled_plans = true) ?node_limit ?time_limit ?memory_limit
     ?(pressure_tiers = (0.7, 0.85)) ?(jobs = 1) () =
   if jobs < 0 then error "jobs must be non-negative (0 = one per core), got %d" jobs;
   (let t1, t2 = pressure_tiers in
@@ -301,6 +320,7 @@ let create ?(seminaive = true) ?(scheduler = Simple) ?(fast_paths = true)
       seminaive;
       fast_paths;
       index_caching;
+      compiled_plans;
       scheduler;
       iteration = 0;
       rule_counter = 0;
@@ -455,6 +475,7 @@ let add_rule eng (rule : Ast.rule) =
           rr_banned_until = 0;
           rr_plan_sig = "";
           rr_plans = [||];
+          rr_compiled = [||];
         }
       in
       eng.rules <- eng.rules @ [ rt ];
@@ -526,11 +547,17 @@ let explain_plans eng : string =
       let n_atoms = Array.length q.Compile.atoms in
       let ruleset = if r.rr_ruleset = "" then "default" else r.rr_ruleset in
       Buffer.add_string buf (Printf.sprintf "rule %s (ruleset %s)\n" r.rr_name ruleset);
+      let lowering_of plan =
+        if eng.compiled_plans then Join.describe_lowering ~fast_paths:eng.fast_paths plan
+        else "interpreter (compiled plans disabled)"
+      in
       if n_atoms = 0 then Buffer.add_string buf "  (no atoms)\n"
       else begin
         let cards = atom_cards eng q in
         let full = Compile.replan q ~cards in
-        let dump = Format.asprintf "%a" (Compile.pp_plan ~cards) full in
+        let dump =
+          Format.asprintf "%a" (Compile.pp_plan ~cards ~lowering:(lowering_of full)) full
+        in
         List.iter
           (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n"))
           (String.split_on_char '\n' dump);
@@ -540,11 +567,12 @@ let explain_plans eng : string =
           let cards' = Array.mapi (fun i c -> if i = j then delta_card c delta else c) cards in
           let variant = Compile.replan q ~cards:cards' in
           Buffer.add_string buf
-            (Printf.sprintf "  delta[%d] (%d rows) order:%s\n" j delta
+            (Printf.sprintf "  delta[%d] (%d rows) order:%s  [%s]\n" j delta
                (String.concat ""
                   (List.map
                      (fun v -> " " ^ q.Compile.var_names.(v))
-                     (Array.to_list variant.Compile.order))))
+                     (Array.to_list variant.Compile.order)))
+               (lowering_of variant))
         done
       end)
     eng.rules;
@@ -587,11 +615,13 @@ let rule_variants eng (r : rt_rule) : (int * Join.stamp_range array) list =
 (* Search one variant; matches come back in reversed discovery order (the
    natural cons order). Read-only over the database and the frozen cache,
    so variants can run on worker domains. *)
-let search_variant eng ?cache (plans : Compile.cquery array) ((j, ranges) : int * Join.stamp_range array) :
+let search_variant eng ?cache (plans : Compile.cquery array)
+    (compiled : Join.compiled array) ((j, ranges) : int * Join.stamp_range array) :
     Value.t array list =
   let acc = ref [] in
   let emit b = acc := Array.copy b :: !acc in
-  Join.search eng.db ?cache ~fast_paths:eng.fast_paths plans.(j) ~ranges emit;
+  if j < Array.length compiled then Join.search_compiled eng.db ?cache compiled.(j) ~ranges emit
+  else Join.search eng.db ?cache ~fast_paths:eng.fast_paths plans.(j) ~ranges emit;
   !acc
 
 (* Merge per-variant results (ascending variant order, each in reversed
@@ -636,10 +666,11 @@ let resolve_variant_matches (plan : Compile.cquery) (rows : Value.t array list) 
 let search_matches eng ?cache (r : rt_rule) : Value.t array list =
   let cache = if eng.index_caching then cache else None in
   let plans = plans_for eng r in
+  let compiled = r.rr_compiled in
   merge_variant_matches
     (List.map
        (fun ((j, _) as v) ->
-         resolve_variant_matches plans.(j) (search_variant eng ?cache plans v))
+         resolve_variant_matches plans.(j) (search_variant eng ?cache plans compiled v))
        (rule_variants eng r))
 
 let apply_match eng (r : rt_rule) (binding : Value.t array) =
@@ -1292,16 +1323,20 @@ let parallel_search eng ~jobs ~budget_check (eligible : rt_rule list) :
     (rt_rule * Value.t array list) list =
   let cache = if eng.index_caching then Some eng.join_cache else None in
   let rules_variants =
-    List.map (fun r -> (r, plans_for eng r, rule_variants eng r)) eligible
+    List.map
+      (fun r ->
+        let plans = plans_for eng r in
+        (r, plans, r.rr_compiled, rule_variants eng r))
+      eligible
   in
   let tasks =
     Array.of_list
       (List.concat_map
-         (fun (r, plans, vs) -> List.map (fun v -> (r, plans, v)) vs)
+         (fun (r, plans, compiled, vs) -> List.map (fun v -> (r, plans, compiled, v)) vs)
          rules_variants)
   in
   Array.iter
-    (fun (_, plans, (j, ranges)) ->
+    (fun (_, plans, _, (j, ranges)) ->
       Join.prebuild eng.db ?cache ~fast_paths:eng.fast_paths plans.(j) ~ranges)
     tasks;
   let pool = Pool.global ~workers:(jobs - 1) in
@@ -1312,12 +1347,13 @@ let parallel_search eng ~jobs ~budget_check (eligible : rt_rule list) :
       ~finally:(fun () -> Option.iter (fun c -> Join.set_frozen c false) cache)
       (fun () ->
         Pool.run ~participants:(jobs - 1) pool
-          (fun (r, plans, v) -> with_rule_context r (fun () -> search_variant eng ?cache plans v))
+          (fun (r, plans, compiled, v) ->
+            with_rule_context r (fun () -> search_variant eng ?cache plans compiled v))
           tasks)
   in
   let idx = ref 0 in
   List.map
-    (fun (r, plans, vs) ->
+    (fun (r, plans, _, vs) ->
       let per_variant =
         List.map
           (fun (j, _) ->

@@ -30,8 +30,11 @@ type stamp_range = { lo : int; hi : int }
 
 let all_rows = { lo = 0; hi = max_int }
 
-(* Per-position row checks derived from an atom's argument pattern. *)
-type check =
+(* Per-position row checks derived from an atom's argument pattern. The
+   analysis itself lives in {!Plan_compile.shape_atom}, shared with the
+   plan compiler so the two evaluators (and the cache keys derived from
+   checks + sources) can never disagree on an atom's read set. *)
+type check = Plan_compile.check =
   | Check_const of int * Value.t  (* position must equal the literal *)
   | Check_same of int * int  (* position must equal an earlier position *)
 
@@ -42,35 +45,23 @@ type atom_plan = {
   ap_vars : int array;  (* the query var at each path level *)
 }
 
-let plan_atom db (q : Compile.cquery) (atom : Compile.atom) : atom_plan =
-  let table =
-    match Database.find_func db atom.a_func.Schema.name with
-    | Some t -> t
-    | None ->
-      internal ~in_func:atom.a_func.Schema.name "no table for function %s (popped scope?)"
-        (Symbol.name atom.a_func.Schema.name)
-  in
-  let n = Array.length atom.a_args in
-  let first_pos : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let checks = ref [] in
-  for i = 0 to n - 1 do
-    match atom.a_args.(i) with
-    | Compile.A_const v -> checks := Check_const (i, v) :: !checks
-    | Compile.A_var var -> (
-      match Hashtbl.find_opt first_pos var with
-      | None -> Hashtbl.add first_pos var i
-      | Some j -> checks := Check_same (i, j) :: !checks)
-  done;
-  let distinct = Hashtbl.fold (fun var pos acc -> (var, pos) :: acc) first_pos [] in
-  let sorted =
-    List.sort (fun (v1, _) (v2, _) -> Stdlib.compare q.var_depth.(v1) q.var_depth.(v2)) distinct
-  in
+let resolve_table db (f : Schema.func) : Table.t =
+  match Database.find_func db f.Schema.name with
+  | Some t -> t
+  | None ->
+    internal ~in_func:f.Schema.name "no table for function %s (popped scope?)"
+      (Symbol.name f.Schema.name)
+
+let plan_of_shape db (sh : Plan_compile.shape) : atom_plan =
   {
-    ap_table = table;
-    ap_checks = List.rev !checks;
-    ap_sources = Array.of_list (List.map snd sorted);
-    ap_vars = Array.of_list (List.map fst sorted);
+    ap_table = resolve_table db sh.Plan_compile.sh_func;
+    ap_checks = sh.Plan_compile.sh_checks;
+    ap_sources = sh.Plan_compile.sh_sources;
+    ap_vars = sh.Plan_compile.sh_vars;
   }
+
+let plan_atom db (q : Compile.cquery) (atom : Compile.atom) : atom_plan =
+  plan_of_shape db (Plan_compile.shape_atom q atom)
 
 let row_passes (plan : atom_plan) key (row : Table.row) =
   let cell i = if i < Array.length key then key.(i) else row.Table.value in
@@ -100,7 +91,7 @@ let trie_add_row (plan : atom_plan) root ~depth key (row : Table.row) =
     end
   done
 
-let build_trie (plan : atom_plan) (range : stamp_range) : trie =
+let build_trie ?(scan = Table.iter_range) (plan : atom_plan) (range : stamp_range) : trie =
   let depth = Array.length plan.ap_sources in
   Telemetry.bump c_trie_builds 1;
   Telemetry.observe "join.trie_depth" (float_of_int depth);
@@ -111,7 +102,7 @@ let build_trie (plan : atom_plan) (range : stamp_range) : trie =
     (* Fully ground atom: Leaf iff some row passes the checks. *)
     let found = ref false in
     (try
-       Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+       scan plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
            incr scanned;
            if row_passes plan key row then begin
              found := true;
@@ -122,7 +113,7 @@ let build_trie (plan : atom_plan) (range : stamp_range) : trie =
   end
   else begin
     let root = VTbl.create 64 in
-    Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+    scan plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
         incr scanned;
         if row_passes plan key row then trie_add_row plan root ~depth key row);
     Node root
@@ -306,9 +297,9 @@ let patch_trie (plan : atom_plan) (trie : trie) ~from : trie =
   Telemetry.bump c_scanned !scanned;
   result
 
-let cached_trie cache plan range =
+let cached_trie ?scan cache plan range =
   match cache with
-  | None -> build_trie plan range
+  | None -> build_trie ?scan plan range
   | Some c when c.frozen ->
     Telemetry.bump c_cache_lookups 1;
     let key = mk_key 0 plan range ~proj:[||] ~rest:[||] in
@@ -328,7 +319,7 @@ let cached_trie cache plan range =
       trie
     | None ->
       Telemetry.bump c_cache_misses 1;
-      build_trie plan range)
+      build_trie ?scan plan range)
   | Some c ->
     Telemetry.bump c_cache_lookups 1;
     let table = plan.ap_table in
@@ -336,7 +327,7 @@ let cached_trie cache plan range =
     if is_full range then begin
       let rebuild existing =
         Telemetry.bump c_cache_misses 1;
-        let trie = build_trie plan range in
+        let trie = build_trie ?scan plan range in
         (match existing with
          | Some pe -> refresh pe table (B_trie trie)
          | None -> store_persistent c key table (B_trie trie));
@@ -366,18 +357,19 @@ let cached_trie cache plan range =
         trie
       | Some (B_index _) | None ->
         Telemetry.bump c_cache_misses 1;
-        let trie = build_trie plan range in
+        let trie = build_trie ?scan plan range in
         KTbl.replace c.scratch key (B_trie trie);
         trie
     end
 
 (* Hash index over an atom: projected shared-variable values -> the values
    of the atom's remaining variables, one entry per passing row. *)
-let build_index (plan : atom_plan) (range : stamp_range) ~(proj : int array) ~(rest : int array) =
+let build_index ?(scan = Table.iter_range) (plan : atom_plan) (range : stamp_range)
+    ~(proj : int array) ~(rest : int array) =
   Telemetry.bump c_index_builds 1;
   let scanned = ref 0 in
   let index : Value.t array list Value.Key_tbl.t = Value.Key_tbl.create 64 in
-  Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+  scan plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
       incr scanned;
       if row_passes plan key row then begin
         let cell i = if i < Array.length key then key.(i) else row.Table.value in
@@ -412,9 +404,9 @@ let patch_index (plan : atom_plan) index ~from ~(proj : int array) ~(rest : int 
       end);
   Telemetry.bump c_scanned !scanned
 
-let cached_index cache plan range ~proj ~rest =
+let cached_index ?scan cache plan range ~proj ~rest =
   match cache with
-  | None -> build_index plan range ~proj ~rest
+  | None -> build_index ?scan plan range ~proj ~rest
   | Some c when c.frozen ->
     Telemetry.bump c_cache_lookups 1;
     let key = mk_key 1 plan range ~proj ~rest in
@@ -434,7 +426,7 @@ let cached_index cache plan range ~proj ~rest =
       idx
     | None ->
       Telemetry.bump c_cache_misses 1;
-      build_index plan range ~proj ~rest)
+      build_index ?scan plan range ~proj ~rest)
   | Some c ->
     Telemetry.bump c_cache_lookups 1;
     let table = plan.ap_table in
@@ -442,7 +434,7 @@ let cached_index cache plan range ~proj ~rest =
     if is_full range then begin
       let rebuild existing =
         Telemetry.bump c_cache_misses 1;
-        let idx = build_index plan range ~proj ~rest in
+        let idx = build_index ?scan plan range ~proj ~rest in
         (match existing with
          | Some pe -> refresh pe table (B_index idx)
          | None -> store_persistent c key table (B_index idx));
@@ -478,72 +470,10 @@ let cached_index cache plan range ~proj ~rest =
         idx
     end
 
-(* Fast path: a single-atom query needs no trie at all — scan the table
-   (or just the log tail for delta ranges), filter, bind, run the primitive
-   schedule. This covers the bulk of rewrite rules (single-pattern
-   left-hand sides). *)
-let search_single_atom (q : Compile.cquery) (plan : atom_plan) (range : stamp_range) callback =
-  let n_vars = q.Compile.n_vars in
-  let env : Value.t array = Array.make n_vars Value.VUnit in
-  let all_prims = Array.to_list q.Compile.schedule |> List.concat in
-  (* Every join variable is bound from the row before the primitives run,
-     so whether a primitive output checks or binds is static. *)
-  let is_join_var = Array.make n_vars false in
-  Array.iter (fun v -> is_join_var.(v) <- true) plan.ap_vars;
-  let prim_binds =
-    List.map
-      (fun (p : Compile.prim_app) ->
-        match p.p_out with
-        | Compile.A_var v when not is_join_var.(v) ->
-          is_join_var.(v) <- true;
-          (p, true)
-        | Compile.A_var _ | Compile.A_const _ -> (p, false))
-      all_prims
-  in
-  let eval_arg = function Compile.A_const v -> v | Compile.A_var v -> env.(v) in
-  let scanned = ref 0 in
-  Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
-      incr scanned;
-      if row_passes plan key row then begin
-        let cell i = if i < Array.length key then key.(i) else row.Table.value in
-        Array.iteri (fun level src -> env.(plan.ap_vars.(level)) <- cell src) plan.ap_sources;
-        let ok =
-          List.for_all
-            (fun ((p : Compile.prim_app), binds) ->
-              let args = Array.map eval_arg p.p_args in
-              match p.p_prim.Primitives.impl args with
-              | None -> false
-              | Some result ->
-                if binds then begin
-                  (match p.p_out with
-                   | Compile.A_var v -> env.(v) <- result
-                   | Compile.A_const _ -> assert false);
-                  true
-                end
-                else begin
-                  match p.p_out with
-                  | Compile.A_const c -> Value.equal c result
-                  | Compile.A_var v -> Value.equal env.(v) result
-                end)
-            prim_binds
-        in
-        if ok then callback env
-      end);
-  Telemetry.bump c_scanned !scanned
-
 (* Prims as a flat, statically classified checklist: every join variable is
-   bound before they run, so outputs either bind (computed vars) or check. *)
-let static_prim_plan (q : Compile.cquery) (atom_vars : int array list) =
-  let bound = Array.make q.Compile.n_vars false in
-  List.iter (fun vars -> Array.iter (fun v -> bound.(v) <- true) vars) atom_vars;
-  List.map
-    (fun (p : Compile.prim_app) ->
-      match p.p_out with
-      | Compile.A_var v when not bound.(v) ->
-        bound.(v) <- true;
-        (p, true)
-      | Compile.A_var _ | Compile.A_const _ -> (p, false))
-    (Array.to_list q.Compile.schedule |> List.concat)
+   bound before they run, so outputs either bind (computed vars) or check.
+   Shared with the plan compiler so both evaluators classify identically. *)
+let static_prim_plan = Plan_compile.classify_prims
 
 let run_static_prims (env : Value.t array) prim_plan =
   List.for_all
@@ -566,6 +496,25 @@ let run_static_prims (env : Value.t array) prim_plan =
           | Compile.A_var v -> Value.equal env.(v) result
         end)
     prim_plan
+
+(* Fast path: a single-atom query needs no trie at all — scan the table
+   (or just the log tail for delta ranges), filter, bind, run the primitive
+   schedule. This covers the bulk of rewrite rules (single-pattern
+   left-hand sides). *)
+let search_single_atom (q : Compile.cquery) (plan : atom_plan) (range : stamp_range) callback =
+  let env : Value.t array = Array.make q.Compile.n_vars Value.VUnit in
+  (* Every join variable is bound from the row before the primitives run,
+     so whether a primitive output checks or binds is static. *)
+  let prim_plan = static_prim_plan q [ plan.ap_vars ] in
+  let scanned = ref 0 in
+  Table.iter_range plan.ap_table ~lo:range.lo ~hi:range.hi (fun key row ->
+      incr scanned;
+      if row_passes plan key row then begin
+        let cell i = if i < Array.length key then key.(i) else row.Table.value in
+        Array.iteri (fun level src -> env.(plan.ap_vars.(level)) <- cell src) plan.ap_sources;
+        if run_static_prims env prim_plan then callback env
+      end);
+  Telemetry.bump c_scanned !scanned
 
 (* Driver choice and index layout for the two-atom fast path, factored
    out so [prebuild] computes exactly the layout [search_two_atoms] will
@@ -629,18 +578,20 @@ let search_two_atoms ?cache (q : Compile.cquery) (plans : atom_plan array)
       end);
   Telemetry.bump c_scanned !scanned
 
-let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_range array)
+(* Count yields only when telemetry is on: the wrapper closure would
+   otherwise cost an allocation per search even with everything off. *)
+let count_yields callback =
+  if Telemetry.is_enabled () then (fun env ->
+    Telemetry.bump c_yielded 1;
+    callback env)
+  else callback
+
+(* Dispatch with the yield counter already applied: shared between the
+   interpreter entry point [search] and the compiled-plan interpreter
+   fallback (which must not re-wrap the callback). *)
+let search_dispatch db ?cache ~fast_paths (q : Compile.cquery) ~(ranges : stamp_range array)
     callback =
   let n_atoms = Array.length q.atoms in
-  if Array.length ranges <> n_atoms then invalid_arg "Join.search: ranges arity mismatch";
-  (* Count yields only when telemetry is on: the wrapper closure would
-     otherwise cost an allocation per search even with everything off. *)
-  let callback =
-    if Telemetry.is_enabled () then (fun env ->
-      Telemetry.bump c_yielded 1;
-      callback env)
-    else callback
-  in
   let plans = Array.map (plan_atom db q) q.atoms in
   if fast_paths && n_atoms = 1 && Array.length plans.(0).ap_sources > 0 then
     search_single_atom q plans.(0) ranges.(0) callback
@@ -783,6 +734,12 @@ let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_
   end
   end
 
+let search db ?cache ?(fast_paths = true) (q : Compile.cquery) ~(ranges : stamp_range array)
+    callback =
+  if Array.length ranges <> Array.length q.atoms then
+    invalid_arg "Join.search: ranges arity mismatch";
+  search_dispatch db ?cache ~fast_paths q ~ranges (count_yields callback)
+
 (* Serially warm the cache entries a subsequent [search] with the same
    query/ranges would want, so that a frozen (parallel) search finds them
    as read-only hits. Only full-range entries are warmed: they go to the
@@ -821,3 +778,333 @@ let exists db (q : Compile.cquery) =
     search db q ~ranges (fun _ -> raise Found);
     false
   with Found -> true
+
+(* ------------------------------------------------------------------ *)
+(* Compiled plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A plan lowered to a tree of specialized closures (see {!Plan_compile}).
+   Compilation resolves everything that depends only on the plan — column
+   readers, hoisted checks, binding loops, primitive impl pointers, the
+   per-depth atom participation of the generic join — and leaves only
+   table resolution, cache probes and per-search state to run time. The
+   lowering mirrors [search_dispatch]'s fast-path conditions exactly, and
+   every compiled evaluator requests the same cache entries, bumps the
+   same counters and emits matches in the same order as the interpreter,
+   so output stays byte-identical between the two modes (and at any
+   --jobs count: compilation happens in the engine's serial pre-phase). *)
+
+let c_compiled_plans = Telemetry.counter "join.compiled_plans"
+let c_interp_fallbacks = Telemetry.counter "join.interp_fallbacks"
+
+type compiled_run =
+  Database.t -> cache option -> stamp_range array -> (Value.t array -> unit) -> unit
+
+type compiled = {
+  cp_n_atoms : int;
+  cp_descr : string;
+  cp_compiled : bool;  (* false: interpreter fallback *)
+  cp_run : compiled_run;
+}
+
+(* Single-atom scan: filter, binder and primitive checklist all compiled;
+   per-search state is just the environment and the prim runner's private
+   argument buffers. *)
+let compile_single (q : Compile.cquery) (sh : Plan_compile.shape) : compiled_run =
+  let f = sh.Plan_compile.sh_func in
+  let filter = Plan_compile.compile_filter f sh.Plan_compile.sh_checks in
+  let binder =
+    Plan_compile.compile_binder f ~vars:sh.Plan_compile.sh_vars
+      ~sources:sh.Plan_compile.sh_sources
+  in
+  let bind = binder.Plan_compile.bind in
+  let prims =
+    Plan_compile.compile_prims (Plan_compile.classify_prims q [ sh.Plan_compile.sh_vars ])
+  in
+  let n_vars = q.Compile.n_vars in
+  fun db _cache ranges callback ->
+    let table = resolve_table db f in
+    let env = Array.make n_vars Value.VUnit in
+    let run_prims = prims () in
+    let scanned = ref 0 in
+    Table.iter_delta table ~lo:ranges.(0).lo ~hi:ranges.(0).hi (fun key row ->
+        incr scanned;
+        if filter key row then begin
+          bind env key row;
+          if run_prims env then callback env
+        end);
+    Telemetry.bump c_scanned !scanned
+
+(* One orientation (driver choice) of the two-atom fast path, fully
+   compiled. The driver itself is picked per search — it depends on the
+   delta windows and current table lengths — by the exact rule of
+   [two_atom_layout], so both orientations are compiled up front. *)
+type two_orient = {
+  to_dfunc : Schema.func;
+  to_ofunc : Schema.func;
+  to_oshape : Plan_compile.shape;  (* rebuilt into an atom_plan for the cache *)
+  to_filter_d : Plan_compile.filter;
+  to_bind_d : Value.t array -> Value.t array -> Table.row -> unit;
+  to_proj : int array;  (* other-row positions of shared vars, sorted *)
+  to_rest_pos : int array;
+  to_shared_vars : int array;  (* env slot feeding each probe-key cell *)
+  to_rest_vars : int array;  (* env slot written from each index entry cell *)
+  to_prims : unit -> Value.t array -> bool;
+}
+
+let compile_two_orient (q : Compile.cquery) (shapes : Plan_compile.shape array) ~driver :
+    two_orient =
+  let other = 1 - driver in
+  let dsh = shapes.(driver) and osh = shapes.(other) in
+  let in_driver = Array.make q.Compile.n_vars false in
+  Array.iter (fun v -> in_driver.(v) <- true) dsh.Plan_compile.sh_vars;
+  let shared = ref [] and rest = ref [] in
+  Array.iteri
+    (fun level v ->
+      let src = osh.Plan_compile.sh_sources.(level) in
+      if in_driver.(v) then shared := (v, src) :: !shared else rest := (v, src) :: !rest)
+    osh.Plan_compile.sh_vars;
+  let by_src (_, s1) (_, s2) = Int.compare s1 s2 in
+  let shared = Array.of_list (List.sort by_src !shared)
+  and rest = Array.of_list (List.sort by_src !rest) in
+  let binder =
+    Plan_compile.compile_binder dsh.Plan_compile.sh_func ~vars:dsh.Plan_compile.sh_vars
+      ~sources:dsh.Plan_compile.sh_sources
+  in
+  {
+    to_dfunc = dsh.Plan_compile.sh_func;
+    to_ofunc = osh.Plan_compile.sh_func;
+    to_oshape = osh;
+    to_filter_d = Plan_compile.compile_filter dsh.Plan_compile.sh_func dsh.Plan_compile.sh_checks;
+    to_bind_d = binder.Plan_compile.bind;
+    to_proj = Array.map snd shared;
+    to_rest_pos = Array.map snd rest;
+    to_shared_vars = Array.map fst shared;
+    to_rest_vars = Array.map fst rest;
+    to_prims =
+      Plan_compile.compile_prims
+        (Plan_compile.classify_prims q
+           [ dsh.Plan_compile.sh_vars; osh.Plan_compile.sh_vars ]);
+  }
+
+let compile_two (q : Compile.cquery) (shapes : Plan_compile.shape array) : compiled_run =
+  let orients = [| compile_two_orient q shapes ~driver:0; compile_two_orient q shapes ~driver:1 |] in
+  let n_vars = q.Compile.n_vars in
+  fun db cache ranges callback ->
+    let t0 = resolve_table db shapes.(0).Plan_compile.sh_func
+    and t1 = resolve_table db shapes.(1).Plan_compile.sh_func in
+    (* the driver rule of [two_atom_layout], verbatim *)
+    let driver =
+      if ranges.(0).lo > ranges.(1).lo then 0
+      else if ranges.(1).lo > ranges.(0).lo then 1
+      else if Table.length t0 <= Table.length t1 then 0
+      else 1
+    in
+    let o = orients.(driver) in
+    let dtable = if driver = 0 then t0 else t1 and otable = if driver = 0 then t1 else t0 in
+    let oplan =
+      {
+        ap_table = otable;
+        ap_checks = o.to_oshape.Plan_compile.sh_checks;
+        ap_sources = o.to_oshape.Plan_compile.sh_sources;
+        ap_vars = o.to_oshape.Plan_compile.sh_vars;
+      }
+    in
+    let index =
+      cached_index ~scan:Table.iter_delta cache oplan ranges.(1 - driver) ~proj:o.to_proj
+        ~rest:o.to_rest_pos
+    in
+    let env = Array.make n_vars Value.VUnit in
+    let probe_key = Array.make (Array.length o.to_proj) Value.VUnit in
+    let run_prims = o.to_prims () in
+    let nshared = Array.length o.to_shared_vars and nrest = Array.length o.to_rest_vars in
+    let scanned = ref 0 in
+    Table.iter_delta dtable ~lo:ranges.(driver).lo ~hi:ranges.(driver).hi (fun key row ->
+        incr scanned;
+        if o.to_filter_d key row then begin
+          o.to_bind_d env key row;
+          for i = 0 to nshared - 1 do
+            probe_key.(i) <- env.(o.to_shared_vars.(i))
+          done;
+          match Value.Key_tbl.find_opt index probe_key with
+          | None -> ()
+          | Some entries ->
+            List.iter
+              (fun (rest_vals : Value.t array) ->
+                for i = 0 to nrest - 1 do
+                  env.(o.to_rest_vars.(i)) <- rest_vals.(i)
+                done;
+                if run_prims env then callback env)
+              entries
+        end);
+    Telemetry.bump c_scanned !scanned
+
+(* Generic trie join as a chain of per-depth closures built once: depth d's
+   step captures its variable, participating-atom array, compiled primitive
+   runner and the next step. Per-search state (cursors, environment, the
+   emit target) travels in a state record, so one compiled plan is safe to
+   search concurrently. Candidate iteration, smallest-cursor choice and
+   cursor save/restore replicate the interpreter exactly — including
+   hashtable iteration order, since both modes draw tries from the same
+   cache (or build them by the same insertion sequence). *)
+type gstate = {
+  gs_cursors : trie array;
+  gs_env : Value.t option array;
+  gs_emit : Value.t array -> unit;
+}
+
+let compile_generic (q : Compile.cquery) (shapes : Plan_compile.shape array) : compiled_run =
+  let n_atoms = Array.length q.Compile.atoms in
+  let n_steps = Array.length q.Compile.order in
+  let parts_for_depth =
+    Array.init n_steps (fun d ->
+        let v = q.Compile.order.(d) in
+        let acc = ref [] in
+        for ai = n_atoms - 1 downto 0 do
+          if Array.exists (Int.equal v) shapes.(ai).Plan_compile.sh_vars then acc := ai :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let depth_prims = Array.map Plan_compile.compile_depth_prims q.Compile.schedule in
+  let emit st =
+    let binding =
+      Array.mapi
+        (fun i o ->
+          match o with
+          | Some v -> v
+          | None -> internal "unbound variable %s at emit" q.Compile.var_names.(i))
+        st.gs_env
+    in
+    st.gs_emit binding
+  in
+  (* Build the step chain bottom-up so step d can capture step (d+1). *)
+  let steps = Array.make (n_steps + 1) (fun (_ : gstate) -> ()) in
+  for d = n_steps downto 0 do
+    let prims = depth_prims.(d) in
+    let body =
+      if d = n_steps then emit
+      else begin
+        let v = q.Compile.order.(d) in
+        let parts = parts_for_depth.(d) in
+        let np = Array.length parts in
+        if np = 0 then
+          internal "join variable %s covered by no atom" q.Compile.var_names.(v);
+        let in_func = q.Compile.atoms.(parts.(0)).Compile.a_func.Schema.name in
+        let next = steps.(d + 1) in
+        fun st ->
+          let cursors = st.gs_cursors in
+          let node_table ai =
+            match cursors.(ai) with
+            | Node t -> t
+            | Leaf -> internal ~in_func "trie cursor exhausted"
+          in
+          (* first strictly-smallest candidate set, as the interpreter *)
+          let smallest = ref parts.(0) in
+          for k = 1 to np - 1 do
+            if VTbl.length (node_table parts.(k)) < VTbl.length (node_table !smallest) then
+              smallest := parts.(k)
+          done;
+          let sm = !smallest in
+          let saved = Array.map (fun ai -> cursors.(ai)) parts in
+          VTbl.iter
+            (fun value _child ->
+              let ok = ref true and k = ref 0 in
+              while !ok && !k < np do
+                let ai = parts.(!k) in
+                if ai <> sm && not (VTbl.mem (node_table ai) value) then ok := false;
+                incr k
+              done;
+              if !ok then begin
+                for k = 0 to np - 1 do
+                  let ai = parts.(k) in
+                  match VTbl.find_opt (node_table ai) value with
+                  | Some child -> cursors.(ai) <- child
+                  | None -> assert false
+                done;
+                st.gs_env.(v) <- Some value;
+                next st;
+                st.gs_env.(v) <- None;
+                for k = 0 to np - 1 do
+                  cursors.(parts.(k)) <- saved.(k)
+                done
+              end)
+            (node_table sm)
+      end
+    in
+    steps.(d) <-
+      (fun st ->
+        match prims st.gs_env with
+        | None -> ()
+        | Some undo ->
+          body st;
+          List.iter (fun u -> st.gs_env.(u) <- None) undo)
+  done;
+  let step0 = steps.(0) in
+  fun db cache ranges callback ->
+    let plans = Array.map (plan_of_shape db) shapes in
+    let tries =
+      Array.init n_atoms (fun i -> cached_trie ~scan:Table.iter_delta cache plans.(i) ranges.(i))
+    in
+    let unsat = Array.exists (function Node t -> VTbl.length t = 0 | Leaf -> false) tries in
+    if not unsat then
+      step0
+        {
+          gs_cursors = Array.copy tries;
+          gs_env = Array.make q.Compile.n_vars None;
+          gs_emit = callback;
+        }
+
+let compile_plan ?(fast_paths = true) (q : Compile.cquery) : compiled =
+  let n_atoms = Array.length q.Compile.atoms in
+  let shapes = Array.map (Plan_compile.shape_atom q) q.Compile.atoms in
+  let arity i = Array.length shapes.(i).Plan_compile.sh_sources in
+  let binder_descr i = if arity i <= 4 then "specialized" else "generic binder" in
+  let mk descr run =
+    Telemetry.bump c_compiled_plans 1;
+    { cp_n_atoms = n_atoms; cp_descr = descr; cp_compiled = true; cp_run = run }
+  in
+  if n_atoms = 0 then begin
+    (* Atomless (pure primitive) queries stay on the interpreter: there is
+       no per-tuple loop to specialize. *)
+    Telemetry.bump c_interp_fallbacks 1;
+    {
+      cp_n_atoms = 0;
+      cp_descr = "interpreter (no atoms)";
+      cp_compiled = false;
+      cp_run =
+        (fun db cache ranges callback ->
+          search_dispatch db ?cache ~fast_paths q ~ranges callback);
+    }
+  end
+  else if fast_paths && n_atoms = 1 && arity 0 > 0 then
+    mk
+      (Printf.sprintf "compiled single-atom (arity %d, %s)" (arity 0) (binder_descr 0))
+      (compile_single q shapes.(0))
+  else if fast_paths && n_atoms = 2 && arity 0 > 0 && arity 1 > 0 then
+    mk
+      (Printf.sprintf "compiled two-atom (arities %d+%d, %s/%s)" (arity 0) (arity 1)
+         (binder_descr 0) (binder_descr 1))
+      (compile_two q shapes)
+  else mk (Printf.sprintf "compiled generic (%d atoms)" n_atoms) (compile_generic q shapes)
+
+let compiled_descr cp = cp.cp_descr
+let is_compiled cp = cp.cp_compiled
+
+(* Lowering class without building closures (and without touching the
+   compiled-plans counters): what [--explain-plans] prints. *)
+let describe_lowering ?(fast_paths = true) (q : Compile.cquery) : string =
+  let n_atoms = Array.length q.Compile.atoms in
+  let arity i = Array.length (Plan_compile.shape_atom q q.Compile.atoms.(i)).Plan_compile.sh_sources in
+  let binder_descr i = if arity i <= 4 then "specialized" else "generic binder" in
+  if n_atoms = 0 then "interpreter (no atoms)"
+  else if fast_paths && n_atoms = 1 && arity 0 > 0 then
+    Printf.sprintf "compiled single-atom (arity %d, %s)" (arity 0) (binder_descr 0)
+  else if fast_paths && n_atoms = 2 && arity 0 > 0 && arity 1 > 0 then
+    Printf.sprintf "compiled two-atom (arities %d+%d, %s/%s)" (arity 0) (arity 1)
+      (binder_descr 0) (binder_descr 1)
+  else Printf.sprintf "compiled generic (%d atoms)" n_atoms
+
+let search_compiled db ?cache (cp : compiled) ~(ranges : stamp_range array) callback =
+  if Array.length ranges <> cp.cp_n_atoms then
+    invalid_arg "Join.search_compiled: ranges arity mismatch";
+  cp.cp_run db cache ranges (count_yields callback)

@@ -66,3 +66,45 @@ val search :
 
 val exists : Database.t -> Compile.cquery -> bool
 (** Any match at all (all rows considered)? *)
+
+(** {2 Compiled plans}
+
+    A plan lowered once to a tree of specialized OCaml closures (see
+    {!Plan_compile}): typed column readers, hoisted constant checks,
+    per-arity binding loops, pre-resolved primitive guards. A compiled
+    plan requests exactly the cache entries, bumps exactly the counters
+    and emits matches in exactly the order of the interpreted [search]
+    with the same arguments — byte-identical output in both modes, at any
+    [--jobs] count. Compile in the engine's serial pre-phase (plan cache);
+    one compiled plan may then be searched from several domains (each
+    search instantiates its own mutable state). *)
+
+type compiled
+
+val compile_plan : ?fast_paths:bool -> Compile.cquery -> compiled
+(** Lower a plan. The lowering mirrors [search]'s dispatch: single-atom
+    and two-atom fast paths (when [fast_paths], the default, and every
+    atom binds at least one variable), the generic trie join otherwise.
+    Atomless queries stay on the interpreter. Bumps the
+    [join.compiled_plans] / [join.interp_fallbacks] counter pair. *)
+
+val search_compiled :
+  Database.t ->
+  ?cache:cache ->
+  compiled ->
+  ranges:stamp_range array ->
+  (Value.t array -> unit) ->
+  unit
+(** Like {!search}, driving the compiled evaluator. The binding array is
+    reused; callers must copy. *)
+
+val is_compiled : compiled -> bool
+(** False only for the interpreter fallback (atomless queries). *)
+
+val compiled_descr : compiled -> string
+(** One-line description of the chosen lowering, e.g.
+    ["compiled single-atom (arity 2, specialized)"]. *)
+
+val describe_lowering : ?fast_paths:bool -> Compile.cquery -> string
+(** The description {!compile_plan} would produce, without building
+    closures or touching counters — what [--explain-plans] prints. *)

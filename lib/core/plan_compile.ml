@@ -1,0 +1,320 @@
+(* Plan compilation: lower a cost-ordered query plan (a {!Compile.cquery})
+   to specialized OCaml closures, built once per (plan, delta-variant) and
+   reused across iterations. The interpreter in {!Join} re-dispatches on
+   plan structure per tuple — every row pays a checks-list traversal, a
+   position test per cell read, and a symbol-table-resolved primitive call.
+   Here all of that is resolved at construction time:
+
+   - cell reads go through {!Table.reader}/{!Table.int_reader}, which fix
+     the key-vs-output branch and (for i64/bool/sort columns) the unboxed
+     integer representation per column;
+   - constant and same-column checks are compiled to direct closures with
+     the constant's payload hoisted out of the loop;
+   - binding loops are hand-specialized per source arity (1-4), with a
+     generic readers-array fallback above;
+   - primitive guards are pre-resolved to their [impl] function pointers
+     with argument evaluators and bind-vs-check classification fixed up
+     front.
+
+   This module holds the table-level toolkit; the lowered evaluators that
+   tie these kernels to tries, indexes and the cache live in {!Join}
+   (which also keeps the interpreter as reference semantics and as the
+   [--no-compiled-plans] escape hatch). *)
+
+type check =
+  | Check_const of int * Value.t  (* position must equal the literal *)
+  | Check_same of int * int  (* position must equal an earlier position *)
+
+type shape = {
+  sh_func : Schema.func;
+  sh_checks : check list;
+  sh_sources : int array;  (* row positions feeding the binding path, in order *)
+  sh_vars : int array;  (* the query var bound at each path level *)
+}
+
+(* The per-atom analysis shared by the interpreter and the compiler: which
+   row positions must pass checks, and which feed variable bindings, in the
+   plan's variable-depth order. One implementation so the two evaluators
+   can never disagree on an atom's read set (the join cache keys on it). *)
+let shape_atom (q : Compile.cquery) (atom : Compile.atom) : shape =
+  let n = Array.length atom.Compile.a_args in
+  let first_pos : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let checks = ref [] in
+  for i = 0 to n - 1 do
+    match atom.Compile.a_args.(i) with
+    | Compile.A_const v -> checks := Check_const (i, v) :: !checks
+    | Compile.A_var var -> (
+      match Hashtbl.find_opt first_pos var with
+      | None -> Hashtbl.add first_pos var i
+      | Some j -> checks := Check_same (i, j) :: !checks)
+  done;
+  let distinct = Hashtbl.fold (fun var pos acc -> (var, pos) :: acc) first_pos [] in
+  let sorted =
+    List.sort
+      (fun (v1, _) (v2, _) ->
+        Stdlib.compare q.Compile.var_depth.(v1) q.Compile.var_depth.(v2))
+      distinct
+  in
+  {
+    sh_func = atom.Compile.a_func;
+    sh_checks = List.rev !checks;
+    sh_sources = Array.of_list (List.map snd sorted);
+    sh_vars = Array.of_list (List.map fst sorted);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Row filters: checks compiled with constants hoisted                 *)
+(* ------------------------------------------------------------------ *)
+
+type filter = Value.t array -> Table.row -> bool
+
+let no_filter : filter = fun _ _ -> true
+
+let int_const = function
+  | Value.VInt n -> Some n
+  | Value.VId n -> Some n
+  | Value.VBool b -> Some (Bool.to_int b)
+  | Value.VUnit | Value.VRat _ | Value.VStr _ | Value.VSet _ | Value.VVec _ -> None
+
+let compile_check (f : Schema.func) (c : check) : filter =
+  match c with
+  | Check_const (i, v) -> (
+    match (Table.int_reader f i, int_const v) with
+    | Some r, Some k -> fun key row -> r key row = k
+    | _ -> (
+      match Table.column_ty f i with
+      | Ty.Unit -> no_filter  (* a Unit column holds only VUnit *)
+      | _ ->
+        let r = Table.reader f i in
+        fun key row -> Value.equal (r key row) v))
+  | Check_same (i, j) -> (
+    match (Table.int_reader f i, Table.int_reader f j) with
+    | Some ri, Some rj -> fun key row -> ri key row = rj key row
+    | _ -> (
+      match (Table.column_ty f i, Table.column_ty f j) with
+      | Ty.Unit, Ty.Unit -> no_filter
+      | _ ->
+        let ri = Table.reader f i and rj = Table.reader f j in
+        fun key row -> Value.equal (ri key row) (rj key row)))
+
+let compile_filter (f : Schema.func) (checks : check list) : filter =
+  match List.map (compile_check f) checks with
+  | [] -> no_filter
+  | [ c ] -> c
+  | [ c1; c2 ] -> fun key row -> c1 key row && c2 key row
+  | cs ->
+    let arr = Array.of_list cs in
+    let n = Array.length arr in
+    fun key row ->
+      let ok = ref true and i = ref 0 in
+      while !ok && !i < n do
+        ok := arr.(!i) key row;
+        incr i
+      done;
+      !ok
+
+(* ------------------------------------------------------------------ *)
+(* Binding loops: monomorphic per arity 1-4, generic above             *)
+(* ------------------------------------------------------------------ *)
+
+type binder = {
+  bind : Value.t array -> Value.t array -> Table.row -> unit;
+      (* [bind env key row] writes the atom's variables into [env] *)
+  bind_specialized : bool;  (* false on the arity-5+ generic fallback *)
+}
+
+let compile_binder (f : Schema.func) ~(vars : int array) ~(sources : int array) : binder =
+  let r l = Table.reader f sources.(l) in
+  match Array.length sources with
+  | 0 -> { bind = (fun _ _ _ -> ()); bind_specialized = true }
+  | 1 ->
+    let v0 = vars.(0) and r0 = r 0 in
+    { bind = (fun env key row -> env.(v0) <- r0 key row); bind_specialized = true }
+  | 2 ->
+    let v0 = vars.(0) and v1 = vars.(1) and r0 = r 0 and r1 = r 1 in
+    {
+      bind =
+        (fun env key row ->
+          env.(v0) <- r0 key row;
+          env.(v1) <- r1 key row);
+      bind_specialized = true;
+    }
+  | 3 ->
+    let v0 = vars.(0) and v1 = vars.(1) and v2 = vars.(2) in
+    let r0 = r 0 and r1 = r 1 and r2 = r 2 in
+    {
+      bind =
+        (fun env key row ->
+          env.(v0) <- r0 key row;
+          env.(v1) <- r1 key row;
+          env.(v2) <- r2 key row);
+      bind_specialized = true;
+    }
+  | 4 ->
+    let v0 = vars.(0) and v1 = vars.(1) and v2 = vars.(2) and v3 = vars.(3) in
+    let r0 = r 0 and r1 = r 1 and r2 = r 2 and r3 = r 3 in
+    {
+      bind =
+        (fun env key row ->
+          env.(v0) <- r0 key row;
+          env.(v1) <- r1 key row;
+          env.(v2) <- r2 key row;
+          env.(v3) <- r3 key row);
+      bind_specialized = true;
+    }
+  | n ->
+    let readers = Array.init n r in
+    {
+      bind =
+        (fun env key row ->
+          for l = 0 to n - 1 do
+            env.(vars.(l)) <- readers.(l) key row
+          done);
+      bind_specialized = false;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Primitive guards: impl pointers and classification pre-resolved     *)
+(* ------------------------------------------------------------------ *)
+
+(* Classify each scheduled primitive's output as a bind (first time its
+   variable is seen after the atom vars) or a check, in schedule order.
+   Shared with the interpreter's fast paths (same classification, so the
+   two evaluators agree bit-for-bit on guard semantics). *)
+let classify_prims (q : Compile.cquery) (atom_vars : int array list) :
+    (Compile.prim_app * bool) list =
+  let bound = Array.make q.Compile.n_vars false in
+  List.iter (fun vars -> Array.iter (fun v -> bound.(v) <- true) vars) atom_vars;
+  List.map
+    (fun (p : Compile.prim_app) ->
+      match p.Compile.p_out with
+      | Compile.A_var v when not bound.(v) ->
+        bound.(v) <- true;
+        (p, true)
+      | Compile.A_var _ | Compile.A_const _ -> (p, false))
+    (Array.to_list q.Compile.schedule |> List.concat)
+
+type prim_out = Out_bind of int | Out_check_var of int | Out_check_const of Value.t
+
+type prim_step = {
+  st_impl : Value.t array -> Value.t option;  (* direct function pointer *)
+  st_args : (Value.t array -> Value.t) array;  (* env -> argument value *)
+  st_out : prim_out;
+}
+
+let always_true : Value.t array -> bool = fun _ -> true
+
+(* Compile a flat (fully-bound-env) primitive checklist. Returns a maker:
+   each instantiation owns private argument buffers, so one compiled plan
+   can be searched from several domains concurrently (each search
+   instantiates its own runner). The interpreter allocates a fresh args
+   array per primitive per row; here the buffer is reused — safe because
+   primitive impls never retain their argument array. *)
+let compile_prims (prims : (Compile.prim_app * bool) list) : unit -> Value.t array -> bool =
+  match prims with
+  | [] -> fun () -> always_true
+  | _ ->
+    let steps =
+      Array.of_list
+        (List.map
+           (fun ((p : Compile.prim_app), binds) ->
+             {
+               st_impl = p.Compile.p_prim.Primitives.impl;
+               st_args =
+                 Array.map
+                   (function
+                     | Compile.A_const v -> fun _ -> v
+                     | Compile.A_var v -> fun (env : Value.t array) -> env.(v))
+                   p.Compile.p_args;
+               st_out =
+                 (match (p.Compile.p_out, binds) with
+                 | Compile.A_var v, true -> Out_bind v
+                 | Compile.A_var v, false -> Out_check_var v
+                 | Compile.A_const c, _ -> Out_check_const c);
+             })
+           prims)
+    in
+    let n = Array.length steps in
+    fun () ->
+      let bufs = Array.map (fun st -> Array.make (Array.length st.st_args) Value.VUnit) steps in
+      fun env ->
+        let ok = ref true and i = ref 0 in
+        while !ok && !i < n do
+          let st = steps.(!i) in
+          let buf = bufs.(!i) in
+          for k = 0 to Array.length st.st_args - 1 do
+            buf.(k) <- st.st_args.(k) env
+          done;
+          (match st.st_impl buf with
+          | None -> ok := false
+          | Some result -> (
+            match st.st_out with
+            | Out_bind v -> env.(v) <- result
+            | Out_check_var v -> ok := Value.equal env.(v) result
+            | Out_check_const c -> ok := Value.equal c result));
+          incr i
+        done;
+        !ok
+
+exception Unbound_prim_arg
+
+(* Compile one depth's primitive schedule for the generic trie join, whose
+   environment is an option array with undo on guard failure. Pure closures
+   (no construction-time scratch), so the result is reentrant; the win over
+   the interpreter is the pre-fetched impl pointer and pre-resolved output
+   mode. Returns the bound-variable undo list, or None on failure with
+   partial bindings already undone — exactly the interpreter's contract. *)
+let compile_depth_prims (prims : Compile.prim_app list) :
+    Value.t option array -> int list option =
+  match prims with
+  | [] -> fun _ -> Some []
+  | _ ->
+    let steps =
+      Array.of_list
+        (List.map
+           (fun (p : Compile.prim_app) ->
+             let arg_of =
+               Array.map
+                 (function
+                   | Compile.A_const v -> fun (_ : Value.t option array) -> v
+                   | Compile.A_var v -> (
+                     fun env ->
+                       match env.(v) with Some x -> x | None -> raise Unbound_prim_arg))
+                 p.Compile.p_args
+             in
+             (p.Compile.p_prim.Primitives.impl, arg_of, p.Compile.p_out))
+           prims)
+    in
+    let n = Array.length steps in
+    fun env ->
+      let rec go acc i =
+        if i = n then Some acc
+        else begin
+          let impl, arg_of, out = steps.(i) in
+          let args = Array.map (fun f -> f env) arg_of in
+          match impl args with
+          | None ->
+            List.iter (fun v -> env.(v) <- None) acc;
+            None
+          | Some result -> (
+            match out with
+            | Compile.A_const c ->
+              if Value.equal c result then go acc (i + 1)
+              else begin
+                List.iter (fun v -> env.(v) <- None) acc;
+                None
+              end
+            | Compile.A_var v -> (
+              match env.(v) with
+              | Some existing ->
+                if Value.equal existing result then go acc (i + 1)
+                else begin
+                  List.iter (fun u -> env.(u) <- None) acc;
+                  None
+                end
+              | None ->
+                env.(v) <- Some result;
+                go (v :: acc) (i + 1)))
+        end
+      in
+      go [] 0

@@ -1,0 +1,61 @@
+(** Plan compilation: lower cost-ordered query plans to specialized OCaml
+    closures, replacing the interpreter's per-tuple dispatch with work done
+    once per (plan, delta-variant). This module is the table-level toolkit
+    — typed cell readers, hoisted constant checks, per-arity binding loops,
+    pre-resolved primitive guards; the lowered evaluators that tie the
+    kernels to tries, indexes and the join cache live in {!Join}. *)
+
+type check =
+  | Check_const of int * Value.t  (** position must equal the literal *)
+  | Check_same of int * int  (** position must equal an earlier position *)
+
+type shape = {
+  sh_func : Schema.func;
+  sh_checks : check list;
+  sh_sources : int array;
+      (** row positions feeding the binding path, in variable-depth order *)
+  sh_vars : int array;  (** the query var bound at each path level *)
+}
+
+val shape_atom : Compile.cquery -> Compile.atom -> shape
+(** The per-atom analysis shared by the interpreter and the compiler:
+    checks, binding sources and bound variables. One implementation, so
+    both evaluators — and the join cache keys derived from it — agree. *)
+
+type filter = Value.t array -> Table.row -> bool
+
+val compile_filter : Schema.func -> check list -> filter
+(** Compile an atom's checks into one closure: constants hoisted, unboxed
+    integer comparison for i64/bool/sort columns ({!Table.int_reader}),
+    Unit-typed columns elided, 0/1/2-check cases composed directly. *)
+
+type binder = {
+  bind : Value.t array -> Value.t array -> Table.row -> unit;
+      (** [bind env key row] writes the atom's variables into [env] *)
+  bind_specialized : bool;  (** false on the arity-5+ generic fallback *)
+}
+
+val compile_binder : Schema.func -> vars:int array -> sources:int array -> binder
+(** Monomorphic binding loop, hand-specialized for 1-4 sources with every
+    column reader resolved at construction; arities above fall back to a
+    readers-array loop ([bind_specialized = false]). *)
+
+val classify_prims :
+  Compile.cquery -> int array list -> (Compile.prim_app * bool) list
+(** Flatten the schedule and classify each primitive's output as bind
+    ([true]) or check, given the variables the listed atoms bind. *)
+
+val compile_prims : (Compile.prim_app * bool) list -> unit -> Value.t array -> bool
+(** Compile a classified checklist for fully-bound environments. The outer
+    [unit ->] instantiates private argument buffers: instantiate once per
+    search so concurrent searches of one compiled plan never share state. *)
+
+exception Unbound_prim_arg
+(** A primitive argument was unbound — a scheduling bug, never reachable
+    through {!Compile.replan}-produced plans. *)
+
+val compile_depth_prims : Compile.prim_app list -> Value.t option array -> int list option
+(** Compile one depth's schedule for the generic trie join: option-array
+    environment, returns the bound-variable undo list or [None] on guard
+    failure (partial bindings already undone) — the interpreter's exact
+    contract. Reentrant (no construction-time scratch). *)

@@ -1,4 +1,4 @@
-type row = { mutable value : Value.t; mutable stamp : int }
+type row = { mutable value : Value.t; mutable stamp : int; mutable first_log : int }
 
 type t = {
   func : Schema.func;
@@ -10,13 +10,32 @@ type t = {
      so each surviving row is visited exactly once per range. *)
   mutable log_keys : Value.t array array;
   mutable log_stamps : int array;
+  (* The row each entry logged. Removal tombstones the record (stamp goes
+     to min_int), so a log walk can test currency with two loads and no
+     hashing: entry [i] is current iff [log_rows.(i).stamp = log_stamps.(i)]
+     and [log_rows.(i).first_log = i] (the latter collapses the entries a
+     same-stamp remove/re-insert leaves behind to the first one — the one
+     the hashing walk of [iter_range] fires). *)
+  mutable log_rows : row array;
   mutable log_len : int;
   mutable version : int;  (* bumped on any mutation; index-cache validity *)
   mutable removals : int;  (* rows ever removed; nonzero delta = not append-only *)
   mutable value_updates : int;  (* in-place output overwrites of existing rows *)
   mutable distinct_cache : (int * int array) option;  (* version, per-column distincts *)
   mutable bytes : int;  (* modeled footprint, maintained incrementally *)
+  (* Keys removed while the log's newest stamp still equals their row's: a
+     re-insert at that same stamp must inherit the removed row's [first_log]
+     (and its log slot) to keep delta-walk emission positions identical to
+     [iter_range]'s first-occurrence rule. Entries are valid only for
+     [revivals_stamp]; the table is reset when a removal at a newer stamp
+     starts a fresh hazard window. *)
+  revivals : int Value.Key_tbl.t;
+  mutable revivals_stamp : int;
 }
+
+(* Shared sentinel for log slots whose entry can never be current again.
+   Never mutated: [remove] tombstones only records that were in [data]. *)
+let dead_row = { value = Value.VUnit; stamp = min_int; first_log = -1 }
 
 (* Modeled byte accounting. Each row costs a fixed overhead (hashtable
    bucket, record, key array header) plus the modeled size of its key
@@ -42,12 +61,15 @@ let create func =
     data = Value.Key_tbl.create 64;
     log_keys = Array.make 16 [||];
     log_stamps = Array.make 16 0;
+    log_rows = Array.make 16 dead_row;
     log_len = 0;
     version = 0;
     removals = 0;
     value_updates = 0;
     distinct_cache = None;
     bytes = 0;
+    revivals = Value.Key_tbl.create 8;
+    revivals_stamp = min_int;
   }
 
 let func t = t.func
@@ -65,26 +87,42 @@ let log_length t = t.log_len
 let modeled_bytes t = t.bytes
 let get t key = Value.Key_tbl.find_opt t.data key
 
-let log_append t key stamp =
+let log_append t key row stamp =
   if t.log_len >= Array.length t.log_keys then begin
     let cap = 2 * Array.length t.log_keys in
     let keys = Array.make cap [||] and stamps = Array.make cap 0 in
+    let rows = Array.make cap dead_row in
     Array.blit t.log_keys 0 keys 0 t.log_len;
     Array.blit t.log_stamps 0 stamps 0 t.log_len;
+    Array.blit t.log_rows 0 rows 0 t.log_len;
     t.log_keys <- keys;
-    t.log_stamps <- stamps
+    t.log_stamps <- stamps;
+    t.log_rows <- rows
   end;
   t.log_keys.(t.log_len) <- key;
   t.log_stamps.(t.log_len) <- stamp;
+  t.log_rows.(t.log_len) <- row;
   t.log_len <- t.log_len + 1;
   t.bytes <- t.bytes + log_entry_cost
 
 let set_raw t key value ~stamp =
   match Value.Key_tbl.find_opt t.data key with
   | None ->
-    Value.Key_tbl.replace t.data key { value; stamp };
+    let row = { value; stamp; first_log = t.log_len } in
+    (* Same-stamp revival: the key was removed at this stamp after being
+       logged; re-attach the fresh record to the original entry so delta
+       walks fire it there (where [iter_range]'s dedupe rule fires it). *)
+    if t.revivals_stamp = stamp && Value.Key_tbl.length t.revivals > 0 then begin
+      match Value.Key_tbl.find_opt t.revivals key with
+      | Some fl ->
+        row.first_log <- fl;
+        t.log_rows.(fl) <- row;
+        Value.Key_tbl.remove t.revivals key
+      | None -> ()
+    end;
+    Value.Key_tbl.replace t.data key row;
     t.bytes <- t.bytes + row_bytes key value;
-    log_append t key stamp;
+    log_append t key row stamp;
     t.version <- t.version + 1;
     `Inserted
   | Some row ->
@@ -94,7 +132,10 @@ let set_raw t key value ~stamp =
       t.bytes <- t.bytes + Value.modeled_bytes value - Value.modeled_bytes row.value;
       row.value <- value;
       row.stamp <- stamp;
-      if restamped then log_append t key stamp;
+      if restamped then begin
+        row.first_log <- t.log_len;
+        log_append t key row stamp
+      end;
       t.version <- t.version + 1;
       t.value_updates <- t.value_updates + 1;
       `Updated
@@ -104,6 +145,17 @@ let remove t key =
   match Value.Key_tbl.find_opt t.data key with
   | Some row ->
     Value.Key_tbl.remove t.data key;
+    (* A re-insert at the row's own stamp is still possible only while the
+       log's newest stamp equals it; remember where the row was first
+       logged so a revival keeps its emission position. *)
+    if t.log_len > 0 && t.log_stamps.(t.log_len - 1) = row.stamp then begin
+      if t.revivals_stamp <> row.stamp then begin
+        Value.Key_tbl.reset t.revivals;
+        t.revivals_stamp <- row.stamp
+      end;
+      Value.Key_tbl.replace t.revivals key row.first_log
+    end;
+    row.stamp <- min_int;  (* tombstone: the row's log entries go dead *)
     (* The log entries the row left behind stay allocated, so only the row
        itself is subtracted; log cost is reclaimed never, like the arrays. *)
     t.bytes <- t.bytes - row_bytes key row.value;
@@ -164,6 +216,25 @@ let iter_range t ~lo ~hi f =
     done
   end
 
+(* Same visible behaviour as {!iter_range} — same rows, same values, same
+   order — but the log walk tests entry currency through the logged row
+   pointer instead of hashing every key into [data] and a dedupe table.
+   [first_log] pins a same-stamp revival to its original entry, which is
+   exactly where [iter_range]'s first-occurrence dedupe fires it. *)
+let iter_delta t ~lo ~hi f =
+  if lo <= 0 then
+    Value.Key_tbl.iter (fun key row -> if row.stamp < hi then f key row) t.data
+  else begin
+    let start = log_lower_bound t lo in
+    for i = start to t.log_len - 1 do
+      let s = t.log_stamps.(i) in
+      if s < hi then begin
+        let row = t.log_rows.(i) in
+        if row.stamp = s && row.first_log = i then f t.log_keys.(i) row
+      end
+    done
+  end
+
 let iter_log_suffix t ~from f =
   let from = max 0 from in
   let seen = Value.Key_tbl.create (max 16 (t.log_len - from)) in
@@ -204,21 +275,69 @@ let column_distincts t =
     t.distinct_cache <- Some (t.version, d);
     d
 
+(* ------------------------------------------------------------------ *)
+(* Typed column readers (compiled join plans)                          *)
+(* ------------------------------------------------------------------ *)
+
+let column_ty (f : Schema.func) i : Ty.t =
+  if i < Schema.arity f then f.Schema.arg_tys.(i) else f.Schema.ret_ty
+
+(* Column [i] of a row is key position [i] when i < arity and the output
+   cell otherwise. The position test is resolved here, once per compiled
+   closure, so the per-row reader is a direct load. *)
+let reader (f : Schema.func) i : Value.t array -> row -> Value.t =
+  if i < Schema.arity f then fun key _ -> key.(i) else fun _ row -> row.value
+
+(* Integer payload of a cell in an i64/bool/sort-typed column. The type
+   checker guarantees the constructor, so anything else is data corruption,
+   not a user error. *)
+let int_payload = function
+  | Value.VInt n -> n
+  | Value.VId n -> n
+  | Value.VBool b -> Bool.to_int b
+  | Value.VUnit | Value.VRat _ | Value.VStr _ | Value.VSet _ | Value.VVec _ ->
+    invalid_arg "Table.int_reader: non-integer payload in typed column"
+
+let int_reader (f : Schema.func) i : (Value.t array -> row -> int) option =
+  match column_ty f i with
+  | Ty.Int | Ty.Bool | Ty.Sort _ ->
+    Some
+      (if i < Schema.arity f then fun key _ -> int_payload key.(i)
+       else fun _ row -> int_payload row.value)
+  | Ty.Unit | Ty.Rational | Ty.String | Ty.Set _ | Ty.Vec _ -> None
+
 let copy t =
   let data = Value.Key_tbl.create (Value.Key_tbl.length t.data) in
   Value.Key_tbl.iter
-    (fun k r -> Value.Key_tbl.replace data (Array.copy k) { value = r.value; stamp = r.stamp })
+    (fun k r ->
+      Value.Key_tbl.replace data (Array.copy k)
+        { value = r.value; stamp = r.stamp; first_log = r.first_log })
     t.data;
+  let log_keys = Array.map Fun.id (Array.sub t.log_keys 0 (max 16 t.log_len)) in
+  let log_stamps = Array.sub t.log_stamps 0 (max 16 t.log_len) in
+  (* Re-point log entries at the copy's row records: entry [i] is live iff
+     the copied row for its key says so (same currency rule as the walks). *)
+  let log_rows = Array.make (max 16 t.log_len) dead_row in
+  for i = 0 to t.log_len - 1 do
+    match Value.Key_tbl.find_opt data t.log_keys.(i) with
+    | Some r when r.stamp = t.log_stamps.(i) && r.first_log = i -> log_rows.(i) <- r
+    | Some _ | None -> ()
+  done;
+  let revivals = Value.Key_tbl.create (max 8 (Value.Key_tbl.length t.revivals)) in
+  Value.Key_tbl.iter (fun k fl -> Value.Key_tbl.replace revivals k fl) t.revivals;
   {
     func = t.func;
     uid = next_uid ();
     data;
-    log_keys = Array.map Fun.id (Array.sub t.log_keys 0 (max 16 t.log_len));
-    log_stamps = Array.sub t.log_stamps 0 (max 16 t.log_len);
+    log_keys;
+    log_stamps;
+    log_rows;
     log_len = t.log_len;
     version = t.version;
     removals = t.removals;
     value_updates = t.value_updates;
     distinct_cache = None;
     bytes = t.bytes;
+    revivals;
+    revivals_stamp = t.revivals_stamp;
   }

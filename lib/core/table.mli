@@ -8,7 +8,14 @@
     Tables are pure storage; merge-aware insertion and canonicalization live
     in {!Database}, which owns the union-find. *)
 
-type row = { mutable value : Value.t; mutable stamp : int }
+type row = {
+  mutable value : Value.t;
+  mutable stamp : int;
+  mutable first_log : int;
+      (** Log position of the first entry carrying the row's current stamp —
+          the position where range walks report it. Maintained internally;
+          [min_int] stamps mark tombstoned (removed) records. *)
+}
 
 type t
 
@@ -73,6 +80,14 @@ val iter_range : t -> lo:int -> hi:int -> (Value.t array -> row -> unit) -> unit
     this walks only the stamp-ordered log tail (each surviving row exactly
     once); [lo = 0] falls back to a full scan filtered by [hi]. *)
 
+val iter_delta : t -> lo:int -> hi:int -> (Value.t array -> row -> unit) -> unit
+(** Exactly {!iter_range} — same rows, same values, same order — but the
+    log walk checks entry currency through the logged row pointer (two
+    loads and two compares per entry) instead of hashing every key into
+    the data map plus a dedupe table. This is the scan the compiled join
+    kernels use; {!iter_range} stays the hash-validated reference the
+    interpreter runs, and the differential suite holds the two equal. *)
+
 val iter_log_suffix : t -> from:int -> (Value.t array -> row -> unit) -> unit
 (** Visit each surviving row that was logged at position >= [from], exactly
     once. This is the feed for incremental index maintenance: a structure
@@ -84,3 +99,24 @@ val column_distincts : t -> int array
 
 val copy : t -> t
 (** Deep copy (for push/pop). *)
+
+(** {2 Typed column readers}
+
+    Construction-time-specialized accessors for the plan compiler
+    ({!Plan_compile}): the key-position-vs-output branch and the column's
+    representation are resolved once, when a compiled closure is built,
+    instead of per row inside the join's innermost loop. *)
+
+val column_ty : Schema.func -> int -> Ty.t
+(** Type of column [i]: argument type when [i < arity], return type for the
+    output column. *)
+
+val reader : Schema.func -> int -> Value.t array -> row -> Value.t
+(** [reader f i] reads column [i] of a row: a direct key load when
+    [i < arity f], the output cell otherwise — no position test per row. *)
+
+val int_reader : Schema.func -> int -> (Value.t array -> row -> int) option
+(** Unboxed reader for columns whose every cell carries an integer payload
+    ([i64] → [VInt], [bool] → [VBool], sorts → [VId]): within one such
+    column, equality is integer equality on the payload. [None] for types
+    that need structural comparison. *)

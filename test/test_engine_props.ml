@@ -251,6 +251,15 @@ let join_multiset db ?cache ?(fast_paths = true) q ~ranges =
       acc := String.concat "," (Array.to_list (Array.map E.Value.to_string binding)) :: !acc);
   List.sort compare !acc
 
+(* Same multiset through the compiled evaluator (Join.compile_plan +
+   search_compiled) — the third corner of the differential triangle. *)
+let compiled_multiset db ?cache ?(fast_paths = true) q ~ranges =
+  let cp = E.Join.compile_plan ~fast_paths q in
+  let acc = ref [] in
+  E.Join.search_compiled db ?cache cp ~ranges (fun binding ->
+      acc := String.concat "," (Array.to_list (Array.map E.Value.to_string binding)) :: !acc);
+  List.sort compare !acc
+
 let rec permutations = function
   | [] -> [ [] ]
   | l ->
@@ -258,8 +267,9 @@ let rec permutations = function
       (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (fun y -> y <> x) l)))
       l
 
-(* A randomized scenario: one or two relations (arity 1-3) plus an
-   i64-valued function [f], facts inserted in two stamped batches, a random
+(* A randomized scenario: one or two relations (arity 1-5, so arity-5
+   atoms exercise the compiled generic-binder fallback) plus an i64-valued
+   function [f], facts inserted in two stamped batches, a random
    conjunctive query of 1-3 atoms over them, and optionally a primitive
    application (a binder, an always-true guard, or a never-true guard). *)
 type diff_scenario = {
@@ -273,7 +283,7 @@ type diff_scenario = {
 
 let gen_scenario =
   QCheck2.Gen.(
-    let arg = oneof [ map (fun i -> `V i) (int_bound 3); map (fun c -> `C c) (int_bound 3) ] in
+    let arg = oneof [ map (fun i -> `V i) (int_bound 5); map (fun c -> `C c) (int_bound 3) ] in
     map
       (fun ((arities, inserts), (split, atoms), (prim, ranges)) ->
         {
@@ -286,9 +296,9 @@ let gen_scenario =
         })
       (triple
          (pair
-            (list_size (int_range 1 2) (int_range 1 3))
-            (list_size (int_range 0 16) (pair (int_bound 2) (list_repeat 3 (int_bound 3)))))
-         (pair (int_bound 16) (list_size (int_range 1 3) (pair (int_bound 2) (list_repeat 4 arg))))
+            (list_size (int_range 1 2) (int_range 1 5))
+            (list_size (int_range 0 16) (pair (int_bound 2) (list_repeat 5 (int_bound 3)))))
+         (pair (int_bound 16) (list_size (int_range 1 3) (pair (int_bound 2) (list_repeat 6 arg))))
          (pair (int_bound 3) (list_repeat 3 (int_bound 5)))))
 
 (* Populate an engine for the scenario. Returns the database and the three
@@ -387,8 +397,12 @@ let scenario_query ds db =
   E.Compile.compile_query (compile_env db) (fst (scenario_facts ds))
 
 (* One differential case: reference output vs the production join under
-   every configuration we ship — cached and uncached, fast paths on and
-   off, the cost-model replan, and every variable ordering. *)
+   every configuration we ship — interpreted and compiled, cached and
+   uncached, fast paths on and off, the cost-model replan, and every
+   variable ordering (sampled once the order grows past 4 variables).
+   Interpreter and compiled evaluator share one cache, which doubles as a
+   regression for the cache-key identity invariant: both sides must
+   request (and correctly answer from) the same entries. *)
 let check_diff ds ~delta =
   let db, stamps = build_scenario ds in
   match scenario_query ds db with
@@ -410,11 +424,19 @@ let check_diff ds ~delta =
       in
       let expected = Ref_join.matches_multiset db q ~ranges in
       let agree ?cache ?fast_paths q' = join_multiset db ?cache ?fast_paths q' ~ranges = expected in
+      let agree_compiled ?cache ?fast_paths q' =
+        compiled_multiset db ?cache ?fast_paths q' ~ranges = expected
+      in
       let cache = E.Join.new_cache () in
       let ok = ref (agree ~cache q) in
       (* a second pass answers from the cached structures *)
       ok := !ok && agree ~cache q;
       ok := !ok && agree ~fast_paths:false q;
+      (* compiled evaluator, warming and then reusing the same cache *)
+      ok := !ok && agree_compiled ~cache q;
+      ok := !ok && agree_compiled ~cache q;
+      ok := !ok && agree_compiled q;
+      ok := !ok && agree_compiled ~fast_paths:false q;
       let cards =
         Array.map
           (fun (a : E.Compile.atom) ->
@@ -425,21 +447,31 @@ let check_diff ds ~delta =
             | None -> assert false)
           q.E.Compile.atoms
       in
-      ok := !ok && agree ~cache (E.Compile.replan q ~cards);
+      let replanned = E.Compile.replan q ~cards in
+      ok := !ok && agree ~cache replanned;
+      ok := !ok && agree_compiled ~cache replanned;
+      (* past 4 join variables full enumeration explodes (120+ orders);
+         reversing the chosen order still exercises a worst-case plan *)
+      let orders =
+        let base = Array.to_list q.E.Compile.order in
+        if List.length base <= 4 then permutations base else [ base; List.rev base ]
+      in
       List.iter
         (fun perm ->
           let q' = E.Compile.reorder q ~order:(Array.of_list perm) in
-          ok := !ok && agree q' && agree ~fast_paths:false q')
-        (permutations (Array.to_list q.E.Compile.order));
+          ok := !ok && agree q' && agree ~fast_paths:false q' && agree_compiled q')
+        orders;
       !ok
     end
 
 let prop_diff_full_ranges =
-  QCheck2.Test.make ~name:"differential: planner == reference (full ranges, all orderings)"
-    ~count:260 gen_scenario (fun ds -> check_diff ds ~delta:false)
+  QCheck2.Test.make
+    ~name:"differential: compiled == interpreted == reference (full ranges, all orderings)"
+    ~count:350 gen_scenario (fun ds -> check_diff ds ~delta:false)
 
 let prop_diff_delta_ranges =
-  QCheck2.Test.make ~name:"differential: planner == reference (delta stamp windows)" ~count:260
+  QCheck2.Test.make
+    ~name:"differential: compiled == interpreted == reference (delta stamp windows)" ~count:350
     gen_scenario (fun ds -> check_diff ds ~delta:true)
 
 (* Engine-level differential for the parallel phases: the scenario's
@@ -460,10 +492,10 @@ let report_fingerprint (r : E.Engine.run_report) =
     r.stop_reason,
     r.rule_stats )
 
-let run_scenario_at_jobs ?node_limit ?memory_limit ds ~jobs =
+let run_scenario_at_jobs ?node_limit ?memory_limit ?compiled_plans ds ~jobs =
   let n_rels = List.length ds.ds_arities in
   let facts, vars = scenario_facts ds in
-  let eng = E.Engine.create () in
+  let eng = E.Engine.create ?compiled_plans () in
   let decls = Buffer.create 64 in
   List.iteri
     (fun i a ->
@@ -514,11 +546,19 @@ let run_scenario_at_jobs ?node_limit ?memory_limit ds ~jobs =
 
 let prop_jobs_differential =
   QCheck2.Test.make
-    ~name:"differential: parallel search+apply+rebuild (jobs 2, 4) dumps+reports == serial"
+    ~name:
+      "differential: parallel search+apply+rebuild (jobs 2, 4; compiled and interpreted) \
+       dumps+reports == serial"
     ~count:60 gen_scenario (fun ds ->
       match run_scenario_at_jobs ds ~jobs:1 with
       | exception E.Engine.Egglog_error _ -> true
-      | serial -> List.for_all (fun jobs -> run_scenario_at_jobs ds ~jobs = serial) [ 2; 4 ])
+      | serial ->
+        List.for_all (fun jobs -> run_scenario_at_jobs ds ~jobs = serial) [ 2; 4 ]
+        (* the interpreter (--no-compiled-plans) must reproduce the same
+           dump and report fingerprints, serial and parallel *)
+        && List.for_all
+             (fun jobs -> run_scenario_at_jobs ~compiled_plans:false ds ~jobs = serial)
+             [ 1; 4 ])
 
 (* Same contract when a budget stops the run mid-way: node and memory
    limits are modeled deterministically, so the stop reason, the stopped

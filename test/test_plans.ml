@@ -25,14 +25,16 @@ let test_transitive_closure () =
     \  atoms:\n\
     \    [0] (edge x y) -> ()  rows=3\n\
     \  order: x(est=3) y(est=1)\n\
-    \  delta[0] (0 rows) order: x y\n\
+    \  lowering: compiled single-atom (arity 2, specialized)\n\
+    \  delta[0] (0 rows) order: x y  [compiled single-atom (arity 2, specialized)]\n\
      rule rule_2 (ruleset default)\n\
     \  atoms:\n\
     \    [0] (path x y) -> ()  rows=6\n\
     \    [1] (edge y z) -> ()  rows=3\n\
     \  order: y(est=3) z(est=1) x(est=2)\n\
-    \  delta[0] (0 rows) order: y z x\n\
-    \  delta[1] (0 rows) order: y z x\n"
+    \  lowering: compiled two-atom (arities 2+2, specialized/specialized)\n\
+    \  delta[0] (0 rows) order: y z x  [compiled two-atom (arities 2+2, specialized/specialized)]\n\
+    \  delta[1] (0 rows) order: y z x  [compiled two-atom (arities 2+2, specialized/specialized)]\n"
 
 let test_rewrite_rule () =
   (* a rewrite compiles to a single atom whose output is an internal
@@ -48,7 +50,8 @@ let test_rewrite_rule () =
     \  atoms:\n\
     \    [0] (Add a b) -> $3  rows=2\n\
     \  order: $3(est=1) a(est=2) b(est=1)\n\
-    \  delta[0] (0 rows) order: a b $3\n"
+    \  lowering: compiled single-atom (arity 3, specialized)\n\
+    \  delta[0] (0 rows) order: a b $3  [compiled single-atom (arity 3, specialized)]\n"
 
 let test_triangle_with_guard () =
   (* three-way cyclic join plus a primitive guard scheduled once its input
@@ -68,9 +71,31 @@ let test_triangle_with_guard () =
     \    [2] (e z x) -> ()  rows=5\n\
     \  order: z(est=5) x(est=1) y(est=1)\n\
     \    prim@2 (< x 10) -> $6\n\
-    \  delta[0] (0 rows) order: x z y\n\
-    \  delta[1] (0 rows) order: z x y\n\
-    \  delta[2] (0 rows) order: z x y\n"
+    \  lowering: compiled generic (3 atoms)\n\
+    \  delta[0] (0 rows) order: x z y  [compiled generic (3 atoms)]\n\
+    \  delta[1] (0 rows) order: z x y  [compiled generic (3 atoms)]\n\
+    \  delta[2] (0 rows) order: z x y  [compiled generic (3 atoms)]\n"
+
+let test_compiled_plans_disabled () =
+  (* with --no-compiled-plans every lowering line reports the interpreter *)
+  let eng = E.Engine.create ~compiled_plans:false () in
+  ignore
+    (E.run_string eng
+       {|
+      (relation edge (i64 i64))
+      (rule ((edge x y)) ((edge y x)))
+      (edge 1 2)
+      (run 1)
+    |});
+  Alcotest.(check string)
+    "interpreter lowering"
+    "rule rule_1 (ruleset default)\n\
+    \  atoms:\n\
+    \    [0] (edge x y) -> ()  rows=2\n\
+    \  order: x(est=2) y(est=1)\n\
+    \  lowering: interpreter (compiled plans disabled)\n\
+    \  delta[0] (1 rows) order: x y  [interpreter (compiled plans disabled)]\n"
+    (E.Engine.explain_plans eng)
 
 let test_atomless_rule () =
   check_plans "rule with no atoms"
@@ -90,6 +115,7 @@ let () =
           Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
           Alcotest.test_case "rewrite rule" `Quick test_rewrite_rule;
           Alcotest.test_case "triangle with guard" `Quick test_triangle_with_guard;
+          Alcotest.test_case "compiled plans disabled" `Quick test_compiled_plans_disabled;
           Alcotest.test_case "atomless rule" `Quick test_atomless_rule;
           Alcotest.test_case "no rules" `Quick test_no_rules;
         ] );
